@@ -1,0 +1,87 @@
+//! Ablations over the design choices DESIGN.md calls out, measured in wall
+//! clock here (message-count ablations live in the `expt_ablations`
+//! binary):
+//!
+//! * sequential vs bidirectional range multicast (§IV-C vs §VI-B);
+//! * MBR batching factor ζ;
+//! * flat range multicast vs hierarchical escalation for wide queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsi_chord::{IdSpace, RangeStrategy};
+use dsi_core::{run_experiment, ExperimentConfig, SimilarityKind, SimilarityQuery};
+use dsi_hierarchy::{Hierarchy, HierarchicalIndex};
+use dsi_simnet::SimTime;
+use std::hint::black_box;
+
+fn cfg(n: usize) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::with_nodes(n);
+    cfg.warmup_ms = 10_000;
+    cfg.measure_ms = 10_000;
+    cfg
+}
+
+fn bench_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_strategy");
+    group.sample_size(10);
+    for (name, strat) in
+        [("sequential", RangeStrategy::Sequential), ("bidirectional", RangeStrategy::Bidirectional)]
+    {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut config = cfg(100);
+                config.strategy = strat;
+                black_box(run_experiment(&config))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_zeta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_zeta");
+    group.sample_size(10);
+    for zeta in [1usize, 5, 10, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(zeta), &zeta, |b, &zeta| {
+            b.iter(|| {
+                let mut config = cfg(100);
+                config.workload.mbr_batch = zeta;
+                black_box(run_experiment(&config))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_wide_query_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_wide_query");
+    group.sample_size(20);
+    let space = IdSpace::new(20);
+    let ids: Vec<u64> = (0..243u64).map(|i| space.hash_str(&format!("dc-{i}"))).collect();
+    let ring = dsi_chord::Ring::with_nodes(space, ids.iter().copied());
+    let index = HierarchicalIndex::new(Hierarchy::build(&ids, 3), space);
+    let target: Vec<f64> = (0..64).map(|i| 0.3 + (i as f64 * 0.5).sin()).collect();
+    let q = SimilarityQuery::from_target(
+        1,
+        ids[0],
+        target,
+        0.5,
+        SimilarityKind::Subsequence,
+        2,
+        0,
+        SimTime::from_secs(60),
+    );
+    let (lo, hi) = dsi_core::radius_key_range(space, q.feature.first_real(), q.radius);
+
+    group.bench_function("flat_multicast_plan", |b| {
+        b.iter(|| {
+            black_box(dsi_chord::multicast(&ring, ids[0], lo, hi, RangeStrategy::Sequential))
+        })
+    });
+    group.bench_function("hierarchy_escalation", |b| {
+        b.iter(|| black_box(index.route_query(&q)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategy, bench_zeta, bench_wide_query_routing);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Benchmarks of the Chord substrate: SHA-1 hashing, lookup scaling with
+//! ring size (the O(log N) claim), and range-multicast planning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsi_chord::{multicast, sha1, IdSpace, RangeStrategy, Ring};
+use std::hint::black_box;
+
+fn build_ring(n: u64) -> Ring {
+    let space = IdSpace::new(32);
+    Ring::with_nodes(space, (0..n).map(|i| space.hash_str(&format!("node-{i}"))))
+}
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha1");
+    group.sample_size(30);
+    for size in [20usize, 256, 4096] {
+        let data = vec![0xA5u8; size];
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| black_box(sha1(black_box(d))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup");
+    group.sample_size(20);
+    for n in [64u64, 256, 1024] {
+        let ring = build_ring(n);
+        let origin = ring.node_ids()[0];
+        group.bench_with_input(BenchmarkId::new("iterative", n), &ring, |b, ring| {
+            let mut key = 7u64;
+            b.iter(|| {
+                key = key.wrapping_mul(2654435761) % (1u64 << 32);
+                black_box(ring.lookup(origin, key).owner)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ring_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_build");
+    group.sample_size(10);
+    for n in [128u64, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(build_ring(n)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multicast_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multicast_plan");
+    group.sample_size(20);
+    let ring = build_ring(512);
+    let origin = ring.node_ids()[0];
+    let space = ring.space();
+    // A range covering ~10% of the circle (the radius-0.1 query shape).
+    let lo = space.modulus() / 4;
+    let hi = lo + space.modulus() / 10;
+    for (name, strat) in
+        [("sequential", RangeStrategy::Sequential), ("bidirectional", RangeStrategy::Bidirectional)]
+    {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(multicast(&ring, origin, lo, hi, strat)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha1,
+    bench_lookup_scaling,
+    bench_ring_construction,
+    bench_multicast_planning
+);
+criterion_main!(benches);

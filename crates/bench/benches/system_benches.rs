@@ -1,0 +1,72 @@
+//! End-to-end simulation throughput: wall-clock cost of replaying the
+//! paper's workload at different system sizes, and middleware hot paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsi_core::{run_experiment, Cluster, ClusterConfig, ExperimentConfig, SimilarityKind};
+use dsi_simnet::SimTime;
+use std::hint::black_box;
+
+fn quick_cfg(n: usize) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::with_nodes(n);
+    cfg.warmup_ms = 10_000;
+    cfg.measure_ms = 10_000;
+    cfg
+}
+
+fn bench_experiment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment_20s_sim");
+    group.sample_size(10);
+    for n in [50usize, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(run_experiment(&quick_cfg(n))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_middleware_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("middleware");
+    group.sample_size(20);
+
+    // post_value: the per-item fast path (summarize + batch + maybe route).
+    group.bench_function("post_value", |b| {
+        let mut cfg = ClusterConfig::new(64);
+        cfg.kind = SimilarityKind::Subsequence;
+        let mut cluster = Cluster::new(cfg);
+        let sid = cluster.register_stream("bench-stream", 0);
+        let mut i = 0u64;
+        b.iter(|| {
+            let v = 10.0 + ((i as f64) * 0.1).sin();
+            cluster.post_value(sid, v, SimTime::from_ms(i));
+            i += 1;
+        })
+    });
+
+    // post_similarity_query: feature extraction + range multicast planning.
+    group.bench_function("post_similarity_query", |b| {
+        let mut cfg = ClusterConfig::new(64);
+        cfg.kind = SimilarityKind::Subsequence;
+        let mut cluster = Cluster::new(cfg);
+        let target: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2).sin() + 2.0).collect();
+        let mut i = 0u64;
+        b.iter(|| {
+            let qid = cluster.post_similarity_query(
+                (i % 64) as usize,
+                target.clone(),
+                0.1,
+                1000, // expire fast so the registry stays small
+                SimTime::from_ms(i),
+            );
+            if i.is_multiple_of(256) {
+                cluster.purge_queries(SimTime::from_ms(i));
+            }
+            i += 1;
+            black_box(qid)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiment, bench_middleware_paths);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Runs every table/figure experiment in sequence and writes all JSON
+//! outputs. Run: `cargo run --release -p dsi-bench --bin expt_all [--quick]`
+fn main() {
+    let quick = dsi_bench::quick_mode();
+    let start = std::time::Instant::now();
+
+    println!("{}", dsi_bench::experiments::table1());
+    println!("{}", dsi_bench::experiments::fig1());
+
+    let (f3b, t) = dsi_bench::experiments::fig3b();
+    println!("{t}");
+    dsi_bench::write_json("fig3b.json", &f3b);
+
+    let (f6a, t) = dsi_bench::experiments::fig6a(quick);
+    println!("{t}");
+    dsi_bench::write_json("fig6a.json", &f6a);
+
+    let (f6b, t) = dsi_bench::experiments::fig6b(quick);
+    println!("{t}");
+    dsi_bench::write_json("fig6b.json", &f6b);
+
+    let (f7a, f7b, t) = dsi_bench::experiments::fig7(quick);
+    println!("{t}");
+    dsi_bench::write_json("fig7a.json", &f7a);
+    dsi_bench::write_json("fig7b.json", &f7b);
+
+    let (f8, t) = dsi_bench::experiments::fig8(quick);
+    println!("{t}");
+    dsi_bench::write_json("fig8.json", &f8);
+
+    println!("all experiments completed in {:?}", start.elapsed());
+}

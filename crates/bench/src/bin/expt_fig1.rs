@@ -1,0 +1,5 @@
+//! Regenerates the Fig. 1 Chord scenario.
+//! Run: `cargo run -p dsi-bench --bin expt_fig1`
+fn main() {
+    print!("{}", dsi_bench::experiments::fig1());
+}

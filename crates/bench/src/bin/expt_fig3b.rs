@@ -1,0 +1,7 @@
+//! Regenerates Fig. 3(b): Fourier locality of host-load summaries.
+//! Run: `cargo run --release -p dsi-bench --bin expt_fig3b`
+fn main() {
+    let (data, text) = dsi_bench::experiments::fig3b();
+    print!("{text}");
+    dsi_bench::write_json("fig3b.json", &data);
+}

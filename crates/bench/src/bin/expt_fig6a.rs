@@ -1,0 +1,7 @@
+//! Regenerates Fig. 6(a): average per-node message load vs node count.
+//! Run: `cargo run --release -p dsi-bench --bin expt_fig6a [--quick]`
+fn main() {
+    let (reports, text) = dsi_bench::experiments::fig6a(dsi_bench::quick_mode());
+    print!("{text}");
+    dsi_bench::write_json("fig6a.json", &reports);
+}

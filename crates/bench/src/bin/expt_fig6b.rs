@@ -1,0 +1,7 @@
+//! Regenerates Fig. 6(b): distribution of load across nodes at N = 200.
+//! Run: `cargo run --release -p dsi-bench --bin expt_fig6b [--quick]`
+fn main() {
+    let (data, text) = dsi_bench::experiments::fig6b(dsi_bench::quick_mode());
+    print!("{text}");
+    dsi_bench::write_json("fig6b.json", &data);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 7(a)/(b): message overhead per event, radius 0.1 / 0.2.
+//! Run: `cargo run --release -p dsi-bench --bin expt_fig7 [--quick]`
+fn main() {
+    let (narrow, wide, text) = dsi_bench::experiments::fig7(dsi_bench::quick_mode());
+    print!("{text}");
+    dsi_bench::write_json("fig7a.json", &narrow);
+    dsi_bench::write_json("fig7b.json", &wide);
+}

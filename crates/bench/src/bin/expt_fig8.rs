@@ -1,0 +1,7 @@
+//! Regenerates Fig. 8: average hops per message type vs node count.
+//! Run: `cargo run --release -p dsi-bench --bin expt_fig8 [--quick]`
+fn main() {
+    let (reports, text) = dsi_bench::experiments::fig8(dsi_bench::quick_mode());
+    print!("{text}");
+    dsi_bench::write_json("fig8.json", &reports);
+}

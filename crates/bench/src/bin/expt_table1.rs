@@ -1,0 +1,4 @@
+//! Regenerates Table I. Run: `cargo run -p dsi-bench --bin expt_table1`
+fn main() {
+    print!("{}", dsi_bench::experiments::table1());
+}

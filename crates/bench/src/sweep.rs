@@ -1,0 +1,63 @@
+//! Parallel parameter sweeps: one deterministic simulation per thread.
+
+use dsi_core::{run_experiment, ExperimentConfig, SystemReport};
+use parking_lot::Mutex;
+
+/// Runs one experiment per node count, in parallel (crossbeam scoped
+/// threads), returning reports in input order. Each simulation is
+/// single-threaded and seeded, so the sweep is deterministic regardless of
+/// scheduling.
+pub fn parallel_reports<F>(node_counts: &[usize], make_cfg: F) -> Vec<SystemReport>
+where
+    F: Fn(usize) -> ExperimentConfig + Sync,
+{
+    let slots: Mutex<Vec<Option<SystemReport>>> = Mutex::new(vec![None; node_counts.len()]);
+    crossbeam::thread::scope(|scope| {
+        for (i, &n) in node_counts.iter().enumerate() {
+            let slots = &slots;
+            let make_cfg = &make_cfg;
+            scope.spawn(move |_| {
+                let report = run_experiment(&make_cfg(n));
+                slots.lock()[i] = Some(report);
+            });
+        }
+    })
+    .expect("sweep threads must not panic");
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(n: usize) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::with_nodes(n);
+        cfg.workload.window_len = 16;
+        cfg.warmup_ms = 6_000;
+        cfg.measure_ms = 6_000;
+        cfg
+    }
+
+    #[test]
+    fn reports_come_back_in_input_order() {
+        let reports = parallel_reports(&[12, 6, 9], tiny);
+        assert_eq!(reports.iter().map(|r| r.num_nodes).collect::<Vec<_>>(), vec![12, 6, 9]);
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let par = parallel_reports(&[8, 10], tiny);
+        let seq: Vec<_> = [8, 10].iter().map(|&n| run_experiment(&tiny(n))).collect();
+        for (a, b) in par.iter().zip(seq.iter()) {
+            assert_eq!(
+                serde_json::to_string(a).unwrap(),
+                serde_json::to_string(b).unwrap(),
+                "parallel sweep must not change results"
+            );
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! The `m`-bit identifier circle (§II-B.1).
+//!
+//! Nodes and keys share one universe of identifiers ordered on a circle
+//! modulo `2^m`. All interval tests here are circular: `(a, b]` with
+//! `a == b` denotes the *full* circle (one node owns everything), matching
+//! Chord's successor semantics.
+
+use crate::sha1::sha1_u64;
+use serde::{Deserialize, Serialize};
+
+/// A Chord identifier; always reduced modulo the space's `2^m`.
+pub type ChordId = u64;
+
+/// The identifier space: a circle modulo `2^m`, `1 <= m <= 63`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdSpace {
+    bits: u32,
+}
+
+impl IdSpace {
+    /// Creates an `m`-bit identifier space.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= bits <= 63`.
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=63).contains(&bits), "identifier space must use 1..=63 bits");
+        IdSpace { bits }
+    }
+
+    /// Number of identifier bits `m`.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// `2^m` — the number of identifiers on the circle.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        1u64 << self.bits
+    }
+
+    /// Reduces an arbitrary value onto the circle.
+    #[inline]
+    pub fn reduce(&self, v: u64) -> ChordId {
+        v & (self.modulus() - 1)
+    }
+
+    /// Hashes raw bytes to an identifier (truncated SHA-1, as the paper
+    /// prescribes).
+    pub fn hash_bytes(&self, data: &[u8]) -> ChordId {
+        self.reduce(sha1_u64(data))
+    }
+
+    /// Hashes a string label (e.g. a node's address or a stream identifier).
+    pub fn hash_str(&self, s: &str) -> ChordId {
+        self.hash_bytes(s.as_bytes())
+    }
+
+    /// `(a + delta) mod 2^m`.
+    #[inline]
+    pub fn add(&self, a: ChordId, delta: u64) -> ChordId {
+        self.reduce(a.wrapping_add(delta))
+    }
+
+    /// Clockwise distance from `a` to `b` (how far forward `b` lies).
+    #[inline]
+    pub fn distance_cw(&self, a: ChordId, b: ChordId) -> u64 {
+        self.reduce(b.wrapping_sub(a))
+    }
+
+    /// Circular membership `x in (a, b)`. Empty when `a == b`... except that
+    /// the full-circle reading is what open intervals with `a == b` mean in
+    /// Chord's finger-walk, so `a == b` yields `x != a`.
+    #[inline]
+    pub fn in_open(&self, a: ChordId, x: ChordId, b: ChordId) -> bool {
+        if a == b {
+            x != a
+        } else {
+            let d_ax = self.distance_cw(a, x);
+            let d_ab = self.distance_cw(a, b);
+            d_ax > 0 && d_ax < d_ab
+        }
+    }
+
+    /// Circular membership `x in (a, b]`. When `a == b` this is the whole
+    /// circle (a single node is the successor of every key).
+    #[inline]
+    pub fn in_half_open(&self, a: ChordId, x: ChordId, b: ChordId) -> bool {
+        if a == b {
+            true
+        } else {
+            let d_ax = self.distance_cw(a, x);
+            let d_ab = self.distance_cw(a, b);
+            d_ax > 0 && d_ax <= d_ab
+        }
+    }
+
+    /// Circular membership `x in [a, b]` (inclusive range used for key-range
+    /// multicast coverage).
+    #[inline]
+    pub fn in_closed(&self, a: ChordId, x: ChordId, b: ChordId) -> bool {
+        x == a || self.in_half_open(a, x, b)
+    }
+
+    /// Midpoint of the clockwise range `[a, b]` on the circle.
+    #[inline]
+    pub fn midpoint(&self, a: ChordId, b: ChordId) -> ChordId {
+        self.add(a, self.distance_cw(a, b) / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modulus_and_reduce() {
+        let s = IdSpace::new(5);
+        assert_eq!(s.modulus(), 32);
+        assert_eq!(s.reduce(33), 1);
+        assert_eq!(s.reduce(31), 31);
+    }
+
+    #[test]
+    fn add_wraps() {
+        let s = IdSpace::new(5);
+        assert_eq!(s.add(30, 5), 3);
+        assert_eq!(s.add(8, 16), 24);
+    }
+
+    #[test]
+    fn distance_cw_wraps() {
+        let s = IdSpace::new(5);
+        assert_eq!(s.distance_cw(30, 2), 4);
+        assert_eq!(s.distance_cw(2, 30), 28);
+        assert_eq!(s.distance_cw(7, 7), 0);
+    }
+
+    #[test]
+    fn in_open_basic_and_wrapping() {
+        let s = IdSpace::new(5);
+        assert!(s.in_open(3, 5, 9));
+        assert!(!s.in_open(3, 3, 9));
+        assert!(!s.in_open(3, 9, 9));
+        // Wrapping interval (28, 4)
+        assert!(s.in_open(28, 30, 4));
+        assert!(s.in_open(28, 0, 4));
+        assert!(!s.in_open(28, 5, 4));
+        // a == b: everything except a.
+        assert!(s.in_open(7, 8, 7));
+        assert!(!s.in_open(7, 7, 7));
+    }
+
+    #[test]
+    fn in_half_open_successor_semantics() {
+        let s = IdSpace::new(5);
+        // Key 26 belongs to (23, 1] — the successor interval of node 1
+        // after node 23 (paper Fig. 1).
+        assert!(s.in_half_open(23, 26, 1));
+        assert!(s.in_half_open(23, 1, 1));
+        assert!(!s.in_half_open(23, 23, 1));
+        assert!(!s.in_half_open(23, 2, 1));
+        // Single-node circle owns everything.
+        assert!(s.in_half_open(9, 0, 9));
+        assert!(s.in_half_open(9, 9, 9));
+    }
+
+    #[test]
+    fn in_closed_includes_both_ends() {
+        let s = IdSpace::new(6);
+        assert!(s.in_closed(10, 10, 20));
+        assert!(s.in_closed(10, 20, 20));
+        assert!(s.in_closed(60, 2, 5)); // wraps
+        assert!(!s.in_closed(10, 21, 20));
+    }
+
+    #[test]
+    fn midpoint_plain_and_wrapping() {
+        let s = IdSpace::new(5);
+        assert_eq!(s.midpoint(10, 20), 15);
+        assert_eq!(s.midpoint(30, 6), 2); // range 30..6 has width 8
+        assert_eq!(s.midpoint(7, 7), 7);
+    }
+
+    #[test]
+    fn hash_is_stable_and_in_range() {
+        let s = IdSpace::new(16);
+        let a = s.hash_str("node-a");
+        assert_eq!(a, s.hash_str("node-a"));
+        assert!(a < s.modulus());
+        assert_ne!(a, s.hash_str("node-b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=63 bits")]
+    fn zero_bits_panics() {
+        let _ = IdSpace::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=63 bits")]
+    fn too_many_bits_panics() {
+        let _ = IdSpace::new(64);
+    }
+}

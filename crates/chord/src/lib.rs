@@ -1,0 +1,31 @@
+//! # dsi-chord — from-scratch Chord substrate
+//!
+//! The content-based routing layer of the paper (§II-B), built from scratch:
+//!
+//! * [`mod@sha1`] — FIPS 180-1 SHA-1 for consistent hashing;
+//! * [`id::IdSpace`] — the `m`-bit identifier circle with circular interval
+//!   arithmetic;
+//! * [`ring::Ring`] — node state, finger tables, iterative lookup with full
+//!   hop paths, join/leave/crash and stabilization;
+//! * [`mod@multicast`] — key-range multicast built on the successor primitive
+//!   (sequential §IV-C and bidirectional §VI-B strategies).
+//!
+//! The paper's middleware relies only on the generic DHT interface
+//! (`join` / `leave` / `send` / `deliver`); this crate exposes exactly that
+//! surface plus ground-truth accessors for simulation assertions.
+
+#![warn(missing_docs)]
+
+pub mod id;
+pub mod multicast;
+pub mod pastry;
+pub mod ring;
+pub mod router;
+pub mod sha1;
+
+pub use id::{ChordId, IdSpace};
+pub use multicast::{covering_nodes, multicast, Delivery, MulticastPlan, RangeStrategy};
+pub use pastry::PastryNet;
+pub use ring::{Lookup, NodeState, Ring, DEFAULT_SUCCESSOR_LIST_LEN};
+pub use router::{BuildRouter, ContentRouter};
+pub use sha1::{sha1, sha1_u64, Sha1};

@@ -1,0 +1,349 @@
+//! Key-range multicast (§IV-C, §VI-B).
+//!
+//! No classical DHT natively multicasts to a *range* of keys, so the paper
+//! builds it out of the successor primitive:
+//!
+//! * **Sequential**: route the message to the lowest key of the range; every
+//!   receiving node delivers locally and forwards to its successor until the
+//!   range is covered. Message-optimal but serial — propagation depth grows
+//!   with the number of covered nodes.
+//! * **Bidirectional**: route to the *middle* key and forward both ways
+//!   (requires a predecessor primitive). Same message count, roughly half
+//!   the propagation depth — the §VI-B improvement.
+
+use crate::id::ChordId;
+use crate::router::ContentRouter;
+use serde::{Deserialize, Serialize};
+
+/// How a range multicast propagates once it reaches the range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RangeStrategy {
+    /// §IV-C: enter at the lowest key, forward successor-wise.
+    Sequential,
+    /// §VI-B: enter at the middle key, forward in both directions.
+    Bidirectional,
+}
+
+/// One delivery of a range multicast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// The node that received the message.
+    pub node: ChordId,
+    /// Overlay hops from the origin until this node received it
+    /// (routing hops plus forwarding-chain depth).
+    pub hops: u32,
+}
+
+/// The full plan of a range multicast: who receives the message and when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MulticastPlan {
+    /// Node that issued the multicast.
+    pub origin: ChordId,
+    /// Node at which the routed message entered the range.
+    pub entry: ChordId,
+    /// Hops of the initial point routing (origin → entry).
+    pub route_hops: u32,
+    /// Deliveries, in the order the protocol reaches them.
+    pub deliveries: Vec<Delivery>,
+    /// Forwarding messages exchanged between covering nodes
+    /// (the "internal" messages of Fig. 7).
+    pub forward_messages: u32,
+    /// The initial routing path (origin .. entry inclusive).
+    pub route_path: Vec<ChordId>,
+}
+
+impl MulticastPlan {
+    /// Total overlay messages: routing hops plus internal forwards.
+    #[inline]
+    pub fn total_messages(&self) -> u32 {
+        self.route_hops + self.forward_messages
+    }
+
+    /// Propagation depth: hops until the *last* node is reached.
+    #[inline]
+    pub fn max_hops(&self) -> u32 {
+        self.deliveries.iter().map(|d| d.hops).max().unwrap_or(self.route_hops)
+    }
+
+    /// The set of covered nodes.
+    pub fn nodes(&self) -> Vec<ChordId> {
+        self.deliveries.iter().map(|d| d.node).collect()
+    }
+
+    /// The forwarding edges between covering nodes: each delivery (other
+    /// than the entry) receives the message from its ring-adjacent neighbor
+    /// one hop earlier. Works for both strategies because deliveries are in
+    /// ring order with per-node depths.
+    pub fn forward_edges(&self) -> Vec<(ChordId, ChordId)> {
+        let mut edges = Vec::with_capacity(self.deliveries.len().saturating_sub(1));
+        for pair in self.deliveries.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if b.hops == a.hops + 1 {
+                edges.push((a.node, b.node));
+            } else if a.hops == b.hops + 1 {
+                edges.push((b.node, a.node));
+            } else {
+                debug_assert!(false, "adjacent deliveries must differ by one hop");
+            }
+        }
+        edges
+    }
+}
+
+/// All nodes covering some key in the clockwise range `[lo, hi]`, in ring
+/// order starting at `successor(lo)`.
+///
+/// A node `n` covers the keys `(predecessor(n), n]`, so the covering set is
+/// `successor(lo)` and every node from there up to and including
+/// `successor(hi)`.
+pub fn covering_nodes<R: ContentRouter>(ring: &R, lo: ChordId, hi: ChordId) -> Vec<ChordId> {
+    if ring.is_empty() {
+        return Vec::new();
+    }
+    let space = ring.space();
+    let first = ring.ideal_successor(lo).expect("non-empty ring");
+    let width = space.distance_cw(lo, hi);
+    let mut out = vec![first];
+    let mut cur = first;
+    // Walk successors until the last added node's identifier has passed `hi`
+    // clockwise from `lo` (that node owns the tail of the range). The length
+    // guard handles ranges that wrap around more nodes than exist.
+    while space.distance_cw(lo, cur) < width && out.len() < ring.len() {
+        cur = ring.ideal_successor(space.add(cur, 1)).expect("non-empty ring");
+        out.push(cur);
+    }
+    out
+}
+
+/// Plans a multicast of one message from `origin` to every node covering a
+/// key in `[lo, hi]`.
+///
+/// # Panics
+/// Panics if the ring is empty or `origin` is not a live node.
+pub fn multicast<R: ContentRouter>(
+    ring: &R,
+    origin: ChordId,
+    lo: ChordId,
+    hi: ChordId,
+    strategy: RangeStrategy,
+) -> MulticastPlan {
+    assert!(!ring.is_empty(), "cannot multicast over an empty ring");
+    let members = covering_nodes(ring, lo, hi);
+    match strategy {
+        RangeStrategy::Sequential => {
+            let route = ring.route(origin, lo);
+            let route_hops = route.hops();
+            let entry = route.owner;
+            debug_assert_eq!(entry, members[0]);
+            let deliveries = members
+                .iter()
+                .enumerate()
+                .map(|(i, &node)| Delivery { node, hops: route_hops + i as u32 })
+                .collect::<Vec<_>>();
+            MulticastPlan {
+                origin,
+                entry,
+                route_hops,
+                forward_messages: (members.len() - 1) as u32,
+                deliveries,
+                route_path: route.path,
+            }
+        }
+        RangeStrategy::Bidirectional => {
+            let mid_key = ring.space().midpoint(lo, hi);
+            let route = ring.route(origin, mid_key);
+            let route_hops = route.hops();
+            let entry = route.owner;
+            let entry_idx = members
+                .iter()
+                .position(|&n| n == entry)
+                .expect("successor of a key inside the range covers the range");
+            let deliveries = members
+                .iter()
+                .enumerate()
+                .map(|(i, &node)| {
+                    let depth = (i as i64 - entry_idx as i64).unsigned_abs() as u32;
+                    Delivery { node, hops: route_hops + depth }
+                })
+                .collect::<Vec<_>>();
+            MulticastPlan {
+                origin,
+                entry,
+                route_hops,
+                forward_messages: (members.len() - 1) as u32,
+                deliveries,
+                route_path: route.path,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::IdSpace;
+    use crate::ring::Ring;
+
+    fn figure_ring() -> Ring {
+        // The paper's running example ring: m = 5, nodes {1,8,11,14,20,23}.
+        Ring::with_nodes(IdSpace::new(5), [1, 8, 11, 14, 20, 23])
+    }
+
+    #[test]
+    fn covering_matches_figure2_range() {
+        // §IV-C: "a message sent to range ... need to be delivered to N14(?),
+        // N20 and N23" — concretely, range [12, 22] is covered by N14
+        // (keys 12..14), N20 (15..20) and N23 (21..22).
+        let ring = figure_ring();
+        assert_eq!(covering_nodes(&ring, 12, 22), vec![14, 20, 23]);
+    }
+
+    #[test]
+    fn covering_single_key() {
+        let ring = figure_ring();
+        assert_eq!(covering_nodes(&ring, 17, 17), vec![20]);
+        assert_eq!(covering_nodes(&ring, 20, 20), vec![20]);
+        assert_eq!(covering_nodes(&ring, 21, 21), vec![23]);
+    }
+
+    #[test]
+    fn covering_wraps_around_zero() {
+        let ring = figure_ring();
+        // Range [30, 2] wraps: covered by N1 (keys 24..=1) and N8 (2..8).
+        assert_eq!(covering_nodes(&ring, 30, 2), vec![1, 8]);
+    }
+
+    #[test]
+    fn covering_full_circle() {
+        let ring = figure_ring();
+        // A range that spans almost the whole circle covers every node.
+        let all = covering_nodes(&ring, 2, 1);
+        assert_eq!(all.len(), ring.len());
+    }
+
+    #[test]
+    fn every_key_in_range_is_covered_and_nothing_extra() {
+        let ring = figure_ring();
+        let space = ring.space();
+        for lo in 0..32u64 {
+            for width in 0..12u64 {
+                let hi = space.add(lo, width);
+                let members = covering_nodes(&ring, lo, hi);
+                // Every key in [lo, hi] is owned by a member.
+                for d in 0..=width {
+                    let key = space.add(lo, d);
+                    let owner = ring.ideal_successor(key).unwrap();
+                    assert!(members.contains(&owner), "key {key} of [{lo},{hi}] uncovered");
+                }
+                // Every member owns at least one key in [lo, hi].
+                for &mem in &members {
+                    let pred = ring.ideal_predecessor(mem).unwrap();
+                    let owns_some = (0..=width).any(|d| {
+                        let key = space.add(lo, d);
+                        space.in_half_open(pred, key, mem)
+                    });
+                    assert!(owns_some, "member {mem} of [{lo},{hi}] covers no key");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_depths_are_consecutive() {
+        let ring = figure_ring();
+        let plan = multicast(&ring, 8, 12, 22, RangeStrategy::Sequential);
+        assert_eq!(plan.nodes(), vec![14, 20, 23]);
+        assert_eq!(plan.entry, 14);
+        let base = plan.route_hops;
+        let depths: Vec<u32> = plan.deliveries.iter().map(|d| d.hops - base).collect();
+        assert_eq!(depths, vec![0, 1, 2]);
+        assert_eq!(plan.forward_messages, 2);
+        assert_eq!(plan.max_hops(), base + 2);
+    }
+
+    #[test]
+    fn bidirectional_enters_in_middle() {
+        let ring = figure_ring();
+        // Range [12, 22]: midpoint 17 → entry N20; N14 and N23 at depth 1.
+        let plan = multicast(&ring, 8, 12, 22, RangeStrategy::Bidirectional);
+        assert_eq!(plan.entry, 20);
+        assert_eq!(plan.nodes(), vec![14, 20, 23]);
+        let base = plan.route_hops;
+        let depth_of = |n: ChordId| {
+            plan.deliveries.iter().find(|d| d.node == n).unwrap().hops - base
+        };
+        assert_eq!(depth_of(20), 0);
+        assert_eq!(depth_of(14), 1);
+        assert_eq!(depth_of(23), 1);
+        assert_eq!(plan.forward_messages, 2);
+    }
+
+    #[test]
+    fn bidirectional_halves_depth_on_wide_ranges() {
+        let space = IdSpace::new(16);
+        let ids: Vec<ChordId> = (0..128u64).map(|i| i * 512 + 7).collect();
+        let ring = Ring::with_nodes(space, ids);
+        let (lo, hi) = (1000u64, 30_000u64);
+        let seq = multicast(&ring, 7, lo, hi, RangeStrategy::Sequential);
+        let bid = multicast(&ring, 7, lo, hi, RangeStrategy::Bidirectional);
+        assert_eq!(seq.nodes().len(), bid.nodes().len());
+        let seq_depth = seq.max_hops() - seq.route_hops;
+        let bid_depth = bid.max_hops() - bid.route_hops;
+        assert!(seq_depth >= 20, "range should span many nodes, got {seq_depth}");
+        assert!(
+            bid_depth <= seq_depth / 2 + 1,
+            "bidirectional depth {bid_depth} not about half of {seq_depth}"
+        );
+        // Same message efficiency.
+        assert_eq!(seq.forward_messages, bid.forward_messages);
+    }
+
+    #[test]
+    fn strategies_deliver_identical_sets() {
+        let space = IdSpace::new(12);
+        let ids: Vec<ChordId> = (0..40u64).map(|i| i * 97 + 13).collect();
+        let ring = Ring::with_nodes(space, ids.clone());
+        for &(lo, hi) in &[(0u64, 500u64), (3000, 3500), (3900, 200), (100, 100)] {
+            let mut a = multicast(&ring, ids[0], lo, hi, RangeStrategy::Sequential).nodes();
+            let mut b = multicast(&ring, ids[5], lo, hi, RangeStrategy::Bidirectional).nodes();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "range [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn forward_edges_sequential_chain() {
+        let ring = figure_ring();
+        let plan = multicast(&ring, 8, 12, 22, RangeStrategy::Sequential);
+        assert_eq!(plan.forward_edges(), vec![(14, 20), (20, 23)]);
+    }
+
+    #[test]
+    fn forward_edges_bidirectional_fan() {
+        let ring = figure_ring();
+        let plan = multicast(&ring, 8, 12, 22, RangeStrategy::Bidirectional);
+        // Entry N20 forwards to predecessor N14 and successor N23.
+        let mut edges = plan.forward_edges();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(20, 14), (20, 23)]);
+    }
+
+    #[test]
+    fn forward_edge_count_matches_forward_messages() {
+        let space = IdSpace::new(12);
+        let ids: Vec<ChordId> = (0..40u64).map(|i| i * 97 + 13).collect();
+        let ring = Ring::with_nodes(space, ids.clone());
+        for strat in [RangeStrategy::Sequential, RangeStrategy::Bidirectional] {
+            let plan = multicast(&ring, ids[0], 100, 2000, strat);
+            assert_eq!(plan.forward_edges().len() as u32, plan.forward_messages);
+        }
+    }
+
+    #[test]
+    fn total_messages_accounts_route_and_forwards() {
+        let ring = figure_ring();
+        let plan = multicast(&ring, 1, 12, 22, RangeStrategy::Sequential);
+        assert_eq!(plan.total_messages(), plan.route_hops + 2);
+    }
+}

@@ -1,0 +1,614 @@
+//! The Chord ring: node state, finger tables, and the iterative lookup of
+//! §II-B.1.
+//!
+//! This is a *simulator-grade* Chord, like the one the paper evaluates on:
+//! the `Ring` holds the global membership (so ground truth is always
+//! available for assertions), while `lookup` walks finger tables exactly the
+//! way the protocol routes, returning the full hop path so the network
+//! simulator can charge per-hop latency.
+
+use crate::id::{ChordId, IdSpace};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Default successor-list length (fault tolerance depth).
+pub const DEFAULT_SUCCESSOR_LIST_LEN: usize = 4;
+
+/// Routing state of a single Chord node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeState {
+    /// This node's identifier.
+    pub id: ChordId,
+    /// `fingers[i]` is the node believed to be `successor(id + 2^i)`.
+    pub fingers: Vec<ChordId>,
+    /// Successor list: `successors[0]` is the immediate successor.
+    pub successors: Vec<ChordId>,
+    /// Believed predecessor.
+    pub predecessor: Option<ChordId>,
+}
+
+/// Result of an iterative lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lookup {
+    /// Node that owns (is the successor of) the key.
+    pub owner: ChordId,
+    /// Nodes visited, starting at the querying node and ending at the owner.
+    pub path: Vec<ChordId>,
+}
+
+impl Lookup {
+    /// Number of overlay messages the lookup needed.
+    #[inline]
+    pub fn hops(&self) -> u32 {
+        (self.path.len().saturating_sub(1)) as u32
+    }
+}
+
+/// A simulated Chord ring.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ring {
+    space: IdSpace,
+    nodes: BTreeMap<ChordId, NodeState>,
+    succ_list_len: usize,
+}
+
+impl Ring {
+    /// Creates an empty ring over the given identifier space.
+    pub fn new(space: IdSpace) -> Self {
+        Ring { space, nodes: BTreeMap::new(), succ_list_len: DEFAULT_SUCCESSOR_LIST_LEN }
+    }
+
+    /// Creates a ring from explicit node identifiers and builds exact
+    /// routing state for all of them.
+    pub fn with_nodes<I: IntoIterator<Item = ChordId>>(space: IdSpace, ids: I) -> Self {
+        let mut ring = Ring::new(space);
+        for id in ids {
+            ring.insert_raw(id);
+        }
+        ring.rebuild_all();
+        ring
+    }
+
+    /// The identifier space.
+    #[inline]
+    pub fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    /// Number of live nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if there are no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// True if `id` is a live node.
+    #[inline]
+    pub fn contains(&self, id: ChordId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// All live node identifiers in ring order.
+    pub fn node_ids(&self) -> Vec<ChordId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Read access to a node's routing state.
+    pub fn node(&self, id: ChordId) -> Option<&NodeState> {
+        self.nodes.get(&id)
+    }
+
+    /// Inserts a node with empty routing state (no finger computation).
+    /// Callers must follow with [`Ring::rebuild_all`] or [`Ring::join`].
+    pub fn insert_raw(&mut self, id: ChordId) -> bool {
+        assert!(id < self.space.modulus(), "node id outside identifier space");
+        self.nodes
+            .insert(
+                id,
+                NodeState { id, fingers: Vec::new(), successors: Vec::new(), predecessor: None },
+            )
+            .is_none()
+    }
+
+    // ------------------------------------------------------------------
+    // Ground truth (global view)
+    // ------------------------------------------------------------------
+
+    /// The true successor of `key`: the first live node whose identifier is
+    /// equal to or follows `key` on the circle.
+    pub fn ideal_successor(&self, key: ChordId) -> Option<ChordId> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        self.nodes
+            .range(key..)
+            .next()
+            .or_else(|| self.nodes.iter().next())
+            .map(|(id, _)| *id)
+    }
+
+    /// The true predecessor of `key` (the last node strictly before it).
+    pub fn ideal_predecessor(&self, key: ChordId) -> Option<ChordId> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        self.nodes
+            .range(..key)
+            .next_back()
+            .or_else(|| self.nodes.iter().next_back())
+            .map(|(id, _)| *id)
+    }
+
+    /// The node's believed immediate successor (first live successor-list
+    /// entry, falling back to ground truth when the whole list died).
+    pub fn successor_of(&self, id: ChordId) -> ChordId {
+        let state = &self.nodes[&id];
+        for &s in &state.successors {
+            if self.contains(s) {
+                return s;
+            }
+        }
+        // The entire successor list failed — model Chord's (expensive)
+        // re-join recovery by consulting the ring directly.
+        self.ideal_successor(self.space.add(id, 1)).expect("ring is non-empty")
+    }
+
+    /// The node's believed predecessor if it is still alive.
+    pub fn predecessor_of(&self, id: ChordId) -> Option<ChordId> {
+        self.nodes[&id].predecessor.filter(|p| self.contains(*p))
+    }
+
+    /// Rebuilds exact fingers, successor lists and predecessors for every
+    /// node from the global view (what a fully converged network holds).
+    pub fn rebuild_all(&mut self) {
+        let ids = self.node_ids();
+        let m = self.space.bits() as usize;
+        for &id in &ids {
+            let fingers: Vec<ChordId> = (0..m)
+                .map(|i| {
+                    let start = self.space.add(id, 1u64 << i);
+                    self.ideal_successor(start).expect("non-empty")
+                })
+                .collect();
+            let mut successors = Vec::with_capacity(self.succ_list_len);
+            let mut cur = id;
+            for _ in 0..self.succ_list_len.min(ids.len().saturating_sub(1)).max(1) {
+                cur = self.ideal_successor(self.space.add(cur, 1)).expect("non-empty");
+                successors.push(cur);
+                if cur == id {
+                    break;
+                }
+            }
+            let predecessor = self.ideal_predecessor(id);
+            let state = self.nodes.get_mut(&id).expect("listed id");
+            state.fingers = fingers;
+            state.successors = successors;
+            state.predecessor = predecessor;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Iterative lookup (the protocol)
+    // ------------------------------------------------------------------
+
+    /// Finds the node preceding `key` most closely in `from`'s routing
+    /// tables (fingers + successor list), skipping dead entries.
+    fn closest_preceding(&self, from: ChordId, key: ChordId) -> ChordId {
+        let state = &self.nodes[&from];
+        for &f in state.fingers.iter().rev() {
+            if self.contains(f) && self.space.in_open(from, f, key) {
+                return f;
+            }
+        }
+        for &s in state.successors.iter().rev() {
+            if self.contains(s) && self.space.in_open(from, s, key) {
+                return s;
+            }
+        }
+        from
+    }
+
+    /// Iterative Chord lookup from `from` for `key`, following finger tables
+    /// (§II-B.1, Fig. 1(b)). Returns the owner and the full hop path.
+    ///
+    /// # Panics
+    /// Panics if `from` is not a live node or the ring is empty.
+    pub fn lookup(&self, from: ChordId, key: ChordId) -> Lookup {
+        assert!(self.contains(from), "lookup origin {from} is not a live node");
+        let mut path = vec![from];
+        let mut cur = from;
+        // Bound: with sane tables each hop at least halves the clockwise
+        // distance; the generous bound catches inconsistent mid-churn state.
+        let budget = 2 * self.space.bits() as usize + self.nodes.len() + 2;
+        for _ in 0..budget {
+            let succ = self.successor_of(cur);
+            if self.space.in_half_open(cur, key, succ) {
+                if succ != cur {
+                    path.push(succ);
+                }
+                return Lookup { owner: succ, path };
+            }
+            let next = self.closest_preceding(cur, key);
+            let next = if next == cur { succ } else { next };
+            if next == cur {
+                // Single-node ring.
+                return Lookup { owner: cur, path };
+            }
+            path.push(next);
+            cur = next;
+        }
+        // Tables too stale to terminate — fall back to ground truth, charging
+        // the hops walked so far (models a flooding-recovery resolution).
+        let owner = self.ideal_successor(key).expect("non-empty");
+        if *path.last().unwrap() != owner {
+            path.push(owner);
+        }
+        Lookup { owner, path }
+    }
+
+    // ------------------------------------------------------------------
+    // Churn
+    // ------------------------------------------------------------------
+
+    /// A new node joins via `bootstrap`: its successor is found with a real
+    /// lookup, its fingers are initialized with lookups, and its successor is
+    /// notified. Other nodes' state stays stale until stabilization.
+    ///
+    /// # Panics
+    /// Panics if `bootstrap` is dead or `id` already exists.
+    pub fn join(&mut self, id: ChordId, bootstrap: ChordId) {
+        assert!(self.contains(bootstrap), "bootstrap node must be alive");
+        assert!(!self.contains(id), "node {id} already in ring");
+        assert!(id < self.space.modulus(), "node id outside identifier space");
+
+        let m = self.space.bits() as usize;
+        let succ = self.lookup(bootstrap, id).owner;
+        let fingers: Vec<ChordId> = (0..m)
+            .map(|i| self.lookup(bootstrap, self.space.add(id, 1u64 << i)).owner)
+            .collect();
+        let mut successors = vec![succ];
+        if let Some(s) = self.nodes.get(&succ) {
+            successors.extend(s.successors.iter().copied());
+        }
+        successors.truncate(self.succ_list_len);
+        self.nodes.insert(
+            id,
+            NodeState { id, fingers, successors, predecessor: None },
+        );
+        // notify(successor): the new node may be its better predecessor.
+        let succ_state = self.nodes.get_mut(&succ).expect("successor is alive");
+        let better = match succ_state.predecessor {
+            Some(p) => self.space.in_open(p, id, succ) || !self.nodes.contains_key(&p),
+            None => true,
+        };
+        if better {
+            self.nodes.get_mut(&succ).unwrap().predecessor = Some(id);
+        }
+    }
+
+    /// Graceful departure: the node hands its neighbors to each other before
+    /// leaving (predecessor's successor pointer and successor's predecessor
+    /// pointer are patched).
+    pub fn leave(&mut self, id: ChordId) {
+        let Some(state) = self.nodes.remove(&id) else { return };
+        let succ = state
+            .successors
+            .iter()
+            .copied()
+            .find(|s| self.contains(*s))
+            .or_else(|| self.ideal_successor(self.space.add(id, 1)));
+        if let (Some(pred), Some(succ)) = (state.predecessor, succ) {
+            if let Some(p) = self.nodes.get_mut(&pred) {
+                if !p.successors.is_empty() {
+                    p.successors[0] = succ;
+                } else {
+                    p.successors.push(succ);
+                }
+            }
+            if let Some(s) = self.nodes.get_mut(&succ) {
+                if s.predecessor == Some(id) {
+                    s.predecessor = Some(pred);
+                }
+            }
+        }
+    }
+
+    /// Abrupt failure: the node vanishes; everyone else's pointers dangle
+    /// until stabilization repairs them.
+    pub fn crash(&mut self, id: ChordId) {
+        self.nodes.remove(&id);
+    }
+
+    /// One round of the stabilization protocol on every node: verify the
+    /// immediate successor (adopting its predecessor if closer), notify, and
+    /// refresh the successor list. Returns the number of protocol messages
+    /// the round cost (one predecessor probe and one notify per node —
+    /// Chord's O(N)-per-round maintenance floor).
+    pub fn stabilize_round(&mut self) -> u64 {
+        let mut messages = 0u64;
+        let ids = self.node_ids();
+        for &id in &ids {
+            if !self.contains(id) {
+                continue;
+            }
+            messages += 2; // successor.predecessor probe + notify
+            let succ = self.successor_of(id);
+            // stabilize: ask successor for its predecessor.
+            let adopted = match self.predecessor_of(succ) {
+                Some(x) if x != id && self.space.in_open(id, x, succ) && self.contains(x) => x,
+                _ => succ,
+            };
+            // Refresh the successor list from the adopted successor's list.
+            let mut successors = vec![adopted];
+            if let Some(s) = self.nodes.get(&adopted) {
+                successors.extend(s.successors.iter().copied().filter(|s| self.contains(*s)));
+            }
+            successors.dedup();
+            successors.truncate(self.succ_list_len);
+            self.nodes.get_mut(&id).unwrap().successors = successors;
+            // notify(adopted): we may be its better predecessor.
+            if adopted != id {
+                let cur_pred = self.nodes.get(&adopted).and_then(|s| s.predecessor);
+                let should_adopt = match cur_pred {
+                    None => true,
+                    Some(p) if !self.contains(p) => true,
+                    Some(p) => self.space.in_open(p, id, adopted),
+                };
+                if should_adopt {
+                    self.nodes.get_mut(&adopted).unwrap().predecessor = Some(id);
+                }
+            }
+        }
+        // Drop dead predecessors (Chord's periodic check_predecessor).
+        let ids = self.node_ids();
+        for id in ids {
+            let dead = self
+                .nodes
+                .get(&id)
+                .and_then(|s| s.predecessor)
+                .map(|p| !self.contains(p))
+                .unwrap_or(false);
+            if dead {
+                self.nodes.get_mut(&id).unwrap().predecessor = None;
+            }
+        }
+        messages
+    }
+
+    /// One round of finger refreshing on every node: recompute each finger
+    /// entry with a lookup through the *current* (possibly stale) tables.
+    /// Returns the total overlay messages (lookup hops) the round cost —
+    /// O(N * m * log N) with converged tables.
+    pub fn fix_fingers_round(&mut self) -> u64 {
+        let mut messages = 0u64;
+        let ids = self.node_ids();
+        let m = self.space.bits() as usize;
+        for &id in &ids {
+            let mut fingers = Vec::with_capacity(m);
+            for i in 0..m {
+                let target = self.space.add(id, 1u64 << i);
+                let l = self.lookup(id, target);
+                messages += l.hops() as u64;
+                fingers.push(l.owner);
+            }
+            self.nodes.get_mut(&id).unwrap().fingers = fingers;
+        }
+        messages
+    }
+
+    /// True when every node's successor, predecessor and fingers match the
+    /// ground truth of the current membership.
+    pub fn is_fully_consistent(&self) -> bool {
+        let m = self.space.bits() as usize;
+        self.nodes.values().all(|state| {
+            let id = state.id;
+            let true_succ = self.ideal_successor(self.space.add(id, 1)).unwrap();
+            let true_pred = self.ideal_predecessor(id);
+            if self.successor_of(id) != true_succ {
+                return false;
+            }
+            if self.len() > 1 && self.predecessor_of(id) != true_pred {
+                return false;
+            }
+            state.fingers.len() == m
+                && state.fingers.iter().enumerate().all(|(i, &f)| {
+                    let start = self.space.add(id, 1u64 << i);
+                    f == self.ideal_successor(start).unwrap()
+                })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The ring of paper Fig. 1: m = 5, nodes {1, 8, 11, 14, 20, 23}.
+    fn figure1_ring() -> Ring {
+        Ring::with_nodes(IdSpace::new(5), [1, 8, 11, 14, 20, 23])
+    }
+
+    #[test]
+    fn figure1_finger_table_of_n8() {
+        // Paper Fig. 1(a): N8's fingers are N11, N11, N14, N20, N1.
+        let ring = figure1_ring();
+        assert_eq!(ring.node(8).unwrap().fingers, vec![11, 11, 14, 20, 1]);
+    }
+
+    #[test]
+    fn figure1_finger_table_of_n20() {
+        // Paper Fig. 2: N20's fingers are N23, N23, N1, N1, N8.
+        let ring = figure1_ring();
+        assert_eq!(ring.node(20).unwrap().fingers, vec![23, 23, 1, 1, 8]);
+    }
+
+    #[test]
+    fn figure1_key_assignment() {
+        // Fig. 1(a): K26 -> N1 (wraps), K17 -> N20, K13 -> N14.
+        let ring = figure1_ring();
+        assert_eq!(ring.ideal_successor(26), Some(1));
+        assert_eq!(ring.ideal_successor(17), Some(20));
+        assert_eq!(ring.ideal_successor(13), Some(14));
+    }
+
+    #[test]
+    fn figure1_lookup_26_from_n8() {
+        // Fig. 1(b): N8 forwards to N20 (closest preceding), N20 to N23,
+        // which finds 26 in (23, 1] and returns N1.
+        let ring = figure1_ring();
+        let l = ring.lookup(8, 26);
+        assert_eq!(l.owner, 1);
+        assert_eq!(l.path, vec![8, 20, 23, 1]);
+        assert_eq!(l.hops(), 3);
+    }
+
+    #[test]
+    fn lookup_key_owned_by_self() {
+        let ring = figure1_ring();
+        // Key 21 lies in (20, 23]: owner N23; from N23's own perspective key
+        // 23 lies in (20, 23] as well.
+        let l = ring.lookup(23, 23);
+        assert_eq!(l.owner, 23);
+    }
+
+    #[test]
+    fn lookup_matches_ground_truth_everywhere() {
+        let ring = figure1_ring();
+        for from in ring.node_ids() {
+            for key in 0..32 {
+                let l = ring.lookup(from, key);
+                assert_eq!(
+                    l.owner,
+                    ring.ideal_successor(key).unwrap(),
+                    "from {from} key {key}"
+                );
+                // Path starts at origin and ends at owner.
+                assert_eq!(*l.path.first().unwrap(), from);
+                assert_eq!(*l.path.last().unwrap(), l.owner);
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let ring = Ring::with_nodes(IdSpace::new(6), [17]);
+        for key in [0u64, 16, 17, 18, 63] {
+            let l = ring.lookup(17, key);
+            assert_eq!(l.owner, 17);
+            assert_eq!(l.hops(), 0);
+        }
+    }
+
+    #[test]
+    fn lookup_hops_scale_logarithmically() {
+        // With correct fingers, average hops should be about (1/2) log2 N.
+        let space = IdSpace::new(20);
+        let ids: Vec<ChordId> = (0..256u64).map(|i| space.reduce(i * 4099 + 17)).collect();
+        let ring = Ring::with_nodes(space, ids.clone());
+        let mut total = 0u64;
+        let mut count = 0u64;
+        for (i, &from) in ids.iter().enumerate().take(64) {
+            let key = space.reduce((i as u64) * 104_729 + 3);
+            total += ring.lookup(from, key).hops() as u64;
+            count += 1;
+        }
+        let avg = total as f64 / count as f64;
+        assert!(avg < 8.5, "average hops {avg} too high for 256 nodes");
+        assert!(avg > 1.0, "average hops {avg} implausibly low");
+    }
+
+    #[test]
+    fn join_then_stabilize_converges() {
+        let space = IdSpace::new(10);
+        let mut ring = Ring::with_nodes(space, [10, 200, 400, 600, 800]);
+        ring.join(300, 10);
+        ring.join(500, 200);
+        ring.join(950, 800);
+        for _ in 0..4 {
+            ring.stabilize_round();
+            ring.fix_fingers_round();
+        }
+        assert!(ring.is_fully_consistent());
+        // New nodes answer lookups correctly.
+        assert_eq!(ring.lookup(300, 450).owner, 500);
+        assert_eq!(ring.lookup(950, 999).owner, 10); // wraps
+    }
+
+    #[test]
+    fn crash_is_repaired_by_stabilization() {
+        let space = IdSpace::new(12);
+        let ids: Vec<ChordId> = (0..32u64).map(|i| i * 113 + 5).collect();
+        let mut ring = Ring::with_nodes(space, ids);
+        ring.crash(5 + 113 * 7);
+        ring.crash(5 + 113 * 20);
+        // Lookups still resolve correctly right after the crash (successor
+        // lists provide the fault tolerance)...
+        let owner = ring.lookup(5, 113 * 7 + 4).owner;
+        assert_eq!(owner, ring.ideal_successor(113 * 7 + 4).unwrap());
+        // ...and the ring converges back to full consistency.
+        for _ in 0..6 {
+            ring.stabilize_round();
+            ring.fix_fingers_round();
+        }
+        assert!(ring.is_fully_consistent());
+    }
+
+    #[test]
+    fn graceful_leave_patches_neighbors() {
+        let space = IdSpace::new(8);
+        let mut ring = Ring::with_nodes(space, [10, 50, 100, 150, 200]);
+        ring.leave(100);
+        assert_eq!(ring.successor_of(50), 150);
+        assert_eq!(ring.predecessor_of(150), Some(50));
+        for _ in 0..3 {
+            ring.stabilize_round();
+            ring.fix_fingers_round();
+        }
+        assert!(ring.is_fully_consistent());
+    }
+
+    #[test]
+    fn ideal_predecessor_wraps() {
+        let ring = figure1_ring();
+        assert_eq!(ring.ideal_predecessor(1), Some(23));
+        assert_eq!(ring.ideal_predecessor(0), Some(23));
+        assert_eq!(ring.ideal_predecessor(9), Some(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a live node")]
+    fn lookup_from_dead_node_panics() {
+        let ring = figure1_ring();
+        let _ = ring.lookup(2, 5);
+    }
+
+    #[test]
+    fn maintenance_costs_scale_as_expected() {
+        let space = IdSpace::new(16);
+        let build = |n: u64| {
+            Ring::with_nodes(space, (0..n).map(|i| space.reduce(i * 769 + 11)))
+        };
+        let mut small = build(32);
+        let mut large = build(128);
+        // Stabilization: exactly 2 messages per node per round.
+        assert_eq!(small.stabilize_round(), 64);
+        assert_eq!(large.stabilize_round(), 256);
+        // Finger fixing: O(N * m * log N); the per-node cost grows with N.
+        let cs = small.fix_fingers_round() as f64 / 32.0;
+        let cl = large.fix_fingers_round() as f64 / 128.0;
+        assert!(cl > cs, "per-node finger maintenance must grow with N: {cs} vs {cl}");
+        assert!(cl < cs * 4.0, "growth must stay logarithmic-ish: {cs} vs {cl}");
+    }
+
+    #[test]
+    fn insert_raw_rejects_out_of_space_ids() {
+        let mut ring = Ring::new(IdSpace::new(4));
+        assert!(ring.insert_raw(15));
+        assert!(!ring.insert_raw(15)); // duplicate
+    }
+}

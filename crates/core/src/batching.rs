@@ -1,0 +1,253 @@
+//! ζ-batching of consecutive feature vectors into MBRs (§IV-G).
+//!
+//! Consecutive summaries of the same stream differ in only one window entry,
+//! so they cluster tightly in feature space ("Fourier locality", Fig. 3(b)).
+//! Shipping one MBR per ζ summaries cuts the update bandwidth by roughly ζ
+//! at the cost of coarser (but never lossy) candidate filtering.
+
+use dsi_dsp::{FeatureVector, Mbr};
+use serde::{Deserialize, Serialize};
+
+/// Groups every ζ consecutive feature vectors of one stream into an MBR.
+///
+/// Optionally bounds the *first-dimension width* of a batch: the first
+/// feature dimension determines the replication key range (Eq. 10), so a
+/// volatile stream would otherwise occasionally produce an MBR replicated
+/// across a large slice of the ring. When adding a summary would push the
+/// routing interval past `max_width`, the pending batch is shipped early —
+/// the fixed-ζ ancestor of the §VI-A adaptive-precision scheme.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MbrBatcher {
+    zeta: usize,
+    max_width: Option<f64>,
+    pending: Vec<FeatureVector>,
+    produced: u64,
+    early_shipments: u64,
+}
+
+impl MbrBatcher {
+    /// Creates a batcher with factor ζ (`zeta == 1` ships every summary as a
+    /// degenerate point MBR, i.e. batching disabled) and no width bound.
+    ///
+    /// # Panics
+    /// Panics if `zeta == 0`.
+    pub fn new(zeta: usize) -> Self {
+        assert!(zeta > 0, "batching factor must be positive");
+        MbrBatcher {
+            zeta,
+            max_width: None,
+            pending: Vec::with_capacity(zeta),
+            produced: 0,
+            early_shipments: 0,
+        }
+    }
+
+    /// Adds a bound on the batch's first-dimension (routing) width.
+    ///
+    /// # Panics
+    /// Panics if `max_width` is not positive.
+    pub fn with_max_width(mut self, max_width: f64) -> Self {
+        assert!(max_width > 0.0, "width bound must be positive");
+        self.max_width = Some(max_width);
+        self
+    }
+
+    /// Changes the width bound at runtime (`None` removes it) — the knob
+    /// the §VI-A adaptive-precision controller turns.
+    ///
+    /// # Panics
+    /// Panics if the new bound is not positive.
+    pub fn set_max_width(&mut self, max_width: Option<f64>) {
+        if let Some(w) = max_width {
+            assert!(w > 0.0, "width bound must be positive");
+        }
+        self.max_width = max_width;
+    }
+
+    /// The current width bound.
+    pub fn max_width(&self) -> Option<f64> {
+        self.max_width
+    }
+
+    /// The batching factor ζ.
+    #[inline]
+    pub fn zeta(&self) -> usize {
+        self.zeta
+    }
+
+    /// Number of MBRs emitted so far.
+    #[inline]
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// MBRs shipped *early* because the width bound would have been
+    /// violated — the update-pressure signal of the §VI-A controller.
+    #[inline]
+    pub fn early_shipments(&self) -> u64 {
+        self.early_shipments
+    }
+
+    /// Number of feature vectors waiting for the current batch to fill.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Adds a summary; returns an MBR when ζ summaries accumulated, or
+    /// earlier when the width bound would be violated (the pending batch is
+    /// shipped and the new summary starts the next one).
+    pub fn push(&mut self, fv: FeatureVector) -> Option<Mbr> {
+        if let Some(limit) = self.max_width {
+            if !self.pending.is_empty() {
+                let mut probe = Mbr::from_features(self.pending.iter());
+                probe.extend_point(&fv.to_reals());
+                let (lo, hi) = probe.first_interval();
+                if hi - lo > limit {
+                    let mbr = Mbr::from_features(self.pending.iter());
+                    self.pending.clear();
+                    self.pending.push(fv);
+                    self.produced += 1;
+                    self.early_shipments += 1;
+                    return Some(mbr);
+                }
+            }
+        }
+        self.pending.push(fv);
+        if self.pending.len() == self.zeta {
+            let mbr = Mbr::from_features(self.pending.iter());
+            self.pending.clear();
+            self.produced += 1;
+            Some(mbr)
+        } else {
+            None
+        }
+    }
+
+    /// Flushes a partial batch (used at stream shutdown), if any.
+    pub fn flush(&mut self) -> Option<Mbr> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let mbr = Mbr::from_features(self.pending.iter());
+        self.pending.clear();
+        self.produced += 1;
+        Some(mbr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_dsp::{Complex64, Normalization};
+
+    fn fv(re: f64) -> FeatureVector {
+        FeatureVector::new(vec![Complex64::new(re, re / 2.0)], Normalization::ZNorm)
+    }
+
+    #[test]
+    fn emits_every_zeta_pushes() {
+        let mut b = MbrBatcher::new(3);
+        assert!(b.push(fv(0.1)).is_none());
+        assert!(b.push(fv(0.2)).is_none());
+        let mbr = b.push(fv(0.15)).expect("third push completes the batch");
+        assert_eq!(mbr.low(), &[0.1, 0.05]);
+        assert_eq!(mbr.high(), &[0.2, 0.1]);
+        assert_eq!(b.pending(), 0);
+        assert_eq!(b.produced(), 1);
+    }
+
+    #[test]
+    fn mbr_contains_all_batch_members() {
+        let mut b = MbrBatcher::new(5);
+        let members: Vec<FeatureVector> = (0..5).map(|i| fv(0.1 * i as f64)).collect();
+        let mut out = None;
+        for m in &members {
+            out = b.push(m.clone());
+        }
+        let mbr = out.unwrap();
+        for m in &members {
+            assert!(mbr.contains(&m.to_reals()));
+        }
+    }
+
+    #[test]
+    fn zeta_one_ships_points() {
+        let mut b = MbrBatcher::new(1);
+        let mbr = b.push(fv(0.3)).unwrap();
+        assert_eq!(mbr.volume(), 0.0);
+        assert_eq!(b.produced(), 1);
+    }
+
+    #[test]
+    fn flush_partial_batch() {
+        let mut b = MbrBatcher::new(4);
+        b.push(fv(0.1));
+        b.push(fv(0.4));
+        let mbr = b.flush().expect("two pending summaries");
+        assert!(mbr.contains(&fv(0.1).to_reals()));
+        assert!(mbr.contains(&fv(0.4).to_reals()));
+        assert!(b.flush().is_none());
+    }
+
+    #[test]
+    fn bandwidth_reduction_factor() {
+        // n summaries produce floor(n / zeta) MBR shipments.
+        let mut b = MbrBatcher::new(10);
+        let mut shipped = 0;
+        for i in 0..95 {
+            if b.push(fv(i as f64 * 0.01)).is_some() {
+                shipped += 1;
+            }
+        }
+        assert_eq!(shipped, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_zeta_panics() {
+        let _ = MbrBatcher::new(0);
+    }
+
+    #[test]
+    fn width_bound_ships_early() {
+        let mut b = MbrBatcher::new(10).with_max_width(0.05);
+        assert!(b.push(fv(0.10)).is_none());
+        assert!(b.push(fv(0.12)).is_none());
+        // 0.30 would widen the routing interval to 0.20 > 0.05:
+        // the pending pair ships, 0.30 starts a new batch.
+        let mbr = b.push(fv(0.30)).expect("early shipment");
+        assert_eq!(mbr.first_interval(), (0.10, 0.12));
+        assert_eq!(b.pending(), 1);
+        // The new batch still honors zeta.
+        for i in 0..8 {
+            assert!(b.push(fv(0.30 + i as f64 * 0.001)).is_none());
+        }
+        let full = b.push(fv(0.305)).expect("zeta reached");
+        let (lo, hi) = full.first_interval();
+        assert!(hi - lo <= 0.05 + 1e-12);
+    }
+
+    #[test]
+    fn width_bound_never_exceeded_on_emitted_mbrs() {
+        let mut b = MbrBatcher::new(10).with_max_width(0.02);
+        let mut rng_state = 7u64;
+        let mut x = 0.0f64;
+        for _ in 0..500 {
+            // Cheap deterministic pseudo-random walk.
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let step = ((rng_state >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * 0.02;
+            x = (x + step).clamp(-0.9, 0.9);
+            if let Some(mbr) = b.push(fv(x)) {
+                let (lo, hi) = mbr.first_interval();
+                assert!(hi - lo <= 0.02 + 1e-12, "width {}", hi - lo);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width bound must be positive")]
+    fn zero_width_bound_panics() {
+        let _ = MbrBatcher::new(5).with_max_width(0.0);
+    }
+}

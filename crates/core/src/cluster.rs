@@ -1,0 +1,992 @@
+//! The distributed indexing middleware (§IV): a cluster of data centers on
+//! a Chord ring, with content-based routing of summaries, range replication
+//! of similarity queries, location-service handling of inner-product
+//! queries, and periodic response aggregation.
+//!
+//! `Cluster` is *driven*: callers (the experiment driver in
+//! [`crate::system`], examples, tests)
+//! push stream values, post queries, and run notify cycles at the times they
+//! choose. Every overlay message is recorded in [`dsi_simnet::Metrics`]
+//! while measurement is enabled; message deliveries are applied at send time
+//! and latency is charged analytically (50 ms per overlay hop), which is
+//! exactly the cost model of the Chord simulator the paper used.
+
+use crate::batching::MbrBatcher;
+use crate::datacenter::{DataCenter, StoredMbr};
+use crate::mapping::{interval_key_range, radius_key_range, stream_key};
+use crate::query::{
+    InnerProductQuery, MatchNotification, QueryId, SimilarityKind, SimilarityQuery, StreamId,
+};
+use dsi_chord::{
+    multicast, BuildRouter, ChordId, ContentRouter, IdSpace, MulticastPlan, RangeStrategy, Ring,
+};
+use dsi_dsp::{normalized_distance, FeatureExtractor, FeatureVector, Mbr};
+use dsi_simnet::{InputEvent, Metrics, MsgClass, SimTime};
+use dsi_streamgen::WorkloadConfig;
+use std::collections::HashMap;
+
+/// Static configuration of a cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of data centers.
+    pub num_nodes: usize,
+    /// Workload / summarization parameters (Table I).
+    pub workload: WorkloadConfig,
+    /// Identifier-space width in bits.
+    pub id_bits: u32,
+    /// Range multicast strategy (§IV-C sequential vs §VI-B bidirectional).
+    pub strategy: RangeStrategy,
+    /// Similarity flavor streams are indexed under.
+    pub kind: SimilarityKind,
+}
+
+impl ClusterConfig {
+    /// A cluster with the paper's defaults: Table I workload, 32-bit ids,
+    /// sequential range multicast, correlation similarity.
+    pub fn new(num_nodes: usize) -> Self {
+        ClusterConfig {
+            num_nodes,
+            workload: WorkloadConfig::default(),
+            id_bits: 32,
+            strategy: RangeStrategy::Sequential,
+            kind: SimilarityKind::Correlation,
+        }
+    }
+}
+
+/// Runtime state of one registered stream.
+#[derive(Debug, Clone)]
+pub struct StreamRuntime {
+    /// Stream identifier (dense index).
+    pub id: StreamId,
+    /// Stream name (hashed by `h2` for the location service).
+    pub name: String,
+    /// The data center sourcing this stream.
+    pub home: ChordId,
+    /// Incremental summarizer.
+    pub extractor: FeatureExtractor,
+    /// ζ-batcher.
+    pub batcher: MbrBatcher,
+    /// Latest emitted feature vector, if any.
+    pub last_feature: Option<FeatureVector>,
+}
+
+#[derive(Debug, Clone)]
+enum QueryRuntime {
+    Similarity(SimilarityQuery),
+    InnerProduct(InnerProductQuery),
+}
+
+/// Aggregate quality counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QualityStats {
+    /// Candidate (stream, query) pairs the index produced.
+    pub candidates: u64,
+    /// Candidates that survived exact verification.
+    pub verified: u64,
+}
+
+/// The distributed stream-indexing middleware.
+///
+/// Generic over the routing backend `R` (the paper's portability claim):
+/// [`dsi_chord::Ring`] (Chord, the default) and [`dsi_chord::PastryNet`]
+/// both work unchanged, because the middleware only consumes the
+/// [`ContentRouter`] surface.
+pub struct Cluster<R: ContentRouter = Ring> {
+    cfg: ClusterConfig,
+    space: IdSpace,
+    ring: R,
+    nodes: HashMap<ChordId, DataCenter>,
+    node_order: Vec<ChordId>,
+    streams: Vec<StreamRuntime>,
+    queries: HashMap<QueryId, QueryRuntime>,
+    notifications: HashMap<QueryId, Vec<MatchNotification>>,
+    ip_results: HashMap<QueryId, Vec<(SimTime, f64)>>,
+    ip_alerts: HashMap<QueryId, Vec<(SimTime, f64)>>,
+    /// Client-side location cache (§IV-D): (client, stream) -> source node.
+    location_cache: HashMap<(ChordId, StreamId), ChordId>,
+    /// Location-service lookups avoided by the cache.
+    location_cache_hits: u64,
+    /// Location-service lookups that found no record (lost to churn).
+    location_misses: u64,
+    metrics: Metrics,
+    measuring: bool,
+    next_query: QueryId,
+    quality: QualityStats,
+    /// Per-stream candidates that failed exact verification (false
+    /// positives charged to that stream's MBRs) — the §VI-A cost signal.
+    stream_false_positives: HashMap<StreamId, u64>,
+}
+
+impl Cluster<Ring> {
+    /// Builds a cluster on the default Chord backend.
+    ///
+    /// # Panics
+    /// Panics if `num_nodes == 0` or the workload config is invalid.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        Cluster::with_backend(cfg)
+    }
+}
+
+impl<R: BuildRouter> Cluster<R> {
+    /// Builds a cluster on any routing backend: node identifiers are SHA-1
+    /// hashes of their labels (consistent hashing), and the backend's
+    /// routing state is fully constructed.
+    ///
+    /// # Panics
+    /// Panics if `num_nodes == 0` or the workload config is invalid.
+    pub fn with_backend(cfg: ClusterConfig) -> Self {
+        assert!(cfg.num_nodes > 0, "need at least one data center");
+        cfg.workload.validate();
+        let space = IdSpace::new(cfg.id_bits);
+        let mut ids = Vec::with_capacity(cfg.num_nodes);
+        let mut salt = 0u32;
+        while ids.len() < cfg.num_nodes {
+            let label = format!("data-center-{}-{}", ids.len(), salt);
+            let id = space.hash_str(&label);
+            if ids.contains(&id) {
+                salt += 1; // hash collision in a small space: re-salt
+            } else {
+                ids.push(id);
+                salt = 0;
+            }
+        }
+        let ring = R::build(space, &ids);
+        let nodes = ids.iter().map(|&id| (id, DataCenter::new(id))).collect();
+        Cluster {
+            cfg,
+            space,
+            ring,
+            nodes,
+            node_order: ids,
+            streams: Vec::new(),
+            queries: HashMap::new(),
+            notifications: HashMap::new(),
+            ip_results: HashMap::new(),
+            ip_alerts: HashMap::new(),
+            location_cache: HashMap::new(),
+            location_cache_hits: 0,
+            location_misses: 0,
+            metrics: Metrics::new(),
+            measuring: false,
+            next_query: 1,
+            quality: QualityStats::default(),
+            stream_false_positives: HashMap::new(),
+        }
+    }
+}
+
+impl<R: ContentRouter> Cluster<R> {
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// The identifier space.
+    pub fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    /// The underlying routing backend.
+    pub fn ring(&self) -> &R {
+        &self.ring
+    }
+
+    /// Chord identifier of the `i`-th data center.
+    pub fn node_id(&self, i: usize) -> ChordId {
+        self.node_order[i]
+    }
+
+    /// All data-center identifiers, in creation order.
+    pub fn node_ids(&self) -> &[ChordId] {
+        &self.node_order
+    }
+
+    /// Number of data centers.
+    pub fn num_nodes(&self) -> usize {
+        self.node_order.len()
+    }
+
+    /// Read access to a data center.
+    pub fn node(&self, id: ChordId) -> &DataCenter {
+        &self.nodes[&id]
+    }
+
+    /// Registered streams.
+    pub fn streams(&self) -> &[StreamRuntime] {
+        &self.streams
+    }
+
+    /// Collected metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Quality counters (candidates vs verified matches).
+    pub fn quality(&self) -> QualityStats {
+        self.quality
+    }
+
+    /// False-positive candidates charged to one stream's MBRs so far.
+    pub fn stream_false_positives(&self, stream: StreamId) -> u64 {
+        self.stream_false_positives.get(&stream).copied().unwrap_or(0)
+    }
+
+    /// MBRs this stream has shipped so far.
+    pub fn stream_updates(&self, stream: StreamId) -> u64 {
+        self.streams[stream as usize].batcher.produced()
+    }
+
+    /// MBRs this stream shipped early because of its width bound — the
+    /// §VI-A update-pressure signal (regular ζ-full shipments are the
+    /// baseline cost and carry no pressure).
+    pub fn stream_early_shipments(&self, stream: StreamId) -> u64 {
+        self.streams[stream as usize].batcher.early_shipments()
+    }
+
+    /// Sets (or clears) a stream's MBR routing-width bound — the §VI-A
+    /// adaptive-precision knob.
+    pub fn set_stream_mbr_width(&mut self, stream: StreamId, width: Option<f64>) {
+        self.streams[stream as usize].batcher.set_max_width(width);
+    }
+
+    /// A stream's current MBR routing-width bound.
+    pub fn stream_mbr_width(&self, stream: StreamId) -> Option<f64> {
+        self.streams[stream as usize].batcher.max_width()
+    }
+
+    /// Starts counting messages (call after warm-up); clears history.
+    pub fn start_measurement(&mut self) {
+        self.metrics.reset();
+        self.measuring = true;
+    }
+
+    /// Stops counting messages.
+    pub fn stop_measurement(&mut self) {
+        self.measuring = false;
+    }
+
+    /// Notifications delivered so far for a similarity query.
+    pub fn notifications(&self, q: QueryId) -> &[MatchNotification] {
+        self.notifications.get(&q).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Periodic values pushed so far for an inner-product query.
+    pub fn ip_results(&self, q: QueryId) -> &[(SimTime, f64)] {
+        self.ip_results.get(&q).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Alert pushes (value satisfied the query's alert condition).
+    pub fn ip_alerts(&self, q: QueryId) -> &[(SimTime, f64)] {
+        self.ip_alerts.get(&q).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Location-service lookups avoided thanks to client-side caching
+    /// (§IV-D).
+    pub fn location_cache_hits(&self) -> u64 {
+        self.location_cache_hits
+    }
+
+    /// Location-service lookups that found no record (lost to churn and not
+    /// yet refreshed by the source's periodic re-registration).
+    pub fn location_misses(&self) -> u64 {
+        self.location_misses
+    }
+
+    /// Total match notifications delivered across all queries.
+    pub fn total_notifications(&self) -> u64 {
+        self.notifications.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Drops expired queries from the global registry (per-node replicas are
+    /// purged by each node's notify cycle).
+    pub fn purge_queries(&mut self, now: SimTime) {
+        self.queries.retain(|_, q| match q {
+            QueryRuntime::Similarity(sq) => !sq.expired(now),
+            QueryRuntime::InnerProduct(ip) => !ip.expired(now),
+        });
+    }
+
+}
+
+impl Cluster<Ring> {
+    // ------------------------------------------------------------------
+    // Churn (§I, §VII: "accommodates dynamic changes ... without the need
+    // to temporarily block the normal system operation") — Chord-specific:
+    // it drives the join/crash/stabilization protocol directly.
+    // ------------------------------------------------------------------
+
+    /// Abrupt data-center failure. Its routing state and stored replicas
+    /// vanish; streams it sourced go silent until re-homed with
+    /// [`Cluster::rehome_stream`]. Index state is soft (BSPAN / lifespan
+    /// expiry), so coverage self-heals as live streams keep shipping MBRs.
+    /// Queries the dead node aggregated are re-assigned to the new owner of
+    /// their range's middle key.
+    ///
+    /// # Panics
+    /// Panics if `id` is unknown or it is the last data center.
+    pub fn crash_node(&mut self, id: ChordId) {
+        assert!(self.nodes.contains_key(&id), "unknown data center {id}");
+        assert!(self.node_order.len() > 1, "cannot crash the last data center");
+        self.ring.crash(id);
+        self.nodes.remove(&id);
+        self.node_order.retain(|&n| n != id);
+        self.location_cache.retain(|_, &mut source| source != id);
+        // Chord repairs itself; the middleware keeps operating meanwhile.
+        self.stabilize();
+        // Re-assign orphaned aggregators.
+        let fixes: Vec<(QueryId, ChordId)> = self
+            .queries
+            .iter()
+            .filter_map(|(qid, q)| match q {
+                QueryRuntime::Similarity(sq) if sq.aggregator == id => {
+                    let (lo, hi) =
+                        radius_key_range(self.space, sq.feature.first_real(), sq.radius);
+                    let mid = self.space.midpoint(lo, hi);
+                    Some((*qid, self.ring.ideal_successor(mid).expect("non-empty ring")))
+                }
+                _ => None,
+            })
+            .collect();
+        for (qid, agg) in fixes {
+            if let Some(QueryRuntime::Similarity(sq)) = self.queries.get_mut(&qid) {
+                sq.aggregator = agg;
+            }
+        }
+    }
+
+    /// A new data center joins through the Chord protocol (bootstrap = the
+    /// first live node) and starts with empty middleware state; summaries
+    /// mapping into its interval flow to it from the next MBR shipment on.
+    /// Returns its ring identifier.
+    ///
+    /// # Panics
+    /// Panics if the label hashes onto an existing node.
+    pub fn join_node(&mut self, label: &str) -> ChordId {
+        let id = self.space.hash_str(label);
+        assert!(!self.nodes.contains_key(&id), "identifier collision for {label}");
+        let bootstrap = self.node_order[0];
+        self.ring.join(id, bootstrap);
+        self.stabilize();
+        self.nodes.insert(id, DataCenter::new(id));
+        self.node_order.push(id);
+        id
+    }
+
+    /// Streams whose home data center is no longer alive.
+    pub fn orphaned_streams(&self) -> Vec<StreamId> {
+        self.streams
+            .iter()
+            .filter(|s| !self.nodes.contains_key(&s.home))
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// Re-homes an orphaned (or migrating) stream to the data center at
+    /// `home_idx` and refreshes its location-service record.
+    pub fn rehome_stream(&mut self, stream: StreamId, home_idx: usize, _now: SimTime) {
+        let home = self.node_order[home_idx];
+        self.streams[stream as usize].home = home;
+        let name = self.streams[stream as usize].name.clone();
+        let key = stream_key(self.space, &name);
+        let lookup = self.ring.route(home, key);
+        self.record_route(MsgClass::Query, MsgClass::QueryTransit, &lookup.path);
+        self.nodes.get_mut(&lookup.owner).expect("owner is live").location_put(stream, home);
+    }
+
+    /// Runs stabilization until the ring is fully consistent (bounded).
+    fn stabilize(&mut self) {
+        for _ in 0..24 {
+            if self.ring.is_fully_consistent() {
+                return;
+            }
+            self.ring.stabilize_round();
+            self.ring.fix_fingers_round();
+        }
+        debug_assert!(self.ring.is_fully_consistent(), "stabilization did not converge");
+    }
+}
+
+impl<R: ContentRouter> Cluster<R> {
+    // ------------------------------------------------------------------
+    // Stream registration & updates
+    // ------------------------------------------------------------------
+
+    /// Registers a stream sourced at data center `home_idx` and "puts" its
+    /// location record at the `h2` owner (§IV-D). Returns the stream id.
+    pub fn register_stream(&mut self, name: &str, home_idx: usize) -> StreamId {
+        let home = self.node_order[home_idx];
+        let id = self.streams.len() as StreamId;
+        let w = &self.cfg.workload;
+        self.streams.push(StreamRuntime {
+            id,
+            name: name.to_string(),
+            home,
+            extractor: FeatureExtractor::new(
+                w.window_len,
+                w.num_coeffs,
+                self.cfg.kind.normalization(),
+            ),
+            batcher: match w.mbr_max_width {
+                Some(width) => MbrBatcher::new(w.mbr_batch).with_max_width(width),
+                None => MbrBatcher::new(w.mbr_batch),
+            },
+            last_feature: None,
+        });
+        // Location put: route (home -> h2 owner) and store the record.
+        let key = stream_key(self.space, name);
+        let lookup = self.ring.route(home, key);
+        self.record_route(MsgClass::Query, MsgClass::QueryTransit, &lookup.path);
+        self.nodes.get_mut(&lookup.owner).expect("owner is live").location_put(id, home);
+        id
+    }
+
+    /// Feeds one new value into a stream. When ζ summaries have accumulated,
+    /// the resulting MBR is content-routed and replicated over its key range;
+    /// the plan is returned for inspection.
+    pub fn post_value(
+        &mut self,
+        stream: StreamId,
+        value: f64,
+        now: SimTime,
+    ) -> Option<MulticastPlan> {
+        let s = &mut self.streams[stream as usize];
+        // An orphaned stream (its home data center crashed) is silent until
+        // re-homed; the sensor's own window keeps sliding.
+        let homed = self.nodes.contains_key(&s.home);
+        let fv = s.extractor.update(value)?;
+        s.last_feature = Some(fv.clone());
+        if !homed {
+            return None;
+        }
+        let mbr = s.batcher.push(fv)?;
+        Some(self.replicate_mbr(stream, mbr, now))
+    }
+
+    /// Content-routes an MBR from the stream's home to every node covering
+    /// its key range (§IV-G), storing a replica (with BSPAN expiry) at each.
+    pub fn replicate_mbr(&mut self, stream: StreamId, mbr: Mbr, now: SimTime) -> MulticastPlan {
+        let s = &self.streams[stream as usize];
+        let home = s.home;
+        let (lo_v, hi_v) = mbr.first_interval();
+        let (lo, hi) = interval_key_range(self.space, lo_v.clamp(-1.0, 1.0), hi_v.clamp(-1.0, 1.0));
+        let plan = multicast(&self.ring, home, lo, hi, self.cfg.strategy);
+
+        if self.measuring {
+            self.metrics.record_event(InputEvent::Mbr);
+            self.metrics.record_route(
+                MsgClass::MbrOriginated,
+                MsgClass::MbrTransit,
+                &plan.route_path,
+            );
+            self.metrics.record_hops(MsgClass::MbrOriginated, plan.route_hops);
+            for (from, to) in plan.forward_edges() {
+                self.metrics.record_message(MsgClass::MbrInternal, from, to);
+            }
+            for d in plan.deliveries.iter().filter(|d| d.node != plan.entry) {
+                self.metrics.record_hops(MsgClass::MbrInternal, d.hops);
+            }
+        }
+
+        let expires = now + self.cfg.workload.bspan_ms;
+        let stored = StoredMbr { stream, mbr, origin: home, expires };
+        for d in &plan.deliveries {
+            self.nodes.get_mut(&d.node).expect("delivery node is live").store_mbr(stored.clone());
+        }
+        // The summary is also stored locally at the source (§IV-A).
+        if !plan.deliveries.iter().any(|d| d.node == home) {
+            self.nodes.get_mut(&home).expect("home is live").store_mbr(stored);
+        }
+        plan
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Posts a continuous similarity query from data center `client_idx`.
+    /// The query is replicated over the key range `[h(q1 - r), h(q1 + r)]`
+    /// (§IV-E); the node covering the middle of the range becomes its
+    /// aggregator (§IV-F). Returns the query id.
+    pub fn post_similarity_query(
+        &mut self,
+        client_idx: usize,
+        target: Vec<f64>,
+        radius: f64,
+        lifespan_ms: u64,
+        now: SimTime,
+    ) -> QueryId {
+        assert_eq!(
+            target.len(),
+            self.cfg.workload.window_len,
+            "query sequence must match the window length"
+        );
+        let client = self.node_order[client_idx];
+        let id = self.next_query;
+        self.next_query += 1;
+
+        let mut q = SimilarityQuery::from_target(
+            id,
+            client,
+            target,
+            radius,
+            self.cfg.kind,
+            self.cfg.workload.num_coeffs,
+            0, // aggregator fixed below
+            now + lifespan_ms,
+        );
+        let (lo, hi) = radius_key_range(self.space, q.feature.first_real(), radius);
+        let mid = self.space.midpoint(lo, hi);
+        q.aggregator = self.ring.ideal_successor(mid).expect("ring non-empty");
+
+        let plan = multicast(&self.ring, client, lo, hi, self.cfg.strategy);
+        if self.measuring {
+            self.metrics.record_event(InputEvent::Query);
+            self.metrics.record_route(MsgClass::Query, MsgClass::QueryTransit, &plan.route_path);
+            self.metrics.record_hops(MsgClass::Query, plan.route_hops);
+            for (from, to) in plan.forward_edges() {
+                self.metrics.record_message(MsgClass::QueryInternal, from, to);
+            }
+            for d in plan.deliveries.iter().filter(|d| d.node != plan.entry) {
+                self.metrics.record_hops(MsgClass::QueryInternal, d.hops);
+            }
+        }
+        for d in &plan.deliveries {
+            self.nodes
+                .get_mut(&d.node)
+                .expect("delivery node is live")
+                .subscribe_similarity(q.clone());
+        }
+        self.queries.insert(id, QueryRuntime::Similarity(q));
+        id
+    }
+
+    /// Posts a continuous inner-product query (§IV-D): resolve the stream's
+    /// source through the location service (`h2`), then subscribe at the
+    /// source. Returns the query id.
+    pub fn post_inner_product_query(
+        &mut self,
+        client_idx: usize,
+        stream: StreamId,
+        indices: Vec<usize>,
+        weights: Vec<f64>,
+        lifespan_ms: u64,
+        now: SimTime,
+    ) -> QueryId {
+        let client = self.node_order[client_idx];
+        let q = InnerProductQuery::new(0, client, stream, indices, weights, now + lifespan_ms);
+        self.submit_inner_product(client, q)
+    }
+
+    /// Posts a pre-built inner-product query (a point / range / alerting
+    /// query from the [`InnerProductQuery`] constructors) from data center
+    /// `client_idx`. The query's id, client and expiry are assigned here.
+    pub fn post_inner_product(
+        &mut self,
+        client_idx: usize,
+        mut query: InnerProductQuery,
+        lifespan_ms: u64,
+        now: SimTime,
+    ) -> QueryId {
+        let client = self.node_order[client_idx];
+        query.client = client;
+        query.expires = now + lifespan_ms;
+        self.submit_inner_product(client, query)
+    }
+
+    fn submit_inner_product(&mut self, client: ChordId, mut q: InnerProductQuery) -> QueryId {
+        let id = self.next_query;
+        self.next_query += 1;
+        q.id = id;
+        let stream = q.stream;
+
+        // §IV-D: the client "remembers the mapping between SID and Ps so
+        // that next time it does not need to retrieve it".
+        let source = match self.location_cache.get(&(client, stream)) {
+            Some(&cached) if self.ring.contains(cached) => {
+                self.location_cache_hits += 1;
+                cached
+            }
+            _ => {
+                // "get" at the h2 owner...
+                let name = self.streams[stream as usize].name.clone();
+                let key = stream_key(self.space, &name);
+                let get = self.ring.route(client, key);
+                let record = self.nodes[&get.owner].location_get(stream);
+                // ...and the reply returns to the client.
+                let reply = self.ring.route(get.owner, client);
+                if self.measuring {
+                    self.record_route(MsgClass::Query, MsgClass::QueryTransit, &get.path);
+                    self.record_route(MsgClass::Response, MsgClass::ResponseTransit, &reply.path);
+                }
+                match record {
+                    Some(source) => {
+                        self.location_cache.insert((client, stream), source);
+                        source
+                    }
+                    None => {
+                        // Record lost to churn and not yet refreshed: the
+                        // client learns nothing this round (it may repost).
+                        self.location_misses += 1;
+                        return id;
+                    }
+                }
+            }
+        };
+
+        // The query itself is routed to the source node.
+        let send = self.ring.route(client, source);
+        if self.measuring {
+            self.metrics.record_event(InputEvent::Query);
+            self.record_route(MsgClass::Query, MsgClass::QueryTransit, &send.path);
+            self.metrics.record_hops(MsgClass::Query, send.hops());
+        }
+
+        self.nodes.get_mut(&source).expect("source is live").subscribe_inner_product(q.clone());
+        self.queries.insert(id, QueryRuntime::InnerProduct(q));
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Periodic processing (NPER)
+    // ------------------------------------------------------------------
+
+    /// Runs one notify cycle for data center `node` at time `now` (§IV-F):
+    /// purge expired state, exchange aggregated similarity information with
+    /// ring neighbors, and — if this node aggregates any query — verify
+    /// candidates and push a response to the client. Inner-product
+    /// subscriptions sourced here push their current value.
+    pub fn notify_cycle(&mut self, node: ChordId, now: SimTime) {
+        let dc = self.nodes.get_mut(&node).expect("live node");
+        dc.purge_expired(now);
+        let has_subs = dc.has_active_subscriptions(now);
+
+        // Soft-state location refresh: if churn moved (or lost) the h2
+        // record of a stream homed here, re-register it. Free in the steady
+        // state; one routed message when the owner changed.
+        let homed: Vec<(StreamId, String)> = self
+            .streams
+            .iter()
+            .filter(|s| s.home == node)
+            .map(|s| (s.id, s.name.clone()))
+            .collect();
+        for (sid, name) in homed {
+            let key = stream_key(self.space, &name);
+            let owner = self.ring.ideal_successor(key).expect("non-empty ring");
+            if self.nodes[&owner].location_get(sid) != Some(node) {
+                let lookup = self.ring.route(node, key);
+                if self.measuring {
+                    self.metrics.record_route(
+                        MsgClass::Query,
+                        MsgClass::QueryTransit,
+                        &lookup.path,
+                    );
+                }
+                self.nodes.get_mut(&owner).expect("owner is live").location_put(sid, node);
+            }
+        }
+
+        // Neighbor information exchange: one aggregated message to each ring
+        // neighbor per period (component f of Fig. 6(a)).
+        if has_subs {
+            let succ = self.ring.successor_of(node);
+            let pred = self.ring.ideal_predecessor(node).unwrap_or(succ);
+            if self.measuring {
+                if succ != node {
+                    self.metrics.record_message(MsgClass::ResponseInternal, node, succ);
+                    self.metrics.record_hops(MsgClass::ResponseInternal, 1);
+                }
+                if pred != node && pred != succ {
+                    self.metrics.record_message(MsgClass::ResponseInternal, node, pred);
+                    self.metrics.record_hops(MsgClass::ResponseInternal, 1);
+                }
+            }
+        }
+
+        // Response aggregation for queries whose middle node this is.
+        let aggregated: Vec<SimilarityQuery> = self
+            .queries
+            .values()
+            .filter_map(|q| match q {
+                QueryRuntime::Similarity(sq)
+                    if sq.aggregator == node && !sq.expired(now) =>
+                {
+                    Some(sq.clone())
+                }
+                _ => None,
+            })
+            .collect();
+        for q in aggregated {
+            let matches = self.aggregate_and_verify(&q, now);
+            // Periodic response to the client, routed over the overlay.
+            let path = self.ring.route(node, q.client).path;
+            if self.measuring {
+                self.metrics.record_event(InputEvent::Response);
+                self.record_route(MsgClass::Response, MsgClass::ResponseTransit, &path);
+                self.metrics
+                    .record_hops(MsgClass::Response, (path.len().saturating_sub(1)) as u32);
+            }
+            let entry = self.notifications.entry(q.id).or_default();
+            for stream in matches {
+                entry.push(MatchNotification { query: q.id, stream, at: now });
+            }
+        }
+
+        // Inner-product pushes for streams sourced here.
+        let pushes: Vec<InnerProductQuery> =
+            self.nodes[&node].active_ip_subscriptions(now).cloned().collect();
+        for q in pushes {
+            let s = &self.streams[q.stream as usize];
+            if !s.extractor.is_warm() {
+                continue;
+            }
+            let value =
+                q.evaluate_approx(s.extractor.raw_prefix(), self.cfg.workload.window_len);
+            let path = self.ring.route(node, q.client).path;
+            if self.measuring {
+                self.metrics.record_event(InputEvent::Response);
+                self.record_route(MsgClass::Response, MsgClass::ResponseTransit, &path);
+                self.metrics
+                    .record_hops(MsgClass::Response, (path.len().saturating_sub(1)) as u32);
+            }
+            self.ip_results.entry(q.id).or_default().push((now, value));
+            if q.alert.is_some_and(|a| a.triggered(value)) {
+                self.ip_alerts.entry(q.id).or_default().push((now, value));
+            }
+        }
+    }
+
+    /// Runs a notify cycle on every node (convenience for drivers that don't
+    /// stagger NPER phases).
+    pub fn notify_all(&mut self, now: SimTime) {
+        for node in self.node_order.clone() {
+            self.notify_cycle(node, now);
+        }
+    }
+
+    /// Union of candidates over the query's covering nodes (the converged
+    /// state of the in-range gossip), filtered by exact verification against
+    /// the streams' current windows.
+    fn aggregate_and_verify(&mut self, q: &SimilarityQuery, now: SimTime) -> Vec<StreamId> {
+        let (lo, hi) = radius_key_range(self.space, q.feature.first_real(), q.radius);
+        let mut candidates: Vec<StreamId> = dsi_chord::covering_nodes(&self.ring, lo, hi)
+            .into_iter()
+            .flat_map(|n| self.nodes[&n].local_candidates(q, now))
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        self.quality.candidates += candidates.len() as u64;
+        let verified: Vec<StreamId> = candidates
+            .into_iter()
+            .filter(|&sid| {
+                let s = &self.streams[sid as usize];
+                if !s.extractor.is_warm() {
+                    return false;
+                }
+                let window = s.extractor.window_snapshot();
+                let ok = normalized_distance(&q.target, &window, q.kind.normalization())
+                    <= q.radius + 1e-9;
+                if !ok {
+                    *self.stream_false_positives.entry(sid).or_default() += 1;
+                }
+                ok
+            })
+            .collect();
+        self.quality.verified += verified.len() as u64;
+        verified
+    }
+
+    fn record_route(&mut self, base: MsgClass, transit: MsgClass, path: &[ChordId]) {
+        if self.measuring {
+            self.metrics.record_route(base, transit, path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cluster(n: usize) -> Cluster {
+        let mut cfg = ClusterConfig::new(n);
+        cfg.workload.window_len = 16;
+        cfg.workload.num_coeffs = 2;
+        cfg.workload.mbr_batch = 4;
+        // These tests exercise exact ζ cadence and matching against
+        // z-normalized (phase-rotating) features; the routing-width bound
+        // would split batches and is covered by its own tests.
+        cfg.workload.mbr_max_width = None;
+        Cluster::new(cfg)
+    }
+
+    fn wave(n: usize, f: f64, phase: f64) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * f + phase).sin() * 3.0 + 10.0).collect()
+    }
+
+    /// Feeds a full window + enough extra values to flush at least one MBR.
+    fn feed_stream(c: &mut Cluster, sid: StreamId, values: &[f64], now: SimTime) -> usize {
+        let mut mbrs = 0;
+        for &v in values {
+            if c.post_value(sid, v, now).is_some() {
+                mbrs += 1;
+            }
+        }
+        mbrs
+    }
+
+    #[test]
+    fn node_ids_are_unique() {
+        let c = small_cluster(50);
+        let mut ids = c.node_ids().to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 50);
+    }
+
+    #[test]
+    fn posting_values_emits_mbrs_at_zeta_cadence() {
+        let mut c = small_cluster(8);
+        let sid = c.register_stream("s0", 0);
+        // Window 16 warms after 16 values; every 4 summaries -> 1 MBR.
+        let vals = wave(16 + 16, 0.4, 0.0);
+        let mbrs = feed_stream(&mut c, sid, &vals, SimTime::ZERO);
+        // 17 summaries emitted (one at warmup + 16 more) -> 4 MBRs.
+        assert_eq!(mbrs, 4);
+    }
+
+    #[test]
+    fn mbr_replicas_land_on_covering_nodes() {
+        let mut c = small_cluster(8);
+        let sid = c.register_stream("s0", 0);
+        let vals = wave(32, 0.4, 0.0);
+        let mut plan = None;
+        for &v in &vals {
+            if let Some(p) = c.post_value(sid, v, SimTime::ZERO) {
+                plan = Some(p);
+            }
+        }
+        let plan = plan.expect("an MBR was shipped");
+        for n in plan.nodes() {
+            assert!(c.node(n).mbr_count() > 0, "covering node {n} holds no replica");
+        }
+    }
+
+    #[test]
+    fn similarity_query_end_to_end_finds_identical_stream() {
+        let mut c = small_cluster(8);
+        let sid = c.register_stream("s0", 0);
+        let vals = wave(40, 0.4, 0.0);
+        feed_stream(&mut c, sid, &vals, SimTime::ZERO);
+        // Query with the stream's current window as target.
+        let target = c.streams()[sid as usize].extractor.window_snapshot();
+        let qid = c.post_similarity_query(3, target, 0.05, 60_000, SimTime::ZERO);
+        c.notify_all(SimTime::from_ms(2000));
+        let notes = c.notifications(qid);
+        assert!(
+            notes.iter().any(|n| n.stream == sid),
+            "query over its own stream's window must match"
+        );
+    }
+
+    #[test]
+    fn dissimilar_stream_is_not_reported() {
+        let mut c = small_cluster(8);
+        let sid = c.register_stream("s0", 0);
+        feed_stream(&mut c, sid, &wave(40, 0.4, 0.0), SimTime::ZERO);
+        // An alternating target is far from a smooth sine in z-norm space.
+        let target: Vec<f64> =
+            (0..16).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let qid = c.post_similarity_query(3, target, 0.05, 60_000, SimTime::ZERO);
+        c.notify_all(SimTime::from_ms(2000));
+        assert!(c.notifications(qid).is_empty());
+    }
+
+    #[test]
+    fn expired_query_stops_producing_responses() {
+        let mut c = small_cluster(8);
+        let sid = c.register_stream("s0", 0);
+        feed_stream(&mut c, sid, &wave(40, 0.4, 0.0), SimTime::ZERO);
+        let target = c.streams()[sid as usize].extractor.window_snapshot();
+        let qid = c.post_similarity_query(3, target, 0.05, 1000, SimTime::ZERO);
+        c.notify_all(SimTime::from_ms(500));
+        let after_first = c.notifications(qid).len();
+        assert!(after_first > 0);
+        c.notify_all(SimTime::from_ms(5000)); // past expiry
+        assert_eq!(c.notifications(qid).len(), after_first);
+    }
+
+    #[test]
+    fn mbr_expiry_clears_candidates() {
+        let mut c = small_cluster(8);
+        let sid = c.register_stream("s0", 0);
+        feed_stream(&mut c, sid, &wave(40, 0.4, 0.0), SimTime::ZERO);
+        let target = c.streams()[sid as usize].extractor.window_snapshot();
+        // Post the query *after* BSPAN so all MBRs have expired.
+        let late = SimTime::from_ms(6000);
+        let qid = c.post_similarity_query(3, target, 0.05, 60_000, late);
+        c.notify_all(late + 100);
+        assert!(c.notifications(qid).is_empty(), "expired MBRs must not match");
+    }
+
+    #[test]
+    fn inner_product_query_pushes_accurate_values() {
+        let mut c = small_cluster(8);
+        let sid = c.register_stream("s0", 0);
+        let vals = wave(24, 0.15, 0.0);
+        feed_stream(&mut c, sid, &vals, SimTime::ZERO);
+        let span = 8;
+        let qid = c.post_inner_product_query(
+            2,
+            sid,
+            (0..span).collect(),
+            vec![1.0 / span as f64; span],
+            60_000,
+            SimTime::ZERO,
+        );
+        c.notify_all(SimTime::from_ms(2000));
+        let results = c.ip_results(qid);
+        assert!(!results.is_empty(), "source must push values");
+        let window = c.streams()[sid as usize].extractor.window_snapshot();
+        let exact: f64 = window[..span].iter().sum::<f64>() / span as f64;
+        let (_, approx) = results[0];
+        assert!(
+            (approx - exact).abs() / exact.abs() < 0.5,
+            "approximation {approx} too far from exact {exact}"
+        );
+    }
+
+    #[test]
+    fn metrics_only_recorded_while_measuring() {
+        let mut c = small_cluster(8);
+        let sid = c.register_stream("s0", 0);
+        feed_stream(&mut c, sid, &wave(40, 0.4, 0.0), SimTime::ZERO);
+        assert_eq!(c.metrics().event_count(InputEvent::Mbr), 0);
+        c.start_measurement();
+        feed_stream(&mut c, sid, &wave(16, 0.4, 1.0), SimTime::from_ms(100));
+        assert!(c.metrics().event_count(InputEvent::Mbr) > 0);
+    }
+
+    #[test]
+    fn quality_counts_candidates_and_verified() {
+        let mut c = small_cluster(8);
+        let sid = c.register_stream("s0", 0);
+        feed_stream(&mut c, sid, &wave(40, 0.4, 0.0), SimTime::ZERO);
+        let target = c.streams()[sid as usize].extractor.window_snapshot();
+        c.post_similarity_query(1, target, 0.05, 60_000, SimTime::ZERO);
+        c.notify_all(SimTime::from_ms(1000));
+        let q = c.quality();
+        assert!(q.candidates >= q.verified);
+        assert!(q.verified > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "match the window length")]
+    fn wrong_target_length_panics() {
+        let mut c = small_cluster(4);
+        c.post_similarity_query(0, vec![1.0; 5], 0.1, 1000, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,279 @@
+//! Per-node middleware state: the data center (sensor proxy / base station)
+//! of §IV.
+//!
+//! Each data center stores the MBRs content-routed to it, the similarity
+//! subscriptions replicated over its key interval, the inner-product
+//! subscriptions for streams it sources, and its slice of the
+//! location-service table (`h2(stream) -> source node`).
+
+use crate::query::{InnerProductQuery, QueryId, SimilarityQuery, StreamId};
+use dsi_chord::ChordId;
+use dsi_dsp::Mbr;
+use dsi_simnet::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An MBR stored at a data center, with provenance and expiry (BSPAN).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoredMbr {
+    /// Stream the MBR summarizes.
+    pub stream: StreamId,
+    /// The bounding box in feature space.
+    pub mbr: Mbr,
+    /// Node that sourced the stream (for follow-up verification).
+    pub origin: ChordId,
+    /// Absolute expiry time.
+    pub expires: SimTime,
+}
+
+/// State of one data center.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DataCenter {
+    /// This node's Chord identifier.
+    pub id: ChordId,
+    /// MBRs content-routed here (the local shard of the distributed index).
+    mbrs: Vec<StoredMbr>,
+    /// Similarity subscriptions replicated over this node's interval.
+    subscriptions: HashMap<QueryId, SimilarityQuery>,
+    /// Inner-product subscriptions for streams this node sources.
+    ip_subscriptions: HashMap<QueryId, InnerProductQuery>,
+    /// Location-service shard: streams whose `h2` key this node owns.
+    location: HashMap<StreamId, ChordId>,
+    /// Peak number of simultaneously stored MBRs (storage accounting).
+    peak_mbrs: usize,
+}
+
+impl DataCenter {
+    /// Creates an empty data center with the given ring identifier.
+    pub fn new(id: ChordId) -> Self {
+        DataCenter { id, ..Default::default() }
+    }
+
+    // ------------------------------------------------------------------
+    // Index shard
+    // ------------------------------------------------------------------
+
+    /// Stores an MBR replica. Expired entries for the same batch are left to
+    /// the periodic purge (the paper expires by life span, not by version).
+    pub fn store_mbr(&mut self, stored: StoredMbr) {
+        self.mbrs.push(stored);
+        self.peak_mbrs = self.peak_mbrs.max(self.mbrs.len());
+    }
+
+    /// Number of currently stored MBRs (including not-yet-purged expired
+    /// ones).
+    pub fn mbr_count(&self) -> usize {
+        self.mbrs.len()
+    }
+
+    /// Peak storage footprint in MBRs.
+    pub fn peak_mbr_count(&self) -> usize {
+        self.peak_mbrs
+    }
+
+    /// The streams whose live MBRs at `now` are candidates for `query`:
+    /// every stream with a stored box whose minimum distance to the query
+    /// feature is within the radius. This is the superset guarantee — false
+    /// positives possible, false dismissals impossible.
+    pub fn local_candidates(&self, query: &SimilarityQuery, now: SimTime) -> Vec<StreamId> {
+        let point = query.feature.to_reals();
+        let mut out: Vec<StreamId> = self
+            .mbrs
+            .iter()
+            .filter(|s| now < s.expires)
+            .filter(|s| s.mbr.min_dist(&point) <= query.radius + 1e-12)
+            .map(|s| s.stream)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Subscriptions
+    // ------------------------------------------------------------------
+
+    /// Registers a similarity subscription (replica of a query whose key
+    /// range covers this node).
+    pub fn subscribe_similarity(&mut self, q: SimilarityQuery) {
+        self.subscriptions.insert(q.id, q);
+    }
+
+    /// Registers an inner-product subscription at the stream's source node.
+    pub fn subscribe_inner_product(&mut self, q: InnerProductQuery) {
+        self.ip_subscriptions.insert(q.id, q);
+    }
+
+    /// Active similarity subscriptions at `now`.
+    pub fn active_subscriptions(&self, now: SimTime) -> impl Iterator<Item = &SimilarityQuery> {
+        self.subscriptions.values().filter(move |q| !q.expired(now))
+    }
+
+    /// Active inner-product subscriptions at `now`.
+    pub fn active_ip_subscriptions(
+        &self,
+        now: SimTime,
+    ) -> impl Iterator<Item = &InnerProductQuery> {
+        self.ip_subscriptions.values().filter(move |q| !q.expired(now))
+    }
+
+    /// Whether any subscription of either kind is active.
+    pub fn has_active_subscriptions(&self, now: SimTime) -> bool {
+        self.active_subscriptions(now).next().is_some()
+            || self.active_ip_subscriptions(now).next().is_some()
+    }
+
+    // ------------------------------------------------------------------
+    // Location service
+    // ------------------------------------------------------------------
+
+    /// Stores a `stream -> source node` record ("put" at the `h2` owner).
+    pub fn location_put(&mut self, stream: StreamId, source: ChordId) {
+        self.location.insert(stream, source);
+    }
+
+    /// Resolves a stream's source node ("get").
+    pub fn location_get(&self, stream: StreamId) -> Option<ChordId> {
+        self.location.get(&stream).copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Expiry
+    // ------------------------------------------------------------------
+
+    /// Drops expired MBRs and subscriptions; returns how many were removed.
+    /// The paper removes both "in order to prevent cluttering of storage
+    /// space and to eliminate query responses that contain stale
+    /// information".
+    pub fn purge_expired(&mut self, now: SimTime) -> usize {
+        let before = self.mbrs.len() + self.subscriptions.len() + self.ip_subscriptions.len();
+        self.mbrs.retain(|s| now < s.expires);
+        self.subscriptions.retain(|_, q| !q.expired(now));
+        self.ip_subscriptions.retain(|_, q| !q.expired(now));
+        before - (self.mbrs.len() + self.subscriptions.len() + self.ip_subscriptions.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::SimilarityKind;
+    use dsi_dsp::{extract_features, Normalization};
+
+    fn wave(n: usize, f: f64) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * f).sin() * 2.0 + 5.0).collect()
+    }
+
+    fn query(id: QueryId, target: Vec<f64>, radius: f64, expires_ms: u64) -> SimilarityQuery {
+        SimilarityQuery::from_target(
+            id,
+            0,
+            target,
+            radius,
+            SimilarityKind::Correlation,
+            2,
+            0,
+            SimTime::from_ms(expires_ms),
+        )
+    }
+
+    fn stored(stream: StreamId, window: &[f64], expires_ms: u64) -> StoredMbr {
+        let fv = extract_features(window, Normalization::ZNorm, 2);
+        StoredMbr {
+            stream,
+            mbr: dsi_dsp::Mbr::from_point(&fv.to_reals()),
+            origin: 9,
+            expires: SimTime::from_ms(expires_ms),
+        }
+    }
+
+    #[test]
+    fn candidates_include_matching_streams() {
+        let mut dc = DataCenter::new(5);
+        let w = wave(32, 0.3);
+        dc.store_mbr(stored(1, &w, 10_000));
+        dc.store_mbr(stored(2, &wave(32, 1.1), 10_000)); // very different shape
+        let q = query(7, w.clone(), 0.05, 10_000);
+        let c = dc.local_candidates(&q, SimTime::from_ms(0));
+        assert!(c.contains(&1), "identical shape must be a candidate");
+        assert!(!c.contains(&2), "distant shape filtered out");
+    }
+
+    #[test]
+    fn expired_mbrs_are_not_candidates() {
+        let mut dc = DataCenter::new(5);
+        let w = wave(32, 0.3);
+        dc.store_mbr(stored(1, &w, 1000));
+        let q = query(7, w, 0.05, 10_000);
+        assert!(!dc.local_candidates(&q, SimTime::from_ms(1000)).contains(&1));
+        assert!(dc.local_candidates(&q, SimTime::from_ms(999)).contains(&1));
+    }
+
+    #[test]
+    fn duplicate_streams_deduped() {
+        let mut dc = DataCenter::new(5);
+        let w = wave(32, 0.3);
+        dc.store_mbr(stored(1, &w, 10_000));
+        dc.store_mbr(stored(1, &w, 10_000));
+        let q = query(7, w, 0.05, 10_000);
+        assert_eq!(dc.local_candidates(&q, SimTime::ZERO), vec![1]);
+    }
+
+    #[test]
+    fn purge_removes_expired_state() {
+        let mut dc = DataCenter::new(5);
+        dc.store_mbr(stored(1, &wave(32, 0.3), 100));
+        dc.store_mbr(stored(2, &wave(32, 0.4), 300));
+        dc.subscribe_similarity(query(1, wave(32, 0.3), 0.1, 200));
+        let removed = dc.purge_expired(SimTime::from_ms(250));
+        assert_eq!(removed, 2); // MBR of stream 1 + the subscription
+        assert_eq!(dc.mbr_count(), 1);
+        assert!(!dc.has_active_subscriptions(SimTime::from_ms(250)));
+    }
+
+    #[test]
+    fn peak_storage_tracks_high_water_mark() {
+        let mut dc = DataCenter::new(5);
+        for i in 0..4 {
+            dc.store_mbr(stored(i, &wave(32, 0.3), 100));
+        }
+        dc.purge_expired(SimTime::from_ms(200));
+        assert_eq!(dc.mbr_count(), 0);
+        assert_eq!(dc.peak_mbr_count(), 4);
+    }
+
+    #[test]
+    fn location_service_roundtrip() {
+        let mut dc = DataCenter::new(5);
+        assert_eq!(dc.location_get(3), None);
+        dc.location_put(3, 42);
+        assert_eq!(dc.location_get(3), Some(42));
+        dc.location_put(3, 43); // source migrated
+        assert_eq!(dc.location_get(3), Some(43));
+    }
+
+    #[test]
+    fn subscription_replacement_by_id() {
+        let mut dc = DataCenter::new(5);
+        dc.subscribe_similarity(query(1, wave(32, 0.3), 0.1, 1000));
+        dc.subscribe_similarity(query(1, wave(32, 0.3), 0.2, 1000));
+        let radii: Vec<f64> =
+            dc.active_subscriptions(SimTime::ZERO).map(|q| q.radius).collect();
+        assert_eq!(radii, vec![0.2]);
+    }
+
+    #[test]
+    fn active_ip_subscriptions_respect_expiry() {
+        let mut dc = DataCenter::new(5);
+        dc.subscribe_inner_product(InnerProductQuery::new(
+            9,
+            1,
+            4,
+            vec![0],
+            vec![1.0],
+            SimTime::from_ms(100),
+        ));
+        assert_eq!(dc.active_ip_subscriptions(SimTime::from_ms(50)).count(), 1);
+        assert_eq!(dc.active_ip_subscriptions(SimTime::from_ms(150)).count(), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # dsi-core — the paper's contribution
+//!
+//! An adaptive, scalable middleware for distributed data-stream indexing on
+//! top of content-based routing (Bulut, Vitenberg & Singh, IPDPS 2005):
+//!
+//! * [`mapping`] — Eq. 6 feature→key scaling and the `h2` location hash;
+//! * [`query`] — similarity and inner-product query types, Eq. 7
+//!   reconstruction, the lower-bounding candidate test;
+//! * [`batching`] — ζ-batching of summaries into MBRs (§IV-G);
+//! * [`datacenter`] — per-node index shards, subscriptions, expiry;
+//! * [`cluster`] — the full middleware over a Chord ring with message
+//!   accounting;
+//! * [`api`] — the Fig. 5 application view (`update` / `subscribe` /
+//!   periodic pushes);
+//! * [`system`] — the §V experiment driver (periodic streams, Poisson
+//!   queries, staggered NPER cycles);
+//! * [`report`] — the exact series of Figures 6, 7 and 8.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod batching;
+pub mod cluster;
+pub mod datacenter;
+pub mod mapping;
+pub mod messages;
+pub mod query;
+pub mod report;
+pub mod system;
+
+pub use api::{InnerProductPush, SimilarityPush, StreamIndex};
+pub use batching::MbrBatcher;
+pub use cluster::{Cluster, ClusterConfig, QualityStats, StreamRuntime};
+pub use datacenter::{DataCenter, StoredMbr};
+pub use mapping::{feature_to_key, interval_key_range, radius_key_range, stream_key, summary_key};
+pub use messages::{batching_saving, Message, HEADER_BYTES};
+pub use query::{
+    AlertCondition, InnerProductQuery, MatchNotification, QueryId, SimilarityKind,
+    SimilarityQuery, StreamId,
+};
+pub use report::{EventCounts, HopComponents, LoadComponents, OverheadComponents, SystemReport};
+pub use system::{run_experiment, run_experiment_on, ExperimentConfig};

@@ -1,0 +1,162 @@
+//! Mapping stream summaries and stream identities onto the Chord ring
+//! (§IV-B, Eq. 6).
+//!
+//! Normalized windows live on the unit hyper-sphere, so the real part of the
+//! first retained DFT coefficient lies in `[-1, +1]`. Eq. 6 scales that
+//! interval linearly onto the identifier circle `[0, 2^m - 1]`:
+//! `-1 -> 0`, `0 -> 2^{m-1}`, `+1 -> 2^m - 1`. Similar streams therefore hash
+//! to nearby keys, which is what turns the DHT into a distributed index.
+
+use dsi_chord::{ChordId, IdSpace};
+use dsi_dsp::FeatureVector;
+
+/// Eq. 6: maps a feature value in `[-1, +1]` to a Chord identifier.
+/// Values outside the interval are clamped (they can only arise from
+/// floating-point rounding).
+pub fn feature_to_key(space: IdSpace, value: f64) -> ChordId {
+    let v = value.clamp(-1.0, 1.0);
+    let max = (space.modulus() - 1) as f64;
+    ((v + 1.0) / 2.0 * max).round() as ChordId
+}
+
+/// Maps a summary to its key via its first retained coefficient.
+pub fn summary_key(space: IdSpace, feature: &FeatureVector) -> ChordId {
+    feature_to_key(space, feature.first_real())
+}
+
+/// The key range a similarity query of radius `radius` around `center`
+/// must reach (§IV-E, Eq. 8): `[h(c - r), h(c + r)]`, clamped to the valid
+/// feature interval so the range never wraps.
+pub fn radius_key_range(space: IdSpace, center: f64, radius: f64) -> (ChordId, ChordId) {
+    assert!(radius >= 0.0, "radius must be non-negative");
+    let lo = feature_to_key(space, center - radius);
+    let hi = feature_to_key(space, center + radius);
+    (lo, hi)
+}
+
+/// The key range an MBR must be replicated over (§IV-G, Eq. 10):
+/// `[h(l_1), h(h_1)]` for its first-dimension interval.
+pub fn interval_key_range(space: IdSpace, low: f64, high: f64) -> (ChordId, ChordId) {
+    assert!(low <= high, "interval must be ordered");
+    (feature_to_key(space, low), feature_to_key(space, high))
+}
+
+/// `h2`: hashes a stream identifier to the key of its location-service
+/// record (§IV-D). Uses SHA-1 like node placement, so records spread
+/// uniformly regardless of stream content.
+pub fn stream_key(space: IdSpace, stream_id: &str) -> ChordId {
+    space.hash_str(stream_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_dsp::{Complex64, FeatureVector, Normalization};
+
+    /// m = 5 — the space of the paper's running example figures.
+    fn fig_space() -> IdSpace {
+        IdSpace::new(5)
+    }
+
+    #[test]
+    fn eq6_anchor_points() {
+        // The paper states -1, 0, +1 map to 0, 2^{m-1}, 2^m - 1.
+        let s = fig_space();
+        assert_eq!(feature_to_key(s, -1.0), 0);
+        assert_eq!(feature_to_key(s, 0.0), 16);
+        assert_eq!(feature_to_key(s, 1.0), 31);
+    }
+
+    #[test]
+    fn figure2_summary_keys() {
+        // Fig. 2: X = [0.40 0.09] hashes to K22 (stored at N23);
+        // Y = [0.42 0.11] also lands on K22's neighborhood.
+        let s = fig_space();
+        assert_eq!(feature_to_key(s, 0.40), 22);
+        assert_eq!(feature_to_key(s, 0.42), 22);
+    }
+
+    #[test]
+    fn figure3a_query_range() {
+        // Fig. 3(a): X = [-0.08 0.12], r = 0.29. High boundary
+        // -0.08 + 0.29 = 0.21 -> K19; low boundary -0.08 - 0.29 = -0.37 -> K10.
+        let s = fig_space();
+        let (lo, hi) = radius_key_range(s, -0.08, 0.29);
+        assert_eq!(lo, 10);
+        assert_eq!(hi, 19);
+    }
+
+    #[test]
+    fn figure4_mbr_range() {
+        // Fig. 4: MBR with first interval [0.21, 0.40] replicates over
+        // [h(0.21), h(0.40)] = [19, 22] — nodes N20 and N23.
+        let s = fig_space();
+        let (lo, hi) = interval_key_range(s, 0.21, 0.40);
+        assert_eq!((lo, hi), (19, 22));
+    }
+
+    #[test]
+    fn mapping_is_monotone() {
+        let s = IdSpace::new(16);
+        let mut prev = feature_to_key(s, -1.0);
+        let mut v = -1.0;
+        while v < 1.0 {
+            v += 0.001;
+            let k = feature_to_key(s, v);
+            assert!(k >= prev, "mapping must be monotone");
+            prev = k;
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range_values() {
+        let s = fig_space();
+        assert_eq!(feature_to_key(s, -1.5), 0);
+        assert_eq!(feature_to_key(s, 7.0), 31);
+    }
+
+    #[test]
+    fn radius_range_clamps_at_boundaries() {
+        let s = fig_space();
+        let (lo, hi) = radius_key_range(s, 0.95, 0.2);
+        assert_eq!(hi, 31); // clamped at +1
+        assert!(lo <= hi, "clamped range never wraps");
+        let (lo2, _) = radius_key_range(s, -0.95, 0.2);
+        assert_eq!(lo2, 0); // clamped at -1
+    }
+
+    #[test]
+    fn summary_key_uses_first_coefficient() {
+        let s = fig_space();
+        let fv = FeatureVector::new(
+            vec![Complex64::new(0.40, 0.09), Complex64::new(0.5, 0.5)],
+            Normalization::ZNorm,
+        );
+        assert_eq!(summary_key(s, &fv), 22);
+    }
+
+    #[test]
+    fn similar_features_map_to_nearby_keys() {
+        let s = IdSpace::new(20);
+        let a = feature_to_key(s, 0.300);
+        let b = feature_to_key(s, 0.301);
+        let c = feature_to_key(s, -0.700);
+        assert!(a.abs_diff(b) < s.modulus() / 1000);
+        assert!(a.abs_diff(c) > s.modulus() / 4);
+    }
+
+    #[test]
+    fn stream_key_is_stable_and_spread() {
+        let s = IdSpace::new(32);
+        let k1 = stream_key(s, "stream-1");
+        assert_eq!(k1, stream_key(s, "stream-1"));
+        assert_ne!(k1, stream_key(s, "stream-2"));
+        assert!(k1 < s.modulus());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_radius_panics() {
+        let _ = radius_key_range(fig_space(), 0.0, -0.1);
+    }
+}

@@ -1,0 +1,211 @@
+//! Wire-format model of the middleware's messages, with size accounting.
+//!
+//! Figures 6-8 measure network cost in *messages*; the paper's deeper claim
+//! — "minimizing the amount of network ... resources consumed by data
+//! centers and network links" — is about bandwidth. This module gives every
+//! message a concrete wire size so the ζ-batching saving can be stated in
+//! bytes: shipping one MBR (two corner vectors) replaces ζ individual
+//! summary vectors.
+
+use crate::query::{InnerProductQuery, QueryId, SimilarityQuery, StreamId};
+use dsi_chord::ChordId;
+use dsi_dsp::{FeatureVector, Mbr};
+use dsi_simnet::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Fixed per-message overlay header: source, destination key, type tag,
+/// and a sequence number (the usual 8+8+4+4 layout).
+pub const HEADER_BYTES: usize = 24;
+
+/// Bytes of one `f64`.
+const F64: usize = 8;
+
+/// A middleware message on the wire.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Message {
+    /// A single stream summary ("put"), when batching is disabled.
+    SummaryUpdate {
+        /// Stream the summary describes.
+        stream: StreamId,
+        /// The feature vector.
+        feature: FeatureVector,
+        /// Expiry at the storing node.
+        expires: SimTime,
+    },
+    /// A batched update: one MBR standing for ζ summaries (§IV-G).
+    MbrUpdate {
+        /// Stream the batch describes.
+        stream: StreamId,
+        /// The bounding box.
+        mbr: Mbr,
+        /// Expiry at the storing nodes.
+        expires: SimTime,
+    },
+    /// A similarity query replicated over its key range.
+    SimilaritySubscribe(SimilarityQuery),
+    /// An inner-product subscription routed to the stream source.
+    InnerProductSubscribe(InnerProductQuery),
+    /// Aggregated candidate information exchanged between neighbors /
+    /// flowed to the middle node (§IV-F).
+    SimilarityInfo {
+        /// The query the candidates answer.
+        query: QueryId,
+        /// Candidate stream identifiers.
+        candidates: Vec<StreamId>,
+    },
+    /// A periodic response from the aggregator to the client.
+    SimilarityResponse {
+        /// The answered query.
+        query: QueryId,
+        /// Verified matching streams.
+        matches: Vec<StreamId>,
+    },
+    /// A periodic inner-product value push.
+    InnerProductPush {
+        /// The answered query.
+        query: QueryId,
+        /// The approximate value (Eq. 7).
+        value: f64,
+    },
+    /// Location-service put: `stream -> source`.
+    LocationPut {
+        /// Stream being registered.
+        stream: StreamId,
+        /// Its source data center.
+        source: ChordId,
+    },
+    /// Location-service get (the reply carries a `LocationPut`).
+    LocationGet {
+        /// Stream being resolved.
+        stream: StreamId,
+    },
+}
+
+impl Message {
+    /// Payload bytes (excluding the overlay header).
+    pub fn payload_size(&self) -> usize {
+        match self {
+            Message::SummaryUpdate { feature, .. } => 4 + feature.k() * 2 * F64 + 8,
+            Message::MbrUpdate { mbr, .. } => 4 + mbr.dims() * 2 * F64 + 8,
+            Message::SimilaritySubscribe(q) => {
+                // id + client + radius + expires + feature + aggregator.
+                8 + 8 + F64 + 8 + q.feature.k() * 2 * F64 + 8
+            }
+            Message::InnerProductSubscribe(q) => {
+                8 + 8 + 4 + q.indices.len() * 4 + q.weights.len() * F64 + 8
+            }
+            Message::SimilarityInfo { candidates, .. } => 8 + 4 + candidates.len() * 4,
+            Message::SimilarityResponse { matches, .. } => 8 + 4 + matches.len() * 4,
+            Message::InnerProductPush { .. } => 8 + F64,
+            Message::LocationPut { .. } => 4 + 8,
+            Message::LocationGet { .. } => 4,
+        }
+    }
+
+    /// Total wire size including the header.
+    pub fn wire_size(&self) -> usize {
+        HEADER_BYTES + self.payload_size()
+    }
+}
+
+/// Bandwidth of shipping ζ summaries *individually* versus as one MBR, per
+/// batch and per replica: the §IV-G saving in bytes.
+pub fn batching_saving(k: usize, zeta: usize) -> (usize, usize) {
+    let summary = HEADER_BYTES + 4 + k * 2 * F64 + 8;
+    let mbr = HEADER_BYTES + 4 + (k * 2) * 2 * F64 + 8;
+    (summary * zeta, mbr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::SimilarityKind;
+    use dsi_dsp::{Complex64, Normalization};
+
+    fn fv(k: usize) -> FeatureVector {
+        FeatureVector::new(vec![Complex64::new(0.1, 0.2); k], Normalization::UnitNorm)
+    }
+
+    #[test]
+    fn sizes_scale_with_payload() {
+        let small = Message::SummaryUpdate { stream: 1, feature: fv(2), expires: SimTime::ZERO };
+        let large = Message::SummaryUpdate { stream: 1, feature: fv(8), expires: SimTime::ZERO };
+        assert!(large.wire_size() > small.wire_size());
+        assert_eq!(large.wire_size() - small.wire_size(), 6 * 2 * 8);
+    }
+
+    #[test]
+    fn mbr_update_is_twice_a_summary_plus_constant() {
+        let k = 3;
+        let summary = Message::SummaryUpdate { stream: 1, feature: fv(k), expires: SimTime::ZERO };
+        let mbr = Mbr::from_point(&fv(k).to_reals());
+        let update = Message::MbrUpdate { stream: 1, mbr, expires: SimTime::ZERO };
+        // An MBR carries low + high corners: 2x the coefficient payload.
+        assert_eq!(
+            update.payload_size() - 12,
+            2 * (summary.payload_size() - 12)
+        );
+    }
+
+    #[test]
+    fn batching_saves_bandwidth_beyond_zeta_two(){
+        for k in [1usize, 2, 4] {
+            for zeta in [3usize, 5, 10, 20] {
+                let (individual, batched) = batching_saving(k, zeta);
+                assert!(
+                    batched < individual,
+                    "zeta={zeta}, k={k}: {batched} not < {individual}"
+                );
+            }
+            // zeta = 1 is strictly worse (an MBR is bigger than a point).
+            let (individual, batched) = batching_saving(k, 1);
+            assert!(batched > individual);
+        }
+    }
+
+    #[test]
+    fn info_and_response_sizes_track_candidate_count() {
+        let a = Message::SimilarityInfo { query: 1, candidates: vec![1, 2, 3] };
+        let b = Message::SimilarityInfo { query: 1, candidates: vec![] };
+        assert_eq!(a.payload_size() - b.payload_size(), 12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let q = SimilarityQuery::from_target(
+            7,
+            3,
+            vec![1.0; 16],
+            0.1,
+            SimilarityKind::Subsequence,
+            2,
+            9,
+            SimTime::from_secs(10),
+        );
+        let m = Message::SimilaritySubscribe(q);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Message = serde_json::from_str(&json).unwrap();
+        assert_eq!(m.wire_size(), back.wire_size());
+    }
+
+    #[test]
+    fn every_variant_has_nonzero_payload_accounting() {
+        let msgs = vec![
+            Message::SummaryUpdate { stream: 1, feature: fv(2), expires: SimTime::ZERO },
+            Message::MbrUpdate {
+                stream: 1,
+                mbr: Mbr::from_point(&[0.0; 4]),
+                expires: SimTime::ZERO,
+            },
+            Message::SimilarityInfo { query: 1, candidates: vec![4] },
+            Message::SimilarityResponse { query: 1, matches: vec![4, 5] },
+            Message::InnerProductPush { query: 1, value: 3.5 },
+            Message::LocationPut { stream: 2, source: 77 },
+            Message::LocationGet { stream: 2 },
+        ];
+        for m in msgs {
+            assert!(m.payload_size() > 0, "{m:?}");
+            assert!(m.wire_size() > HEADER_BYTES);
+        }
+    }
+}

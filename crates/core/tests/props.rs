@@ -1,0 +1,152 @@
+//! Property-based tests of the middleware's building blocks.
+
+use dsi_core::{
+    feature_to_key, interval_key_range, radius_key_range, summary_key, InnerProductQuery,
+    MbrBatcher, SimilarityKind, SimilarityQuery,
+};
+use dsi_chord::IdSpace;
+use dsi_dsp::dft::dft;
+use dsi_dsp::{extract_features, Complex64, FeatureVector, Normalization};
+use dsi_simnet::SimTime;
+use proptest::prelude::*;
+
+fn window_strategy(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-50.0f64..50.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    // ----- Eq. 6 mapping -----
+
+    #[test]
+    fn summary_key_equals_first_real_mapping(
+        re in -1.0f64..1.0,
+        im in -1.0f64..1.0,
+        bits in 4u32..40,
+    ) {
+        let s = IdSpace::new(bits);
+        let fv = FeatureVector::new(vec![Complex64::new(re, im)], Normalization::UnitNorm);
+        prop_assert_eq!(summary_key(s, &fv), feature_to_key(s, re));
+    }
+
+    #[test]
+    fn interval_range_is_ordered_and_contains_interior(
+        lo in -1.0f64..1.0,
+        w in 0.0f64..0.5,
+        t in 0.0f64..1.0,
+        bits in 6u32..32,
+    ) {
+        let s = IdSpace::new(bits);
+        let hi = (lo + w).min(1.0);
+        let (klo, khi) = interval_key_range(s, lo, hi);
+        prop_assert!(klo <= khi);
+        let mid = lo + t * (hi - lo);
+        let kmid = feature_to_key(s, mid);
+        prop_assert!(kmid >= klo && kmid <= khi);
+    }
+
+    #[test]
+    fn radius_range_is_superset_of_any_smaller_radius(
+        center in -1.0f64..1.0,
+        r1 in 0.0f64..0.3,
+        extra in 0.0f64..0.3,
+        bits in 6u32..32,
+    ) {
+        let s = IdSpace::new(bits);
+        let (lo1, hi1) = radius_key_range(s, center, r1);
+        let (lo2, hi2) = radius_key_range(s, center, r1 + extra);
+        prop_assert!(lo2 <= lo1 && hi1 <= hi2, "wider radius must widen the range");
+    }
+
+    // ----- Batching -----
+
+    #[test]
+    fn batcher_mbrs_contain_all_members(
+        features in prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..40),
+        zeta in 1usize..8,
+        bound in prop::option::of(0.01f64..0.5),
+    ) {
+        let mut b = MbrBatcher::new(zeta);
+        if let Some(w) = bound {
+            b = b.with_max_width(w);
+        }
+        let mut pending: Vec<FeatureVector> = Vec::new();
+        for &(re, im) in &features {
+            let fv = FeatureVector::new(
+                vec![Complex64::new(re, im)],
+                Normalization::UnitNorm,
+            );
+            pending.push(fv.clone());
+            if let Some(mbr) = b.push(fv) {
+                // The emitted MBR covers exactly the summaries that are no
+                // longer pending (all but possibly the newest).
+                let kept = b.pending();
+                let emitted = pending.len() - kept;
+                for f in &pending[..emitted] {
+                    prop_assert!(mbr.contains(&f.to_reals()));
+                }
+                if let Some(w) = bound {
+                    let (lo, hi) = mbr.first_interval();
+                    prop_assert!(hi - lo <= w + 1e-9, "width bound violated");
+                }
+                pending.drain(..emitted);
+            }
+            prop_assert!(b.pending() <= zeta);
+        }
+    }
+
+    // ----- Similarity candidate test -----
+
+    #[test]
+    fn candidate_test_is_never_a_false_dismissal(
+        a in window_strategy(16),
+        b in window_strategy(16),
+        znorm in any::<bool>(),
+        k in 1usize..5,
+    ) {
+        let kind = if znorm { SimilarityKind::Correlation } else { SimilarityKind::Subsequence };
+        let exact = dsi_dsp::normalized_distance(&a, &b, kind.normalization());
+        let q = SimilarityQuery::from_target(
+            1, 0, a, exact + 1e-9, kind, k, 0, SimTime::from_secs(1),
+        );
+        let fb = extract_features(&b, kind.normalization(), k);
+        prop_assert!(q.candidate(&fb), "dismissed a window at exactly the radius");
+    }
+
+    // ----- Inner-product evaluation -----
+
+    #[test]
+    fn full_prefix_inner_product_is_exact(
+        window in window_strategy(16),
+        idx in prop::collection::vec(0usize..16, 1..6),
+    ) {
+        let weights = vec![1.0 / idx.len() as f64; idx.len()];
+        let q = InnerProductQuery::new(1, 0, 0, idx, weights, SimTime::from_secs(1));
+        let exact = q.evaluate_exact(&window);
+        // Keeping bins 0..=n/2 of a real signal is lossless.
+        let spectrum = dft(&window);
+        let approx = q.evaluate_approx(&spectrum[..9], 16);
+        prop_assert!((exact - approx).abs() < 1e-6 * (1.0 + exact.abs()));
+    }
+
+    #[test]
+    fn point_and_range_queries_match_direct_semantics(
+        window in window_strategy(16),
+        i in 0usize..16,
+        start in 0usize..12,
+        len in 1usize..4,
+    ) {
+        let p = InnerProductQuery::point(1, 0, 0, i, SimTime::from_secs(1));
+        prop_assert_eq!(p.evaluate_exact(&window), window[i]);
+
+        let end = (start + len).min(16);
+        let rs = InnerProductQuery::range_sum(2, 0, 0, start..end, SimTime::from_secs(1));
+        let expect: f64 = window[start..end].iter().sum();
+        prop_assert!((rs.evaluate_exact(&window) - expect).abs() < 1e-9);
+
+        let ra = InnerProductQuery::range_avg(3, 0, 0, start..end, SimTime::from_secs(1));
+        let expect_avg = expect / (end - start) as f64;
+        prop_assert!((ra.evaluate_exact(&window) - expect_avg).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,356 @@
+//! Stream summaries: truncated DFT feature vectors over normalized sliding
+//! windows (§III-C) and the lower-bounding distance that makes the
+//! distributed index free of false dismissals (Eq. 9).
+
+use crate::complex::Complex64;
+use crate::dft::dft;
+use crate::normalize::{normalize, Normalization, SlidingStats};
+use crate::sliding::SlidingDft;
+use crate::window::SlidingWindow;
+use serde::{Deserialize, Serialize};
+
+/// A stream summary: the first `k` non-trivial unitary DFT coefficients of
+/// the normalized current window.
+///
+/// * For [`Normalization::ZNorm`] the DC coefficient is identically zero, so
+///   the vector holds bins `1 ..= k`.
+/// * For [`Normalization::UnitNorm`] it holds bins `0 .. k`.
+///
+/// Because the normalized window lies on the unit hyper-sphere, every
+/// coefficient satisfies `|X_f| <= 1`, hence
+/// [`FeatureVector::first_real`] in `[-1, +1]` — the domain of the Eq. 6 key
+/// mapping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector {
+    coeffs: Vec<Complex64>,
+    mode: Normalization,
+}
+
+impl FeatureVector {
+    /// Wraps already-computed normalized coefficients.
+    pub fn new(coeffs: Vec<Complex64>, mode: Normalization) -> Self {
+        FeatureVector { coeffs, mode }
+    }
+
+    /// The retained coefficients.
+    #[inline]
+    pub fn coeffs(&self) -> &[Complex64] {
+        &self.coeffs
+    }
+
+    /// Number of retained coefficients `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// The normalization the source window used.
+    #[inline]
+    pub fn mode(&self) -> Normalization {
+        self.mode
+    }
+
+    /// Real part of the first retained coefficient — the scalar the paper
+    /// hashes onto the Chord ring (§IV-B). Guaranteed in `[-1, +1]` up to
+    /// rounding; clamped defensively.
+    #[inline]
+    pub fn first_real(&self) -> f64 {
+        self.coeffs.first().map_or(0.0, |c| c.re.clamp(-1.0, 1.0))
+    }
+
+    /// Flattens into a real vector (re/im interleaved) — the 2k-dimensional
+    /// feature space in which MBRs live.
+    pub fn to_reals(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.coeffs.len() * 2);
+        for c in &self.coeffs {
+            out.push(c.re);
+            out.push(c.im);
+        }
+        out
+    }
+
+    /// Lower-bounding feature-space distance (Eq. 9).
+    ///
+    /// For a real signal every retained bin `f >= 1` has a conjugate mirror
+    /// `X_{w-f}`, so its squared difference counts twice toward the full
+    /// signal distance; the DC bin (present only under
+    /// [`Normalization::UnitNorm`]) counts once. The result never exceeds
+    /// the Euclidean distance between the underlying normalized windows.
+    ///
+    /// # Panics
+    /// Panics if the two vectors disagree in length or normalization.
+    pub fn distance(&self, other: &FeatureVector) -> f64 {
+        assert_eq!(self.coeffs.len(), other.coeffs.len(), "feature dimensionality mismatch");
+        assert_eq!(self.mode, other.mode, "feature normalization mismatch");
+        let mut acc = 0.0;
+        for (f, (a, b)) in self.coeffs.iter().zip(other.coeffs.iter()).enumerate() {
+            let d = (*a - *b).norm_sqr();
+            let has_mirror = match self.mode {
+                Normalization::ZNorm => true, // bins 1..=k, all mirrored
+                Normalization::UnitNorm => f > 0,
+            };
+            acc += if has_mirror { 2.0 * d } else { d };
+        }
+        acc.sqrt()
+    }
+}
+
+/// Batch feature extraction: normalizes a full window and takes the DFT
+/// prefix. Reference implementation for [`FeatureExtractor`].
+pub fn extract_features(window: &[f64], mode: Normalization, k: usize) -> FeatureVector {
+    let normalized = normalize(window, mode);
+    let spectrum = dft(&normalized);
+    let coeffs = match mode {
+        Normalization::ZNorm => spectrum.iter().skip(1).take(k).copied().collect(),
+        Normalization::UnitNorm => spectrum.iter().take(k).copied().collect(),
+    };
+    FeatureVector::new(coeffs, mode)
+}
+
+/// Incremental per-stream feature extraction pipeline.
+///
+/// Maintains the raw sliding DFT (Eq. 5) plus sliding sum/sum-of-squares;
+/// the normalized coefficients are derived in O(k) per arriving value because
+/// normalization is an affine map whose effect on the spectrum is a scalar
+/// division (plus zeroing the DC bin for z-normalization).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureExtractor {
+    window: SlidingWindow,
+    raw: SlidingDft,
+    stats: SlidingStats,
+    mode: Normalization,
+    k: usize,
+}
+
+impl FeatureExtractor {
+    /// Creates an extractor over windows of length `window_len`, retaining
+    /// `k` non-trivial coefficients.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or the retained bins would exceed the window.
+    pub fn new(window_len: usize, k: usize, mode: Normalization) -> Self {
+        assert!(k > 0, "must retain at least one coefficient");
+        // z-normalized features use bins 1..=k, so we maintain k + 1 raw bins.
+        let raw_bins = match mode {
+            Normalization::ZNorm => k + 1,
+            Normalization::UnitNorm => k,
+        };
+        assert!(raw_bins <= window_len, "retained bins exceed window length");
+        FeatureExtractor {
+            window: SlidingWindow::new(window_len),
+            raw: SlidingDft::new(window_len, raw_bins),
+            stats: SlidingStats::new(),
+            mode,
+            k,
+        }
+    }
+
+    /// Window length `w`.
+    #[inline]
+    pub fn window_len(&self) -> usize {
+        self.window.capacity()
+    }
+
+    /// Retained coefficient count `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The normalization mode.
+    #[inline]
+    pub fn mode(&self) -> Normalization {
+        self.mode
+    }
+
+    /// Consumes one stream value; returns the current summary once the
+    /// window is full.
+    pub fn update(&mut self, value: f64) -> Option<FeatureVector> {
+        let evicted = self.window.push(value);
+        self.raw.update(value, evicted);
+        self.stats.update(value, evicted);
+        if !self.raw.is_warm() {
+            return None;
+        }
+        Some(self.current())
+    }
+
+    /// The summary of the current (full) window.
+    ///
+    /// # Panics
+    /// Panics if called before a full window has been consumed.
+    pub fn current(&self) -> FeatureVector {
+        assert!(self.raw.is_warm(), "feature extractor not warm yet");
+        let raw = self.raw.coeffs();
+        let coeffs: Vec<Complex64> = match self.mode {
+            Normalization::ZNorm => {
+                let denom = self.stats.std_dev() * (self.window_len() as f64).sqrt();
+                if denom <= f64::EPSILON {
+                    vec![Complex64::ZERO; self.k]
+                } else {
+                    raw[1..=self.k].iter().map(|c| *c / denom).collect()
+                }
+            }
+            Normalization::UnitNorm => {
+                let denom = self.stats.l2_norm();
+                if denom <= f64::EPSILON {
+                    vec![Complex64::ZERO; self.k]
+                } else {
+                    raw[..self.k].iter().map(|c| *c / denom).collect()
+                }
+            }
+        };
+        FeatureVector::new(coeffs, self.mode)
+    }
+
+    /// Snapshot of the raw window (oldest first). Used by exact-verification
+    /// paths that must filter false positives out of the candidate set.
+    pub fn window_snapshot(&self) -> Vec<f64> {
+        self.window.to_vec()
+    }
+
+    /// The *unnormalized* DFT coefficient prefix of the current window.
+    /// Inner-product queries reconstruct an approximate raw signal from this
+    /// prefix (Eq. 7); normalization would destroy the scale they need.
+    pub fn raw_prefix(&self) -> &[Complex64] {
+        self.raw.coeffs()
+    }
+
+    /// True once a full window has been consumed.
+    #[inline]
+    pub fn is_warm(&self) -> bool {
+        self.raw.is_warm()
+    }
+}
+
+/// Exact Euclidean distance between the normalized forms of two windows —
+/// the ground truth that feature distances lower-bound.
+pub fn normalized_distance(a: &[f64], b: &[f64], mode: Normalization) -> f64 {
+    let na = normalize(a, mode);
+    let nb = normalize(b, mode);
+    na.iter().zip(nb.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize, slope: f64, phase: f64) -> Vec<f64> {
+        (0..n).map(|i| slope * i as f64 + (i as f64 * 0.9 + phase).sin()).collect()
+    }
+
+    #[test]
+    fn incremental_matches_batch_znorm() {
+        let xs = ramp(120, 0.05, 0.0);
+        let (w, k) = (32, 4);
+        let mut ex = FeatureExtractor::new(w, k, Normalization::ZNorm);
+        for (i, &x) in xs.iter().enumerate() {
+            if let Some(fv) = ex.update(x) {
+                let batch = extract_features(&xs[i + 1 - w..=i], Normalization::ZNorm, k);
+                for (a, b) in fv.coeffs().iter().zip(batch.coeffs().iter()) {
+                    assert!(a.approx_eq(*b, 1e-8), "step {i}: {a:?} vs {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_matches_batch_unitnorm() {
+        let xs = ramp(90, 0.02, 1.3);
+        let (w, k) = (16, 3);
+        let mut ex = FeatureExtractor::new(w, k, Normalization::UnitNorm);
+        for (i, &x) in xs.iter().enumerate() {
+            if let Some(fv) = ex.update(x) {
+                let batch = extract_features(&xs[i + 1 - w..=i], Normalization::UnitNorm, k);
+                for (a, b) in fv.coeffs().iter().zip(batch.coeffs().iter()) {
+                    assert!(a.approx_eq(*b, 1e-8), "step {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_real_is_bounded() {
+        let xs = ramp(500, -0.03, 2.0);
+        let mut ex = FeatureExtractor::new(64, 2, Normalization::ZNorm);
+        for &x in &xs {
+            if let Some(fv) = ex.update(x) {
+                assert!(fv.first_real() >= -1.0 && fv.first_real() <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn feature_distance_lower_bounds_signal_distance() {
+        let a = ramp(32, 0.1, 0.0);
+        let b = ramp(32, -0.07, 0.5);
+        for mode in [Normalization::ZNorm, Normalization::UnitNorm] {
+            for k in 1..6 {
+                let fa = extract_features(&a, mode, k);
+                let fb = extract_features(&b, mode, k);
+                let lower = fa.distance(&fb);
+                let exact = normalized_distance(&a, &b, mode);
+                assert!(
+                    lower <= exact + 1e-9,
+                    "mode {mode:?} k={k}: lower {lower} > exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = ramp(16, 0.2, 0.3);
+        let fa = extract_features(&a, Normalization::ZNorm, 3);
+        assert!(fa.distance(&fa) < 1e-12);
+    }
+
+    #[test]
+    fn similar_streams_have_close_features() {
+        let a = ramp(32, 0.1, 0.0);
+        // Same shape scaled and shifted: z-norm features must coincide.
+        let b: Vec<f64> = a.iter().map(|v| 5.0 * v + 100.0).collect();
+        let fa = extract_features(&a, Normalization::ZNorm, 4);
+        let fb = extract_features(&b, Normalization::ZNorm, 4);
+        assert!(fa.distance(&fb) < 1e-9);
+    }
+
+    #[test]
+    fn constant_window_yields_zero_features() {
+        let mut ex = FeatureExtractor::new(8, 2, Normalization::ZNorm);
+        let mut last = None;
+        for _ in 0..10 {
+            last = ex.update(42.0);
+        }
+        let fv = last.unwrap();
+        assert!(fv.coeffs().iter().all(|c| c.norm() == 0.0));
+        assert_eq!(fv.first_real(), 0.0);
+    }
+
+    #[test]
+    fn to_reals_interleaves() {
+        let fv = FeatureVector::new(
+            vec![Complex64::new(0.1, 0.2), Complex64::new(-0.3, 0.4)],
+            Normalization::ZNorm,
+        );
+        assert_eq!(fv.to_reals(), vec![0.1, 0.2, -0.3, 0.4]);
+    }
+
+    #[test]
+    fn warmup_returns_none() {
+        let mut ex = FeatureExtractor::new(4, 1, Normalization::UnitNorm);
+        assert!(ex.update(1.0).is_none());
+        assert!(ex.update(2.0).is_none());
+        assert!(ex.update(3.0).is_none());
+        assert!(ex.update(4.0).is_some());
+        assert!(ex.is_warm());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn distance_checks_dims() {
+        let a = FeatureVector::new(vec![Complex64::ZERO], Normalization::ZNorm);
+        let b = FeatureVector::new(vec![Complex64::ZERO; 2], Normalization::ZNorm);
+        let _ = a.distance(&b);
+    }
+}

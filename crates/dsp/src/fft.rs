@@ -1,0 +1,165 @@
+//! Iterative radix-2 Cooley-Tukey FFT with the same unitary scaling as
+//! [`crate::dft`].
+//!
+//! Power-of-two lengths run in `O(n log n)`; other lengths fall back to the
+//! naive transform, which keeps the API total without dragging in a Bluestein
+//! implementation the paper never needs (its windows are powers of two).
+
+use crate::complex::Complex64;
+use crate::dft;
+
+/// Returns true if `n` is a power of two (and nonzero).
+#[inline]
+pub fn is_pow2(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// In-place bit-reversal permutation.
+fn bit_reverse_permute(buf: &mut [Complex64]) {
+    let n = buf.len();
+    if n <= 2 {
+        return; // lengths 1 and 2 are their own bit-reversal
+    }
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+}
+
+/// Core iterative butterfly pass. `sign` is -1 for the forward transform,
+/// +1 for the inverse.
+fn fft_in_place(buf: &mut [Complex64], sign: f64) {
+    let n = buf.len();
+    debug_assert!(is_pow2(n));
+    bit_reverse_permute(buf);
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        for chunk in buf.chunks_mut(len) {
+            let mut w = Complex64::ONE;
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = chunk[i + half] * w;
+                chunk[i] = u + v;
+                chunk[i + half] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Unitary FFT of a real signal. Equals [`dft::dft`] up to rounding.
+pub fn fft(signal: &[f64]) -> Vec<Complex64> {
+    let n = signal.len();
+    if !is_pow2(n) {
+        return dft::dft(signal);
+    }
+    let mut buf: Vec<Complex64> = signal.iter().map(|&x| Complex64::from_re(x)).collect();
+    fft_in_place(&mut buf, -1.0);
+    let scale = 1.0 / (n as f64).sqrt();
+    for c in &mut buf {
+        *c = c.scale(scale);
+    }
+    buf
+}
+
+/// Unitary FFT of a complex signal.
+pub fn fft_complex(signal: &[Complex64]) -> Vec<Complex64> {
+    let n = signal.len();
+    if !is_pow2(n) {
+        return dft::dft_complex(signal);
+    }
+    let mut buf = signal.to_vec();
+    fft_in_place(&mut buf, -1.0);
+    let scale = 1.0 / (n as f64).sqrt();
+    for c in &mut buf {
+        *c = c.scale(scale);
+    }
+    buf
+}
+
+/// Unitary inverse FFT. Equals [`dft::idft`] up to rounding.
+pub fn ifft(coeffs: &[Complex64]) -> Vec<Complex64> {
+    let n = coeffs.len();
+    if !is_pow2(n) {
+        return dft::idft(coeffs);
+    }
+    let mut buf = coeffs.to_vec();
+    fft_in_place(&mut buf, 1.0);
+    let scale = 1.0 / (n as f64).sqrt();
+    for c in &mut buf {
+        *c = c.scale(scale);
+    }
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_naive_dft_pow2() {
+        for n in [1usize, 2, 4, 8, 64, 256] {
+            let x: Vec<f64> = (0..n).map(|i| ((i * 31 + 7) % 17) as f64 - 8.0).collect();
+            let a = dft::dft(&x);
+            let b = fft(&x);
+            for (u, v) in a.iter().zip(b.iter()) {
+                assert!(u.approx_eq(*v, 1e-8), "n={n}: {u:?} vs {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn falls_back_for_non_pow2() {
+        let x: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let a = dft::dft(&x);
+        let b = fft(&x);
+        for (u, v) in a.iter().zip(b.iter()) {
+            assert!(u.approx_eq(*v, 1e-9));
+        }
+    }
+
+    #[test]
+    fn ifft_roundtrip() {
+        let x: Vec<f64> = (0..128).map(|i| (i as f64 * 0.1).sin()).collect();
+        let back = ifft(&fft(&x));
+        for (orig, rec) in x.iter().zip(back.iter()) {
+            assert!((orig - rec.re).abs() < 1e-9);
+            assert!(rec.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_via_fft() {
+        let x: Vec<f64> = (0..64).map(|i| (i as f64).cos() * 3.0).collect();
+        let e_sig = dft::energy(&x);
+        let e_spec = dft::spectrum_energy(&fft(&x));
+        assert!((e_sig - e_spec).abs() < 1e-8);
+    }
+
+    #[test]
+    fn pow2_detector() {
+        assert!(is_pow2(1));
+        assert!(is_pow2(1024));
+        assert!(!is_pow2(0));
+        assert!(!is_pow2(3));
+        assert!(!is_pow2(12));
+    }
+
+    #[test]
+    fn fft_complex_agrees_with_real_embedding() {
+        let x: Vec<f64> = (0..16).map(|i| i as f64 * 0.25 - 2.0).collect();
+        let xc: Vec<Complex64> = x.iter().map(|&v| Complex64::from_re(v)).collect();
+        let a = fft(&x);
+        let b = fft_complex(&xc);
+        for (u, v) in a.iter().zip(b.iter()) {
+            assert!(u.approx_eq(*v, 1e-10));
+        }
+    }
+}

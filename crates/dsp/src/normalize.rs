@@ -1,0 +1,223 @@
+//! Stream normalization (paper Eq. 1 and Eq. 2) and incremental sliding
+//! window statistics.
+//!
+//! Both normalizations map a window onto the unit hyper-sphere, which is what
+//! bounds every DFT coefficient's real part into `[-1, +1]` and makes the
+//! Eq. 6 key mapping total:
+//!
+//! * **z-normalization** (correlation queries): subtract the mean, divide by
+//!   `sigma * sqrt(w)`. The correlation between two streams reduces to the
+//!   Euclidean distance between their z-normalized windows.
+//! * **unit-norm normalization** (subsequence queries): divide by the L2
+//!   norm.
+
+use serde::{Deserialize, Serialize};
+
+/// Which normalization a stream (and the queries against it) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Normalization {
+    /// Eq. 1: `(x_i - mean) / (sigma * sqrt(w))` — zero mean, unit energy.
+    ZNorm,
+    /// Eq. 2: `x_i / ||x||` — unit energy.
+    UnitNorm,
+}
+
+/// z-normalizes a window: zero mean, unit energy (Eq. 1).
+///
+/// A constant window (zero variance) maps to the all-zero vector.
+pub fn z_normalize(window: &[f64]) -> Vec<f64> {
+    let w = window.len();
+    if w == 0 {
+        return Vec::new();
+    }
+    let mean = window.iter().sum::<f64>() / w as f64;
+    let var = window.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / w as f64;
+    let sigma = var.sqrt();
+    if sigma <= f64::EPSILON {
+        return vec![0.0; w];
+    }
+    let denom = sigma * (w as f64).sqrt();
+    window.iter().map(|x| (x - mean) / denom).collect()
+}
+
+/// Unit-norm normalizes a window: unit energy (Eq. 2).
+///
+/// The all-zero window maps to itself.
+pub fn unit_normalize(window: &[f64]) -> Vec<f64> {
+    let norm = window.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm <= f64::EPSILON {
+        return vec![0.0; window.len()];
+    }
+    window.iter().map(|x| x / norm).collect()
+}
+
+/// Applies the selected normalization.
+pub fn normalize(window: &[f64], mode: Normalization) -> Vec<f64> {
+    match mode {
+        Normalization::ZNorm => z_normalize(window),
+        Normalization::UnitNorm => unit_normalize(window),
+    }
+}
+
+/// Incrementally maintained sum / sum-of-squares over a sliding window.
+///
+/// Fed the same `(new, evicted)` pairs as the sliding DFT; gives O(1) access
+/// to the mean, population variance, and L2 norm the normalizations need.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SlidingStats {
+    sum: f64,
+    sum_sq: f64,
+    count: usize,
+}
+
+impl SlidingStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accounts for a new value entering and (optionally) an old value
+    /// leaving the window.
+    pub fn update(&mut self, new: f64, evicted: Option<f64>) {
+        self.sum += new;
+        self.sum_sq += new * new;
+        if let Some(old) = evicted {
+            self.sum -= old;
+            self.sum_sq -= old * old;
+        } else {
+            self.count += 1;
+        }
+    }
+
+    /// Number of values currently covered.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Window mean.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Population variance (clamped at zero against rounding drift).
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.sum_sq / self.count as f64 - m * m).max(0.0)
+    }
+
+    /// Population standard deviation.
+    #[inline]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// L2 norm of the window contents.
+    #[inline]
+    pub fn l2_norm(&self) -> f64 {
+        self.sum_sq.max(0.0).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn energy(v: &[f64]) -> f64 {
+        v.iter().map(|x| x * x).sum()
+    }
+
+    #[test]
+    fn z_normalized_has_zero_mean_unit_energy() {
+        let x = vec![3.0, 7.0, 1.0, 5.0, 9.0, 2.0];
+        let z = z_normalize(&x);
+        let mean: f64 = z.iter().sum::<f64>() / z.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        assert!((energy(&z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_normalized_has_unit_energy() {
+        let x = vec![3.0, -4.0, 12.0];
+        let u = unit_normalize(&x);
+        assert!((energy(&u) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_window_z_normalizes_to_zero() {
+        let z = z_normalize(&[5.0; 8]);
+        assert!(z.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn zero_window_unit_normalizes_to_zero() {
+        let u = unit_normalize(&[0.0; 4]);
+        assert!(u.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn z_norm_invariant_to_shift_and_scale() {
+        let x = vec![1.0, 4.0, 2.0, 8.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 10.0).collect();
+        let zx = z_normalize(&x);
+        let zy = z_normalize(&y);
+        for (a, b) in zx.iter().zip(zy.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn correlation_distance_identity() {
+        // For z-normalized (unit-energy) windows, corr = 1 - d^2 / 2.
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = vec![2.0, 4.0, 6.0, 8.0, 10.0]; // perfectly correlated
+        let zx = z_normalize(&x);
+        let zy = z_normalize(&y);
+        let d2: f64 = zx.iter().zip(zy.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+        let corr = 1.0 - d2 / 2.0;
+        assert!((corr - 1.0).abs() < 1e-12);
+
+        let yneg: Vec<f64> = x.iter().map(|v| -v).collect();
+        let zn = z_normalize(&yneg);
+        let d2n: f64 = zx.iter().zip(zn.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+        assert!(((1.0 - d2n / 2.0) + 1.0).abs() < 1e-12, "anti-correlated => corr -1");
+    }
+
+    #[test]
+    fn sliding_stats_match_batch() {
+        let xs: Vec<f64> = (0..50).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let w = 8usize;
+        let mut stats = SlidingStats::new();
+        let mut win = crate::window::SlidingWindow::new(w);
+        for (i, &x) in xs.iter().enumerate() {
+            let ev = win.push(x);
+            stats.update(x, ev);
+            if i + 1 >= w {
+                let cur = win.to_vec();
+                let mean = cur.iter().sum::<f64>() / w as f64;
+                let var = cur.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / w as f64;
+                assert!((stats.mean() - mean).abs() < 1e-9);
+                assert!((stats.variance() - var).abs() < 1e-9);
+                assert!((stats.l2_norm() - energy(&cur).sqrt()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(z_normalize(&[]).is_empty());
+        assert!(unit_normalize(&[]).is_empty());
+        let s = SlidingStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Incremental (sliding) DFT — the paper's Eq. 5.
+//!
+//! When the window slides by one sample (`x_old` leaves, `x_new` enters),
+//! each unitary DFT coefficient updates in O(1):
+//!
+//! ```text
+//! X'_f = e^{j 2 pi f / w} * ( X_f + (x_new - x_old) / sqrt(w) )
+//! ```
+//!
+//! Maintaining the first `k` coefficients therefore costs O(k) per arriving
+//! data item instead of O(w log w) for a recompute — the property that makes
+//! per-item stream summarization feasible (§III-C).
+
+use crate::complex::Complex64;
+use serde::{Deserialize, Serialize};
+
+/// Incrementally maintained prefix of the unitary DFT of a sliding window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlidingDft {
+    /// Window length `w`.
+    window_len: usize,
+    /// `e^{j 2 pi f / w}` for each maintained coefficient `f`.
+    twiddles: Vec<Complex64>,
+    /// The maintained coefficients `X_0 .. X_{k-1}`.
+    coeffs: Vec<Complex64>,
+    /// Number of samples consumed so far (for warm-up detection).
+    consumed: usize,
+}
+
+impl SlidingDft {
+    /// Creates a sliding DFT over windows of length `window_len`, maintaining
+    /// the first `num_coeffs` coefficients.
+    ///
+    /// # Panics
+    /// Panics if `window_len == 0` or `num_coeffs > window_len`.
+    pub fn new(window_len: usize, num_coeffs: usize) -> Self {
+        assert!(window_len > 0, "window length must be positive");
+        assert!(num_coeffs <= window_len, "cannot maintain more coefficients than window bins");
+        let step = 2.0 * std::f64::consts::PI / window_len as f64;
+        SlidingDft {
+            window_len,
+            twiddles: (0..num_coeffs).map(|f| Complex64::cis(step * f as f64)).collect(),
+            coeffs: vec![Complex64::ZERO; num_coeffs],
+            consumed: 0,
+        }
+    }
+
+    /// Window length `w`.
+    #[inline]
+    pub fn window_len(&self) -> usize {
+        self.window_len
+    }
+
+    /// Number of maintained coefficients `k`.
+    #[inline]
+    pub fn num_coeffs(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// True once a full window has been consumed, i.e. the coefficients
+    /// describe an actual window of the stream.
+    #[inline]
+    pub fn is_warm(&self) -> bool {
+        self.consumed >= self.window_len
+    }
+
+    /// Applies Eq. 5 for one arriving sample. `evicted` must be the value
+    /// that left the window (`None` during warm-up, when the window treats
+    /// missing history as zeros).
+    pub fn update(&mut self, new: f64, evicted: Option<f64>) {
+        let delta = (new - evicted.unwrap_or(0.0)) / (self.window_len as f64).sqrt();
+        for (c, &tw) in self.coeffs.iter_mut().zip(self.twiddles.iter()) {
+            *c = (*c + Complex64::from_re(delta)) * tw;
+        }
+        self.consumed += 1;
+    }
+
+    /// The maintained coefficient prefix `X_0 .. X_{k-1}`.
+    #[inline]
+    pub fn coeffs(&self) -> &[Complex64] {
+        &self.coeffs
+    }
+
+    /// Resets to the empty state.
+    pub fn reset(&mut self) {
+        self.coeffs.fill(Complex64::ZERO);
+        self.consumed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft;
+    use crate::window::SlidingWindow;
+
+    /// Feeds a stream through the sliding DFT and checks every warm state
+    /// against a from-scratch transform of the current window.
+    fn check_stream(xs: &[f64], w: usize, k: usize, eps: f64) {
+        let mut sdft = SlidingDft::new(w, k);
+        let mut win = SlidingWindow::new(w);
+        for &x in xs {
+            let ev = win.push(x);
+            sdft.update(x, ev);
+            if sdft.is_warm() {
+                let reference = dft(&win.to_vec());
+                for (f, c) in sdft.coeffs().iter().enumerate() {
+                    assert!(
+                        c.approx_eq(reference[f], eps),
+                        "coeff {f}: sliding {c:?} vs batch {:?}",
+                        reference[f]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_batch_dft_on_ramp() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 * 0.1).collect();
+        check_stream(&xs, 16, 5, 1e-9);
+    }
+
+    #[test]
+    fn matches_batch_dft_on_oscillation() {
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64 * 0.37).sin() * 4.0 + 1.0).collect();
+        check_stream(&xs, 32, 8, 1e-8);
+    }
+
+    #[test]
+    fn matches_batch_dft_non_pow2_window() {
+        let xs: Vec<f64> = (0..90).map(|i| ((i * i) % 17) as f64 - 8.0).collect();
+        check_stream(&xs, 10, 10, 1e-9);
+    }
+
+    #[test]
+    fn warmup_flag() {
+        let mut sdft = SlidingDft::new(4, 2);
+        for i in 0..3 {
+            sdft.update(i as f64, None);
+            assert!(!sdft.is_warm());
+        }
+        sdft.update(3.0, None);
+        assert!(sdft.is_warm());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut sdft = SlidingDft::new(4, 3);
+        let mut win = SlidingWindow::new(4);
+        for i in 0..10 {
+            let ev = win.push(i as f64);
+            sdft.update(i as f64, ev);
+        }
+        sdft.reset();
+        assert!(!sdft.is_warm());
+        assert!(sdft.coeffs().iter().all(|c| c.norm() == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "more coefficients")]
+    fn too_many_coeffs_panics() {
+        let _ = SlidingDft::new(4, 5);
+    }
+
+    #[test]
+    fn numerical_stability_over_long_streams() {
+        // Rotation factors have unit magnitude; drift should stay tiny even
+        // after 50k updates.
+        let xs: Vec<f64> = (0..50_000).map(|i| ((i * 31 % 101) as f64) / 10.0).collect();
+        let w = 64;
+        let mut sdft = SlidingDft::new(w, 4);
+        let mut win = SlidingWindow::new(w);
+        for &x in &xs {
+            let ev = win.push(x);
+            sdft.update(x, ev);
+        }
+        let reference = dft(&win.to_vec());
+        for (f, c) in sdft.coeffs().iter().enumerate() {
+            assert!(c.approx_eq(reference[f], 1e-6), "drift too large at bin {f}");
+        }
+    }
+}

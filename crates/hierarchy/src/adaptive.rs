@@ -1,0 +1,262 @@
+//! Adaptive precision setting for MBRs (§VI-A).
+//!
+//! The paper proposes adapting MBR boundaries along each dimension in the
+//! spirit of Olston et al.'s adaptive caching of intervals: a *wide* box is
+//! refreshed rarely (cheap for updates) but produces false-positive
+//! candidates (expensive for queries); a *tight* box is the reverse. This
+//! module implements the controller: an additive-increase /
+//! multiplicative-decrease loop on the per-dimension padding driven by the
+//! observed update-vs-query cost balance.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the adaptive controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Cost charged per upward refresh (update message).
+    pub update_cost: f64,
+    /// Cost charged per false-positive candidate a query had to verify.
+    pub false_positive_cost: f64,
+    /// Additive step when updates dominate (padding grows).
+    pub grow_step: f64,
+    /// Multiplicative factor when false positives dominate (padding shrinks).
+    pub shrink_factor: f64,
+    /// Bounds on the padding.
+    pub min_padding: f64,
+    /// Upper bound on the padding.
+    pub max_padding: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            update_cost: 1.0,
+            false_positive_cost: 1.0,
+            grow_step: 0.005,
+            shrink_factor: 0.7,
+            min_padding: 0.0,
+            max_padding: 0.25,
+        }
+    }
+}
+
+/// The adaptive padding controller for one stream's MBRs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaptivePrecision {
+    cfg: AdaptiveConfig,
+    padding: f64,
+    window_updates: u64,
+    window_false_positives: u64,
+    /// Total refreshes over the controller's lifetime.
+    pub total_updates: u64,
+    /// Total false positives over the controller's lifetime.
+    pub total_false_positives: u64,
+}
+
+impl AdaptivePrecision {
+    /// Creates a controller starting at the given padding.
+    ///
+    /// # Panics
+    /// Panics on an inconsistent configuration.
+    pub fn new(cfg: AdaptiveConfig, initial_padding: f64) -> Self {
+        assert!(cfg.update_cost > 0.0 && cfg.false_positive_cost > 0.0, "costs must be positive");
+        assert!((0.0..1.0).contains(&cfg.shrink_factor), "shrink factor must be in (0, 1)");
+        assert!(cfg.grow_step > 0.0, "grow step must be positive");
+        assert!(
+            cfg.min_padding <= initial_padding && initial_padding <= cfg.max_padding,
+            "initial padding out of bounds"
+        );
+        AdaptivePrecision {
+            cfg,
+            padding: initial_padding,
+            window_updates: 0,
+            window_false_positives: 0,
+            total_updates: 0,
+            total_false_positives: 0,
+        }
+    }
+
+    /// Default-configured controller with a small initial padding.
+    pub fn standard() -> Self {
+        AdaptivePrecision::new(AdaptiveConfig::default(), 0.01)
+    }
+
+    /// The current per-dimension padding applied to shipped MBRs.
+    #[inline]
+    pub fn padding(&self) -> f64 {
+        self.padding
+    }
+
+    /// Records that a refresh (update message) had to be sent because the
+    /// new summary escaped the current padded box.
+    pub fn record_update(&mut self) {
+        self.window_updates += 1;
+        self.total_updates += 1;
+    }
+
+    /// Records `n` false-positive candidates charged to this stream's box.
+    pub fn record_false_positives(&mut self, n: u64) {
+        self.window_false_positives += n;
+        self.total_false_positives += n;
+    }
+
+    /// Closes an observation window and adapts the padding:
+    /// * update cost dominates → grow additively (fewer refreshes);
+    /// * false-positive cost dominates → shrink multiplicatively
+    ///   (tighter boxes).
+    ///
+    /// Returns the new padding.
+    pub fn adapt(&mut self) -> f64 {
+        let up = self.window_updates as f64 * self.cfg.update_cost;
+        let fp = self.window_false_positives as f64 * self.cfg.false_positive_cost;
+        if up > fp {
+            self.padding = (self.padding + self.cfg.grow_step).min(self.cfg.max_padding);
+        } else if fp > up {
+            self.padding = (self.padding * self.cfg.shrink_factor).max(self.cfg.min_padding);
+        }
+        self.window_updates = 0;
+        self.window_false_positives = 0;
+        self.padding
+    }
+}
+
+/// Drives one [`AdaptivePrecision`] controller per stream against a live
+/// cluster: each tuning round reads the deltas of the stream's update count
+/// and false-positive count, feeds them to the controller, and installs the
+/// adapted padding as the stream's MBR routing-width bound — the full
+/// §VI-A loop.
+#[derive(Debug, Clone)]
+pub struct ClusterTuner {
+    controllers: Vec<AdaptivePrecision>,
+    last_updates: Vec<u64>,
+    last_false_positives: Vec<u64>,
+    /// Floor below which the width bound never drops (a zero bound would
+    /// ship every summary individually).
+    min_width: f64,
+}
+
+impl ClusterTuner {
+    /// Creates controllers for `num_streams` streams.
+    pub fn new(num_streams: usize, cfg: AdaptiveConfig, initial_padding: f64) -> Self {
+        ClusterTuner {
+            controllers: (0..num_streams)
+                .map(|_| AdaptivePrecision::new(cfg.clone(), initial_padding))
+                .collect(),
+            last_updates: vec![0; num_streams],
+            last_false_positives: vec![0; num_streams],
+            min_width: 0.004,
+        }
+    }
+
+    /// The current width bound the tuner has chosen for a stream.
+    pub fn width_of(&self, stream: usize) -> f64 {
+        self.controllers[stream].padding().max(self.min_width)
+    }
+
+    /// One tuning round over every stream of the cluster.
+    pub fn tune<R: dsi_chord::ContentRouter>(&mut self, cluster: &mut dsi_core::Cluster<R>) {
+        for (sid, ctl) in self.controllers.iter_mut().enumerate() {
+            let updates = cluster.stream_early_shipments(sid as u32);
+            let fps = cluster.stream_false_positives(sid as u32);
+            for _ in self.last_updates[sid]..updates {
+                ctl.record_update();
+            }
+            ctl.record_false_positives(fps - self.last_false_positives[sid]);
+            self.last_updates[sid] = updates;
+            self.last_false_positives[sid] = fps;
+            let padding = ctl.adapt().max(self.min_width);
+            cluster.set_stream_mbr_width(sid as u32, Some(padding));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_pressure_grows_padding() {
+        let mut a = AdaptivePrecision::standard();
+        let p0 = a.padding();
+        for _ in 0..10 {
+            a.record_update();
+        }
+        let p1 = a.adapt();
+        assert!(p1 > p0, "updates must widen the box");
+    }
+
+    #[test]
+    fn false_positive_pressure_shrinks_padding() {
+        let mut a = AdaptivePrecision::new(AdaptiveConfig::default(), 0.1);
+        a.record_false_positives(20);
+        let p1 = a.adapt();
+        assert!(p1 < 0.1, "false positives must tighten the box");
+    }
+
+    #[test]
+    fn balanced_costs_leave_padding_unchanged() {
+        let mut a = AdaptivePrecision::new(AdaptiveConfig::default(), 0.05);
+        a.record_update();
+        a.record_false_positives(1);
+        assert_eq!(a.adapt(), 0.05);
+    }
+
+    #[test]
+    fn padding_respects_bounds() {
+        let cfg = AdaptiveConfig { max_padding: 0.02, ..Default::default() };
+        let mut a = AdaptivePrecision::new(cfg, 0.02);
+        for _ in 0..100 {
+            a.record_update();
+            a.adapt();
+        }
+        assert!(a.padding() <= 0.02);
+
+        let cfg = AdaptiveConfig { min_padding: 0.001, ..Default::default() };
+        let mut a = AdaptivePrecision::new(cfg, 0.01);
+        for _ in 0..100 {
+            a.record_false_positives(50);
+            a.adapt();
+        }
+        assert!(a.padding() >= 0.001);
+    }
+
+    #[test]
+    fn converges_between_two_regimes() {
+        // Alternating pressure settles into a band rather than oscillating
+        // to the extremes (AIMD behavior).
+        let mut a = AdaptivePrecision::standard();
+        let mut paddings = Vec::new();
+        for round in 0..200 {
+            if round % 2 == 0 {
+                for _ in 0..5 {
+                    a.record_update();
+                }
+            } else {
+                a.record_false_positives(8);
+            }
+            paddings.push(a.adapt());
+        }
+        let late = &paddings[150..];
+        let lo = late.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = late.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(hi < 0.25, "must not pin at max");
+        assert!(lo > 0.0, "must not collapse to zero");
+    }
+
+    #[test]
+    fn lifetime_counters_accumulate() {
+        let mut a = AdaptivePrecision::standard();
+        a.record_update();
+        a.record_false_positives(3);
+        a.adapt();
+        a.record_update();
+        assert_eq!(a.total_updates, 2);
+        assert_eq!(a.total_false_positives, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bad_initial_padding_panics() {
+        let _ = AdaptivePrecision::new(AdaptiveConfig::default(), 0.5);
+    }
+}

@@ -1,0 +1,263 @@
+//! The data-center cluster hierarchy of §VI-B.
+//!
+//! Data centers are organized into constant-size clusters of ring-adjacent
+//! nodes; each cluster elects a leader, leaders are clustered recursively,
+//! until a single root leads everyone — the structure borrowed from
+//! NICE-style application-layer multicast (the paper cites Banerjee et al.).
+
+use dsi_chord::ChordId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One cluster at some level: a leader and its members (the leader is also
+/// a member).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterGroup {
+    /// The elected leader (smallest identifier — deterministic and cheap,
+    /// any agreed rule works).
+    pub leader: ChordId,
+    /// All members, in ring order.
+    pub members: Vec<ChordId>,
+}
+
+/// The full hierarchy: `levels[0]` clusters all data centers; `levels[l+1]`
+/// clusters the leaders of `levels[l]`; the last level has a single group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hierarchy {
+    cluster_size: usize,
+    levels: Vec<Vec<ClusterGroup>>,
+    /// member -> its cluster index, per level.
+    membership: Vec<HashMap<ChordId, usize>>,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy over `nodes` (any order; sorted internally into
+    /// ring order) with bottom clusters of `cluster_size` adjacent nodes.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is empty or `cluster_size < 2`.
+    pub fn build(nodes: &[ChordId], cluster_size: usize) -> Self {
+        assert!(!nodes.is_empty(), "cannot build a hierarchy over no nodes");
+        assert!(cluster_size >= 2, "clusters must hold at least two nodes");
+        let mut current: Vec<ChordId> = nodes.to_vec();
+        current.sort_unstable();
+        current.dedup();
+
+        let mut levels = Vec::new();
+        let mut membership = Vec::new();
+        loop {
+            let groups: Vec<ClusterGroup> = current
+                .chunks(cluster_size)
+                .map(|chunk| ClusterGroup {
+                    leader: *chunk.iter().min().expect("non-empty chunk"),
+                    members: chunk.to_vec(),
+                })
+                .collect();
+            let mut index = HashMap::new();
+            for (i, g) in groups.iter().enumerate() {
+                for &m in &g.members {
+                    index.insert(m, i);
+                }
+            }
+            let leaders: Vec<ChordId> = groups.iter().map(|g| g.leader).collect();
+            let done = groups.len() == 1;
+            levels.push(groups);
+            membership.push(index);
+            if done {
+                break;
+            }
+            current = leaders;
+        }
+        Hierarchy { cluster_size, levels, membership }
+    }
+
+    /// Number of levels (>= 1).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The configured bottom cluster size.
+    pub fn cluster_size(&self) -> usize {
+        self.cluster_size
+    }
+
+    /// The clusters at a level.
+    pub fn level(&self, l: usize) -> &[ClusterGroup] {
+        &self.levels[l]
+    }
+
+    /// The root of the hierarchy.
+    pub fn root(&self) -> ChordId {
+        self.levels.last().expect("at least one level")[0].leader
+    }
+
+    /// The leader of `node`'s cluster at level `l`, if the node participates
+    /// at that level (only leaders of level `l-1` participate at level `l`).
+    pub fn leader_at(&self, node: ChordId, l: usize) -> Option<ChordId> {
+        let idx = *self.membership.get(l)?.get(&node)?;
+        Some(self.levels[l][idx].leader)
+    }
+
+    /// The chain of leaders from `node` up to the root: the path a summary
+    /// update travels (§VI-B). Starts with the node's bottom-level leader.
+    /// Empty if `node` is unknown.
+    pub fn path_to_root(&self, node: ChordId) -> Vec<ChordId> {
+        let mut path = Vec::with_capacity(self.levels.len());
+        let mut cur = node;
+        for l in 0..self.levels.len() {
+            match self.leader_at(cur, l) {
+                Some(leader) => {
+                    path.push(leader);
+                    cur = leader;
+                }
+                None => break,
+            }
+        }
+        path
+    }
+
+    /// Fraction of all data centers covered by the cluster of `node` at
+    /// level `l` (the feature-space share a leader aggregates): the number
+    /// of bottom-level descendants of that cluster over the total.
+    pub fn coverage_fraction(&self, node: ChordId, l: usize) -> Option<f64> {
+        let count = self.bottom_descendants(node, l)?.len();
+        let total = self.membership[0].len();
+        Some(count as f64 / total as f64)
+    }
+
+    /// Total number of bottom-level data centers.
+    pub fn num_nodes(&self) -> usize {
+        self.membership[0].len()
+    }
+
+    /// All bottom-level data centers, in ring order.
+    pub fn sorted_nodes(&self) -> Vec<ChordId> {
+        let mut out: Vec<ChordId> = self.membership[0].keys().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The bottom-level data centers in the subtree of `node`'s cluster at
+    /// level `l` (a contiguous ring arc, because every level chunks a sorted
+    /// list). `None` if the node does not participate at that level.
+    pub fn bottom_descendants(&self, node: ChordId, l: usize) -> Option<Vec<ChordId>> {
+        let idx = *self.membership.get(l)?.get(&node)?;
+        let mut members: Vec<ChordId> = self.levels[l][idx].members.clone();
+        for down in (0..l).rev() {
+            let mut expanded = Vec::new();
+            for &m in &members {
+                let i = self.membership[down][&m];
+                expanded.extend(self.levels[down][i].members.iter().copied());
+            }
+            expanded.sort_unstable();
+            expanded.dedup();
+            members = expanded;
+        }
+        Some(members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: u64) -> Vec<ChordId> {
+        (0..n).map(|i| i * 10 + 3).collect()
+    }
+
+    #[test]
+    fn single_cluster_when_few_nodes() {
+        let h = Hierarchy::build(&nodes(3), 4);
+        assert_eq!(h.num_levels(), 1);
+        assert_eq!(h.root(), 3);
+        assert_eq!(h.level(0).len(), 1);
+    }
+
+    #[test]
+    fn levels_shrink_by_cluster_size() {
+        let h = Hierarchy::build(&nodes(27), 3);
+        // 27 nodes -> 9 bottom clusters -> 3 -> 1 (the single-group level
+        // terminates the recursion).
+        assert_eq!(h.num_levels(), 3);
+        assert_eq!(h.level(0).len(), 9);
+        assert_eq!(h.level(1).len(), 3);
+        assert_eq!(h.level(2).len(), 1);
+    }
+
+    #[test]
+    fn every_node_has_a_bottom_leader() {
+        let ns = nodes(20);
+        let h = Hierarchy::build(&ns, 4);
+        for &n in &ns {
+            let leader = h.leader_at(n, 0).expect("bottom membership");
+            assert!(ns.contains(&leader));
+        }
+    }
+
+    #[test]
+    fn leaders_are_cluster_minima_and_members() {
+        let h = Hierarchy::build(&nodes(16), 4);
+        for level in 0..h.num_levels() {
+            for g in h.level(level) {
+                assert_eq!(g.leader, *g.members.iter().min().unwrap());
+                assert!(g.members.contains(&g.leader));
+            }
+        }
+    }
+
+    #[test]
+    fn path_to_root_ends_at_root_and_is_monotone_in_level() {
+        let ns = nodes(30);
+        let h = Hierarchy::build(&ns, 3);
+        for &n in &ns {
+            let path = h.path_to_root(n);
+            assert!(!path.is_empty());
+            assert_eq!(*path.last().unwrap(), h.root());
+            assert!(path.len() <= h.num_levels());
+        }
+    }
+
+    #[test]
+    fn non_leader_path_is_shorter_than_levels_only_via_leaders() {
+        let h = Hierarchy::build(&nodes(9), 3);
+        // Node 13 (second member of first cluster) is not a leader: its path
+        // starts at its bottom leader and follows the leader chain.
+        let path = h.path_to_root(13);
+        assert_eq!(path[0], 3);
+        assert_eq!(*path.last().unwrap(), h.root());
+    }
+
+    #[test]
+    fn coverage_grows_with_level() {
+        let ns = nodes(27);
+        let h = Hierarchy::build(&ns, 3);
+        let leader = h.leader_at(ns[0], 0).unwrap();
+        let c0 = h.coverage_fraction(leader, 0).unwrap();
+        let l1 = h.leader_at(leader, 1).unwrap();
+        let c1 = h.coverage_fraction(l1, 1).unwrap();
+        let c_root = h.coverage_fraction(h.root(), h.num_levels() - 1).unwrap();
+        assert!(c0 < c1, "coverage must grow up the hierarchy: {c0} vs {c1}");
+        assert!((c_root - 1.0).abs() < 1e-12, "root covers everything");
+    }
+
+    #[test]
+    fn unknown_node_yields_empty_path() {
+        let h = Hierarchy::build(&nodes(9), 3);
+        assert!(h.path_to_root(999).is_empty());
+        assert_eq!(h.leader_at(999, 0), None);
+    }
+
+    #[test]
+    fn duplicate_nodes_are_deduped() {
+        let mut ns = nodes(8);
+        ns.extend(nodes(8));
+        let h = Hierarchy::build(&ns, 4);
+        assert_eq!(h.num_nodes(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_cluster_size_panics() {
+        let _ = Hierarchy::build(&nodes(5), 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! # dsi-hierarchy — §VI future-work extensions, implemented
+//!
+//! * [`clusters::Hierarchy`] — constant-size clusters of ring-adjacent data
+//!   centers with recursive leader election (§VI-B);
+//! * [`selectivity::HierarchicalIndex`] — summary propagation up the leader
+//!   chain with widening MBRs, and query escalation for interest volumes a
+//!   single node's coverage cannot answer;
+//! * [`adaptive::AdaptivePrecision`] — the Olston-style adaptive MBR
+//!   precision controller (§VI-A).
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod clusters;
+pub mod selectivity;
+
+pub use adaptive::{AdaptiveConfig, AdaptivePrecision, ClusterTuner};
+pub use clusters::{ClusterGroup, Hierarchy};
+pub use selectivity::{EscalatedAnswer, HierarchicalIndex, LEVEL_INFLATION};

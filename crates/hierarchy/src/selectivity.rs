@@ -1,0 +1,337 @@
+//! Variable-selectivity query handling (§VI-B).
+//!
+//! Wide-radius queries cover a large slice of the key space; the flat
+//! range-multicast of §IV-C would touch a linear number of nodes. Instead,
+//! summaries propagate *up* the cluster hierarchy with progressively wider
+//! approximation MBRs, and a query whose key range exceeds what a node's
+//! cluster covers escalates to its leader — paying coarser precision for a
+//! logarithmic number of messages.
+//!
+//! Correctness hinges on *where* summaries enter the hierarchy: they
+//! propagate up from the data center that covers their feature key (the
+//! node the flat index stores them at), so ring adjacency of bottom
+//! clusters coincides with feature-space adjacency and the escalation rule
+//! — climb until the leader's subtree arc contains the query's key range —
+//! preserves the no-false-dismissal guarantee.
+
+use crate::clusters::Hierarchy;
+use dsi_chord::{ChordId, IdSpace};
+use dsi_core::{radius_key_range, SimilarityQuery, StreamId};
+use dsi_dsp::Mbr;
+use std::collections::HashMap;
+
+/// Per-level widening of a propagated summary: each level up, the MBR is
+/// inflated by this much per dimension, buying fewer upward refreshes at the
+/// price of precision (§VI-B's consistency/precision trade).
+pub const LEVEL_INFLATION: f64 = 0.01;
+
+/// A hierarchy-backed index of coarse summaries at cluster leaders.
+#[derive(Debug, Clone)]
+pub struct HierarchicalIndex {
+    hierarchy: Hierarchy,
+    space: IdSpace,
+    /// Bottom nodes in ring order (for key-range coverage tests).
+    sorted: Vec<ChordId>,
+    /// Per (leader, level): the approximation MBRs held at that leader for
+    /// that level. Keyed by level as well because one node (e.g. the global
+    /// minimum) may lead several levels with different precisions.
+    stores: HashMap<(ChordId, usize), HashMap<StreamId, Mbr>>,
+    /// Upward refresh messages sent.
+    pub update_messages: u64,
+    /// Upward refreshes suppressed because the widened MBR still covered
+    /// the new summary.
+    pub updates_suppressed: u64,
+}
+
+/// The answer to an escalated query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EscalatedAnswer {
+    /// Leader that answered.
+    pub answered_by: ChordId,
+    /// Levels climbed to reach it (0 = bottom leader).
+    pub levels_climbed: usize,
+    /// Escalation messages spent (one per climbed edge, plus one to reach
+    /// the bottom leader).
+    pub messages: u64,
+    /// Candidate streams (superset semantics, as in the flat index).
+    pub candidates: Vec<StreamId>,
+}
+
+impl HierarchicalIndex {
+    /// Creates an empty index over a hierarchy in the given identifier
+    /// space.
+    pub fn new(hierarchy: Hierarchy, space: IdSpace) -> Self {
+        let sorted = hierarchy.sorted_nodes();
+        HierarchicalIndex {
+            hierarchy,
+            space,
+            sorted,
+            stores: HashMap::new(),
+            update_messages: 0,
+            updates_suppressed: 0,
+        }
+    }
+
+    /// The underlying hierarchy.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// The node covering `key` (its successor on the ring) — where a
+    /// summary with that feature key enters the hierarchy.
+    pub fn covering_node(&self, key: ChordId) -> ChordId {
+        match self.sorted.binary_search(&key) {
+            Ok(i) => self.sorted[i],
+            Err(i) if i == self.sorted.len() => self.sorted[0],
+            Err(i) => self.sorted[i],
+        }
+    }
+
+    /// All nodes covering keys in the clockwise range `[lo, hi]`.
+    fn covering_set(&self, lo: ChordId, hi: ChordId) -> Vec<ChordId> {
+        let first = self.covering_node(lo);
+        let last = self.covering_node(hi);
+        let fi = self.sorted.binary_search(&first).expect("member");
+        let li = self.sorted.binary_search(&last).expect("member");
+        let mut out = Vec::new();
+        let mut i = fi;
+        loop {
+            out.push(self.sorted[i]);
+            if i == li || out.len() == self.sorted.len() {
+                break;
+            }
+            i = (i + 1) % self.sorted.len();
+        }
+        out
+    }
+
+    /// Propagates a new summary of `stream` up the leader chain of the node
+    /// covering the summary's feature key. At each level the stored MBR is
+    /// inflated by [`LEVEL_INFLATION`] per level; a refresh is sent only if
+    /// the new summary escapes the MBR the leader already holds.
+    pub fn propagate_summary(&mut self, node: ChordId, stream: StreamId, summary: &[f64]) {
+        let path = self.hierarchy.path_to_root(node);
+        for (level, leader) in path.iter().enumerate() {
+            let store = self.stores.entry((*leader, level)).or_default();
+            match store.get_mut(&stream) {
+                Some(mbr) if mbr.contains(summary) => {
+                    // Still covered: this and all higher levels stay silent
+                    // (their boxes are supersets by construction).
+                    self.updates_suppressed += 1;
+                    return;
+                }
+                Some(mbr) => {
+                    mbr.extend_point(summary);
+                    let mut inflated = mbr.clone();
+                    inflated.inflate(LEVEL_INFLATION * (level as f64 + 1.0));
+                    *mbr = inflated;
+                    self.update_messages += 1;
+                }
+                None => {
+                    let mut mbr = Mbr::from_point(summary);
+                    mbr.inflate(LEVEL_INFLATION * (level as f64 + 1.0));
+                    store.insert(stream, mbr);
+                    self.update_messages += 1;
+                }
+            }
+        }
+    }
+
+    /// Routes a similarity query: starting from the data center covering
+    /// the query's own feature key, escalate up the leader chain until the
+    /// leader's subtree contains every node covering the query's key range
+    /// `[h(q1 - r), h(q1 + r)]`, then answer from that leader's store.
+    pub fn route_query(&self, query: &SimilarityQuery) -> EscalatedAnswer {
+        let (lo, hi) = radius_key_range(self.space, query.feature.first_real(), query.radius);
+        let needed = self.covering_set(lo, hi);
+        let entry = self.covering_node(self.space.reduce(lo));
+        let path = self.hierarchy.path_to_root(entry);
+        assert!(!path.is_empty(), "entry node outside the hierarchy");
+
+        let mut chosen = (*path.last().unwrap(), path.len() - 1);
+        for (level, leader) in path.iter().enumerate() {
+            let descendants = self
+                .hierarchy
+                .bottom_descendants(*leader, level)
+                .expect("leader participates at its level");
+            if needed.iter().all(|n| descendants.binary_search(n).is_ok()) {
+                chosen = (*leader, level);
+                break;
+            }
+        }
+        let (leader, level) = chosen;
+        let point = query.feature.to_reals();
+        let mut candidates: Vec<StreamId> = self
+            .stores
+            .get(&(leader, level))
+            .map(|store| {
+                store
+                    .iter()
+                    .filter(|(_, mbr)| mbr.min_dist(&point) <= query.radius + 1e-12)
+                    .map(|(sid, _)| *sid)
+                    .collect()
+            })
+            .unwrap_or_default();
+        candidates.sort_unstable();
+        EscalatedAnswer {
+            answered_by: leader,
+            levels_climbed: level,
+            messages: level as u64 + 1,
+            candidates,
+        }
+    }
+
+    /// The MBR a leader currently holds for a stream at a level.
+    pub fn stored_mbr(&self, leader: ChordId, level: usize, stream: StreamId) -> Option<&Mbr> {
+        self.stores.get(&(leader, level))?.get(&stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_core::{summary_key, SimilarityKind};
+    use dsi_dsp::{extract_features, Normalization};
+    use dsi_simnet::SimTime;
+
+    fn space() -> IdSpace {
+        IdSpace::new(16)
+    }
+
+    fn nodes(n: u64) -> Vec<ChordId> {
+        // Spread evenly over the 16-bit circle.
+        let step = (1u64 << 16) / n;
+        (0..n).map(|i| i * step + 11).collect()
+    }
+
+    /// A window whose unit-norm features depend smoothly on `level`.
+    fn window(level: f64) -> Vec<f64> {
+        (0..16).map(|i| level + (i as f64 * 0.7 + level).sin()).collect()
+    }
+
+    fn feature(level: f64) -> dsi_dsp::FeatureVector {
+        extract_features(&window(level), Normalization::UnitNorm, 2)
+    }
+
+    fn query(target_level: f64, radius: f64) -> SimilarityQuery {
+        SimilarityQuery::from_target(
+            1,
+            0,
+            window(target_level),
+            radius,
+            SimilarityKind::Subsequence,
+            2,
+            0,
+            SimTime::from_secs(60),
+        )
+    }
+
+    fn index(n: u64, cluster: usize) -> HierarchicalIndex {
+        HierarchicalIndex::new(Hierarchy::build(&nodes(n), cluster), space())
+    }
+
+    /// Stores a summary where the flat index would: at the node covering
+    /// its feature key.
+    fn store(idx: &mut HierarchicalIndex, stream: StreamId, level: f64) {
+        let fv = feature(level);
+        let node = idx.covering_node(summary_key(space(), &fv));
+        idx.propagate_summary(node, stream, &fv.to_reals());
+    }
+
+    #[test]
+    fn summary_reaches_every_level_initially() {
+        let mut idx = index(27, 3);
+        let node = idx.covering_node(1000);
+        idx.propagate_summary(node, 0, &[0.5, 0.1, 0.0, 0.0]);
+        let path = idx.hierarchy().path_to_root(node);
+        assert_eq!(idx.update_messages, path.len() as u64);
+        for (level, leader) in path.into_iter().enumerate() {
+            assert!(
+                idx.stored_mbr(leader, level, 0).is_some(),
+                "leader {leader} at level {level} missing summary"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_similar_summaries_are_suppressed() {
+        let mut idx = index(27, 3);
+        let node = idx.covering_node(1000);
+        idx.propagate_summary(node, 0, &[0.5, 0.1, 0.0, 0.0]);
+        let sent = idx.update_messages;
+        // A summary inside the inflated box: no refresh goes up.
+        idx.propagate_summary(node, 0, &[0.505, 0.102, 0.0, 0.0]);
+        assert_eq!(idx.update_messages, sent);
+        assert_eq!(idx.updates_suppressed, 1);
+    }
+
+    #[test]
+    fn escaping_summary_triggers_refresh() {
+        let mut idx = index(27, 3);
+        let node = idx.covering_node(1000);
+        idx.propagate_summary(node, 0, &[0.5, 0.1, 0.0, 0.0]);
+        let sent = idx.update_messages;
+        idx.propagate_summary(node, 0, &[0.9, 0.1, 0.0, 0.0]);
+        assert!(idx.update_messages > sent);
+        // The widened box covers both summaries.
+        let leader = idx.hierarchy().path_to_root(node)[0];
+        let mbr = idx.stored_mbr(leader, 0, 0).unwrap();
+        assert!(mbr.contains(&[0.5, 0.1, 0.0, 0.0]));
+        assert!(mbr.contains(&[0.9, 0.1, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn narrow_query_answered_low_wide_query_high() {
+        let mut idx = index(81, 3);
+        store(&mut idx, 0, 0.3);
+        let narrow = idx.route_query(&query(0.3, 0.01));
+        let wide = idx.route_query(&query(0.3, 0.6));
+        assert!(narrow.levels_climbed < wide.levels_climbed);
+        assert!(wide.messages <= idx.hierarchy().num_levels() as u64);
+    }
+
+    #[test]
+    fn no_false_dismissals_across_clusters() {
+        // Summaries spread over the whole feature interval; queries of
+        // every width must find every stream whose exact feature distance
+        // is within the radius.
+        let mut idx = index(81, 3);
+        let levels: Vec<f64> = (0..40).map(|i| -0.8 + 1.6 * i as f64 / 39.0).collect();
+        for (sid, &lv) in levels.iter().enumerate() {
+            store(&mut idx, sid as StreamId, lv);
+        }
+        for &(target, radius) in &[(0.1, 0.05), (0.0, 0.3), (-0.5, 0.7), (0.6, 0.2)] {
+            let q = query(target, radius);
+            let ans = idx.route_query(&q);
+            for (sid, &lv) in levels.iter().enumerate() {
+                let d = q.feature.distance(&feature(lv));
+                if d <= radius {
+                    assert!(
+                        ans.candidates.contains(&(sid as StreamId)),
+                        "false dismissal: stream {sid} (level {lv}) at distance {d} \
+                         missing from query (target {target}, radius {radius})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn message_bound_versus_flat_multicast() {
+        // With 81 nodes and cluster size 3 (4 levels), even a radius-0.5
+        // query costs at most 4 messages; flat range multicast touches ~40.
+        let idx = index(81, 3);
+        let ans = idx.route_query(&query(0.0, 0.5));
+        assert!(ans.messages <= 4, "escalation must stay logarithmic: {}", ans.messages);
+    }
+
+    #[test]
+    fn covering_node_wraps() {
+        let idx = index(8, 2);
+        let ns = nodes(8);
+        // A key past the last node wraps to the first.
+        assert_eq!(idx.covering_node(65_000), ns[0]);
+        assert_eq!(idx.covering_node(ns[3]), ns[3]);
+        assert_eq!(idx.covering_node(ns[3] + 1), ns[4]);
+    }
+}

@@ -1,0 +1,88 @@
+//! The full §VI-A loop: adaptive per-stream MBR precision driven by
+//! observed update and false-positive pressure on a live cluster.
+
+use dsi_core::{Cluster, ClusterConfig, SimilarityKind};
+use dsi_hierarchy::{AdaptiveConfig, ClusterTuner};
+use dsi_simnet::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn cluster(streams: usize) -> Cluster {
+    let mut cfg = ClusterConfig::new(12);
+    cfg.workload.window_len = 16;
+    cfg.workload.num_coeffs = 2;
+    cfg.workload.mbr_batch = 8;
+    cfg.workload.mbr_max_width = Some(0.02);
+    cfg.kind = SimilarityKind::Subsequence;
+    let mut c = Cluster::new(cfg);
+    for i in 0..streams {
+        c.register_stream(&format!("s{i}"), i);
+    }
+    c
+}
+
+#[test]
+fn update_pressure_widens_a_volatile_stream() {
+    let mut c = cluster(2);
+    let mut tuner = ClusterTuner::new(2, AdaptiveConfig::default(), 0.01);
+    let w0_before = tuner.width_of(0);
+    let mut rng = StdRng::seed_from_u64(5);
+
+    // Stream 0 is volatile (large level jumps => frequent early shipments);
+    // stream 1 is almost constant.
+    let mut t = 0u64;
+    for round in 0..12 {
+        for step in 0..32u64 {
+            let volatile = ((round * 37 + step) as f64 * 0.9).sin() * 3.0
+                + rng.gen_range(-1.0..1.0) * 2.0;
+            c.post_value(0, volatile, SimTime::from_ms(t));
+            c.post_value(1, 5.0 + 0.01 * (step as f64).sin(), SimTime::from_ms(t));
+            t += 100;
+        }
+        tuner.tune(&mut c);
+    }
+    let w0 = tuner.width_of(0);
+    let w1 = tuner.width_of(1);
+    assert!(
+        w0 > w0_before,
+        "volatile stream must widen its MBR bound: {w0} vs initial {w0_before}"
+    );
+    assert!(w0 > w1, "volatile stream should be wider than the stable one: {w0} vs {w1}");
+    // The installed bound is what the cluster actually uses.
+    assert_eq!(c.stream_mbr_width(0), Some(w0));
+}
+
+#[test]
+fn false_positive_pressure_tightens_the_bound() {
+    let mut c = cluster(1);
+    let mut tuner = ClusterTuner::new(1, AdaptiveConfig::default(), 0.1);
+    let before = tuner.width_of(0);
+
+    // Feed a stable stream, then hammer it with queries that candidate-match
+    // its boxes (wide radius) but fail exact verification (different shape).
+    let mut t = 0u64;
+    for step in 0..48u64 {
+        c.post_value(0, 1.0 + (step as f64 * 0.5).sin(), SimTime::from_ms(t));
+        t += 100;
+    }
+    let probe: Vec<f64> = (0..16).map(|i| 1.0 + ((i * i) as f64 * 0.9).sin()).collect();
+    for round in 0..10 {
+        for _ in 0..5 {
+            c.post_similarity_query(2, probe.clone(), 0.8, 10_000, SimTime::from_ms(t));
+        }
+        c.notify_all(SimTime::from_ms(t + 500));
+        t += 1000;
+        // Keep the stream alive so its MBRs stay fresh.
+        for step in 0..8u64 {
+            c.post_value(0, 1.0 + ((round * 8 + step) as f64 * 0.5).sin(), SimTime::from_ms(t));
+            t += 100;
+        }
+        tuner.tune(&mut c);
+    }
+    let after = tuner.width_of(0);
+    assert!(
+        c.stream_false_positives(0) > 0,
+        "the probe queries must generate false positives for this test"
+    );
+    assert!(after < before, "false positives must tighten the bound: {after} vs {before}");
+}

@@ -1,0 +1,214 @@
+//! The discrete-event engine.
+//!
+//! A binary-heap priority queue of `(time, seq, event)` with stable FIFO
+//! tie-breaking. The event type is a caller-supplied enum; the caller's
+//! handler receives `(&mut Engine, &mut State, time, event)` and schedules
+//! follow-up events, which keeps the engine free of any domain knowledge
+//! (this mirrors the "timed events on all nodes" replay of the Chord
+//! simulator the paper used).
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest event pops first,
+        // breaking ties by insertion order.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event scheduler over events of type `E`.
+pub struct Engine<E> {
+    clock: SimTime,
+    queue: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine at time zero with an empty queue.
+    pub fn new() -> Self {
+        Engine { clock: SimTime::ZERO, queue: BinaryHeap::new(), seq: 0, processed: 0 }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of events processed so far.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` lies in the past.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.clock, "cannot schedule into the past ({at} < {})", self.clock);
+        self.queue.push(Scheduled { at, seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` `delay_ms` after the current time.
+    pub fn schedule_after(&mut self, delay_ms: u64, event: E) {
+        let at = self.clock + delay_ms;
+        self.queue.push(Scheduled { at, seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// Runs until the queue drains or the clock would pass `until`
+    /// (events at exactly `until` still fire). The handler may schedule
+    /// more events on the engine it is handed.
+    pub fn run_until<S, F>(&mut self, state: &mut S, until: SimTime, mut handler: F)
+    where
+        F: FnMut(&mut Engine<E>, &mut S, SimTime, E),
+    {
+        while let Some(next) = self.queue.peek() {
+            if next.at > until {
+                break;
+            }
+            let Scheduled { at, event, .. } = self.queue.pop().expect("peeked");
+            self.clock = at;
+            self.processed += 1;
+            handler(self, state, at, event);
+        }
+        if self.clock < until {
+            self.clock = until;
+        }
+    }
+
+    /// Pops a single event (advancing the clock), if any.
+    pub fn step(&mut self) -> Option<(SimTime, E)> {
+        let Scheduled { at, event, .. } = self.queue.pop()?;
+        self.clock = at;
+        self.processed += 1;
+        Some((at, event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tick(u32),
+        Stop,
+    }
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_ms(30), Ev::Tick(3));
+        eng.schedule_at(SimTime::from_ms(10), Ev::Tick(1));
+        eng.schedule_at(SimTime::from_ms(20), Ev::Tick(2));
+        let mut seen = Vec::new();
+        eng.run_until(&mut seen, SimTime::from_secs(1), |_, seen, t, ev| {
+            if let Ev::Tick(n) = ev {
+                seen.push((t.as_ms(), n));
+            }
+        });
+        assert_eq!(seen, vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut eng = Engine::new();
+        for i in 0..5 {
+            eng.schedule_at(SimTime::from_ms(7), Ev::Tick(i));
+        }
+        let mut seen = Vec::new();
+        eng.run_until(&mut seen, SimTime::from_ms(7), |_, seen, _, ev| {
+            if let Ev::Tick(n) = ev {
+                seen.push(n);
+            }
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn handler_can_reschedule() {
+        // A periodic process: each tick schedules the next until the horizon.
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::ZERO, Ev::Tick(0));
+        let mut count = 0u32;
+        eng.run_until(&mut count, SimTime::from_ms(95), |eng, count, _, ev| {
+            if let Ev::Tick(_) = ev {
+                *count += 1;
+                eng.schedule_after(10, Ev::Tick(0));
+            }
+        });
+        // Ticks at 0,10,...,90 fire; the one at 100 is past the horizon.
+        assert_eq!(count, 10);
+        assert_eq!(eng.now(), SimTime::from_ms(95));
+        assert_eq!(eng.pending(), 1);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon_and_resumes() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_ms(50), Ev::Stop);
+        let mut fired = false;
+        eng.run_until(&mut fired, SimTime::from_ms(40), |_, fired, _, _| *fired = true);
+        assert!(!fired);
+        assert_eq!(eng.now(), SimTime::from_ms(40));
+        eng.run_until(&mut fired, SimTime::from_ms(60), |_, fired, _, _| *fired = true);
+        assert!(fired);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut eng: Engine<Ev> = Engine::new();
+        eng.schedule_at(SimTime::from_ms(10), Ev::Stop);
+        let mut s = ();
+        eng.run_until(&mut s, SimTime::from_ms(10), |_, _, _, _| {});
+        eng.schedule_at(SimTime::from_ms(5), Ev::Stop);
+    }
+
+    #[test]
+    fn step_pops_one() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_ms(5), Ev::Tick(9));
+        let (t, ev) = eng.step().unwrap();
+        assert_eq!(t.as_ms(), 5);
+        assert_eq!(ev, Ev::Tick(9));
+        assert!(eng.step().is_none());
+        assert_eq!(eng.processed(), 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Configurable per-hop latency models.
+//!
+//! The paper's simulator charges a constant 50 ms per overlay hop; real
+//! deployments see heterogeneous links. The model enumerates the cost
+//! functions the harness can charge — the constant paper model is the
+//! default, and the alternatives are used for latency-sensitivity runs.
+
+use crate::net::HOP_DELAY_MS;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How long one overlay hop takes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Constant delay per hop (the paper's model at 50 ms).
+    Constant(u64),
+    /// Uniformly distributed per-hop delay in `[lo, hi]` ms.
+    Uniform(u64, u64),
+    /// Heavy-tailed-ish: base delay plus an exponential tail with the given
+    /// mean (rounded to ms) — models occasional congested links.
+    BaseWithTail {
+        /// Deterministic floor, in ms.
+        base_ms: u64,
+        /// Mean of the exponential excess, in ms.
+        tail_mean_ms: u64,
+    },
+}
+
+impl Default for LatencyModel {
+    /// The paper's constant 50 ms/hop.
+    fn default() -> Self {
+        LatencyModel::Constant(HOP_DELAY_MS)
+    }
+}
+
+impl LatencyModel {
+    /// Samples the delay of one hop.
+    pub fn sample_hop_ms<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match *self {
+            LatencyModel::Constant(ms) => ms,
+            LatencyModel::Uniform(lo, hi) => {
+                assert!(lo <= hi, "uniform latency bounds inverted");
+                rng.gen_range(lo..=hi)
+            }
+            LatencyModel::BaseWithTail { base_ms, tail_mean_ms } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                base_ms + (-u.ln() * tail_mean_ms as f64).round() as u64
+            }
+        }
+    }
+
+    /// Samples the end-to-end delay of a path with `hops` hops.
+    pub fn sample_path_ms<R: Rng + ?Sized>(&self, hops: u32, rng: &mut R) -> u64 {
+        (0..hops).map(|_| self.sample_hop_ms(rng)).sum()
+    }
+
+    /// Expected delay per hop, in ms.
+    pub fn mean_hop_ms(&self) -> f64 {
+        match *self {
+            LatencyModel::Constant(ms) => ms as f64,
+            LatencyModel::Uniform(lo, hi) => (lo + hi) as f64 / 2.0,
+            LatencyModel::BaseWithTail { base_ms, tail_mean_ms } => {
+                (base_ms + tail_mean_ms) as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_is_the_papers_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = LatencyModel::default();
+        assert_eq!(m.sample_hop_ms(&mut rng), 50);
+        assert_eq!(m.sample_path_ms(4, &mut rng), 200);
+        assert_eq!(m.mean_hop_ms(), 50.0);
+    }
+
+    #[test]
+    fn uniform_respects_bounds_and_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = LatencyModel::Uniform(20, 80);
+        let samples: Vec<u64> = (0..20_000).map(|_| m.sample_hop_ms(&mut rng)).collect();
+        assert!(samples.iter().all(|&s| (20..=80).contains(&s)));
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        assert!((mean - 50.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn tail_model_exceeds_base_and_matches_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = LatencyModel::BaseWithTail { base_ms: 30, tail_mean_ms: 20 };
+        let samples: Vec<u64> = (0..20_000).map(|_| m.sample_hop_ms(&mut rng)).collect();
+        assert!(samples.iter().all(|&s| s >= 30));
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        assert!((mean - 50.0).abs() < 1.5, "mean {mean}");
+        // The tail produces occasional large delays.
+        assert!(samples.iter().any(|&s| s > 100));
+    }
+
+    #[test]
+    fn path_delay_sums_hops() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = LatencyModel::Uniform(10, 10);
+        assert_eq!(m.sample_path_ms(7, &mut rng), 70);
+        assert_eq!(m.sample_path_ms(0, &mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds inverted")]
+    fn inverted_uniform_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = LatencyModel::Uniform(80, 20).sample_hop_ms(&mut rng);
+    }
+}

@@ -1,0 +1,29 @@
+//! # dsi-simnet — discrete-event network simulator
+//!
+//! The substrate standing in for the MIT Chord simulator the paper linked
+//! against: a deterministic timed-event replay engine plus the measurement
+//! machinery for the paper's three scalability characteristics.
+//!
+//! * [`time::SimTime`] — virtual clock in milliseconds;
+//! * [`engine::Engine`] — binary-heap event queue with FIFO tie-breaking;
+//! * [`poisson::PoissonArrivals`] — query arrival process;
+//! * [`net`] — the 50 ms/hop cost constants;
+//! * [`latency::LatencyModel`] — configurable per-hop delay distributions;
+//! * [`metrics`] — per-node load components (Fig. 6), per-event message
+//!   overhead (Fig. 7) and hop counts (Fig. 8).
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod latency;
+pub mod metrics;
+pub mod net;
+pub mod poisson;
+pub mod time;
+
+pub use engine::Engine;
+pub use latency::LatencyModel;
+pub use metrics::{Histogram, InputEvent, Metrics, MsgClass, NUM_CLASSES};
+pub use net::{delivery_delay_ms, path_delay_ms, HOP_DELAY_MS};
+pub use poisson::PoissonArrivals;
+pub use time::SimTime;

@@ -1,0 +1,360 @@
+//! Measurement infrastructure for the paper's three scalability
+//! characteristics (§V):
+//!
+//! * **load** — messages an individual node sends or receives per second,
+//!   broken into the seven components of Fig. 6(a);
+//! * **efficiency** — messages the system sends per input event (Fig. 7);
+//! * **responsiveness** — overlay hops a message traverses before being
+//!   processed (Fig. 8).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Classification of every overlay message, matching the figure legends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MsgClass {
+    /// MBR messages originated by a node as a stream source (Fig. 6a-a).
+    MbrOriginated,
+    /// Extra MBR copies when the key range spans multiple nodes (Fig. 6a-b).
+    MbrInternal,
+    /// MBR messages relayed by intermediate routing nodes (Fig. 6a-c).
+    MbrTransit,
+    /// Query messages delivered to their first covering node (Fig. 6a-d).
+    Query,
+    /// Extra query copies when the radius spans multiple nodes (Fig. 7-c).
+    QueryInternal,
+    /// Query messages relayed in transit (Fig. 7-d).
+    QueryTransit,
+    /// Responses from the notifying node to the client (Fig. 6a-e).
+    Response,
+    /// Neighbor information exchange about detected similarities (Fig. 6a-f).
+    ResponseInternal,
+    /// Response messages relayed in transit (Fig. 6a-g).
+    ResponseTransit,
+}
+
+impl MsgClass {
+    /// All classes, in legend order.
+    pub const ALL: [MsgClass; 9] = [
+        MsgClass::MbrOriginated,
+        MsgClass::MbrInternal,
+        MsgClass::MbrTransit,
+        MsgClass::Query,
+        MsgClass::QueryInternal,
+        MsgClass::QueryTransit,
+        MsgClass::Response,
+        MsgClass::ResponseInternal,
+        MsgClass::ResponseTransit,
+    ];
+
+    /// Dense index for array-backed counters.
+    #[inline]
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|c| *c == self).expect("class listed in ALL")
+    }
+
+    /// Human-readable legend label.
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgClass::MbrOriginated => "MBRs",
+            MsgClass::MbrInternal => "MBRs internal",
+            MsgClass::MbrTransit => "MBRs in transit",
+            MsgClass::Query => "Queries",
+            MsgClass::QueryInternal => "Queries internal",
+            MsgClass::QueryTransit => "Queries in transit",
+            MsgClass::Response => "Responses",
+            MsgClass::ResponseInternal => "Responses internal",
+            MsgClass::ResponseTransit => "Responses in transit",
+        }
+    }
+}
+
+/// Number of message classes.
+pub const NUM_CLASSES: usize = 9;
+
+/// The input-event kinds whose per-event message overhead Fig. 7 reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InputEvent {
+    /// A new MBR produced by a stream source.
+    Mbr,
+    /// A new client query posted.
+    Query,
+    /// A periodic response pushed toward a client.
+    Response,
+}
+
+impl InputEvent {
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            InputEvent::Mbr => 0,
+            InputEvent::Query => 1,
+            InputEvent::Response => 2,
+        }
+    }
+}
+
+/// Mutable measurement state, filled in by the simulation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    sent: HashMap<u64, [u64; NUM_CLASSES]>,
+    received: HashMap<u64, [u64; NUM_CLASSES]>,
+    totals: [u64; NUM_CLASSES],
+    hop_sum: [u64; NUM_CLASSES],
+    hop_count: [u64; NUM_CLASSES],
+    events: [u64; 3],
+}
+
+impl Metrics {
+    /// Creates empty metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one overlay message `from -> to` of the given class.
+    pub fn record_message(&mut self, class: MsgClass, from: u64, to: u64) {
+        let i = class.index();
+        self.sent.entry(from).or_default()[i] += 1;
+        self.received.entry(to).or_default()[i] += 1;
+        self.totals[i] += 1;
+    }
+
+    /// Records a routed message along `path` (origin first): the first hop
+    /// carries class `base`, every further hop class `transit`.
+    pub fn record_route(&mut self, base: MsgClass, transit: MsgClass, path: &[u64]) {
+        for (i, pair) in path.windows(2).enumerate() {
+            let class = if i == 0 { base } else { transit };
+            self.record_message(class, pair[0], pair[1]);
+        }
+    }
+
+    /// Records the hop count of one logical message of the given class
+    /// (for the Fig. 8 responsiveness series).
+    pub fn record_hops(&mut self, class: MsgClass, hops: u32) {
+        let i = class.index();
+        self.hop_sum[i] += hops as u64;
+        self.hop_count[i] += 1;
+    }
+
+    /// Records one input event (for Fig. 7 normalization).
+    pub fn record_event(&mut self, kind: InputEvent) {
+        self.events[kind.index()] += 1;
+    }
+
+    /// Total messages of a class.
+    pub fn total(&self, class: MsgClass) -> u64 {
+        self.totals[class.index()]
+    }
+
+    /// Number of recorded input events of a kind.
+    pub fn event_count(&self, kind: InputEvent) -> u64 {
+        self.events[kind.index()]
+    }
+
+    /// Average per-node load in messages/second for one class: every message
+    /// counts once at its sender and once at its receiver, as in Fig. 6(a).
+    pub fn avg_load(&self, class: MsgClass, num_nodes: usize, duration_s: f64) -> f64 {
+        assert!(num_nodes > 0 && duration_s > 0.0, "need nodes and a positive window");
+        2.0 * self.totals[class.index()] as f64 / num_nodes as f64 / duration_s
+    }
+
+    /// Per-node total load (sent + received messages per second), for the
+    /// Fig. 6(b) distribution. Nodes that never appeared get load 0 only if
+    /// listed in `all_nodes`.
+    pub fn per_node_load(&self, all_nodes: &[u64], duration_s: f64) -> Vec<(u64, f64)> {
+        assert!(duration_s > 0.0, "positive window required");
+        all_nodes
+            .iter()
+            .map(|&n| {
+                let s: u64 = self.sent.get(&n).map_or(0, |a| a.iter().sum());
+                let r: u64 = self.received.get(&n).map_or(0, |a| a.iter().sum());
+                (n, (s + r) as f64 / duration_s)
+            })
+            .collect()
+    }
+
+    /// Message overhead: how many messages of `class` the system sent per
+    /// input event of `kind` (Fig. 7). Zero if no such events occurred.
+    pub fn overhead(&self, class: MsgClass, kind: InputEvent) -> f64 {
+        let ev = self.events[kind.index()];
+        if ev == 0 {
+            0.0
+        } else {
+            self.totals[class.index()] as f64 / ev as f64
+        }
+    }
+
+    /// Average hops per logical message of `class` (Fig. 8). Zero if none.
+    pub fn avg_hops(&self, class: MsgClass) -> f64 {
+        let i = class.index();
+        if self.hop_count[i] == 0 {
+            0.0
+        } else {
+            self.hop_sum[i] as f64 / self.hop_count[i] as f64
+        }
+    }
+
+    /// Resets all counters (used to discard the warm-up phase).
+    pub fn reset(&mut self) {
+        *self = Metrics::new();
+    }
+}
+
+/// A fixed-width histogram over non-negative values (Fig. 6(b)).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    bucket_width: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Builds a histogram of `values` with the given bucket width.
+    ///
+    /// # Panics
+    /// Panics if `bucket_width <= 0`.
+    pub fn build(values: &[f64], bucket_width: f64) -> Self {
+        assert!(bucket_width > 0.0, "bucket width must be positive");
+        let mut counts = Vec::new();
+        for &v in values {
+            let b = (v.max(0.0) / bucket_width).floor() as usize;
+            if b >= counts.len() {
+                counts.resize(b + 1, 0);
+            }
+            counts[b] += 1;
+        }
+        Histogram { bucket_width, counts }
+    }
+
+    /// `(bucket_midpoint, count)` pairs.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| ((i as f64 + 0.5) * self.bucket_width, c))
+            .collect()
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// A crude heavy-tail indicator: the fraction of mass in buckets beyond
+    /// `factor` times the mean-holding bucket. The paper argues the load
+    /// distribution is *not* heavy-tailed; tests assert this is small.
+    pub fn tail_fraction(&self, values: &[f64], factor: f64) -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let cut = mean * factor;
+        values.iter().filter(|&&v| v > cut).count() as f64 / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_route_splits_base_and_transit() {
+        let mut m = Metrics::new();
+        m.record_route(MsgClass::Query, MsgClass::QueryTransit, &[1, 2, 3, 4]);
+        assert_eq!(m.total(MsgClass::Query), 1);
+        assert_eq!(m.total(MsgClass::QueryTransit), 2);
+    }
+
+    #[test]
+    fn single_hop_route_has_no_transit() {
+        let mut m = Metrics::new();
+        m.record_route(MsgClass::Response, MsgClass::ResponseTransit, &[7, 9]);
+        assert_eq!(m.total(MsgClass::Response), 1);
+        assert_eq!(m.total(MsgClass::ResponseTransit), 0);
+    }
+
+    #[test]
+    fn avg_load_counts_both_endpoints() {
+        let mut m = Metrics::new();
+        // 10 messages between 2 nodes over 5 seconds:
+        // each node sees all 10 (sender or receiver) => 2 msg/s each.
+        for _ in 0..10 {
+            m.record_message(MsgClass::MbrOriginated, 1, 2);
+        }
+        let load = m.avg_load(MsgClass::MbrOriginated, 2, 5.0);
+        assert!((load - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_node_load_includes_silent_nodes() {
+        let mut m = Metrics::new();
+        m.record_message(MsgClass::Query, 1, 2);
+        let loads = m.per_node_load(&[1, 2, 3], 1.0);
+        assert_eq!(loads, vec![(1, 1.0), (2, 1.0), (3, 0.0)]);
+    }
+
+    #[test]
+    fn overhead_normalizes_by_events() {
+        let mut m = Metrics::new();
+        for _ in 0..4 {
+            m.record_event(InputEvent::Mbr);
+        }
+        for _ in 0..6 {
+            m.record_message(MsgClass::MbrTransit, 0, 1);
+        }
+        assert!((m.overhead(MsgClass::MbrTransit, InputEvent::Mbr) - 1.5).abs() < 1e-12);
+        assert_eq!(m.overhead(MsgClass::Query, InputEvent::Query), 0.0);
+    }
+
+    #[test]
+    fn avg_hops_averages() {
+        let mut m = Metrics::new();
+        m.record_hops(MsgClass::Query, 2);
+        m.record_hops(MsgClass::Query, 4);
+        assert!((m.avg_hops(MsgClass::Query) - 3.0).abs() < 1e-12);
+        assert_eq!(m.avg_hops(MsgClass::Response), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = Metrics::new();
+        m.record_message(MsgClass::Query, 1, 2);
+        m.record_event(InputEvent::Query);
+        m.record_hops(MsgClass::Query, 3);
+        m.reset();
+        assert_eq!(m.total(MsgClass::Query), 0);
+        assert_eq!(m.event_count(InputEvent::Query), 0);
+        assert_eq!(m.avg_hops(MsgClass::Query), 0.0);
+    }
+
+    #[test]
+    fn class_indices_are_dense_and_unique() {
+        let mut seen = [false; NUM_CLASSES];
+        for c in MsgClass::ALL {
+            assert!(!seen[c.index()], "duplicate index for {c:?}");
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn histogram_buckets_and_total() {
+        let values = [0.1, 0.4, 0.6, 1.2, 1.3, 5.0];
+        let h = Histogram::build(&values, 0.5);
+        assert_eq!(h.total(), 6);
+        let buckets = h.buckets();
+        assert_eq!(buckets[0], (0.25, 2)); // 0.1, 0.4
+        assert_eq!(buckets[1], (0.75, 1)); // 0.6
+        assert_eq!(buckets[2], (1.25, 2)); // 1.2, 1.3
+        assert_eq!(buckets[10], (5.25, 1)); // 5.0
+    }
+
+    #[test]
+    fn tail_fraction_flags_outliers() {
+        let uniform: Vec<f64> = (0..100).map(|i| 1.0 + (i % 10) as f64 * 0.01).collect();
+        let h = Histogram::build(&uniform, 0.5);
+        assert_eq!(h.tail_fraction(&uniform, 2.0), 0.0);
+        let skewed: Vec<f64> = (0..100).map(|i| if i < 90 { 1.0 } else { 50.0 }).collect();
+        let h2 = Histogram::build(&skewed, 0.5);
+        assert!(h2.tail_fraction(&skewed, 2.0) > 0.05);
+    }
+}

@@ -1,0 +1,94 @@
+//! Poisson arrival processes (the paper models query arrivals as Poisson
+//! with an average rate of 2 queries/second).
+
+use rand::Rng;
+
+/// Exponential inter-arrival sampler for a Poisson process.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    rate_per_sec: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with the given average rate (events per second).
+    ///
+    /// # Panics
+    /// Panics unless the rate is positive and finite.
+    pub fn new(rate_per_sec: f64) -> Self {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "arrival rate must be positive and finite"
+        );
+        PoissonArrivals { rate_per_sec }
+    }
+
+    /// The configured rate.
+    #[inline]
+    pub fn rate(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// Samples the next inter-arrival gap in milliseconds (at least 1 ms so
+    /// the simulation always advances).
+    pub fn next_gap_ms<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        // Inverse-CDF sampling: gap = -ln(U) / rate.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let gap_s = -u.ln() / self.rate_per_sec;
+        ((gap_s * 1000.0).round() as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_gap_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let p = PoissonArrivals::new(2.0); // 2/s => mean gap 500 ms
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| p.next_gap_ms(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 500.0).abs() < 15.0, "mean gap {mean} ms");
+    }
+
+    #[test]
+    fn gaps_are_positive() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = PoissonArrivals::new(1000.0); // very fast process
+        for _ in 0..1000 {
+            assert!(p.next_gap_ms(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn coefficient_of_variation_is_exponential_like() {
+        // For an exponential distribution the std deviation equals the mean.
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = PoissonArrivals::new(5.0);
+        let samples: Vec<f64> = (0..20_000).map(|_| p.next_gap_ms(&mut rng) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.1, "coefficient of variation {cv}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_rate_panics() {
+        let _ = PoissonArrivals::new(0.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let p = PoissonArrivals::new(2.0);
+        let a: Vec<u64> =
+            (0..10).scan(StdRng::seed_from_u64(9), |r, _| Some(p.next_gap_ms(r))).collect();
+        let b: Vec<u64> =
+            (0..10).scan(StdRng::seed_from_u64(9), |r, _| Some(p.next_gap_ms(r))).collect();
+        assert_eq!(a, b);
+    }
+}

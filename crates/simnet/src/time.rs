@@ -1,0 +1,106 @@
+//! Virtual time for the discrete-event simulation, in integer milliseconds
+//! (the granularity of every constant in the paper's Table I).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (milliseconds since simulation start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Constructs from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1000)
+    }
+
+    /// Milliseconds since start.
+    #[inline]
+    pub const fn as_ms(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since start, as a float (for rate normalization).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Saturating difference.
+    #[inline]
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, ms: u64) -> SimTime {
+        SimTime(self.0 + ms)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, ms: u64) {
+        self.0 += ms;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = u64;
+    #[inline]
+    fn sub(self, other: SimTime) -> u64 {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:03}s", self.0 / 1000, self.0 % 1000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(SimTime::from_secs(3).as_ms(), 3000);
+        assert_eq!(SimTime::from_ms(1500).as_secs_f64(), 1.5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ms(100) + 50;
+        assert_eq!(t.as_ms(), 150);
+        assert_eq!(t - SimTime::from_ms(100), 50);
+        assert_eq!(SimTime::from_ms(10).saturating_sub(SimTime::from_ms(20)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_ms(1) < SimTime::from_ms(2));
+        assert_eq!(SimTime::ZERO, SimTime::from_ms(0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_ms(2345).to_string(), "2.345s");
+    }
+}

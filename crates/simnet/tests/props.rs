@@ -1,0 +1,84 @@
+//! Property-based tests of the discrete-event engine and metrics.
+
+use dsi_simnet::{Engine, Histogram, Metrics, MsgClass, SimTime};
+use proptest::prelude::*;
+
+/// Events pop in nondecreasing time order, FIFO within a timestamp
+/// (plain randomized test: proptest's Result-based assertions don't thread
+/// through the engine's `FnMut` handler).
+#[test]
+fn engine_orders_events_randomized() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..200 {
+        let n = rng.gen_range(0..80);
+        let times: Vec<u64> = (0..n).map(|_| rng.gen_range(0..500)).collect();
+        let mut eng: Engine<(u64, usize)> = Engine::new();
+        for (seq, &t) in times.iter().enumerate() {
+            eng.schedule_at(SimTime::from_ms(t), (t, seq));
+        }
+        let mut fired: Vec<(u64, usize)> = Vec::new();
+        eng.run_until(&mut fired, SimTime::from_ms(1000), |_, fired, at, ev| {
+            assert_eq!(at.as_ms(), ev.0, "clock must equal event time");
+            fired.push(ev);
+        });
+        assert_eq!(fired.len(), times.len());
+        for pair in fired.windows(2) {
+            assert!(pair[0].0 <= pair[1].0, "time order violated");
+            if pair[0].0 == pair[1].0 {
+                assert!(pair[0].1 < pair[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Message conservation: a route of length L records exactly L-1
+    /// messages, split base + transit.
+    #[test]
+    fn route_recording_conserves_messages(path in prop::collection::vec(0u64..50, 2..12)) {
+        let mut m = Metrics::new();
+        m.record_route(MsgClass::Query, MsgClass::QueryTransit, &path);
+        let total = m.total(MsgClass::Query) + m.total(MsgClass::QueryTransit);
+        prop_assert_eq!(total as usize, path.len() - 1);
+        prop_assert_eq!(m.total(MsgClass::Query), 1);
+    }
+
+    /// Per-node load times node count equals twice the message total.
+    #[test]
+    fn load_accounting_balances(
+        edges in prop::collection::vec((0u64..8, 0u64..8), 1..50),
+    ) {
+        let mut m = Metrics::new();
+        for &(a, b) in &edges {
+            m.record_message(MsgClass::Response, a, b);
+        }
+        let nodes: Vec<u64> = (0..8).collect();
+        let sum: f64 = m.per_node_load(&nodes, 1.0).iter().map(|(_, l)| l).sum();
+        prop_assert!((sum - 2.0 * edges.len() as f64).abs() < 1e-9);
+    }
+
+    /// Histograms conserve sample counts and bucket all values.
+    #[test]
+    fn histogram_conserves_mass(
+        values in prop::collection::vec(0.0f64..100.0, 0..100),
+        width in 0.5f64..10.0,
+    ) {
+        let h = Histogram::build(&values, width);
+        prop_assert_eq!(h.total() as usize, values.len());
+        let bucket_sum: u64 = h.buckets().iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(bucket_sum as usize, values.len());
+    }
+
+    /// SimTime arithmetic is consistent.
+    #[test]
+    fn simtime_arithmetic(a in 0u64..1_000_000, d in 0u64..1_000_000) {
+        let t = SimTime::from_ms(a);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!(t.saturating_sub(t + d), SimTime::ZERO);
+        prop_assert_eq!(SimTime::from_secs(a / 1000).as_ms(), (a / 1000) * 1000);
+    }
+}

@@ -1,0 +1,156 @@
+//! Synthetic CMU Host Load-like traces.
+//!
+//! The paper justifies its batching optimization with the "Fourier locality"
+//! of summaries computed on the CMU Host Load dataset (Fig. 3(b)); the
+//! original traces (Dinda, 1997) are no longer hosted. Host load is well
+//! modeled as a strongly autocorrelated AR(1) base load with occasional
+//! exponentially-decaying bursts (job arrivals), which reproduces the
+//! clustered scatter of consecutive feature vectors the figure shows.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the synthetic host-load process.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HostLoadConfig {
+    /// AR(1) coefficient; close to 1 gives the strong temporal correlation
+    /// real host-load traces exhibit.
+    pub ar_coeff: f64,
+    /// Standard deviation of the AR innovation.
+    pub noise: f64,
+    /// Long-run mean load (in "runnable processes" units).
+    pub mean_load: f64,
+    /// Probability per sample of a new burst (job arrival).
+    pub burst_prob: f64,
+    /// Burst magnitude range.
+    pub burst_mag: (f64, f64),
+    /// Per-sample exponential decay of the burst component.
+    pub burst_decay: f64,
+}
+
+impl Default for HostLoadConfig {
+    fn default() -> Self {
+        HostLoadConfig {
+            ar_coeff: 0.98,
+            noise: 0.03,
+            mean_load: 0.6,
+            burst_prob: 0.01,
+            burst_mag: (0.3, 1.5),
+            burst_decay: 0.95,
+        }
+    }
+}
+
+/// A synthetic host-load stream.
+#[derive(Debug, Clone)]
+pub struct HostLoad {
+    cfg: HostLoadConfig,
+    base: f64,
+    burst: f64,
+}
+
+impl HostLoad {
+    /// Creates a generator at the long-run mean.
+    pub fn new(cfg: HostLoadConfig) -> Self {
+        assert!((0.0..1.0).contains(&cfg.ar_coeff.abs()) || cfg.ar_coeff.abs() < 1.0,
+            "AR coefficient must be stable (|a| < 1)");
+        assert!(cfg.noise >= 0.0, "noise must be non-negative");
+        let base = cfg.mean_load;
+        HostLoad { cfg, base, burst: 0.0 }
+    }
+
+    /// Default-configured generator.
+    pub fn standard() -> Self {
+        HostLoad::new(HostLoadConfig::default())
+    }
+
+    /// Next load sample (non-negative).
+    pub fn next_value<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        let innovation: f64 = rng.gen_range(-1.0..1.0) * self.cfg.noise * 1.732; // unit-ish var
+        self.base = self.cfg.mean_load
+            + self.cfg.ar_coeff * (self.base - self.cfg.mean_load)
+            + innovation;
+        self.burst *= self.cfg.burst_decay;
+        if rng.gen_bool(self.cfg.burst_prob) {
+            self.burst += rng.gen_range(self.cfg.burst_mag.0..=self.cfg.burst_mag.1);
+        }
+        (self.base + self.burst).max(0.0)
+    }
+
+    /// Generates `n` consecutive samples.
+    pub fn take_values<R: Rng + ?Sized>(&mut self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.next_value(rng)).collect()
+    }
+}
+
+/// Lag-1 autocorrelation of a series (used to assert the trace resembles
+/// real host load, whose short-lag autocorrelation is near 1).
+pub fn lag1_autocorrelation(xs: &[f64]) -> f64 {
+    if xs.len() < 3 {
+        return 0.0;
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    if var == 0.0 {
+        return 0.0;
+    }
+    let cov = xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>() / (n - 1.0);
+    cov / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_are_non_negative() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut h = HostLoad::standard();
+        for _ in 0..10_000 {
+            assert!(h.next_value(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn strong_temporal_correlation() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let xs = HostLoad::standard().take_values(&mut rng, 20_000);
+        let rho = lag1_autocorrelation(&xs);
+        assert!(rho > 0.9, "host load autocorrelation {rho} too weak");
+    }
+
+    #[test]
+    fn bursts_appear() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let xs = HostLoad::standard().take_values(&mut rng, 20_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let max = xs.iter().cloned().fold(0.0, f64::max);
+        assert!(max > mean * 1.8, "no visible bursts (max {max}, mean {mean})");
+    }
+
+    #[test]
+    fn mean_tracks_configuration() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let cfg = HostLoadConfig { burst_prob: 0.0, ..Default::default() };
+        let xs = HostLoad::new(cfg).take_values(&mut rng, 50_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.6).abs() < 0.1, "mean {mean} drifted");
+    }
+
+    #[test]
+    fn lag1_of_white_noise_is_small() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let xs: Vec<f64> = (0..20_000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        assert!(lag1_autocorrelation(&xs).abs() < 0.05);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let f = |s| HostLoad::standard().take_values(&mut StdRng::seed_from_u64(s), 100);
+        assert_eq!(f(77), f(77));
+        assert_ne!(f(77), f(78));
+    }
+}

@@ -1,0 +1,194 @@
+//! Query workload generation (§V): queries are issued by uniformly random
+//! nodes, arrive as a Poisson process (see `dsi-simnet`), and carry
+//! lifespans uniform in `[QMIN, QMAX]`.
+
+use crate::config::WorkloadConfig;
+use crate::random_walk::RandomWalk;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A generated similarity-query specification (`(Q, epsilon, lifespan)` of
+/// §III-B.2, plus the issuing node).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimilarityQuerySpec {
+    /// Index of the issuing node (0-based, uniform over the system).
+    pub issuer: usize,
+    /// The query sequence `Q` (a raw window; normalization happens at
+    /// feature-extraction time).
+    pub target: Vec<f64>,
+    /// The similarity threshold `epsilon`.
+    pub radius: f64,
+    /// Query life span in ms.
+    pub lifespan_ms: u64,
+}
+
+/// A generated inner-product query (`(sid, I, W, lifespan)` of §III-B.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InnerProductQuerySpec {
+    /// Index of the issuing node.
+    pub issuer: usize,
+    /// Target stream index.
+    pub stream: usize,
+    /// Index vector `I`: positions of interest within the window.
+    pub indices: Vec<usize>,
+    /// Weight vector `W`, one weight per index.
+    pub weights: Vec<f64>,
+    /// Query life span in ms.
+    pub lifespan_ms: u64,
+}
+
+/// Stateless generator of query specifications.
+#[derive(Debug, Clone)]
+pub struct QueryWorkload {
+    cfg: WorkloadConfig,
+    num_nodes: usize,
+}
+
+impl QueryWorkload {
+    /// Creates a workload for a system of `num_nodes` nodes.
+    ///
+    /// # Panics
+    /// Panics if `num_nodes == 0` or the configuration is invalid.
+    pub fn new(cfg: WorkloadConfig, num_nodes: usize) -> Self {
+        cfg.validate();
+        assert!(num_nodes > 0, "need at least one node");
+        QueryWorkload { cfg, num_nodes }
+    }
+
+    /// The workload configuration.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.cfg
+    }
+
+    /// Samples a query lifespan uniformly in `[QMIN, QMAX]`.
+    pub fn sample_lifespan_ms<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.gen_range(self.cfg.qmin_ms..=self.cfg.qmax_ms)
+    }
+
+    /// Samples a stream period uniformly in `[PMIN, PMAX]`.
+    pub fn sample_period_ms<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.gen_range(self.cfg.pmin_ms..=self.cfg.pmax_ms)
+    }
+
+    /// Generates one similarity query: a uniform issuer and a random-walk
+    /// target window whose feature level is uniform over the feature
+    /// interval ("queries are generated synthetically by using a uniform
+    /// distribution", §V).
+    pub fn similarity_query<R: Rng + ?Sized>(&self, rng: &mut R) -> SimilarityQuerySpec {
+        let issuer = rng.gen_range(0..self.num_nodes);
+        let mut walk = RandomWalk::sample_spread(rng);
+        // Randomize the walk's phase so query targets differ.
+        for _ in 0..rng.gen_range(0..50) {
+            walk.next_value(rng);
+        }
+        let target = walk.take_values(rng, self.cfg.window_len);
+        SimilarityQuerySpec {
+            issuer,
+            target,
+            radius: self.cfg.query_radius,
+            lifespan_ms: self.sample_lifespan_ms(rng),
+        }
+    }
+
+    /// Generates one inner-product query against a uniform target stream,
+    /// asking for a weighted average over `span` recent positions.
+    pub fn inner_product_query<R: Rng + ?Sized>(&self, rng: &mut R) -> InnerProductQuerySpec {
+        let issuer = rng.gen_range(0..self.num_nodes);
+        let stream = rng.gen_range(0..self.num_nodes);
+        let span = rng.gen_range(2..=self.cfg.window_len.min(20));
+        let start = rng.gen_range(0..=self.cfg.window_len - span);
+        let indices: Vec<usize> = (start..start + span).collect();
+        // Weighted average: weights sum to 1.
+        let weights = vec![1.0 / span as f64; span];
+        InnerProductQuerySpec {
+            issuer,
+            stream,
+            indices,
+            weights,
+            lifespan_ms: self.sample_lifespan_ms(rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workload(n: usize) -> QueryWorkload {
+        QueryWorkload::new(WorkloadConfig::default(), n)
+    }
+
+    #[test]
+    fn lifespans_in_qmin_qmax() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = workload(10);
+        for _ in 0..1000 {
+            let l = w.sample_lifespan_ms(&mut rng);
+            assert!((20_000..=100_000).contains(&l));
+        }
+    }
+
+    #[test]
+    fn periods_in_pmin_pmax() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let w = workload(10);
+        for _ in 0..1000 {
+            let p = w.sample_period_ms(&mut rng);
+            assert!((150..=250).contains(&p));
+        }
+    }
+
+    #[test]
+    fn similarity_query_shape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = workload(50);
+        let q = w.similarity_query(&mut rng);
+        assert!(q.issuer < 50);
+        assert_eq!(q.target.len(), 64);
+        assert_eq!(q.radius, 0.1);
+    }
+
+    #[test]
+    fn issuers_are_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let w = workload(10);
+        let mut counts = [0u32; 10];
+        for _ in 0..5000 {
+            counts[w.similarity_query(&mut rng).issuer] += 1;
+        }
+        for &c in &counts {
+            assert!((350..=650).contains(&c), "issuer distribution skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn inner_product_query_is_well_formed() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let w = workload(20);
+        for _ in 0..200 {
+            let q = w.inner_product_query(&mut rng);
+            assert!(q.stream < 20);
+            assert_eq!(q.indices.len(), q.weights.len());
+            assert!(*q.indices.last().unwrap() < 64);
+            let sum: f64 = q.weights.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn query_targets_differ() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let w = workload(5);
+        let a = w.similarity_query(&mut rng);
+        let b = w.similarity_query(&mut rng);
+        assert_ne!(a.target, b.target);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        let _ = workload(0);
+    }
+}

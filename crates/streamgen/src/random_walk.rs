@@ -1,0 +1,187 @@
+//! The paper's synthetic stream model (§V): a bounded random walk.
+//!
+//! "For a stream, the value at time `i` equals `x_{i-1} + u_i` where `u_i`
+//! is a uniform random number"; we reflect at the configured bounds so the
+//! values stay in the bounded range `[min, max]` the data model (§III-A)
+//! requires.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A bounded random-walk stream source.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomWalk {
+    value: f64,
+    step: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RandomWalk {
+    /// Creates a walk starting at `start`, taking uniform steps in
+    /// `[-step, +step]`, reflected into `[min, max]`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty, `start` lies outside it, or `step` is
+    /// not positive.
+    pub fn new(start: f64, step: f64, min: f64, max: f64) -> Self {
+        assert!(min < max, "empty value range");
+        assert!((min..=max).contains(&start), "start outside range");
+        assert!(step > 0.0, "step must be positive");
+        RandomWalk { value: start, step, min, max }
+    }
+
+    /// A walk over `[0, 100]` starting mid-range with unit steps — the
+    /// shape used throughout the evaluation.
+    pub fn standard() -> Self {
+        RandomWalk::new(50.0, 1.0, 0.0, 100.0)
+    }
+
+    /// A walk whose *unit-norm DC coefficient* (the Eq. 6 routing value of
+    /// subsequence-indexed streams) sits near a target level `q` in
+    /// `(-1, +1)`, so that a population of such walks realizes the paper's
+    /// uniformity assumption (§IV-B): sampling `q` uniformly spreads the
+    /// summaries' keys uniformly over the ring.
+    ///
+    /// The DC coefficient of a unit-normalized window is
+    /// `mean / sqrt(mean^2 + var)`; solving for the band center with window
+    /// standard deviation `sigma` gives `c = sigma * q / sqrt(1 - q^2)`.
+    ///
+    /// # Panics
+    /// Panics unless `q` lies strictly inside `(-1, 1)`.
+    pub fn with_feature_level(q: f64) -> Self {
+        assert!(q.abs() < 1.0, "feature level must lie strictly inside (-1, 1)");
+        // Stationary sample sigma of a reflected walk on a +/- 4 band is
+        // 8 / sqrt(12) ~= 2.3; early windows hug the center more tightly.
+        let sigma = 2.0;
+        let center = sigma * q / (1.0 - q * q).sqrt();
+        RandomWalk::new(center, 0.5, center - 4.0, center + 4.0)
+    }
+
+    /// Samples a walk with a uniformly distributed feature level — the
+    /// heterogeneous stream population of the scalability experiments.
+    pub fn sample_spread<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let q = rng.gen_range(-0.9..0.9);
+        RandomWalk::with_feature_level(q)
+    }
+
+    /// Current value without advancing.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Advances one step and returns the new value.
+    pub fn next_value<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(-self.step..=self.step);
+        let mut v = self.value + u;
+        // Reflect at the boundaries to stay in the bounded range.
+        if v < self.min {
+            v = self.min + (self.min - v);
+        }
+        if v > self.max {
+            v = self.max - (v - self.max);
+        }
+        self.value = v.clamp(self.min, self.max);
+        self.value
+    }
+
+    /// Generates `n` consecutive values.
+    pub fn take_values<R: Rng + ?Sized>(&mut self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.next_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut w = RandomWalk::new(0.5, 0.3, 0.0, 1.0);
+        for _ in 0..10_000 {
+            let v = w.next_value(&mut rng);
+            assert!((0.0..=1.0).contains(&v), "value {v} escaped");
+        }
+    }
+
+    #[test]
+    fn consecutive_values_are_close() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut w = RandomWalk::standard();
+        let mut prev = w.value();
+        for _ in 0..1000 {
+            let v = w.next_value(&mut rng);
+            assert!((v - prev).abs() <= 2.0 + 1e-12, "jump too large");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = RandomWalk::standard().take_values(&mut StdRng::seed_from_u64(5), 100);
+        let b = RandomWalk::standard().take_values(&mut StdRng::seed_from_u64(5), 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn walk_actually_moves() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let vals = RandomWalk::standard().take_values(&mut rng, 500);
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 1.0, "walk barely moved");
+    }
+
+    #[test]
+    #[should_panic(expected = "start outside range")]
+    fn bad_start_panics() {
+        let _ = RandomWalk::new(5.0, 1.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn feature_level_controls_dc_coefficient() {
+        // The unit-norm DC coefficient of the walk's windows should hover
+        // near the requested level (averaged over windows, because any
+        // single window of a walk is noisy).
+        let mut rng = StdRng::seed_from_u64(31);
+        for &q in &[-0.8, -0.3, 0.0, 0.4, 0.85] {
+            let mut w = RandomWalk::with_feature_level(q);
+            w.take_values(&mut rng, 1024); // burn-in toward stationarity
+            let mut x0s = Vec::new();
+            for _ in 0..100 {
+                let vals = w.take_values(&mut rng, 64);
+                let mean = vals.iter().sum::<f64>() / 64.0;
+                let rms = (vals.iter().map(|v| v * v).sum::<f64>() / 64.0).sqrt();
+                x0s.push(if rms > 0.0 { mean / rms } else { 0.0 });
+            }
+            let avg = x0s.iter().sum::<f64>() / x0s.len() as f64;
+            assert!((avg - q).abs() < 0.3, "level {q}: got average X0 = {avg}");
+        }
+    }
+
+    #[test]
+    fn sample_spread_covers_the_feature_interval() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut levels = Vec::new();
+        for _ in 0..200 {
+            let mut w = RandomWalk::sample_spread(&mut rng);
+            let vals = w.take_values(&mut rng, 64);
+            let mean = vals.iter().sum::<f64>() / 64.0;
+            let rms = (vals.iter().map(|v| v * v).sum::<f64>() / 64.0).sqrt();
+            levels.push(mean / rms);
+        }
+        let lo = levels.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = levels.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(lo < -0.5 && hi > 0.5, "levels not spread: [{lo}, {hi}]");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly inside")]
+    fn extreme_feature_level_panics() {
+        let _ = RandomWalk::with_feature_level(1.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Synthetic S&P 500-style stock data.
+//!
+//! The paper's real dataset — "S&P500 Stock Exchange Historical Data ...
+//! one record per line ... date, ticker, open, high, low, close, and volume"
+//! — is no longer distributed. We substitute a geometric-Brownian-motion
+//! generator with *sector factors*: tickers in the same sector share a
+//! common daily shock, which plants ground-truth correlated pairs for
+//! correlation-query recall tests (see DESIGN.md §5).
+
+use rand::Rng;
+use rand_distr_free::standard_normal;
+use serde::{Deserialize, Serialize};
+
+/// One daily OHLCV record, mirroring the paper's file format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StockRecord {
+    /// Day index (0-based trading day; the substitute for the date field).
+    pub day: u32,
+    /// Ticker symbol.
+    pub ticker: String,
+    /// Opening price.
+    pub open: f64,
+    /// Daily high.
+    pub high: f64,
+    /// Daily low.
+    pub low: f64,
+    /// Closing price.
+    pub close: f64,
+    /// Shares traded.
+    pub volume: u64,
+}
+
+/// Configuration of the synthetic market.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MarketConfig {
+    /// Number of sectors; tickers within one sector are correlated.
+    pub sectors: usize,
+    /// Tickers per sector.
+    pub tickers_per_sector: usize,
+    /// Weight of the shared sector shock in each ticker's daily return
+    /// (0 = independent, 1 = perfectly correlated within a sector).
+    pub sector_weight: f64,
+    /// Daily volatility of returns.
+    pub volatility: f64,
+    /// Annualized drift, applied per trading day.
+    pub drift: f64,
+}
+
+impl Default for MarketConfig {
+    fn default() -> Self {
+        MarketConfig {
+            sectors: 10,
+            tickers_per_sector: 5,
+            sector_weight: 0.8,
+            volatility: 0.02,
+            drift: 0.0002,
+        }
+    }
+}
+
+/// Minimal inverse-free standard-normal sampling (sum of uniforms is good
+/// enough for workload generation and keeps us within the allowed crates).
+mod rand_distr_free {
+    use rand::Rng;
+
+    /// Approximately standard-normal variate (Irwin–Hall with 12 uniforms).
+    pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        (0..12).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() - 6.0
+    }
+}
+
+/// The synthetic market: a set of tickers evolving by sector-correlated GBM.
+#[derive(Debug, Clone)]
+pub struct Market {
+    config: MarketConfig,
+    tickers: Vec<String>,
+    sector_of: Vec<usize>,
+    prices: Vec<f64>,
+    day: u32,
+}
+
+impl Market {
+    /// Creates a market with all prices at 100.
+    pub fn new(config: MarketConfig) -> Self {
+        assert!(config.sectors > 0 && config.tickers_per_sector > 0, "empty market");
+        assert!(
+            (0.0..=1.0).contains(&config.sector_weight),
+            "sector weight must be a fraction"
+        );
+        let mut tickers = Vec::new();
+        let mut sector_of = Vec::new();
+        for s in 0..config.sectors {
+            for t in 0..config.tickers_per_sector {
+                tickers.push(format!("S{s:02}T{t:02}"));
+                sector_of.push(s);
+            }
+        }
+        let n = tickers.len();
+        Market { config, tickers, sector_of, prices: vec![100.0; n], day: 0 }
+    }
+
+    /// All ticker symbols.
+    pub fn tickers(&self) -> &[String] {
+        &self.tickers
+    }
+
+    /// Sector index of ticker `i`.
+    pub fn sector_of(&self, i: usize) -> usize {
+        self.sector_of[i]
+    }
+
+    /// Advances one trading day and returns the records.
+    pub fn next_day<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<StockRecord> {
+        let sector_shock: Vec<f64> =
+            (0..self.config.sectors).map(|_| standard_normal(rng)).collect();
+        let w = self.config.sector_weight;
+        let records = self
+            .prices
+            .iter_mut()
+            .enumerate()
+            .map(|(i, price)| {
+                let shared = sector_shock[self.sector_of[i]];
+                let own = standard_normal(rng);
+                // Correlated shock with unit variance.
+                let shock = w * shared + (1.0 - w * w).max(0.0).sqrt() * own;
+                let ret = self.config.drift + self.config.volatility * shock;
+                let open = *price;
+                let close = (open * ret.exp()).max(0.01);
+                let wiggle = self.config.volatility * open * 0.5;
+                let high = open.max(close) + rng.gen_range(0.0..=wiggle.max(f64::MIN_POSITIVE));
+                let low = (open.min(close) - rng.gen_range(0.0..=wiggle.max(f64::MIN_POSITIVE)))
+                    .max(0.01);
+                let volume = rng.gen_range(100_000..10_000_000);
+                *price = close;
+                StockRecord {
+                    day: self.day,
+                    ticker: self.tickers[i].clone(),
+                    open,
+                    high,
+                    low,
+                    close,
+                    volume,
+                }
+            })
+            .collect();
+        self.day += 1;
+        records
+    }
+
+    /// Generates the closing-price series of every ticker over `days` days.
+    /// Returns `(tickers, series)` where `series[i][d]` is ticker `i`'s
+    /// close on day `d`.
+    pub fn closing_series<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        days: usize,
+    ) -> Vec<Vec<f64>> {
+        let n = self.tickers.len();
+        let mut series = vec![Vec::with_capacity(days); n];
+        for _ in 0..days {
+            for (i, rec) in self.next_day(rng).into_iter().enumerate() {
+                series[i].push(rec.close);
+            }
+        }
+        series
+    }
+}
+
+/// Pearson correlation of two equal-length series.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series length mismatch");
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn record_fields_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut m = Market::new(MarketConfig::default());
+        for _ in 0..20 {
+            for r in m.next_day(&mut rng) {
+                assert!(r.low <= r.open && r.open <= r.high, "{r:?}");
+                assert!(r.low <= r.close && r.close <= r.high, "{r:?}");
+                assert!(r.low > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn same_sector_more_correlated_than_cross_sector() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let cfg = MarketConfig { sectors: 4, tickers_per_sector: 2, ..Default::default() };
+        let mut m = Market::new(cfg);
+        let series = m.closing_series(&mut rng, 500);
+        // Log-returns for correlation.
+        let rets: Vec<Vec<f64>> = series
+            .iter()
+            .map(|s| s.windows(2).map(|w| (w[1] / w[0]).ln()).collect())
+            .collect();
+        let same = pearson(&rets[0], &rets[1]); // S00T00 vs S00T01
+        let cross = pearson(&rets[0], &rets[2]); // S00T00 vs S01T00
+        assert!(same > 0.5, "same-sector correlation {same} too low");
+        assert!(same > cross + 0.2, "sector structure not visible: {same} vs {cross}");
+    }
+
+    #[test]
+    fn day_counter_advances() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = Market::new(MarketConfig::default());
+        let d0 = m.next_day(&mut rng);
+        let d1 = m.next_day(&mut rng);
+        assert_eq!(d0[0].day, 0);
+        assert_eq!(d1[0].day, 1);
+    }
+
+    #[test]
+    fn ticker_naming_and_sectors() {
+        let m = Market::new(MarketConfig { sectors: 2, tickers_per_sector: 3, ..Default::default() });
+        assert_eq!(m.tickers().len(), 6);
+        assert_eq!(m.tickers()[0], "S00T00");
+        assert_eq!(m.sector_of(4), 1);
+    }
+
+    #[test]
+    fn pearson_bounds_and_identity() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        assert!((pearson(&a, &a) - 1.0).abs() < 1e-12);
+        let b: Vec<f64> = a.iter().map(|v| -v).collect();
+        assert!((pearson(&a, &b) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let gen = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            Market::new(MarketConfig::default()).closing_series(&mut rng, 30)
+        };
+        assert_eq!(gen(99), gen(99));
+    }
+}

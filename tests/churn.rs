@@ -1,0 +1,120 @@
+//! Churn stress tests for the routing substrate: random joins, graceful
+//! leaves and abrupt crashes interleaved with lookups, verifying the
+//! fault-tolerance and adaptivity claims (§I, §VII).
+
+use dsindex::chord::{IdSpace, Ring};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn fresh_ring(space: IdSpace, n: u64) -> (Ring, Vec<u64>) {
+    let ids: Vec<u64> = (0..n).map(|i| space.hash_str(&format!("dc-{i}"))).collect();
+    (Ring::with_nodes(space, ids.iter().copied()), ids)
+}
+
+#[test]
+fn random_churn_converges_back_to_consistency() {
+    let space = IdSpace::new(16);
+    let (mut ring, _) = fresh_ring(space, 48);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut next_join = 1000u64;
+
+    for round in 0..20 {
+        // A burst of random churn events.
+        for _ in 0..3 {
+            match rng.gen_range(0..3) {
+                0 => {
+                    let id = space.hash_str(&format!("joiner-{next_join}"));
+                    next_join += 1;
+                    if !ring.contains(id) {
+                        let boot = *ring.node_ids().first().unwrap();
+                        ring.join(id, boot);
+                    }
+                }
+                1 if ring.len() > 8 => {
+                    let ids = ring.node_ids();
+                    let victim = ids[rng.gen_range(0..ids.len())];
+                    ring.leave(victim);
+                }
+                _ if ring.len() > 8 => {
+                    let ids = ring.node_ids();
+                    let victim = ids[rng.gen_range(0..ids.len())];
+                    ring.crash(victim);
+                }
+                _ => {}
+            }
+        }
+        // Mid-churn, lookups must terminate at a *live* node. (Exact
+        // correctness mid-churn is guaranteed for failures via successor
+        // lists, but a just-joined node is only visible after
+        // stabilization — Chord's eventual-consistency contract.)
+        let origin = *ring.node_ids().first().unwrap();
+        for _ in 0..10 {
+            let key = rng.gen_range(0..space.modulus());
+            let found = ring.lookup(origin, key).owner;
+            assert!(ring.contains(found), "round {round}: lookup returned a dead node");
+        }
+        // Stabilize; must converge within a few rounds.
+        let mut converged = false;
+        for _ in 0..12 {
+            ring.stabilize_round();
+            ring.fix_fingers_round();
+            if ring.is_fully_consistent() {
+                converged = true;
+                break;
+            }
+        }
+        assert!(converged, "round {round}: stabilization did not converge");
+    }
+}
+
+#[test]
+fn mass_crash_is_survivable_with_successor_lists() {
+    let space = IdSpace::new(16);
+    let (mut ring, ids) = fresh_ring(space, 64);
+    let mut rng = StdRng::seed_from_u64(3);
+    // Crash 25% of nodes simultaneously — but never more adjacent nodes
+    // than the successor list covers.
+    let mut victims: Vec<u64> = ids.iter().copied().step_by(4).collect();
+    victims.truncate(16);
+    for &v in &victims {
+        ring.crash(v);
+    }
+    let origin = ids.iter().copied().find(|n| ring.contains(*n)).unwrap();
+    for _ in 0..50 {
+        let key = rng.gen_range(0..space.modulus());
+        assert_eq!(ring.lookup(origin, key).owner, ring.ideal_successor(key).unwrap());
+    }
+    for _ in 0..10 {
+        ring.stabilize_round();
+        ring.fix_fingers_round();
+    }
+    assert!(ring.is_fully_consistent());
+}
+
+#[test]
+fn join_preserves_o_log_n_hops() {
+    let space = IdSpace::new(20);
+    let (mut ring, ids) = fresh_ring(space, 64);
+    // Double the ring size through protocol joins.
+    for i in 0..64 {
+        let id = space.hash_str(&format!("second-wave-{i}"));
+        if !ring.contains(id) {
+            ring.join(id, ids[0]);
+        }
+        if i % 8 == 7 {
+            ring.stabilize_round();
+            ring.fix_fingers_round();
+        }
+    }
+    for _ in 0..6 {
+        ring.stabilize_round();
+        ring.fix_fingers_round();
+    }
+    assert!(ring.is_fully_consistent());
+    // Average hops stays around (1/2) log2(128) ~= 3.5.
+    let mut rng = StdRng::seed_from_u64(11);
+    let total: u32 =
+        (0..100).map(|_| ring.lookup(ids[0], rng.gen_range(0..space.modulus())).hops()).sum();
+    let avg = total as f64 / 100.0;
+    assert!(avg < 7.0, "average hops {avg} too high after doubling membership");
+}

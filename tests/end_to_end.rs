@@ -1,0 +1,179 @@
+//! Full-stack integration tests: streams in, queries in, verified matches
+//! out — across dsp, chord, simnet and core together.
+
+use dsindex::prelude::*;
+
+fn cluster(n: usize, window: usize) -> Cluster {
+    let mut cfg = ClusterConfig::new(n);
+    cfg.workload.window_len = window;
+    cfg.workload.num_coeffs = 2;
+    cfg.workload.mbr_batch = 4;
+    cfg.kind = SimilarityKind::Subsequence;
+    Cluster::new(cfg)
+}
+
+/// A family of windows with controllable shape difference.
+fn wave(window: usize, level: f64, detune: f64) -> Vec<f64> {
+    (0..window).map(|i| level + (i as f64 * (0.5 + detune)).sin()).collect()
+}
+
+#[test]
+fn no_false_dismissals_across_the_full_stack() {
+    // 20 streams with a spectrum of shapes; for every query radius, every
+    // stream whose exact normalized distance to the query is within the
+    // radius must be notified. (False positives are allowed by design and
+    // filtered by verification; false dismissals never.)
+    let window = 32;
+    let mut c = cluster(24, window);
+    let mut sids = Vec::new();
+    for i in 0..20 {
+        let sid = c.register_stream(&format!("s{i}"), i);
+        sids.push(sid);
+        let series = wave(window + 16, 0.2 + 0.05 * i as f64, 0.01 * i as f64);
+        for &v in &series {
+            c.post_value(sid, v, SimTime::ZERO);
+        }
+    }
+    let target = wave(window, 0.4, 0.04); // matches streams near i = 4
+    for radius in [0.05, 0.15, 0.4] {
+        let qid = c.post_similarity_query(2, target.clone(), radius, 60_000, SimTime::ZERO);
+        c.notify_all(SimTime::from_ms(2000));
+        let notified: Vec<StreamId> =
+            c.notifications(qid).iter().map(|n| n.stream).collect();
+        for &sid in &sids {
+            let win = c.streams()[sid as usize].extractor.window_snapshot();
+            let d = dsindex::dsp::normalized_distance(&target, &win, Normalization::UnitNorm);
+            if d <= radius - 1e-9 {
+                assert!(
+                    notified.contains(&sid),
+                    "stream {sid} at exact distance {d} missing for radius {radius}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn notifications_only_contain_true_matches() {
+    // Verification must filter every false positive: each notified stream's
+    // current window is within the radius.
+    let window = 32;
+    let mut c = cluster(16, window);
+    for i in 0..10 {
+        let sid = c.register_stream(&format!("s{i}"), i);
+        let series = wave(window + 8, 0.1 * i as f64, 0.02 * i as f64);
+        for &v in &series {
+            c.post_value(sid, v, SimTime::ZERO);
+        }
+    }
+    let target = wave(window, 0.3, 0.06);
+    let radius = 0.2;
+    let qid = c.post_similarity_query(1, target.clone(), radius, 60_000, SimTime::ZERO);
+    c.notify_all(SimTime::from_ms(2000));
+    for n in c.notifications(qid) {
+        let win = c.streams()[n.stream as usize].extractor.window_snapshot();
+        let d = dsindex::dsp::normalized_distance(&target, &win, Normalization::UnitNorm);
+        assert!(d <= radius + 1e-9, "notified stream {} at distance {d}", n.stream);
+    }
+}
+
+#[test]
+fn summaries_land_on_the_ring_where_eq6_says() {
+    // The stored replicas of a stream's MBR must sit exactly on the nodes
+    // covering the MBR's Eq. 6 key range.
+    let window = 32;
+    let mut c = cluster(12, window);
+    let sid = c.register_stream("s", 0);
+    let mut plan = None;
+    for (i, v) in wave(window + 8, 0.5, 0.0).into_iter().enumerate() {
+        if let Some(p) = c.post_value(sid, v, SimTime::from_ms(i as u64)) {
+            plan = Some(p);
+        }
+    }
+    let plan = plan.expect("an MBR shipped");
+    // Recompute the expected covering set from the ring directly.
+    let fv = c.streams()[0].extractor.current();
+    let key = dsindex::core::summary_key(c.space(), &fv);
+    let owner = c.ring().ideal_successor(key).unwrap();
+    assert!(
+        plan.nodes().contains(&owner),
+        "the current summary's key owner must hold a replica"
+    );
+}
+
+#[test]
+fn inner_product_accuracy_improves_with_coefficients() {
+    let window = 64;
+    let exact_of = |c: &Cluster, span: usize| -> f64 {
+        let win = c.streams()[0].extractor.window_snapshot();
+        win[..span].iter().sum::<f64>() / span as f64
+    };
+    let mut errors = Vec::new();
+    for k in [1usize, 4, 8] {
+        let mut cfg = ClusterConfig::new(8);
+        cfg.workload.window_len = window;
+        cfg.workload.num_coeffs = k;
+        cfg.kind = SimilarityKind::Subsequence;
+        let mut c = Cluster::new(cfg);
+        let sid = c.register_stream("s", 0);
+        for (i, v) in wave(window + 8, 1.0, 0.02).into_iter().enumerate() {
+            c.post_value(sid, v, SimTime::from_ms(i as u64 * 10));
+        }
+        let span = 16;
+        let qid = c.post_inner_product_query(
+            3,
+            sid,
+            (0..span).collect(),
+            vec![1.0 / span as f64; span],
+            60_000,
+            SimTime::from_secs(1),
+        );
+        c.notify_all(SimTime::from_secs(2));
+        let (_, approx) = c.ip_results(qid)[0];
+        errors.push((approx - exact_of(&c, span)).abs());
+    }
+    assert!(
+        errors[2] <= errors[0] + 1e-9,
+        "more coefficients must not worsen the approximation: {errors:?}"
+    );
+}
+
+#[test]
+fn responses_stop_after_lifespan_and_mbrs_expire() {
+    let window = 32;
+    let mut c = cluster(8, window);
+    let sid = c.register_stream("s", 0);
+    for (i, v) in wave(window + 8, 0.2, 0.0).into_iter().enumerate() {
+        c.post_value(sid, v, SimTime::from_ms(i as u64));
+    }
+    let target = c.streams()[0].extractor.window_snapshot();
+    let qid = c.post_similarity_query(2, target, 0.1, 3000, SimTime::ZERO);
+    c.notify_all(SimTime::from_ms(1000));
+    let live = c.notifications(qid).len();
+    assert!(live > 0, "must match while alive");
+    c.notify_all(SimTime::from_ms(10_000)); // query and MBRs both expired
+    assert_eq!(c.notifications(qid).len(), live, "no notifications after expiry");
+    // The notify cycle's purge actually freed the storage on every node
+    // (all MBRs were posted around t=0 with BSPAN 5 s).
+    for &id in c.node_ids() {
+        assert_eq!(c.node(id).mbr_count(), 0, "node {id} still holds expired MBRs");
+    }
+}
+
+#[test]
+fn experiment_driver_is_deterministic_across_threads() {
+    // The bench harness runs sweeps in parallel; reports must be identical
+    // to sequential runs (determinism crosses the crate boundary).
+    let mut cfg = ExperimentConfig::with_nodes(12);
+    cfg.warmup_ms = 8000;
+    cfg.measure_ms = 8000;
+    let a = run_experiment(&cfg);
+    let handle = std::thread::spawn({
+        let cfg = cfg.clone();
+        move || run_experiment(&cfg)
+    });
+    let b = handle.join().unwrap();
+    assert_eq!(format!("{:?}", a.load), format!("{:?}", b.load));
+    assert_eq!(a.per_node_load, b.per_node_load);
+    assert_eq!(a.events, b.events);
+}

@@ -1,0 +1,78 @@
+//! The portability claim (§I, §VII): "the proposed middleware relies on the
+//! standard distributed hashing table interface ... rather than on a
+//! particular implementation", so it "can be used on top of any existing
+//! content-based routing implementation".
+//!
+//! We run the identical workload on two substrates — Chord (finger tables)
+//! and a Pastry-style prefix-routing overlay — and check that *what* the
+//! system computes is identical while *how* messages travel differs.
+
+use dsindex::chord::{PastryNet, Ring};
+use dsindex::core::run_experiment_on;
+use dsindex::prelude::*;
+
+fn cfg(n: usize) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::with_nodes(n);
+    cfg.warmup_ms = 12_000;
+    cfg.measure_ms = 15_000;
+    cfg
+}
+
+#[test]
+fn identical_results_on_chord_and_pastry() {
+    let chord = run_experiment_on::<Ring>(&cfg(40));
+    let pastry = run_experiment_on::<PastryNet>(&cfg(40));
+
+    // Semantics are substrate-independent: same events, same matches, same
+    // candidate counts (ownership is successor-based on both).
+    assert_eq!(chord.events, pastry.events, "input events must not depend on the substrate");
+    assert_eq!(chord.matches_delivered, pastry.matches_delivered);
+    assert_eq!(chord.candidates, pastry.candidates);
+
+    // Mechanics differ: prefix routing takes different (here: no more)
+    // hops than binary fingers.
+    assert!(
+        pastry.hops.mbr <= chord.hops.mbr,
+        "base-16 prefix routing should not need more hops than base-2 fingers: {} vs {}",
+        pastry.hops.mbr,
+        chord.hops.mbr
+    );
+    assert!(pastry.hops.mbr > 0.0, "pastry must still route through the overlay");
+}
+
+#[test]
+fn cluster_api_works_unchanged_on_pastry() {
+    // The full middleware API — streams, similarity queries, inner products,
+    // notifications — driven on the non-default backend.
+    let mut ccfg = ClusterConfig::new(12);
+    ccfg.workload.window_len = 16;
+    ccfg.workload.mbr_batch = 2;
+    ccfg.kind = SimilarityKind::Subsequence;
+    let mut c: Cluster<PastryNet> = Cluster::with_backend(ccfg);
+    let sid = c.register_stream("s", 0);
+    for i in 0..32u64 {
+        let v = 0.5 + (i as f64 * 0.5).sin();
+        c.post_value(sid, v, SimTime::from_ms(i * 100));
+    }
+    let target = c.streams()[0].extractor.window_snapshot();
+    let qid = c.post_similarity_query(3, target, 0.1, 60_000, SimTime::from_ms(3200));
+    c.notify_all(SimTime::from_ms(4000));
+    assert!(c.notifications(qid).iter().any(|n| n.stream == sid));
+
+    let ip = c.post_inner_product_query(5, sid, vec![0, 1], vec![0.5, 0.5], 60_000,
+        SimTime::from_ms(4000));
+    c.notify_all(SimTime::from_ms(6000));
+    assert!(!c.ip_results(ip).is_empty());
+}
+
+#[test]
+fn pastry_hops_beat_chord_at_scale() {
+    let chord = run_experiment_on::<Ring>(&cfg(120));
+    let pastry = run_experiment_on::<PastryNet>(&cfg(120));
+    assert!(
+        pastry.hops.query < chord.hops.query,
+        "at 120 nodes, log16 routing must beat log2: {} vs {}",
+        pastry.hops.query,
+        chord.hops.query
+    );
+}

@@ -1,0 +1,80 @@
+//! Scale and placement robustness: many streams per data center, skewed
+//! placement, and a large-system smoke run.
+
+use dsindex::prelude::*;
+
+#[test]
+fn multiple_streams_per_data_center() {
+    // The paper's experiments use one stream per node "in all our tests",
+    // but data centers are explicitly proxies for *sets* of sensors; the
+    // middleware must handle several streams at one home.
+    let mut cfg = ClusterConfig::new(6);
+    cfg.workload.window_len = 16;
+    // zeta = 1 so the newest summary always ships (queries verify against
+    // the *current* window).
+    cfg.workload.mbr_batch = 1;
+    cfg.kind = SimilarityKind::Subsequence;
+    let mut c = Cluster::new(cfg);
+    // 18 streams over 6 nodes: three each.
+    let sids: Vec<StreamId> =
+        (0..18).map(|i| c.register_stream(&format!("s{i}"), i % 6)).collect();
+    for step in 0..40u64 {
+        for (i, &sid) in sids.iter().enumerate() {
+            let v = i as f64 * 0.1 + (step as f64 * 0.5 + i as f64).sin();
+            c.post_value(sid, v, SimTime::from_ms(step * 100));
+        }
+    }
+    // Each stream is individually queryable.
+    for &probe in &[0usize, 7, 17] {
+        let target = c.streams()[probe].extractor.window_snapshot();
+        let qid = c.post_similarity_query(1, target, 0.1, 60_000, SimTime::from_ms(4000));
+        c.notify_all(SimTime::from_ms(4500));
+        assert!(
+            c.notifications(qid).iter().any(|n| n.stream == sids[probe]),
+            "stream {probe} must match its own window"
+        );
+    }
+}
+
+#[test]
+fn skewed_placement_still_spreads_index_load() {
+    // All streams homed at ONE data center: the *index* load (where
+    // summaries are stored) must still spread over the ring, because
+    // placement follows content, not origin.
+    let mut cfg = ClusterConfig::new(12);
+    cfg.workload.window_len = 16;
+    cfg.workload.mbr_batch = 2;
+    cfg.workload.bspan_ms = 600_000; // keep everything stored for the check
+    cfg.kind = SimilarityKind::Subsequence;
+    let mut c = Cluster::new(cfg);
+    let sids: Vec<StreamId> =
+        (0..12).map(|i| c.register_stream(&format!("s{i}"), 0)).collect();
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let mut walks: Vec<_> =
+        (0..sids.len()).map(|_| dsindex::streamgen::RandomWalk::sample_spread(&mut rng)).collect();
+    for step in 0..120u64 {
+        for (i, &sid) in sids.iter().enumerate() {
+            let v = walks[i].next_value(&mut rng);
+            c.post_value(sid, v, SimTime::from_ms(step * 100));
+        }
+    }
+    let holders = c.node_ids().iter().filter(|&&n| c.node(n).mbr_count() > 0).count();
+    assert!(
+        holders >= 4,
+        "content routing must spread replicas across the ring, got {holders} holders"
+    );
+}
+
+#[test]
+#[ignore = "stress run: ~1000 nodes, run with cargo test -- --ignored"]
+fn thousand_node_experiment_smoke() {
+    let mut cfg = ExperimentConfig::with_nodes(1000);
+    cfg.warmup_ms = 30_000;
+    cfg.measure_ms = 30_000;
+    let r = run_experiment(&cfg);
+    assert_eq!(r.num_nodes, 1000);
+    assert!(r.events.mbrs > 0 && r.events.queries > 0 && r.events.responses > 0);
+    // The scalability claims extrapolate: transit stays logarithmic-ish.
+    assert!(r.load.mbrs_in_transit < 20.0, "transit load {}", r.load.mbrs_in_transit);
+}
