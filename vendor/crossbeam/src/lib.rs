@@ -1,0 +1,87 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only `crossbeam::thread::scope` is provided, implemented on top of
+//! `std::thread::scope` (stable since 1.63). The crossbeam API differences
+//! this preserves: `scope` returns `Result` (Err if any unjoined thread
+//! panicked) and spawn closures receive a scope argument.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Handle passed to `scope` and to each spawned closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a scope token
+        /// (crossbeam passes the scope so threads can spawn more threads;
+        /// this shim's token supports nothing and is typically ignored).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&NestedScope(()))) }
+        }
+    }
+
+    /// Opaque token handed to spawn closures in place of a nested scope.
+    pub struct NestedScope(());
+
+    /// Runs `f` with a scope in which threads borrowing local data can be
+    /// spawned; all threads are joined before `scope` returns. Returns
+    /// `Err` with the panic payload if the scope body or an unjoined
+    /// thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let wrapper = Scope { inner: s };
+                f(&wrapper)
+            })
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = vec![1u64, 2, 3, 4];
+            let mut out = vec![0u64; 4];
+            super::scope(|scope| {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    let data = &data;
+                    scope.spawn(move |_| {
+                        *slot = data[i] * 10;
+                    });
+                }
+            })
+            .expect("threads join cleanly");
+            assert_eq!(out, vec![10, 20, 30, 40]);
+        }
+
+        #[test]
+        fn panicking_thread_surfaces_as_err() {
+            let r = super::scope(|scope| {
+                scope.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls against the
+//! vendored serde shim's `Value` model. The parser reads only what the
+//! generated code needs — type name, field names, variant shapes — directly
+//! from the token stream (no `syn`/`quote`, which are unavailable offline).
+//!
+//! Supported shapes: named/tuple/unit structs and enums with unit, tuple
+//! and struct variants. Generic types are rejected with a `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(inp) => gen_serialize(&inp).parse().expect("generated Serialize impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(inp) => gen_deserialize(&inp).parse().expect("generated Deserialize impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().expect("compile_error parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Cursor {
+        Cursor { toks: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips any number of `#[...]` attributes (incl. doc comments).
+    fn skip_attrs(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Skips `pub` / `pub(...)` visibility.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Skips tokens until a `,` at angle-bracket depth 0, consuming it.
+    /// Returns true if a comma was consumed (false at end of stream).
+    fn skip_until_comma(&mut self) -> bool {
+        let mut angle: i32 = 0;
+        let mut prev_dash = false;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                let c = p.as_char();
+                match c {
+                    '<' => angle += 1,
+                    '>' if !prev_dash => angle -= 1, // `->` is not a closing angle
+                    ',' if angle <= 0 => return true,
+                    _ => {}
+                }
+                prev_dash = c == '-';
+            } else {
+                prev_dash = false;
+            }
+        }
+        false
+    }
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let kw = match c.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {:?}", other)),
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {:?}", other)),
+    };
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim: cannot derive for generic type `{name}` (write a manual impl)"
+            ));
+        }
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let g = g.stream();
+                    parse_named_fields(g)?
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let g = g.stream();
+                    Fields::Tuple(count_tuple_fields(g))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unexpected struct body: {:?}", other)),
+            };
+            Ok(Input { name, shape: Shape::Struct(fields) })
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, found {:?}", other)),
+            };
+            Ok(Input { name, shape: Shape::Enum(parse_variants(body)?) })
+        }
+        other => Err(format!("expected `struct` or `enum`, found `{other}`")),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Fields, String> {
+    let mut c = Cursor::new(body);
+    let mut names = Vec::new();
+    loop {
+        c.skip_attrs();
+        c.skip_vis();
+        match c.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                match c.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => return Err(format!("expected `:` after field, found {:?}", other)),
+                }
+                if !c.skip_until_comma() {
+                    break; // last field without trailing comma
+                }
+            }
+            Some(other) => return Err(format!("expected field name, found {:?}", other)),
+        }
+    }
+    Ok(Fields::Named(names))
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    let mut count = 0;
+    loop {
+        c.skip_attrs();
+        c.skip_vis();
+        if c.peek().is_none() {
+            break;
+        }
+        count += 1;
+        if !c.skip_until_comma() {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        let name = match c.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected variant name, found {:?}", other)),
+        };
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                c.pos += 1;
+                parse_named_fields(inner)?
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                c.pos += 1;
+                Fields::Tuple(count_tuple_fields(inner))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip optional `= discriminant` and the separating comma.
+        match c.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                c.pos += 1;
+                c.skip_until_comma();
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                c.pos += 1;
+            }
+            _ => {}
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation (rendered as source text, then re-parsed)
+// ---------------------------------------------------------------------
+
+fn gen_serialize(inp: &Input) -> String {
+    let name = &inp.name;
+    let body = match &inp.shape {
+        Shape::Struct(Fields::Unit) => "serde::Value::Null".to_string(),
+        Shape::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("({:?}.to_string(), serde::Serialize::to_value(&self.{f}))", f)
+                })
+                .collect();
+            format!("serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::Struct(Fields::Tuple(1)) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("serde::Serialize::to_value(&self.{i})")).collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => serde::Value::Str({:?}.to_string()),",
+                            vn
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => serde::Value::Object(vec![({:?}.to_string(), \
+                             serde::Serialize::to_value(f0))]),",
+                            vn
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Value::Object(vec![({:?}.to_string(), \
+                                 serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                vn,
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({:?}.to_string(), serde::Serialize::to_value({f}))",
+                                        f
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => serde::Value::Object(vec![\
+                                 ({:?}.to_string(), serde::Value::Object(vec![{}]))]),",
+                                vn,
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{\n        {body}\n    }}\n}}"
+    )
+}
+
+fn gen_deserialize(inp: &Input) -> String {
+    let name = &inp.name;
+    let body = match &inp.shape {
+        Shape::Struct(Fields::Unit) => format!("{{ let _ = v; Ok({name}) }}"),
+        Shape::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(serde::field(v, {:?}, {:?})?)?",
+                        f, name
+                    )
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("serde::Deserialize::from_value(&a[{i}])?")).collect();
+            format!(
+                "{{ let a = v.as_array().ok_or_else(|| serde::Error::expected({:?}, v))?; \
+                 if a.len() != {n} {{ return Err(serde::Error::msg(format!(\
+                 \"expected {n} elements for {name}, got {{}}\", a.len()))); }} \
+                 Ok({name}({})) }}",
+                name,
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push(format!("{:?} => return Ok({name}::{vn}),", vn));
+                    }
+                    Fields::Tuple(1) => tagged_arms.push(format!(
+                        "{:?} => return Ok({name}::{vn}(serde::Deserialize::from_value(inner)?)),",
+                        vn
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(&a[{i}])?"))
+                            .collect();
+                        tagged_arms.push(format!(
+                            "{:?} => {{ let a = inner.as_array().ok_or_else(|| \
+                             serde::Error::expected(\"array\", inner))?; \
+                             if a.len() != {n} {{ return Err(serde::Error::msg(format!(\
+                             \"expected {n} elements for {name}::{vn}, got {{}}\", a.len()))); }} \
+                             return Ok({name}::{vn}({})); }}",
+                            vn,
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let ty = format!("{name}::{vn}");
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: serde::Deserialize::from_value(\
+                                     serde::field(inner, {:?}, {:?})?)?",
+                                    f, ty
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push(format!(
+                            "{:?} => return Ok({name}::{vn} {{ {} }}),",
+                            vn,
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            let unit_block = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let Some(s) = v.as_str() {{ match s {{ {} _ => return \
+                     Err(serde::Error::msg(format!(\"unknown variant `{{s}}` of {name}\"))), }} }}",
+                    unit_arms.join(" ")
+                )
+            };
+            let tagged_block = if tagged_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let Some(obj) = v.as_object() {{ if obj.len() == 1 {{ \
+                     let (tag, inner) = &obj[0]; let _ = inner; match tag.as_str() {{ {} _ => return \
+                     Err(serde::Error::msg(format!(\"unknown variant `{{tag}}` of {name}\"))), }} }} }}",
+                    tagged_arms.join(" ")
+                )
+            };
+            format!(
+                "{{ {unit_block} {tagged_block} Err(serde::Error::expected({:?}, v)) }}",
+                name
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n        {body}\n    }}\n}}"
+    )
+}
