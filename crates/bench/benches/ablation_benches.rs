@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dsi_chord::{IdSpace, RangeStrategy};
 use dsi_core::{run_experiment, ExperimentConfig, SimilarityKind, SimilarityQuery};
-use dsi_hierarchy::{Hierarchy, HierarchicalIndex};
+use dsi_hierarchy::{HierarchicalIndex, Hierarchy};
 use dsi_simnet::SimTime;
 use std::hint::black_box;
 
@@ -73,13 +73,9 @@ fn bench_wide_query_routing(c: &mut Criterion) {
     let (lo, hi) = dsi_core::radius_key_range(space, q.feature.first_real(), q.radius);
 
     group.bench_function("flat_multicast_plan", |b| {
-        b.iter(|| {
-            black_box(dsi_chord::multicast(&ring, ids[0], lo, hi, RangeStrategy::Sequential))
-        })
+        b.iter(|| black_box(dsi_chord::multicast(&ring, ids[0], lo, hi, RangeStrategy::Sequential)))
     });
-    group.bench_function("hierarchy_escalation", |b| {
-        b.iter(|| black_box(index.route_query(&q)))
-    });
+    group.bench_function("hierarchy_escalation", |b| b.iter(|| black_box(index.route_query(&q))));
     group.finish();
 }
 

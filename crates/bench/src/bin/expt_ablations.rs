@@ -9,8 +9,8 @@
 //! * retained coefficients k: candidate precision vs summary size.
 
 use dsi_bench::{quick_mode, write_json};
-use dsi_core::{run_experiment, ExperimentConfig, SimilarityKind, SystemReport};
 use dsi_chord::RangeStrategy;
+use dsi_core::{run_experiment, ExperimentConfig, SimilarityKind, SystemReport};
 
 fn base(n: usize, quick: bool) -> ExperimentConfig {
     let mut cfg = ExperimentConfig::with_nodes(n);
@@ -58,10 +58,7 @@ fn main() {
         let mut cfg = base(n, quick);
         cfg.workload.mbr_max_width = bound;
         let r = run_experiment(&cfg);
-        println!(
-            "  {:>10} {:>14.3} {:>14.2}",
-            name, r.load.mbrs_internal, r.hops.mbr_internal
-        );
+        println!("  {:>10} {:>14.3} {:>14.2}", name, r.load.mbrs_internal, r.hops.mbr_internal);
         results.push((format!("width-{name}"), r));
     }
 
@@ -88,10 +85,9 @@ fn main() {
 
     println!("\n== Ablation: similarity flavor / routing coefficient (N = {n}) ==");
     println!("  {:>14} {:>14} {:>14}", "flavor", "MBRint/MBR", "total load");
-    for (name, kind) in [
-        ("subsequence", SimilarityKind::Subsequence),
-        ("correlation", SimilarityKind::Correlation),
-    ] {
+    for (name, kind) in
+        [("subsequence", SimilarityKind::Subsequence), ("correlation", SimilarityKind::Correlation)]
+    {
         let mut cfg = base(n, quick);
         cfg.kind = kind;
         let r = run_experiment(&cfg);
@@ -107,7 +103,10 @@ fn main() {
         let r = run_experiment(&cfg);
         println!(
             "  {:>5} {:>12} {:>12} {:>12.3}",
-            k, r.candidates, r.matches_delivered, precision(&r)
+            k,
+            r.candidates,
+            r.matches_delivered,
+            precision(&r)
         );
         results.push((format!("k-{k}"), r));
     }
@@ -116,7 +115,10 @@ fn main() {
     summarizer_ablation();
 
     println!("\n== Ablation: update bandwidth — individual summaries vs one MBR per batch ==");
-    println!("  {:>3} {:>5} {:>14} {:>12} {:>8}", "k", "zeta", "individual (B)", "batched (B)", "saving");
+    println!(
+        "  {:>3} {:>5} {:>14} {:>12} {:>8}",
+        "k", "zeta", "individual (B)", "batched (B)", "saving"
+    );
     for k in [2usize, 4] {
         for zeta in [5usize, 10, 20] {
             let (individual, batched) = dsi_core::batching_saving(k, zeta);
@@ -148,10 +150,8 @@ fn summarizer_ablation() {
     let w = 64usize;
     let mut walk_src = RandomWalk::standard();
     let mut load_src = HostLoad::standard();
-    let walks: Vec<Vec<f64>> =
-        (0..50).map(|_| walk_src.take_values(&mut rng, w)).collect();
-    let loads: Vec<Vec<f64>> =
-        (0..50).map(|_| load_src.take_values(&mut rng, w)).collect();
+    let walks: Vec<Vec<f64>> = (0..50).map(|_| walk_src.take_values(&mut rng, w)).collect();
+    let loads: Vec<Vec<f64>> = (0..50).map(|_| load_src.take_values(&mut rng, w)).collect();
 
     println!("  {:>12} {:>3} {:>12} {:>12}", "family", "k", "DFT energy", "Haar energy");
     for (name, family) in [("random walk", &walks), ("host load", &loads)] {

@@ -67,8 +67,12 @@ pub fn table1() -> String {
         .unwrap();
     writeln!(out, "  {:<6} {:>10}   (paper: 2sec)", "NPER", format!("{}sec", c.nper_ms / 1000))
         .unwrap();
-    writeln!(out, "  summarization: w = {}, k = {}, zeta = {}", c.window_len, c.num_coeffs, c.mbr_batch)
-        .unwrap();
+    writeln!(
+        out,
+        "  summarization: w = {}, k = {}, zeta = {}",
+        c.window_len, c.num_coeffs, c.mbr_batch
+    )
+    .unwrap();
     out
 }
 
@@ -145,8 +149,8 @@ pub fn fig3b() -> (Fig3bData, String) {
     let dist = |a: &Fig3bPoint, b: &Fig3bPoint| {
         ((a.c1 - b.c1).powi(2) + (a.c2_re - b.c2_re).powi(2) + (a.c2_im - b.c2_im).powi(2)).sqrt()
     };
-    let consecutive: f64 = points.windows(2).map(|w| dist(&w[0], &w[1])).sum::<f64>()
-        / (points.len() - 1) as f64;
+    let consecutive: f64 =
+        points.windows(2).map(|w| dist(&w[0], &w[1])).sum::<f64>() / (points.len() - 1) as f64;
     let stride = points.len() / 2 + 7; // pseudo-random pairing
     let random: f64 = (0..points.len())
         .map(|i| dist(&points[i], &points[(i + stride) % points.len()]))
@@ -168,10 +172,7 @@ pub fn fig3b() -> (Fig3bData, String) {
         random / consecutive
     )
     .unwrap();
-    (
-        Fig3bData { points, mean_consecutive_dist: consecutive, mean_random_dist: random },
-        out,
-    )
+    (Fig3bData { points, mean_consecutive_dist: consecutive, mean_random_dist: random }, out)
 }
 
 // ----------------------------------------------------------------------
@@ -181,11 +182,7 @@ pub fn fig3b() -> (Fig3bData, String) {
 /// Runs the Fig. 6(a) sweep and renders the component table.
 pub fn fig6a(quick: bool) -> (Vec<SystemReport>, String) {
     let s = settings(quick);
-    let counts: Vec<usize> = if quick {
-        vec![50, 100, 200]
-    } else {
-        FULL_NODE_COUNTS.to_vec()
-    };
+    let counts: Vec<usize> = if quick { vec![50, 100, 200] } else { FULL_NODE_COUNTS.to_vec() };
     let reports = parallel_reports(&counts, |n| base_config(n, s));
     let mut out = String::new();
     writeln!(out, "Fig. 6(a) — average load of messages on a node (per second)").unwrap();
@@ -265,8 +262,7 @@ pub fn fig6b(quick: bool) -> (Fig6bData, String) {
 /// Runs the Fig. 7(a)/(b) sweeps (query radius 0.1 and 0.2).
 pub fn fig7(quick: bool) -> (Vec<SystemReport>, Vec<SystemReport>, String) {
     let s = settings(quick);
-    let counts: Vec<usize> =
-        if quick { vec![50, 100, 200] } else { FIG7_NODE_COUNTS.to_vec() };
+    let counts: Vec<usize> = if quick { vec![50, 100, 200] } else { FIG7_NODE_COUNTS.to_vec() };
     let narrow = parallel_reports(&counts, |n| base_config(n, s));
     let wide = parallel_reports(&counts, |n| {
         let mut cfg = base_config(n, s);
@@ -312,11 +308,7 @@ pub fn fig7(quick: bool) -> (Vec<SystemReport>, Vec<SystemReport>, String) {
 /// Runs the Fig. 8 sweep (average hops per message type).
 pub fn fig8(quick: bool) -> (Vec<SystemReport>, String) {
     let s = settings(quick);
-    let counts: Vec<usize> = if quick {
-        vec![50, 100, 200]
-    } else {
-        FULL_NODE_COUNTS.to_vec()
-    };
+    let counts: Vec<usize> = if quick { vec![50, 100, 200] } else { FULL_NODE_COUNTS.to_vec() };
     let reports = parallel_reports(&counts, |n| base_config(n, s));
     let mut out = String::new();
     writeln!(out, "Fig. 8 — average number of hops traversed by a request").unwrap();
@@ -336,8 +328,7 @@ pub fn fig8(quick: bool) -> (Vec<SystemReport>, String) {
         .unwrap();
     }
     writeln!(out, "  expected shapes: point-routed messages ~ (1/2) log2 N;").unwrap();
-    writeln!(out, "                   internal query messages grow linearly (range walk)")
-        .unwrap();
+    writeln!(out, "                   internal query messages grow linearly (range walk)").unwrap();
     let model = dsi_simnet::LatencyModel::default();
     writeln!(out, "  responsiveness at 50 ms/hop (largest N):").unwrap();
     if let Some(r) = reports.last() {

@@ -23,11 +23,7 @@ where
         }
     })
     .expect("sweep threads must not panic");
-    slots
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+    slots.into_inner().into_iter().map(|r| r.expect("every slot filled")).collect()
 }
 
 #[cfg(test)]

@@ -269,9 +269,8 @@ mod tests {
         assert_eq!(plan.entry, 20);
         assert_eq!(plan.nodes(), vec![14, 20, 23]);
         let base = plan.route_hops;
-        let depth_of = |n: ChordId| {
-            plan.deliveries.iter().find(|d| d.node == n).unwrap().hops - base
-        };
+        let depth_of =
+            |n: ChordId| plan.deliveries.iter().find(|d| d.node == n).unwrap().hops - base;
         assert_eq!(depth_of(20), 0);
         assert_eq!(depth_of(14), 1);
         assert_eq!(depth_of(23), 1);

@@ -152,11 +152,7 @@ impl ContentRouter for PastryNet {
     }
 
     fn ideal_successor(&self, key: ChordId) -> Option<ChordId> {
-        self.nodes
-            .range(key..)
-            .next()
-            .or_else(|| self.nodes.iter().next())
-            .map(|(id, _)| *id)
+        self.nodes.range(key..).next().or_else(|| self.nodes.iter().next()).map(|(id, _)| *id)
     }
 
     fn ideal_predecessor(&self, key: ChordId) -> Option<ChordId> {

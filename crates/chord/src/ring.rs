@@ -125,11 +125,7 @@ impl Ring {
         if self.nodes.is_empty() {
             return None;
         }
-        self.nodes
-            .range(key..)
-            .next()
-            .or_else(|| self.nodes.iter().next())
-            .map(|(id, _)| *id)
+        self.nodes.range(key..).next().or_else(|| self.nodes.iter().next()).map(|(id, _)| *id)
     }
 
     /// The true predecessor of `key` (the last node strictly before it).
@@ -268,18 +264,14 @@ impl Ring {
 
         let m = self.space.bits() as usize;
         let succ = self.lookup(bootstrap, id).owner;
-        let fingers: Vec<ChordId> = (0..m)
-            .map(|i| self.lookup(bootstrap, self.space.add(id, 1u64 << i)).owner)
-            .collect();
+        let fingers: Vec<ChordId> =
+            (0..m).map(|i| self.lookup(bootstrap, self.space.add(id, 1u64 << i)).owner).collect();
         let mut successors = vec![succ];
         if let Some(s) = self.nodes.get(&succ) {
             successors.extend(s.successors.iter().copied());
         }
         successors.truncate(self.succ_list_len);
-        self.nodes.insert(
-            id,
-            NodeState { id, fingers, successors, predecessor: None },
-        );
+        self.nodes.insert(id, NodeState { id, fingers, successors, predecessor: None });
         // notify(successor): the new node may be its better predecessor.
         let succ_state = self.nodes.get_mut(&succ).expect("successor is alive");
         let better = match succ_state.predecessor {
@@ -482,11 +474,7 @@ mod tests {
         for from in ring.node_ids() {
             for key in 0..32 {
                 let l = ring.lookup(from, key);
-                assert_eq!(
-                    l.owner,
-                    ring.ideal_successor(key).unwrap(),
-                    "from {from} key {key}"
-                );
+                assert_eq!(l.owner, ring.ideal_successor(key).unwrap(), "from {from} key {key}");
                 // Path starts at origin and ends at owner.
                 assert_eq!(*l.path.first().unwrap(), from);
                 assert_eq!(*l.path.last().unwrap(), l.owner);
@@ -590,9 +578,7 @@ mod tests {
     #[test]
     fn maintenance_costs_scale_as_expected() {
         let space = IdSpace::new(16);
-        let build = |n: u64| {
-            Ring::with_nodes(space, (0..n).map(|i| space.reduce(i * 769 + 11)))
-        };
+        let build = |n: u64| Ring::with_nodes(space, (0..n).map(|i| space.reduce(i * 769 + 11)));
         let mut small = build(32);
         let mut large = build(128);
         // Stabilization: exactly 2 messages per node per round.

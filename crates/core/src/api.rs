@@ -57,11 +57,7 @@ impl StreamIndex<Ring> {
 impl<R: ContentRouter> StreamIndex<R> {
     /// Wraps an existing cluster (any backend).
     pub fn over(cluster: Cluster<R>) -> Self {
-        StreamIndex {
-            cluster,
-            consumed_similarity: HashMap::new(),
-            consumed_ip: HashMap::new(),
-        }
+        StreamIndex { cluster, consumed_similarity: HashMap::new(), consumed_ip: HashMap::new() }
     }
 
     /// Access to the underlying cluster (metrics, topology, quality).

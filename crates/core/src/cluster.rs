@@ -111,6 +111,9 @@ pub struct Cluster<R: ContentRouter = Ring> {
     location_misses: u64,
     metrics: Metrics,
     measuring: bool,
+    /// Whether churn operations re-establish range replication (§VII);
+    /// disabled it models pure soft-state coverage holes.
+    repair_on_churn: bool,
     next_query: QueryId,
     quality: QualityStats,
     /// Per-stream candidates that failed exact verification (false
@@ -169,6 +172,7 @@ impl<R: BuildRouter> Cluster<R> {
             location_misses: 0,
             metrics: Metrics::new(),
             measuring: false,
+            repair_on_churn: true,
             next_query: 1,
             quality: QualityStats::default(),
             stream_false_positives: HashMap::new(),
@@ -311,6 +315,109 @@ impl<R: ContentRouter> Cluster<R> {
         });
     }
 
+    /// Whether churn operations automatically rebalance replicas.
+    pub fn churn_repair(&self) -> bool {
+        self.repair_on_churn
+    }
+
+    /// Enables or disables the automatic [`Cluster::rebalance_replicas`]
+    /// pass after [`Cluster::crash_node`] / [`Cluster::join_node`] (on by
+    /// default). Disabled, the middleware falls back to pure soft-state
+    /// healing: coverage holes persist until the next MBR shipment or
+    /// location refresh. The fault-injection harness uses this switch to
+    /// verify its oracles catch the resulting coverage violations.
+    pub fn set_churn_repair(&mut self, enabled: bool) {
+        self.repair_on_churn = enabled;
+    }
+
+    // ------------------------------------------------------------------
+    // Replica rebalancing (§VII)
+    // ------------------------------------------------------------------
+
+    /// Restores the range-replication invariant after a topology change
+    /// (§VII): every surviving stored MBR ends up on exactly the covering
+    /// set of its Eq. 10 key range (plus its origin while that node lives),
+    /// and every registered similarity query is subscribed at every node of
+    /// its Eq. 8 radius range. Surviving replicas are the copy source, so
+    /// a record vanishes only when *all* of its holders failed — then it is
+    /// gone until the soft-state refresh (the next shipment) restores it.
+    ///
+    /// Runs automatically from the churn operations unless disabled with
+    /// [`Cluster::set_churn_repair`]. Copy messages are charged to metrics
+    /// as internal MBR / query traffic: one neighbor-to-neighbor hop per
+    /// copy, like range forwarding.
+    pub fn rebalance_replicas(&mut self) {
+        // A replica record's identity: one batch shipped by one origin.
+        fn same(a: &StoredMbr, b: &StoredMbr) -> bool {
+            a.stream == b.stream && a.origin == b.origin && a.expires == b.expires && a.mbr == b.mbr
+        }
+
+        // ---- MBR replicas ----
+        // One entry per distinct surviving record, with a holder to copy
+        // from.
+        let mut records: Vec<(StoredMbr, ChordId)> = Vec::new();
+        for &n in &self.node_order {
+            for s in self.nodes[&n].stored_mbrs() {
+                if !records.iter().any(|(r, _)| same(r, s)) {
+                    records.push((s.clone(), n));
+                }
+            }
+        }
+        let mut wants: Vec<Vec<ChordId>> = Vec::with_capacity(records.len());
+        for (rec, holder) in &records {
+            let (lo_v, hi_v) = rec.mbr.first_interval();
+            let (lo, hi) =
+                interval_key_range(self.space, lo_v.clamp(-1.0, 1.0), hi_v.clamp(-1.0, 1.0));
+            let mut want = dsi_chord::covering_nodes(&self.ring, lo, hi);
+            if self.nodes.contains_key(&rec.origin) && !want.contains(&rec.origin) {
+                want.push(rec.origin);
+            }
+            for &n in &want {
+                if !self.nodes[&n].stored_mbrs().iter().any(|s| same(s, rec)) {
+                    if self.measuring {
+                        self.metrics.record_message(MsgClass::MbrInternal, *holder, n);
+                        self.metrics.record_hops(MsgClass::MbrInternal, 1);
+                    }
+                    self.nodes.get_mut(&n).expect("covering node is live").store_mbr(rec.clone());
+                }
+            }
+            wants.push(want);
+        }
+        for n in self.node_order.clone() {
+            self.nodes.get_mut(&n).expect("live node").retain_mbrs(|s| {
+                records.iter().zip(&wants).any(|((r, _), w)| same(r, s) && w.contains(&n))
+            });
+        }
+
+        // ---- similarity-query replicas ----
+        // The global registry is ground truth for posted queries; nodes
+        // newly inside a query's radius range get its subscription. Stale
+        // copies outside the range are harmless (aggregation only reads the
+        // covering set) and expire with the query.
+        let sims: Vec<SimilarityQuery> = self
+            .queries
+            .values()
+            .filter_map(|q| match q {
+                QueryRuntime::Similarity(sq) => Some(sq.clone()),
+                _ => None,
+            })
+            .collect();
+        for q in sims {
+            let (lo, hi) = radius_key_range(self.space, q.feature.first_real(), q.radius);
+            for n in dsi_chord::covering_nodes(&self.ring, lo, hi) {
+                if !self.nodes[&n].has_subscription(q.id) {
+                    if self.measuring {
+                        self.metrics.record_message(MsgClass::QueryInternal, q.aggregator, n);
+                        self.metrics.record_hops(MsgClass::QueryInternal, 1);
+                    }
+                    self.nodes
+                        .get_mut(&n)
+                        .expect("covering node is live")
+                        .subscribe_similarity(q.clone());
+                }
+            }
+        }
+    }
 }
 
 impl Cluster<Ring> {
@@ -322,10 +429,11 @@ impl Cluster<Ring> {
 
     /// Abrupt data-center failure. Its routing state and stored replicas
     /// vanish; streams it sourced go silent until re-homed with
-    /// [`Cluster::rehome_stream`]. Index state is soft (BSPAN / lifespan
-    /// expiry), so coverage self-heals as live streams keep shipping MBRs.
-    /// Queries the dead node aggregated are re-assigned to the new owner of
-    /// their range's middle key.
+    /// [`Cluster::rehome_stream`]. Queries the dead node aggregated are
+    /// re-assigned to the new owner of their range's middle key, and
+    /// [`Cluster::rebalance_replicas`] (unless disabled) re-establishes
+    /// range replication from surviving copies — records whose every holder
+    /// died stay gone until the next shipment (soft state).
     ///
     /// # Panics
     /// Panics if `id` is unknown or it is the last data center.
@@ -344,8 +452,7 @@ impl Cluster<Ring> {
             .iter()
             .filter_map(|(qid, q)| match q {
                 QueryRuntime::Similarity(sq) if sq.aggregator == id => {
-                    let (lo, hi) =
-                        radius_key_range(self.space, sq.feature.first_real(), sq.radius);
+                    let (lo, hi) = radius_key_range(self.space, sq.feature.first_real(), sq.radius);
                     let mid = self.space.midpoint(lo, hi);
                     Some((*qid, self.ring.ideal_successor(mid).expect("non-empty ring")))
                 }
@@ -356,6 +463,10 @@ impl Cluster<Ring> {
             if let Some(QueryRuntime::Similarity(sq)) = self.queries.get_mut(&qid) {
                 sq.aggregator = agg;
             }
+        }
+        // Re-establish range replication from the surviving replicas.
+        if self.repair_on_churn {
+            self.rebalance_replicas();
         }
     }
 
@@ -374,16 +485,17 @@ impl Cluster<Ring> {
         self.stabilize();
         self.nodes.insert(id, DataCenter::new(id));
         self.node_order.push(id);
+        // The joiner took over part of its successor's key interval; hand it
+        // the replicas (and query subscriptions) it now covers.
+        if self.repair_on_churn {
+            self.rebalance_replicas();
+        }
         id
     }
 
     /// Streams whose home data center is no longer alive.
     pub fn orphaned_streams(&self) -> Vec<StreamId> {
-        self.streams
-            .iter()
-            .filter(|s| !self.nodes.contains_key(&s.home))
-            .map(|s| s.id)
-            .collect()
+        self.streams.iter().filter(|s| !self.nodes.contains_key(&s.home)).map(|s| s.id).collect()
     }
 
     /// Re-homes an orphaned (or migrating) stream to the data center at
@@ -712,9 +824,7 @@ impl<R: ContentRouter> Cluster<R> {
             .queries
             .values()
             .filter_map(|q| match q {
-                QueryRuntime::Similarity(sq)
-                    if sq.aggregator == node && !sq.expired(now) =>
-                {
+                QueryRuntime::Similarity(sq) if sq.aggregator == node && !sq.expired(now) => {
                     Some(sq.clone())
                 }
                 _ => None,
@@ -727,8 +837,7 @@ impl<R: ContentRouter> Cluster<R> {
             if self.measuring {
                 self.metrics.record_event(InputEvent::Response);
                 self.record_route(MsgClass::Response, MsgClass::ResponseTransit, &path);
-                self.metrics
-                    .record_hops(MsgClass::Response, (path.len().saturating_sub(1)) as u32);
+                self.metrics.record_hops(MsgClass::Response, (path.len().saturating_sub(1)) as u32);
             }
             let entry = self.notifications.entry(q.id).or_default();
             for stream in matches {
@@ -744,14 +853,12 @@ impl<R: ContentRouter> Cluster<R> {
             if !s.extractor.is_warm() {
                 continue;
             }
-            let value =
-                q.evaluate_approx(s.extractor.raw_prefix(), self.cfg.workload.window_len);
+            let value = q.evaluate_approx(s.extractor.raw_prefix(), self.cfg.workload.window_len);
             let path = self.ring.route(node, q.client).path;
             if self.measuring {
                 self.metrics.record_event(InputEvent::Response);
                 self.record_route(MsgClass::Response, MsgClass::ResponseTransit, &path);
-                self.metrics
-                    .record_hops(MsgClass::Response, (path.len().saturating_sub(1)) as u32);
+                self.metrics.record_hops(MsgClass::Response, (path.len().saturating_sub(1)) as u32);
             }
             self.ip_results.entry(q.id).or_default().push((now, value));
             if q.alert.is_some_and(|a| a.triggered(value)) {
@@ -898,8 +1005,7 @@ mod tests {
         let sid = c.register_stream("s0", 0);
         feed_stream(&mut c, sid, &wave(40, 0.4, 0.0), SimTime::ZERO);
         // An alternating target is far from a smooth sine in z-norm space.
-        let target: Vec<f64> =
-            (0..16).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let target: Vec<f64> = (0..16).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
         let qid = c.post_similarity_query(3, target, 0.05, 60_000, SimTime::ZERO);
         c.notify_all(SimTime::from_ms(2000));
         assert!(c.notifications(qid).is_empty());

@@ -66,6 +66,19 @@ impl DataCenter {
         self.mbrs.len()
     }
 
+    /// Every stored MBR replica, including not-yet-purged expired ones —
+    /// the raw shard contents an external auditor checks placement and
+    /// expiry invariants against.
+    pub fn stored_mbrs(&self) -> &[StoredMbr] {
+        &self.mbrs
+    }
+
+    /// Drops the stored MBRs rejected by `keep` (replica rebalancing after
+    /// churn moves records off nodes that no longer cover their range).
+    pub(crate) fn retain_mbrs(&mut self, keep: impl FnMut(&StoredMbr) -> bool) {
+        self.mbrs.retain(keep);
+    }
+
     /// Peak storage footprint in MBRs.
     pub fn peak_mbr_count(&self) -> usize {
         self.peak_mbrs
@@ -102,6 +115,23 @@ impl DataCenter {
     /// Registers an inner-product subscription at the stream's source node.
     pub fn subscribe_inner_product(&mut self, q: InnerProductQuery) {
         self.ip_subscriptions.insert(q.id, q);
+    }
+
+    /// Whether a similarity subscription with this id is replicated here
+    /// (expired or not).
+    pub fn has_subscription(&self, q: QueryId) -> bool {
+        self.subscriptions.contains_key(&q)
+    }
+
+    /// Every similarity subscription, including not-yet-purged expired ones.
+    pub fn all_subscriptions(&self) -> impl Iterator<Item = &SimilarityQuery> {
+        self.subscriptions.values()
+    }
+
+    /// Every inner-product subscription, including not-yet-purged expired
+    /// ones.
+    pub fn all_ip_subscriptions(&self) -> impl Iterator<Item = &InnerProductQuery> {
+        self.ip_subscriptions.values()
     }
 
     /// Active similarity subscriptions at `now`.
@@ -257,8 +287,7 @@ mod tests {
         let mut dc = DataCenter::new(5);
         dc.subscribe_similarity(query(1, wave(32, 0.3), 0.1, 1000));
         dc.subscribe_similarity(query(1, wave(32, 0.3), 0.2, 1000));
-        let radii: Vec<f64> =
-            dc.active_subscriptions(SimTime::ZERO).map(|q| q.radius).collect();
+        let radii: Vec<f64> = dc.active_subscriptions(SimTime::ZERO).map(|q| q.radius).collect();
         assert_eq!(radii, vec![0.2]);
     }
 

@@ -35,8 +35,8 @@ pub use datacenter::{DataCenter, StoredMbr};
 pub use mapping::{feature_to_key, interval_key_range, radius_key_range, stream_key, summary_key};
 pub use messages::{batching_saving, Message, HEADER_BYTES};
 pub use query::{
-    AlertCondition, InnerProductQuery, MatchNotification, QueryId, SimilarityKind,
-    SimilarityQuery, StreamId,
+    AlertCondition, InnerProductQuery, MatchNotification, QueryId, SimilarityKind, SimilarityQuery,
+    StreamId,
 };
 pub use report::{EventCounts, HopComponents, LoadComponents, OverheadComponents, SystemReport};
 pub use system::{run_experiment, run_experiment_on, ExperimentConfig};

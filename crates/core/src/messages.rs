@@ -141,21 +141,15 @@ mod tests {
         let mbr = Mbr::from_point(&fv(k).to_reals());
         let update = Message::MbrUpdate { stream: 1, mbr, expires: SimTime::ZERO };
         // An MBR carries low + high corners: 2x the coefficient payload.
-        assert_eq!(
-            update.payload_size() - 12,
-            2 * (summary.payload_size() - 12)
-        );
+        assert_eq!(update.payload_size() - 12, 2 * (summary.payload_size() - 12));
     }
 
     #[test]
-    fn batching_saves_bandwidth_beyond_zeta_two(){
+    fn batching_saves_bandwidth_beyond_zeta_two() {
         for k in [1usize, 2, 4] {
             for zeta in [3usize, 5, 10, 20] {
                 let (individual, batched) = batching_saving(k, zeta);
-                assert!(
-                    batched < individual,
-                    "zeta={zeta}, k={k}: {batched} not < {individual}"
-                );
+                assert!(batched < individual, "zeta={zeta}, k={k}: {batched} not < {individual}");
             }
             // zeta = 1 is strictly worse (an MBR is bigger than a point).
             let (individual, batched) = batching_saving(k, 1);

@@ -195,11 +195,7 @@ impl InnerProductQuery {
     /// # Panics
     /// Panics if any index is out of bounds.
     pub fn evaluate_exact(&self, window: &[f64]) -> f64 {
-        self.indices
-            .iter()
-            .zip(self.weights.iter())
-            .map(|(&i, &w)| window[i] * w)
-            .sum()
+        self.indices.iter().zip(self.weights.iter()).map(|(&i, &w)| window[i] * w).sum()
     }
 
     /// Approximate weighted inner product from a DFT coefficient prefix of
@@ -207,11 +203,7 @@ impl InnerProductQuery {
     /// coefficients, then compute `sum_i W_i * x̂_{I_i}`.
     pub fn evaluate_approx(&self, prefix: &[Complex64], window_len: usize) -> f64 {
         let approx = reconstruct_from_prefix(prefix, window_len);
-        self.indices
-            .iter()
-            .zip(self.weights.iter())
-            .map(|(&i, &w)| approx[i] * w)
-            .sum()
+        self.indices.iter().zip(self.weights.iter()).map(|(&i, &w)| approx[i] * w).sum()
     }
 }
 
@@ -277,8 +269,11 @@ mod tests {
         // test must accept (lower-bounding property, Eq. 9).
         let base = wave(32, 0.25, 1.5);
         for perturb in [0.0, 0.01, 0.05, 0.2] {
-            let other: Vec<f64> =
-                base.iter().enumerate().map(|(i, v)| v + perturb * (i as f64 * 1.7).cos()).collect();
+            let other: Vec<f64> = base
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v + perturb * (i as f64 * 1.7).cos())
+                .collect();
             let exact = dsi_dsp::normalized_distance(&base, &other, Normalization::ZNorm);
             let q = SimilarityQuery::from_target(
                 1,
@@ -321,8 +316,14 @@ mod tests {
     fn inner_product_approx_converges_with_more_coefficients() {
         let window = wave(64, 0.12, 3.0);
         let spectrum = dft(&window);
-        let q =
-            InnerProductQuery::new(1, 0, 0, (0..20).collect(), vec![0.05; 20], SimTime::from_secs(1));
+        let q = InnerProductQuery::new(
+            1,
+            0,
+            0,
+            (0..20).collect(),
+            vec![0.05; 20],
+            SimTime::from_secs(1),
+        );
         let exact = q.evaluate_exact(&window);
         let err_small = (q.evaluate_approx(&spectrum[..2], 64) - exact).abs();
         let err_large = (q.evaluate_approx(&spectrum[..8], 64) - exact).abs();

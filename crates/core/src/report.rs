@@ -145,11 +145,8 @@ impl SystemReport {
             query_internal: metrics.avg_hops(MsgClass::QueryInternal),
             response: metrics.avg_hops(MsgClass::Response),
         };
-        let per_node_load = metrics
-            .per_node_load(all_nodes, duration_s)
-            .into_iter()
-            .map(|(_, l)| l)
-            .collect();
+        let per_node_load =
+            metrics.per_node_load(all_nodes, duration_s).into_iter().map(|(_, l)| l).collect();
         SystemReport {
             num_nodes: n,
             duration_s,

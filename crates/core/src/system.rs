@@ -194,11 +194,7 @@ pub fn run_experiment_on<R: BuildRouter>(cfg: &ExperimentConfig) -> SystemReport
     driver.cluster.start_measurement();
     let quality_before = driver.cluster.quality();
     let matches_before: u64 = count_matches(&driver.cluster);
-    engine.run_until(
-        &mut driver,
-        SimTime::from_ms(cfg.warmup_ms + cfg.measure_ms),
-        &mut handler,
-    );
+    engine.run_until(&mut driver, SimTime::from_ms(cfg.warmup_ms + cfg.measure_ms), &mut handler);
     driver.cluster.stop_measurement();
 
     let duration_s = cfg.measure_ms as f64 / 1000.0;

@@ -1,0 +1,86 @@
+//! Property tests of query-range multicast coverage (§IV-E).
+//!
+//! The covering set of a similarity query's key range `[h(q1−ε), h(q1+ε)]`
+//! is computed here by brute force — iterating every key of a small
+//! identifier circle and assigning it to its owner by linear scan over the
+//! sorted node list (node `n` owns `(pred(n), n]`) — and the multicast
+//! plan must deliver to exactly that set, under both the sequential and
+//! the bidirectional strategy.
+
+use dsi_chord::{multicast, ChordId, IdSpace, RangeStrategy, Ring};
+use dsi_core::radius_key_range;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const BITS: u32 = 10;
+
+/// Owner of `key` by definition: the first node at or clockwise after it.
+fn brute_owner(sorted: &[ChordId], key: ChordId) -> ChordId {
+    *sorted.iter().find(|&&n| n >= key).unwrap_or(&sorted[0])
+}
+
+/// Brute-force covering set: every owner of every key in `[lo, hi]`
+/// (a wrapped range walks through zero).
+fn brute_covering(sorted: &[ChordId], lo: ChordId, hi: ChordId, modulus: u64) -> BTreeSet<ChordId> {
+    let mut covered = BTreeSet::new();
+    let mut k = lo;
+    loop {
+        covered.insert(brute_owner(sorted, k));
+        if k == hi {
+            break;
+        }
+        k = (k + 1) % modulus;
+    }
+    covered
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The paper's correctness core: for any node population, query center
+    /// q1 and radius ε, the multicast over [h(q1−ε), h(q1+ε)] reaches
+    /// exactly the nodes owning keys in that range — no node missed (false
+    /// dismissals), none extra (wasted replicas) — for BOTH strategies.
+    #[test]
+    fn query_range_plan_covers_exactly_the_owner_set(
+        ids in prop::collection::btree_set(0u64..(1 << BITS), 2..24),
+        center in -1.0f64..1.0,
+        radius in 0.0f64..0.6,
+        origin_pick in any::<u64>(),
+    ) {
+        let space = IdSpace::new(BITS);
+        let sorted: Vec<ChordId> = ids.iter().copied().collect();
+        let ring = Ring::with_nodes(space, sorted.iter().copied());
+        let (lo, hi) = radius_key_range(space, center, radius);
+        let expect = brute_covering(&sorted, lo, hi, space.modulus());
+        let origin = sorted[(origin_pick % sorted.len() as u64) as usize];
+
+        for strat in [RangeStrategy::Sequential, RangeStrategy::Bidirectional] {
+            let plan = multicast(&ring, origin, lo, hi, strat);
+            let got: BTreeSet<ChordId> = plan.nodes().into_iter().collect();
+            prop_assert_eq!(
+                &got, &expect,
+                "{:?}: center {} radius {} -> [{}, {}]", strat, center, radius, lo, hi
+            );
+            // Both strategies must agree with each other by construction.
+            prop_assert!(expect.contains(&plan.entry), "entry outside the covering set");
+        }
+    }
+
+    /// Monotonicity at the key level: widening ε can only add nodes.
+    #[test]
+    fn wider_radius_covers_superset_of_nodes(
+        ids in prop::collection::btree_set(0u64..(1 << BITS), 2..24),
+        center in -1.0f64..1.0,
+        r in 0.0f64..0.3,
+        extra in 0.0f64..0.3,
+    ) {
+        let space = IdSpace::new(BITS);
+        let sorted: Vec<ChordId> = ids.iter().copied().collect();
+        let (lo1, hi1) = radius_key_range(space, center, r);
+        let (lo2, hi2) = radius_key_range(space, center, r + extra);
+        let narrow = brute_covering(&sorted, lo1, hi1, space.modulus());
+        let wide = brute_covering(&sorted, lo2, hi2, space.modulus());
+        prop_assert!(narrow.is_subset(&wide));
+    }
+}

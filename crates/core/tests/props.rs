@@ -1,10 +1,10 @@
 //! Property-based tests of the middleware's building blocks.
 
+use dsi_chord::IdSpace;
 use dsi_core::{
     feature_to_key, interval_key_range, radius_key_range, summary_key, InnerProductQuery,
     MbrBatcher, SimilarityKind, SimilarityQuery,
 };
-use dsi_chord::IdSpace;
 use dsi_dsp::dft::dft;
 use dsi_dsp::{extract_features, Complex64, FeatureVector, Normalization};
 use dsi_simnet::SimTime;

@@ -186,9 +186,8 @@ mod tests {
     fn truncated_reconstruction_preserves_trend() {
         // Slow ramp plus fast noise: first coefficients capture the ramp.
         let n = 64;
-        let x: Vec<f64> = (0..n)
-            .map(|i| i as f64 / n as f64 + 0.01 * ((i * 37 % 11) as f64 - 5.0))
-            .collect();
+        let x: Vec<f64> =
+            (0..n).map(|i| i as f64 / n as f64 + 0.01 * ((i * 37 % 11) as f64 - 5.0)).collect();
         let c = dft(&x);
         let rec = reconstruct_from_prefix(&c[..4], n);
         // Reconstruction error must be small relative to signal energy.

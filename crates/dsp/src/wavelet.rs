@@ -178,7 +178,8 @@ mod tests {
 
     #[test]
     fn topk_energy_is_monotone_in_k() {
-        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin() + 0.3 * (i as f64 * 1.9).cos()).collect();
+        let x: Vec<f64> =
+            (0..64).map(|i| (i as f64 * 0.3).sin() + 0.3 * (i as f64 * 1.9).cos()).collect();
         let mut prev = 0.0;
         for k in [1usize, 2, 4, 8, 16, 64] {
             let e = HaarSynopsis::build(&x, k).energy();

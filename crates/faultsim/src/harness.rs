@@ -1,0 +1,569 @@
+//! Scenario execution against a full [`Cluster`], with an invariant audit
+//! after every event.
+//!
+//! Five oracles run after each scheduled event:
+//!
+//! 1. **No false dismissals** — every match a brute-force reference index
+//!    (a flat list of all surviving MBR records) produces must also be a
+//!    candidate of the distributed index, via the query's covering set.
+//! 2. **Routing termination** — lookups and range multicasts from every
+//!    live node end on live nodes, over live-node paths.
+//! 3. **Replica placement** — every unexpired stored MBR sits on *exactly*
+//!    the covering set of its Eq. 10 key range (plus its live origin), and
+//!    every unexpired query is subscribed on its Eq. 8 covering set.
+//! 4. **Metrics conservation** — sent/received/total bookkeeping agrees,
+//!    and recorded hop sums reconcile with per-hop message counts.
+//! 5. **Purge** — after a notify round, no expired MBR or subscription
+//!    survives on any node whose cycle actually ran.
+//!
+//! Faults (drop/duplicate/delay) apply only to NPER notify ticks: they
+//! model lost periodic messages, which the middleware's soft state must
+//! absorb, and they provably cannot create index-coverage violations — so
+//! every oracle stays sound under fault injection.
+
+use crate::scenario::{FaultEvent, Scenario, ScenarioConfig};
+use dsi_chord::{covering_nodes, multicast, ChordId, Ring};
+use dsi_core::{radius_key_range, Cluster, ClusterConfig, SimilarityQuery, StoredMbr, StreamId};
+use dsi_simnet::{FaultOutcome, MsgClass, SimTime};
+use dsi_streamgen::RandomWalk;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One invariant violation, pinned to the event that exposed it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Which oracle fired (`no-false-dismissal`, `routing-termination`,
+    /// `replica-placement`, `metrics-conservation`, `purge`).
+    pub oracle: String,
+    /// Human-readable description of the violated invariant.
+    pub detail: String,
+    /// Index of the event after which the check failed.
+    pub event_index: usize,
+    /// Simulated time of the check, in ms.
+    pub time_ms: u64,
+}
+
+/// Outcome of one scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// First violation, if any (the run stops there).
+    pub violation: Option<Violation>,
+    /// Events executed (schedule length, or the failing prefix).
+    pub events_run: usize,
+    /// MBR batches shipped into the index.
+    pub mbr_ships: u64,
+    /// Similarity queries posted.
+    pub queries_posted: u64,
+    /// Match notifications delivered to clients.
+    pub notifications: u64,
+    /// Data centers alive at the end.
+    pub final_nodes: usize,
+    /// Final simulated time in ms.
+    pub final_time_ms: u64,
+}
+
+/// Replays a scenario's schedule against a fresh cluster, auditing every
+/// invariant after every event. Stops at the first violation.
+pub fn run_scenario(scenario: &Scenario) -> RunReport {
+    let mut h = Harness::new(scenario);
+    for (i, ev) in scenario.events.iter().enumerate() {
+        h.apply(ev);
+        if let Some((oracle, detail)) = h.check_oracles(ev) {
+            return RunReport {
+                violation: Some(Violation {
+                    oracle,
+                    detail,
+                    event_index: i,
+                    time_ms: h.now.as_ms(),
+                }),
+                events_run: i + 1,
+                mbr_ships: h.mbr_ships,
+                queries_posted: h.queries_posted,
+                notifications: h.cluster.total_notifications(),
+                final_nodes: h.cluster.num_nodes(),
+                final_time_ms: h.now.as_ms(),
+            };
+        }
+    }
+    RunReport {
+        violation: None,
+        events_run: scenario.events.len(),
+        mbr_ships: h.mbr_ships,
+        queries_posted: h.queries_posted,
+        notifications: h.cluster.total_notifications(),
+        final_nodes: h.cluster.num_nodes(),
+        final_time_ms: h.now.as_ms(),
+    }
+}
+
+/// Scenario executor: the cluster under test plus the reference state the
+/// oracles compare against.
+struct Harness {
+    cluster: Cluster<Ring>,
+    cfg: ScenarioConfig,
+    /// Execution RNG: stream values, query shapes, fault draws — consumed
+    /// strictly in event order (the truncation-replay guarantee).
+    rng: StdRng,
+    now: SimTime,
+    walks: Vec<RandomWalk>,
+    /// Brute-force reference index: every shipped record, pruned when its
+    /// last live holder disappears or it expires.
+    ref_mbrs: Vec<StoredMbr>,
+    /// Reference copies of posted queries (pruned on expiry).
+    ref_queries: Vec<SimilarityQuery>,
+    /// Nodes whose NPER cycle was delayed into the next round.
+    delayed: Vec<ChordId>,
+    /// Nodes whose cycle ran during the latest notify round.
+    notified: Vec<ChordId>,
+    mbr_ships: u64,
+    queries_posted: u64,
+    join_counter: u32,
+}
+
+/// Replica-record identity: one batch shipped by one origin.
+fn same_record(a: &StoredMbr, b: &StoredMbr) -> bool {
+    a.stream == b.stream && a.origin == b.origin && a.expires == b.expires && a.mbr == b.mbr
+}
+
+impl Harness {
+    fn new(scenario: &Scenario) -> Self {
+        let cfg = scenario.config.clone();
+        let cluster_cfg = ClusterConfig {
+            num_nodes: cfg.num_nodes,
+            workload: cfg.workload.clone(),
+            id_bits: 32,
+            strategy: cfg.strategy,
+            kind: dsi_core::SimilarityKind::Subsequence,
+        };
+        let mut cluster = Cluster::new(cluster_cfg);
+        cluster.set_churn_repair(!cfg.disable_churn_repair);
+        let mut rng = StdRng::seed_from_u64(scenario.seed);
+        for i in 0..cfg.num_streams {
+            cluster.register_stream(&format!("fault-stream-{i}"), i % cfg.num_nodes);
+        }
+        let walks: Vec<RandomWalk> =
+            (0..cfg.num_streams).map(|_| RandomWalk::sample_spread(&mut rng)).collect();
+        // Measure from the start: oracle 4 audits the full message history.
+        cluster.start_measurement();
+        Harness {
+            cluster,
+            cfg,
+            rng,
+            now: SimTime::ZERO,
+            walks,
+            ref_mbrs: Vec::new(),
+            ref_queries: Vec::new(),
+            delayed: Vec::new(),
+            notified: Vec::new(),
+            mbr_ships: 0,
+            queries_posted: 0,
+            join_counter: 0,
+        }
+    }
+
+    /// Mean stream period — the virtual-time width of one feed tick.
+    fn tick_ms(&self) -> u64 {
+        (self.cfg.workload.pmin_ms + self.cfg.workload.pmax_ms) / 2
+    }
+
+    fn feed_one(&mut self, stream: usize) {
+        let v = self.walks[stream].next_value(&mut self.rng);
+        if let Some(plan) = self.cluster.post_value(stream as StreamId, v, self.now) {
+            self.mbr_ships += 1;
+            // Capture the shipped record for the reference index: the entry
+            // delivery always stored it last.
+            let at = plan.deliveries[0].node;
+            let rec = self
+                .cluster
+                .node(at)
+                .stored_mbrs()
+                .last()
+                .expect("delivery node stored the shipment")
+                .clone();
+            self.ref_mbrs.push(rec);
+        }
+    }
+
+    fn post_query(&mut self, client: u32, anchor: u32, radius: f64, lifespan_ms: u64) {
+        let w = self.cfg.workload.window_len;
+        let anchor = anchor as usize % self.cfg.num_streams;
+        let target: Vec<f64> = if self.cluster.streams()[anchor].extractor.is_warm() {
+            // Near-miss of a live shape: exercises both matches and the
+            // false-positive filter.
+            let snap = self.cluster.streams()[anchor].extractor.window_snapshot();
+            let jitter = self.rng.gen_range(0.0..0.1);
+            snap.iter().enumerate().map(|(i, v)| v + jitter * ((i as f64) * 1.7).cos()).collect()
+        } else {
+            let f: f64 = self.rng.gen_range(0.1..0.9);
+            let a: f64 = self.rng.gen_range(0.5..3.0);
+            (0..w).map(|i| a * ((i as f64) * f).sin() + 5.0).collect()
+        };
+        let client_idx = client as usize % self.cluster.num_nodes();
+        let qid = self.cluster.post_similarity_query(
+            client_idx,
+            target.clone(),
+            radius,
+            lifespan_ms,
+            self.now,
+        );
+        self.queries_posted += 1;
+        // Independent reference copy, built outside the cluster.
+        let q = SimilarityQuery::from_target(
+            qid,
+            self.cluster.node_id(client_idx),
+            target,
+            radius,
+            self.cluster.config().kind,
+            self.cfg.workload.num_coeffs,
+            0,
+            self.now + lifespan_ms,
+        );
+        self.ref_queries.push(q);
+    }
+
+    fn apply(&mut self, ev: &FaultEvent) {
+        match *ev {
+            FaultEvent::Feed { steps } => {
+                for _ in 0..steps {
+                    self.now += self.tick_ms();
+                    for s in 0..self.cfg.num_streams {
+                        self.feed_one(s);
+                    }
+                }
+            }
+            FaultEvent::Burst { stream, count } => {
+                self.now += self.tick_ms();
+                let s = stream as usize % self.cfg.num_streams;
+                for _ in 0..count {
+                    self.feed_one(s);
+                }
+            }
+            FaultEvent::PostQuery { client, anchor, radius_milli, lifespan_ms } => {
+                self.post_query(client, anchor, radius_milli as f64 / 1000.0, lifespan_ms);
+            }
+            FaultEvent::QueryStorm { count } => {
+                for _ in 0..count {
+                    let client: u32 = self.rng.gen();
+                    let anchor: u32 = self.rng.gen_range(0..self.cfg.num_streams as u32);
+                    let radius = self.rng.gen_range(0.03..0.25);
+                    let lifespan = self.rng.gen_range(4_000..30_000);
+                    self.post_query(client, anchor, radius, lifespan);
+                }
+            }
+            FaultEvent::CrashNode { victim } => {
+                if self.cluster.num_nodes() > 2 {
+                    let id = self.cluster.node_id(victim as usize % self.cluster.num_nodes());
+                    self.cluster.crash_node(id);
+                    self.delayed.retain(|&n| n != id);
+                    self.notified.retain(|&n| n != id);
+                }
+            }
+            FaultEvent::JoinNode { salt } => {
+                self.join_counter += 1;
+                let label = format!("faultsim-join-{salt}-{}", self.join_counter);
+                let id = self.cluster.space().hash_str(&label);
+                // An (astronomically unlikely) hash collision with a live
+                // node would trip the join assertion; skip the event.
+                if !self.cluster.node_ids().contains(&id) {
+                    self.cluster.join_node(&label);
+                }
+            }
+            FaultEvent::RehomeOrphans { to } => {
+                let to_idx = to as usize % self.cluster.num_nodes();
+                for sid in self.cluster.orphaned_streams() {
+                    self.cluster.rehome_stream(sid, to_idx, self.now);
+                }
+            }
+            FaultEvent::Notify => {
+                self.now += self.cfg.workload.nper_ms;
+                self.notified.clear();
+                // Deliver last round's delayed cycles first (late arrival).
+                let late: Vec<ChordId> = std::mem::take(&mut self.delayed);
+                for n in late {
+                    if self.cluster.node_ids().contains(&n) {
+                        self.cluster.notify_cycle(n, self.now);
+                        self.notified.push(n);
+                    }
+                }
+                for n in self.cluster.node_ids().to_vec() {
+                    match self.cfg.faults.outcome(&mut self.rng) {
+                        FaultOutcome::Deliver => {
+                            self.cluster.notify_cycle(n, self.now);
+                            self.notified.push(n);
+                        }
+                        FaultOutcome::Duplicate => {
+                            self.cluster.notify_cycle(n, self.now);
+                            self.cluster.notify_cycle(n, self.now);
+                            self.notified.push(n);
+                        }
+                        FaultOutcome::Drop => {}
+                        FaultOutcome::Delay => self.delayed.push(n),
+                    }
+                }
+                self.cluster.purge_queries(self.now);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Oracles
+    // ------------------------------------------------------------------
+
+    fn check_oracles(&mut self, last: &FaultEvent) -> Option<(String, String)> {
+        self.prune_reference();
+        if let Some(d) = self.oracle_no_false_dismissal() {
+            return Some(("no-false-dismissal".into(), d));
+        }
+        if let Some(d) = self.oracle_routing_termination() {
+            return Some(("routing-termination".into(), d));
+        }
+        if let Some(d) = self.oracle_replica_placement() {
+            return Some(("replica-placement".into(), d));
+        }
+        if let Some(d) = self.oracle_metrics_conservation() {
+            return Some(("metrics-conservation".into(), d));
+        }
+        if matches!(last, FaultEvent::Notify) {
+            if let Some(d) = self.oracle_purge() {
+                return Some(("purge".into(), d));
+            }
+        }
+        None
+    }
+
+    /// Drops reference records that legitimately left the system: expired,
+    /// or lost because *every* holder crashed (soft state — the record
+    /// returns with the stream's next shipment).
+    fn prune_reference(&mut self) {
+        let now = self.now;
+        let cluster = &self.cluster;
+        self.ref_mbrs.retain(|r| {
+            now < r.expires
+                && cluster
+                    .node_ids()
+                    .iter()
+                    .any(|&n| cluster.node(n).stored_mbrs().iter().any(|s| same_record(s, r)))
+        });
+        self.ref_queries.retain(|q| !q.expired(now));
+    }
+
+    /// Oracle 1: the distributed index never misses a match the flat
+    /// reference index finds (the lower-bounding superset guarantee,
+    /// end to end through routing, replication and churn).
+    fn oracle_no_false_dismissal(&self) -> Option<String> {
+        let space = self.cluster.space();
+        for q in &self.ref_queries {
+            let point = q.feature.to_reals();
+            let reference: BTreeSet<StreamId> = self
+                .ref_mbrs
+                .iter()
+                .filter(|r| r.mbr.min_dist(&point) <= q.radius + 1e-12)
+                .map(|r| r.stream)
+                .collect();
+            if reference.is_empty() {
+                continue;
+            }
+            let (lo, hi) = radius_key_range(space, q.feature.first_real(), q.radius);
+            let system: BTreeSet<StreamId> = covering_nodes(self.cluster.ring(), lo, hi)
+                .into_iter()
+                .flat_map(|n| self.cluster.node(n).local_candidates(q, self.now))
+                .collect();
+            for s in &reference {
+                if !system.contains(s) {
+                    return Some(format!(
+                        "query {} (radius {:.3}) dismisses stream {s}: reference candidates \
+                         {reference:?}, index candidates {system:?}",
+                        q.id, q.radius
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// Oracle 2: lookups and multicasts from every live node terminate on
+    /// live nodes, over all-live paths.
+    fn oracle_routing_termination(&self) -> Option<String> {
+        let live: BTreeSet<ChordId> = self.cluster.node_ids().iter().copied().collect();
+        let space = self.cluster.space();
+        let ring = self.cluster.ring();
+        let step = (space.modulus() / 16).max(1);
+        for &origin in self.cluster.node_ids() {
+            for k in 0..16u64 {
+                let key = (k * step) % space.modulus();
+                let l = ring.lookup(origin, key);
+                if !live.contains(&l.owner) {
+                    return Some(format!("lookup({origin}, {key}) ends on dead node {}", l.owner));
+                }
+                if let Some(bad) = l.path.iter().find(|n| !live.contains(n)) {
+                    return Some(format!("lookup({origin}, {key}) routes through dead node {bad}"));
+                }
+            }
+        }
+        // Range multicast termination over each active query's range.
+        let origin = self.cluster.node_id(0);
+        for q in &self.ref_queries {
+            let (lo, hi) = radius_key_range(space, q.feature.first_real(), q.radius);
+            let plan = multicast(ring, origin, lo, hi, self.cfg.strategy);
+            if !live.contains(&plan.entry) {
+                return Some(format!("multicast [{lo},{hi}] enters at dead node {}", plan.entry));
+            }
+            if let Some(bad) = plan.deliveries.iter().find(|d| !live.contains(&d.node)) {
+                return Some(format!("multicast [{lo},{hi}] delivers to dead node {}", bad.node));
+            }
+        }
+        None
+    }
+
+    /// Oracle 3: after stabilization, every unexpired record sits on exactly
+    /// the covering set of its key range (plus its origin while alive), and
+    /// every unexpired query is subscribed on its whole covering set.
+    fn oracle_replica_placement(&self) -> Option<String> {
+        let space = self.cluster.space();
+        let ring = self.cluster.ring();
+        let mut seen: Vec<&StoredMbr> = Vec::new();
+        for &n in self.cluster.node_ids() {
+            for rec in self.cluster.node(n).stored_mbrs() {
+                if self.now >= rec.expires || seen.iter().any(|r| same_record(r, rec)) {
+                    continue;
+                }
+                seen.push(rec);
+                let holders: BTreeSet<ChordId> = self
+                    .cluster
+                    .node_ids()
+                    .iter()
+                    .copied()
+                    .filter(|&m| {
+                        self.cluster.node(m).stored_mbrs().iter().any(|s| same_record(s, rec))
+                    })
+                    .collect();
+                let (lo_v, hi_v) = rec.mbr.first_interval();
+                let (lo, hi) = dsi_core::interval_key_range(
+                    space,
+                    lo_v.clamp(-1.0, 1.0),
+                    hi_v.clamp(-1.0, 1.0),
+                );
+                let mut want: BTreeSet<ChordId> =
+                    covering_nodes(ring, lo, hi).into_iter().collect();
+                if self.cluster.node_ids().contains(&rec.origin) {
+                    want.insert(rec.origin);
+                }
+                if holders != want {
+                    return Some(format!(
+                        "MBR of stream {} (range [{lo},{hi}], origin {}) held by {holders:?}, \
+                         covering set wants {want:?}",
+                        rec.stream, rec.origin
+                    ));
+                }
+            }
+        }
+        for q in &self.ref_queries {
+            let (lo, hi) = radius_key_range(space, q.feature.first_real(), q.radius);
+            for n in covering_nodes(ring, lo, hi) {
+                if !self.cluster.node(n).has_subscription(q.id) {
+                    return Some(format!(
+                        "query {} (range [{lo},{hi}]) not subscribed at covering node {n}",
+                        q.id
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// Oracle 4: message bookkeeping reconciles — per-node sent/received
+    /// sums match class totals, and hop accounting is conserved against
+    /// per-hop message counts for the classes where every route logs hops.
+    fn oracle_metrics_conservation(&self) -> Option<String> {
+        let m = self.cluster.metrics();
+        for c in MsgClass::ALL {
+            if m.sent_total(c) != m.total(c) || m.received_total(c) != m.total(c) {
+                return Some(format!(
+                    "{}: sent {} / received {} / total {} disagree",
+                    c.name(),
+                    m.sent_total(c),
+                    m.received_total(c),
+                    m.total(c)
+                ));
+            }
+        }
+        // Every MBR shipment logs its route hops: the hop sum is exactly the
+        // per-hop messages (1 originated + hops-1 transit per route).
+        let mbr_msgs = m.total(MsgClass::MbrOriginated) + m.total(MsgClass::MbrTransit);
+        if m.hop_sum(MsgClass::MbrOriginated) != mbr_msgs {
+            return Some(format!(
+                "MBR hop sum {} != originated+transit messages {mbr_msgs}",
+                m.hop_sum(MsgClass::MbrOriginated)
+            ));
+        }
+        // Internal (range-forward and rebalance-copy) messages log exactly
+        // one hop record per message.
+        for c in [MsgClass::MbrInternal, MsgClass::QueryInternal] {
+            if m.hop_count(c) != m.total(c) {
+                return Some(format!(
+                    "{}: {} hop records for {} messages",
+                    c.name(),
+                    m.hop_count(c),
+                    m.total(c)
+                ));
+            }
+        }
+        if m.hop_sum(MsgClass::ResponseInternal) != m.total(MsgClass::ResponseInternal) {
+            return Some(format!(
+                "neighbor exchanges are single-hop: hop sum {} != messages {}",
+                m.hop_sum(MsgClass::ResponseInternal),
+                m.total(MsgClass::ResponseInternal)
+            ));
+        }
+        // Query/Response classes also carry location-service traffic that
+        // logs no hop records, so their hop sums only lower-bound messages.
+        let query_msgs = m.total(MsgClass::Query) + m.total(MsgClass::QueryTransit);
+        if m.hop_sum(MsgClass::Query) > query_msgs {
+            return Some(format!(
+                "query hop sum {} exceeds query messages {query_msgs}",
+                m.hop_sum(MsgClass::Query)
+            ));
+        }
+        let resp_msgs = m.total(MsgClass::Response) + m.total(MsgClass::ResponseTransit);
+        if m.hop_sum(MsgClass::Response) > resp_msgs {
+            return Some(format!(
+                "response hop sum {} exceeds response messages {resp_msgs}",
+                m.hop_sum(MsgClass::Response)
+            ));
+        }
+        None
+    }
+
+    /// Oracle 5: a notify round actually purged expired state on every node
+    /// whose cycle ran.
+    fn oracle_purge(&self) -> Option<String> {
+        for &n in &self.notified {
+            let dc = self.cluster.node(n);
+            if let Some(s) = dc.stored_mbrs().iter().find(|s| self.now >= s.expires) {
+                return Some(format!(
+                    "node {n} still stores MBR of stream {} expired at {} (now {})",
+                    s.stream,
+                    s.expires.as_ms(),
+                    self.now.as_ms()
+                ));
+            }
+            if let Some(q) = dc.all_subscriptions().find(|q| q.expired(self.now)) {
+                return Some(format!(
+                    "node {n} still holds similarity subscription {} expired at {}",
+                    q.id,
+                    q.expires.as_ms()
+                ));
+            }
+            if let Some(q) = dc.all_ip_subscriptions().find(|q| q.expired(self.now)) {
+                return Some(format!(
+                    "node {n} still holds inner-product subscription {} expired at {}",
+                    q.id,
+                    q.expires.as_ms()
+                ));
+            }
+        }
+        None
+    }
+}

@@ -1,0 +1,41 @@
+//! # dsi-faultsim — deterministic fault injection with invariant oracles
+//!
+//! A seeded simulation-testing harness for the full middleware stack, in
+//! the style of FoundationDB's simulator: a seed fully determines a
+//! scenario — node churn, message faults, stream bursts, query storms —
+//! which is replayed against a complete [`dsi_core::Cluster`] over
+//! simulated time. After every scheduled event the harness audits five
+//! invariants end to end:
+//!
+//! 1. **No false dismissals** — the distributed index never misses a match
+//!    a brute-force reference index finds (the paper's central
+//!    lower-bounding guarantee, §III), even across churn and repair.
+//! 2. **Routing termination** — every lookup and range multicast from
+//!    every live node terminates on a live node over a live path.
+//! 3. **Replica placement** — after stabilization, MBR replicas sit on
+//!    exactly the covering set of their key range (§IV-G), and queries on
+//!    exactly theirs (§IV-E).
+//! 4. **Metrics conservation** — message counts reconcile with recorded
+//!    hop counts (the bookkeeping behind Figs. 6–8 cannot drift).
+//! 5. **Purge** — expired soft state is actually gone after each NPER
+//!    round on every node whose cycle ran.
+//!
+//! On a violation the failing run is serialized as a minimal
+//! [`Reproducer`] (seed + truncated schedule) to
+//! `results/repro-<seed>.json`; replaying it reproduces the identical
+//! failure, because the execution RNG is consumed strictly in event order
+//! and independently of the schedule generator.
+//!
+//! Entry points: [`Scenario::generate`] + [`run_scenario`] for bounded
+//! runs (wired into `cargo test`), and the `--ignored` soak test for long
+//! randomized campaigns.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod repro;
+pub mod scenario;
+
+pub use harness::{run_scenario, RunReport, Violation};
+pub use repro::{load_reproducer, results_dir, write_reproducer, Reproducer};
+pub use scenario::{FaultEvent, Scenario, ScenarioConfig};

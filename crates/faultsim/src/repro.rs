@@ -1,0 +1,108 @@
+//! Minimal reproducers, FoundationDB-style.
+//!
+//! When a run violates an invariant, the harness serializes everything
+//! needed to replay the failure — the seed, the scenario config, and the
+//! schedule *truncated at the failing event* — to
+//! `results/repro-<seed>.json`. Because the execution RNG is consumed
+//! strictly in event order and is independent of the generation RNG,
+//! replaying the truncated schedule reproduces the identical state
+//! trajectory up to and including the violation.
+
+use crate::harness::{run_scenario, Violation};
+use crate::scenario::{FaultEvent, Scenario, ScenarioConfig};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// A serialized failure: replays to the same violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reproducer {
+    /// Execution seed of the failing run.
+    pub seed: u64,
+    /// Scenario configuration of the failing run.
+    pub config: ScenarioConfig,
+    /// Event schedule truncated at the failing event.
+    pub events: Vec<FaultEvent>,
+    /// The violation the truncated schedule replays to.
+    pub violation: Violation,
+}
+
+impl Reproducer {
+    /// Builds a reproducer from a failing run: keeps events
+    /// `0..=violation.event_index` and discards the rest.
+    pub fn from_failure(scenario: &Scenario, violation: Violation) -> Reproducer {
+        let cut = (violation.event_index + 1).min(scenario.events.len());
+        Reproducer {
+            seed: scenario.seed,
+            config: scenario.config.clone(),
+            events: scenario.events[..cut].to_vec(),
+            violation,
+        }
+    }
+
+    /// The truncated schedule as a runnable scenario.
+    pub fn scenario(&self) -> Scenario {
+        Scenario { seed: self.seed, config: self.config.clone(), events: self.events.clone() }
+    }
+
+    /// Replays the truncated schedule; returns the violation it reproduces
+    /// (None means the failure did not replay — itself a red flag).
+    pub fn replay(&self) -> Option<Violation> {
+        run_scenario(&self.scenario()).violation
+    }
+}
+
+/// The workspace-level `results/` directory reproducers land in.
+pub fn results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("results")
+}
+
+/// Serializes a reproducer to `results/repro-<seed>.json` and returns the
+/// path. Panics on I/O errors — this runs inside failing tests, where a
+/// silent loss of the reproducer is worse than a double panic.
+pub fn write_reproducer(repro: &Reproducer) -> PathBuf {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    let path = dir.join(format!("repro-{}.json", repro.seed));
+    let json = serde_json::to_string_pretty(repro).expect("serialize reproducer");
+    std::fs::write(&path, json).expect("write reproducer");
+    path
+}
+
+/// Loads a previously serialized reproducer.
+pub fn load_reproducer(path: &Path) -> Reproducer {
+    let json = std::fs::read_to_string(path).expect("read reproducer");
+    serde_json::from_str(&json).expect("parse reproducer")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_violation(idx: usize) -> Violation {
+        Violation {
+            oracle: "replica-placement".into(),
+            detail: "synthetic".into(),
+            event_index: idx,
+            time_ms: 1234,
+        }
+    }
+
+    #[test]
+    fn from_failure_truncates_at_the_failing_event() {
+        let s = Scenario::generate(21, ScenarioConfig::default());
+        let v = fake_violation(5);
+        let r = Reproducer::from_failure(&s, v.clone());
+        assert_eq!(r.events.len(), 6);
+        assert_eq!(r.events[..], s.events[..6]);
+        assert_eq!(r.violation, v);
+    }
+
+    #[test]
+    fn reproducer_roundtrips_through_json() {
+        let s = Scenario::generate(22, ScenarioConfig::default());
+        let r = Reproducer::from_failure(&s, fake_violation(3));
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: Reproducer = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

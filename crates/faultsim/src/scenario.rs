@@ -1,0 +1,250 @@
+//! Seed-generated fault scenarios.
+//!
+//! A [`Scenario`] is a fully materialized event schedule: churn, stream
+//! bursts, query storms and NPER rounds, produced up front by a *generation*
+//! RNG derived from the seed. Execution consumes a second RNG (seeded from
+//! the same seed) strictly in event order, so a schedule truncated at the
+//! failing event replays the identical prefix — the property the serialized
+//! reproducers rely on.
+
+use dsi_chord::RangeStrategy;
+use dsi_simnet::FaultSpec;
+use dsi_streamgen::WorkloadConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Static shape of a scenario (everything except the seed-driven schedule).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Initial number of data centers.
+    pub num_nodes: usize,
+    /// Number of registered streams (homed round-robin).
+    pub num_streams: usize,
+    /// Number of scheduled events after the warm-up feed.
+    pub num_events: usize,
+    /// Range multicast strategy under test.
+    pub strategy: RangeStrategy,
+    /// Workload parameters (small Table I variant for test speed).
+    pub workload: WorkloadConfig,
+    /// Message faults applied to NPER notify ticks.
+    pub faults: FaultSpec,
+    /// Disables replica rebalancing on churn — the known-bug injection
+    /// switch the oracle self-test flips.
+    pub disable_churn_repair: bool,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        // Shrunk for test speed: short windows warm quickly and small
+        // batches ship MBRs often, so every oracle sees real state churn.
+        let workload = WorkloadConfig {
+            window_len: 16,
+            num_coeffs: 2,
+            mbr_batch: 4,
+            mbr_max_width: None,
+            bspan_ms: 5_000,
+            nper_ms: 1_000,
+            ..WorkloadConfig::default()
+        };
+        ScenarioConfig {
+            num_nodes: 10,
+            num_streams: 8,
+            num_events: 40,
+            strategy: RangeStrategy::Sequential,
+            workload,
+            faults: FaultSpec::NONE,
+            disable_churn_repair: false,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// A variant with lossy/duplicating/delaying NPER delivery.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// A variant using bidirectional range multicast.
+    pub fn bidirectional(mut self) -> Self {
+        self.strategy = RangeStrategy::Bidirectional;
+        self
+    }
+}
+
+/// One scheduled event. All structural choices are baked in at generation
+/// time; indices are taken modulo the live population at execution time so
+/// a schedule stays valid whatever the interleaved churn did.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// Advance `steps` stream ticks, feeding every homed stream one value
+    /// per tick.
+    Feed {
+        /// Number of ticks.
+        steps: u32,
+    },
+    /// One stream produces `count` values in a single tick (a burst).
+    Burst {
+        /// Stream index (modulo the stream count).
+        stream: u32,
+        /// Values produced.
+        count: u32,
+    },
+    /// Post one similarity query shaped after a stream's current window.
+    PostQuery {
+        /// Posting client (modulo the live node count).
+        client: u32,
+        /// Stream whose shape anchors the target (modulo stream count).
+        anchor: u32,
+        /// Query radius in thousandths.
+        radius_milli: u32,
+        /// Query life span in ms.
+        lifespan_ms: u64,
+    },
+    /// A burst of queries arriving in one tick.
+    QueryStorm {
+        /// Number of queries.
+        count: u32,
+    },
+    /// Abrupt failure of one data center.
+    CrashNode {
+        /// Victim (modulo the live node count); skipped at ≤ 2 nodes.
+        victim: u32,
+    },
+    /// A fresh data center joins the ring.
+    JoinNode {
+        /// Uniquifier for the new node's label.
+        salt: u32,
+    },
+    /// Re-home every orphaned stream to one live data center.
+    RehomeOrphans {
+        /// Destination (modulo the live node count).
+        to: u32,
+    },
+    /// One NPER round on every node (with injected message faults),
+    /// followed by the global query purge.
+    Notify,
+}
+
+/// A seed plus its fully materialized schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Seed for the execution RNG (stream values, fault draws).
+    pub seed: u64,
+    /// Static configuration.
+    pub config: ScenarioConfig,
+    /// The event schedule.
+    pub events: Vec<FaultEvent>,
+}
+
+impl Scenario {
+    /// Generates the schedule for `seed`. The generation RNG is decoupled
+    /// from the execution RNG so truncating the schedule never shifts the
+    /// values the remaining events consume.
+    pub fn generate(seed: u64, config: ScenarioConfig) -> Scenario {
+        config.workload.validate();
+        config.faults.validate();
+        assert!(config.num_nodes >= 3, "scenarios need at least three data centers");
+        assert!(config.num_streams >= 1, "scenarios need at least one stream");
+        let mut rng =
+            StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xFA17));
+
+        let w = &config.workload;
+        let mut events = Vec::with_capacity(config.num_events + 3);
+        // Warm-up: fill every window and ship the first MBR batches, then
+        // settle one NPER round so queries posted early see a live index.
+        events.push(FaultEvent::Feed { steps: (w.window_len + 2 * w.mbr_batch) as u32 });
+        events.push(FaultEvent::Notify);
+
+        // Generation-side live-node estimate; the harness re-checks at
+        // execution time, this only keeps schedules from over-crashing.
+        let mut live = config.num_nodes;
+        while events.len() < config.num_events + 2 {
+            let roll: u32 = rng.gen_range(0..100);
+            let ev = match roll {
+                0..=24 => FaultEvent::Feed { steps: rng.gen_range(1..=6) },
+                25..=39 => FaultEvent::Notify,
+                40..=52 => FaultEvent::PostQuery {
+                    client: rng.gen(),
+                    anchor: rng.gen_range(0..config.num_streams as u32),
+                    radius_milli: rng.gen_range(30..250),
+                    lifespan_ms: rng.gen_range(4_000..30_000),
+                },
+                53..=58 => FaultEvent::QueryStorm { count: rng.gen_range(3..9) },
+                59..=68 => FaultEvent::Burst {
+                    stream: rng.gen_range(0..config.num_streams as u32),
+                    count: rng.gen_range(8..40),
+                },
+                69..=78 if live > 3 => {
+                    live -= 1;
+                    FaultEvent::CrashNode { victim: rng.gen() }
+                }
+                79..=86 => {
+                    live += 1;
+                    FaultEvent::JoinNode { salt: rng.gen() }
+                }
+                87..=92 => FaultEvent::RehomeOrphans { to: rng.gen() },
+                _ => FaultEvent::Notify,
+            };
+            events.push(ev);
+        }
+        // Settle: a final NPER round exercises the purge oracle once more.
+        events.push(FaultEvent::Notify);
+        Scenario { seed, config, events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Scenario::generate(7, ScenarioConfig::default());
+        let b = Scenario::generate(7, ScenarioConfig::default());
+        assert_eq!(a, b);
+        let c = Scenario::generate(8, ScenarioConfig::default());
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn schedule_has_expected_length_and_warmup() {
+        let s = Scenario::generate(3, ScenarioConfig::default());
+        assert_eq!(s.events.len(), s.config.num_events + 3);
+        assert!(matches!(s.events[0], FaultEvent::Feed { .. }));
+        assert_eq!(s.events[1], FaultEvent::Notify);
+        assert_eq!(*s.events.last().unwrap(), FaultEvent::Notify);
+    }
+
+    #[test]
+    fn schedules_never_overcrash() {
+        for seed in 0..50 {
+            let s = Scenario::generate(seed, ScenarioConfig::default());
+            let mut live = s.config.num_nodes as i64;
+            for ev in &s.events {
+                match ev {
+                    FaultEvent::CrashNode { .. } => live -= 1,
+                    FaultEvent::JoinNode { .. } => live += 1,
+                    _ => {}
+                }
+                assert!(live >= 3, "seed {seed} crashes below three nodes");
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_roundtrips_through_json() {
+        let s = Scenario::generate(11, ScenarioConfig::default().bidirectional());
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three")]
+    fn tiny_cluster_config_panics() {
+        let cfg = ScenarioConfig { num_nodes: 2, ..ScenarioConfig::default() };
+        let _ = Scenario::generate(1, cfg);
+    }
+}

@@ -1,0 +1,180 @@
+//! Tier-1 fault-injection campaigns: ≥25 seeded scenarios, each replaying
+//! a full churn/fault/burst/storm schedule against a live cluster with all
+//! five invariant oracles armed after every event.
+//!
+//! A violation writes `results/repro-<seed>.json` and fails the test with
+//! the path, so the failure is replayable offline:
+//!
+//! ```text
+//! cargo test -p dsi-faultsim replay_repro -- --ignored --nocapture
+//! ```
+
+use dsi_chord::RangeStrategy;
+use dsi_faultsim::{
+    load_reproducer, run_scenario, write_reproducer, Reproducer, RunReport, Scenario,
+    ScenarioConfig,
+};
+use dsi_simnet::FaultSpec;
+
+/// Runs one scenario; on violation, serializes the reproducer and panics
+/// with its path.
+fn assert_clean(seed: u64, cfg: ScenarioConfig) -> RunReport {
+    let scenario = Scenario::generate(seed, cfg);
+    let report = run_scenario(&scenario);
+    if let Some(v) = report.violation.clone() {
+        let path = write_reproducer(&Reproducer::from_failure(&scenario, v.clone()));
+        panic!(
+            "seed {seed}: oracle `{}` violated at event {} (t={}ms): {}\nreproducer: {}",
+            v.oracle,
+            v.event_index,
+            v.time_ms,
+            v.detail,
+            path.display()
+        );
+    }
+    report
+}
+
+fn lossy() -> FaultSpec {
+    FaultSpec { drop_prob: 0.15, dup_prob: 0.10, delay_prob: 0.10 }
+}
+
+/// Expands to one `#[test]` per seed, so every scenario shows up
+/// individually in the test report.
+macro_rules! scenario_tests {
+    ($($name:ident: seed $seed:expr, $cfg:expr;)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let report = assert_clean($seed, $cfg);
+                assert!(report.mbr_ships > 0, "scenario never shipped an MBR");
+            }
+        )*
+    };
+}
+
+// 25+ distinct seeded scenarios across both multicast strategies, fault
+// levels, and cluster sizes. Every run exercises all five oracles after
+// every event.
+scenario_tests! {
+    seq_faultfree_seed_1:  seed 1,  ScenarioConfig::default();
+    seq_faultfree_seed_2:  seed 2,  ScenarioConfig::default();
+    seq_faultfree_seed_3:  seed 3,  ScenarioConfig::default();
+    seq_faultfree_seed_4:  seed 4,  ScenarioConfig::default();
+    seq_faultfree_seed_5:  seed 5,  ScenarioConfig::default();
+    seq_faultfree_seed_6:  seed 6,  ScenarioConfig::default();
+    seq_faultfree_seed_7:  seed 7,  ScenarioConfig::default();
+    seq_faultfree_seed_8:  seed 8,  ScenarioConfig::default();
+
+    seq_lossy_seed_11:     seed 11, ScenarioConfig::default().with_faults(lossy());
+    seq_lossy_seed_12:     seed 12, ScenarioConfig::default().with_faults(lossy());
+    seq_lossy_seed_13:     seed 13, ScenarioConfig::default().with_faults(lossy());
+    seq_lossy_seed_14:     seed 14, ScenarioConfig::default().with_faults(lossy());
+    seq_lossy_seed_15:     seed 15, ScenarioConfig::default().with_faults(lossy());
+    seq_drop_heavy_16:     seed 16, ScenarioConfig::default()
+        .with_faults(FaultSpec { drop_prob: 0.4, dup_prob: 0.0, delay_prob: 0.0 });
+    seq_dup_heavy_17:      seed 17, ScenarioConfig::default()
+        .with_faults(FaultSpec { drop_prob: 0.0, dup_prob: 0.4, delay_prob: 0.0 });
+    seq_delay_heavy_18:    seed 18, ScenarioConfig::default()
+        .with_faults(FaultSpec { drop_prob: 0.0, dup_prob: 0.0, delay_prob: 0.4 });
+
+    bidi_faultfree_21:     seed 21, ScenarioConfig::default().bidirectional();
+    bidi_faultfree_22:     seed 22, ScenarioConfig::default().bidirectional();
+    bidi_faultfree_23:     seed 23, ScenarioConfig::default().bidirectional();
+    bidi_faultfree_24:     seed 24, ScenarioConfig::default().bidirectional();
+    bidi_lossy_25:         seed 25, ScenarioConfig::default().bidirectional().with_faults(lossy());
+    bidi_lossy_26:         seed 26, ScenarioConfig::default().bidirectional().with_faults(lossy());
+
+    large_cluster_31:      seed 31, ScenarioConfig {
+        num_nodes: 20, num_streams: 12, ..ScenarioConfig::default()
+    };
+    large_cluster_32:      seed 32, ScenarioConfig {
+        num_nodes: 20, num_streams: 12, strategy: RangeStrategy::Bidirectional,
+        ..ScenarioConfig::default()
+    };
+    small_cluster_33:      seed 33, ScenarioConfig {
+        num_nodes: 4, num_streams: 3, ..ScenarioConfig::default()
+    };
+    long_schedule_34:      seed 34, ScenarioConfig {
+        num_events: 80, ..ScenarioConfig::default()
+    };
+    long_lossy_35:         seed 35, ScenarioConfig {
+        num_events: 80, ..ScenarioConfig::default().with_faults(lossy())
+    };
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let scenario = Scenario::generate(42, ScenarioConfig::default().with_faults(lossy()));
+    let a = run_scenario(&scenario);
+    let b = run_scenario(&scenario);
+    assert_eq!(a, b, "same scenario must produce byte-identical reports");
+}
+
+#[test]
+fn scenarios_exercise_the_whole_stack() {
+    let report = assert_clean(99, ScenarioConfig { num_events: 60, ..ScenarioConfig::default() });
+    assert!(report.mbr_ships > 10, "expected steady MBR traffic, got {}", report.mbr_ships);
+    assert!(report.queries_posted > 0, "schedule posted no queries");
+    assert!(report.final_nodes >= 3, "cluster fell below three nodes");
+}
+
+/// The harness's own self-test (the issue's acceptance criterion): disable
+/// replica rebalancing on churn — a deliberately injected bug — and the
+/// oracles must catch the coverage hole, serialize a reproducer, and that
+/// reproducer must replay from disk to the very same failure.
+#[test]
+fn injected_bug_is_caught_and_replays_from_disk() {
+    let mut caught = None;
+    for seed in 0..200u64 {
+        let cfg = ScenarioConfig {
+            disable_churn_repair: true,
+            num_events: 60,
+            ..ScenarioConfig::default()
+        };
+        let scenario = Scenario::generate(seed, cfg);
+        let report = run_scenario(&scenario);
+        if let Some(v) = report.violation {
+            caught = Some((scenario, v));
+            break;
+        }
+    }
+    let (scenario, violation) =
+        caught.expect("disabling churn repair must violate an invariant within 200 seeds");
+    assert!(
+        violation.oracle == "replica-placement" || violation.oracle == "no-false-dismissal",
+        "expected a coverage violation, got `{}`: {}",
+        violation.oracle,
+        violation.detail
+    );
+
+    // Serialize, reload from disk, replay: identical failure.
+    let path = write_reproducer(&Reproducer::from_failure(&scenario, violation.clone()));
+    let loaded = load_reproducer(&path);
+    assert_eq!(loaded.seed, scenario.seed);
+    let replayed = loaded.replay().expect("reproducer must replay to a violation");
+    assert_eq!(replayed, violation, "replay must reproduce the identical violation");
+    // The reproducer's schedule ends at the failing event.
+    assert_eq!(loaded.events.len(), violation.event_index + 1);
+}
+
+/// Long randomized soak: 30 fresh seeds × 300-event schedules under lossy
+/// delivery, across both strategies. Run with:
+/// `cargo test -p dsi-faultsim -- --ignored`
+#[test]
+#[ignore = "long soak; run explicitly or from the scheduled CI job"]
+fn soak_lossy_campaign() {
+    for seed in 1000..1030u64 {
+        let mut cfg = ScenarioConfig {
+            num_events: 300,
+            num_nodes: 12,
+            num_streams: 10,
+            ..ScenarioConfig::default().with_faults(lossy())
+        };
+        if seed % 2 == 1 {
+            cfg = cfg.bidirectional();
+        }
+        let report = assert_clean(seed, cfg);
+        assert!(report.mbr_ships > 0);
+    }
+}

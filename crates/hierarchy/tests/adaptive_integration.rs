@@ -33,8 +33,8 @@ fn update_pressure_widens_a_volatile_stream() {
     let mut t = 0u64;
     for round in 0..12 {
         for step in 0..32u64 {
-            let volatile = ((round * 37 + step) as f64 * 0.9).sin() * 3.0
-                + rng.gen_range(-1.0..1.0) * 2.0;
+            let volatile =
+                ((round * 37 + step) as f64 * 0.9).sin() * 3.0 + rng.gen_range(-1.0..1.0) * 2.0;
             c.post_value(0, volatile, SimTime::from_ms(t));
             c.post_value(1, 5.0 + 0.01 * (step as f64).sin(), SimTime::from_ms(t));
             t += 100;

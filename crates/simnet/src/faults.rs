@@ -1,0 +1,156 @@
+//! Message-level fault injection for simulation testing.
+//!
+//! The paper's middleware is built on soft state, so it must tolerate the
+//! usual best-effort network pathologies: periodic (NPER) messages that are
+//! lost, duplicated, or arrive a period late. [`FaultSpec`] describes the
+//! probabilities of each pathology and draws per-delivery [`FaultOutcome`]s
+//! from a caller-supplied RNG, keeping runs deterministic under a seed —
+//! the fault-injection harness replays the exact same outcome sequence from
+//! a recorded seed.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-delivery fault probabilities. The three probabilities partition the
+/// unit interval together with normal delivery, so they must sum to at most
+/// one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Probability a delivery is dropped entirely.
+    pub drop_prob: f64,
+    /// Probability a delivery is duplicated (processed twice).
+    pub dup_prob: f64,
+    /// Probability a delivery is delayed to the next period.
+    pub delay_prob: f64,
+}
+
+impl FaultSpec {
+    /// A fault-free network: every delivery succeeds.
+    pub const NONE: FaultSpec = FaultSpec { drop_prob: 0.0, dup_prob: 0.0, delay_prob: 0.0 };
+
+    /// Validates the probabilities.
+    ///
+    /// # Panics
+    /// Panics if any probability is outside `[0, 1]` or they sum past one.
+    pub fn validate(&self) {
+        for (name, p) in
+            [("drop", self.drop_prob), ("dup", self.dup_prob), ("delay", self.delay_prob)]
+        {
+            assert!((0.0..=1.0).contains(&p), "{name} probability {p} outside [0, 1]");
+        }
+        let sum = self.drop_prob + self.dup_prob + self.delay_prob;
+        assert!(sum <= 1.0 + 1e-12, "fault probabilities sum to {sum} > 1");
+    }
+
+    /// Whether any fault can occur at all.
+    pub fn is_none(&self) -> bool {
+        self.drop_prob == 0.0 && self.dup_prob == 0.0 && self.delay_prob == 0.0
+    }
+
+    /// Draws the outcome for one delivery. Consumes exactly one `f64` from
+    /// the RNG (even for the fault-free spec), so schedules stay aligned
+    /// when fault probabilities change between replays of the same seed.
+    pub fn outcome<R: Rng + ?Sized>(&self, rng: &mut R) -> FaultOutcome {
+        let u: f64 = rng.gen();
+        if u < self.drop_prob {
+            FaultOutcome::Drop
+        } else if u < self.drop_prob + self.dup_prob {
+            FaultOutcome::Duplicate
+        } else if u < self.drop_prob + self.dup_prob + self.delay_prob {
+            FaultOutcome::Delay
+        } else {
+            FaultOutcome::Deliver
+        }
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec::NONE
+    }
+}
+
+/// What happens to one delivery under a [`FaultSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultOutcome {
+    /// Delivered normally.
+    Deliver,
+    /// Lost; the receiver never processes it.
+    Drop,
+    /// Processed twice (e.g. a retransmission raced the original).
+    Duplicate,
+    /// Deferred by one period.
+    Delay,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fault_free_spec_always_delivers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert_eq!(FaultSpec::NONE.outcome(&mut rng), FaultOutcome::Deliver);
+        }
+    }
+
+    #[test]
+    fn outcomes_follow_probabilities() {
+        let spec = FaultSpec { drop_prob: 0.2, dup_prob: 0.1, delay_prob: 0.1 };
+        spec.validate();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 4];
+        let n = 20_000;
+        for _ in 0..n {
+            match spec.outcome(&mut rng) {
+                FaultOutcome::Drop => counts[0] += 1,
+                FaultOutcome::Duplicate => counts[1] += 1,
+                FaultOutcome::Delay => counts[2] += 1,
+                FaultOutcome::Deliver => counts[3] += 1,
+            }
+        }
+        let frac = |c: u32| c as f64 / n as f64;
+        assert!((frac(counts[0]) - 0.2).abs() < 0.02, "drop {}", frac(counts[0]));
+        assert!((frac(counts[1]) - 0.1).abs() < 0.02, "dup {}", frac(counts[1]));
+        assert!((frac(counts[2]) - 0.1).abs() < 0.02, "delay {}", frac(counts[2]));
+        assert!((frac(counts[3]) - 0.6).abs() < 0.02, "deliver {}", frac(counts[3]));
+    }
+
+    #[test]
+    fn outcome_sequence_is_deterministic_under_seed() {
+        let spec = FaultSpec { drop_prob: 0.3, dup_prob: 0.2, delay_prob: 0.2 };
+        let draw = |seed| -> Vec<FaultOutcome> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..64).map(|_| spec.outcome(&mut rng)).collect()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    fn every_spec_consumes_one_draw() {
+        // Changing the spec must not shift downstream RNG consumption.
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        FaultSpec::NONE.outcome(&mut a);
+        FaultSpec { drop_prob: 0.5, dup_prob: 0.2, delay_prob: 0.1 }.outcome(&mut b);
+        let next_a: f64 = a.gen();
+        let next_b: f64 = b.gen();
+        assert_eq!(next_a, next_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn oversubscribed_probabilities_panic() {
+        FaultSpec { drop_prob: 0.6, dup_prob: 0.3, delay_prob: 0.2 }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn negative_probability_panics() {
+        FaultSpec { drop_prob: -0.1, dup_prob: 0.0, delay_prob: 0.0 }.validate();
+    }
+}

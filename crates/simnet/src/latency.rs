@@ -59,9 +59,7 @@ impl LatencyModel {
         match *self {
             LatencyModel::Constant(ms) => ms as f64,
             LatencyModel::Uniform(lo, hi) => (lo + hi) as f64 / 2.0,
-            LatencyModel::BaseWithTail { base_ms, tail_mean_ms } => {
-                (base_ms + tail_mean_ms) as f64
-            }
+            LatencyModel::BaseWithTail { base_ms, tail_mean_ms } => (base_ms + tail_mean_ms) as f64,
         }
     }
 }

@@ -8,6 +8,7 @@
 //! * [`engine::Engine`] — binary-heap event queue with FIFO tie-breaking;
 //! * [`poisson::PoissonArrivals`] — query arrival process;
 //! * [`net`] — the 50 ms/hop cost constants;
+//! * [`faults`] — seeded drop/duplicate/delay fault injection;
 //! * [`latency::LatencyModel`] — configurable per-hop delay distributions;
 //! * [`metrics`] — per-node load components (Fig. 6), per-event message
 //!   overhead (Fig. 7) and hop counts (Fig. 8).
@@ -15,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod faults;
 pub mod latency;
 pub mod metrics;
 pub mod net;
@@ -22,6 +24,7 @@ pub mod poisson;
 pub mod time;
 
 pub use engine::Engine;
+pub use faults::{FaultOutcome, FaultSpec};
 pub use latency::LatencyModel;
 pub use metrics::{Histogram, InputEvent, Metrics, MsgClass, NUM_CLASSES};
 pub use net::{delivery_delay_ms, path_delay_ms, HOP_DELAY_MS};

@@ -146,6 +146,36 @@ impl Metrics {
         self.totals[class.index()]
     }
 
+    /// Sum of recorded hop counts for a class (numerator of
+    /// [`Metrics::avg_hops`]) — exposed for conservation audits: a routed
+    /// logical message of `h` hops is charged as `h` per-hop messages, so
+    /// for classes where every route also records its hops, the hop sum of
+    /// the base class must equal base + transit message totals.
+    pub fn hop_sum(&self, class: MsgClass) -> u64 {
+        self.hop_sum[class.index()]
+    }
+
+    /// Number of logical messages whose hops were recorded for a class
+    /// (denominator of [`Metrics::avg_hops`]).
+    pub fn hop_count(&self, class: MsgClass) -> u64 {
+        self.hop_count[class.index()]
+    }
+
+    /// Messages of a class summed over all sending nodes. Always equals
+    /// [`Metrics::total`] (every message has exactly one sender); exposed so
+    /// auditors can check the bookkeeping itself.
+    pub fn sent_total(&self, class: MsgClass) -> u64 {
+        let i = class.index();
+        self.sent.values().map(|a| a[i]).sum()
+    }
+
+    /// Messages of a class summed over all receiving nodes. Always equals
+    /// [`Metrics::total`].
+    pub fn received_total(&self, class: MsgClass) -> u64 {
+        let i = class.index();
+        self.received.values().map(|a| a[i]).sum()
+    }
+
     /// Number of recorded input events of a kind.
     pub fn event_count(&self, kind: InputEvent) -> u64 {
         self.events[kind.index()]
@@ -303,6 +333,25 @@ mod tests {
         }
         assert!((m.overhead(MsgClass::MbrTransit, InputEvent::Mbr) - 1.5).abs() < 1e-12);
         assert_eq!(m.overhead(MsgClass::Query, InputEvent::Query), 0.0);
+    }
+
+    #[test]
+    fn conservation_accessors_reconcile() {
+        let mut m = Metrics::new();
+        // Two routed MBR messages: 3 hops and 1 hop.
+        m.record_route(MsgClass::MbrOriginated, MsgClass::MbrTransit, &[1, 2, 3, 4]);
+        m.record_hops(MsgClass::MbrOriginated, 3);
+        m.record_route(MsgClass::MbrOriginated, MsgClass::MbrTransit, &[5, 6]);
+        m.record_hops(MsgClass::MbrOriginated, 1);
+        assert_eq!(
+            m.hop_sum(MsgClass::MbrOriginated),
+            m.total(MsgClass::MbrOriginated) + m.total(MsgClass::MbrTransit)
+        );
+        assert_eq!(m.hop_count(MsgClass::MbrOriginated), 2);
+        for c in MsgClass::ALL {
+            assert_eq!(m.sent_total(c), m.total(c));
+            assert_eq!(m.received_total(c), m.total(c));
+        }
     }
 
     #[test]

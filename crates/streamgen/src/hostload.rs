@@ -52,8 +52,10 @@ pub struct HostLoad {
 impl HostLoad {
     /// Creates a generator at the long-run mean.
     pub fn new(cfg: HostLoadConfig) -> Self {
-        assert!((0.0..1.0).contains(&cfg.ar_coeff.abs()) || cfg.ar_coeff.abs() < 1.0,
-            "AR coefficient must be stable (|a| < 1)");
+        assert!(
+            (0.0..1.0).contains(&cfg.ar_coeff.abs()) || cfg.ar_coeff.abs() < 1.0,
+            "AR coefficient must be stable (|a| < 1)"
+        );
         assert!(cfg.noise >= 0.0, "noise must be non-negative");
         let base = cfg.mean_load;
         HostLoad { cfg, base, burst: 0.0 }
@@ -67,9 +69,8 @@ impl HostLoad {
     /// Next load sample (non-negative).
     pub fn next_value<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
         let innovation: f64 = rng.gen_range(-1.0..1.0) * self.cfg.noise * 1.732; // unit-ish var
-        self.base = self.cfg.mean_load
-            + self.cfg.ar_coeff * (self.base - self.cfg.mean_load)
-            + innovation;
+        self.base =
+            self.cfg.mean_load + self.cfg.ar_coeff * (self.base - self.cfg.mean_load) + innovation;
         self.burst *= self.cfg.burst_decay;
         if rng.gen_bool(self.cfg.burst_prob) {
             self.burst += rng.gen_range(self.cfg.burst_mag.0..=self.cfg.burst_mag.1);

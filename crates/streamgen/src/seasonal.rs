@@ -72,7 +72,10 @@ impl SeasonalStream {
         let season: f64 = self
             .harmonics
             .iter()
-            .map(|h| h.amplitude * (2.0 * std::f64::consts::PI * self.t as f64 / h.period + h.phase).sin())
+            .map(|h| {
+                h.amplitude
+                    * (2.0 * std::f64::consts::PI * self.t as f64 / h.period + h.phase).sin()
+            })
             .sum();
         let noise = if self.noise > 0.0 { rng.gen_range(-self.noise..=self.noise) } else { 0.0 };
         self.t += 1;
@@ -98,9 +101,7 @@ mod tests {
         if var == 0.0 {
             return 0.0;
         }
-        let cov = (0..n - lag)
-            .map(|i| (xs[i] - mean) * (xs[i + lag] - mean))
-            .sum::<f64>()
+        let cov = (0..n - lag).map(|i| (xs[i] - mean) * (xs[i + lag] - mean)).sum::<f64>()
             / (n - lag) as f64;
         cov / var
     }
@@ -177,9 +178,8 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let f = |s| {
-            SeasonalStream::diurnal(5.0, 24.0).take_values(&mut StdRng::seed_from_u64(s), 50)
-        };
+        let f =
+            |s| SeasonalStream::diurnal(5.0, 24.0).take_values(&mut StdRng::seed_from_u64(s), 50);
         assert_eq!(f(3), f(3));
         assert_ne!(f(3), f(4));
     }

@@ -83,10 +83,7 @@ impl Market {
     /// Creates a market with all prices at 100.
     pub fn new(config: MarketConfig) -> Self {
         assert!(config.sectors > 0 && config.tickers_per_sector > 0, "empty market");
-        assert!(
-            (0.0..=1.0).contains(&config.sector_weight),
-            "sector weight must be a fraction"
-        );
+        assert!((0.0..=1.0).contains(&config.sector_weight), "sector weight must be a fraction");
         let mut tickers = Vec::new();
         let mut sector_of = Vec::new();
         for s in 0..config.sectors {
@@ -150,11 +147,7 @@ impl Market {
     /// Generates the closing-price series of every ticker over `days` days.
     /// Returns `(tickers, series)` where `series[i][d]` is ticker `i`'s
     /// close on day `d`.
-    pub fn closing_series<R: Rng + ?Sized>(
-        &mut self,
-        rng: &mut R,
-        days: usize,
-    ) -> Vec<Vec<f64>> {
+    pub fn closing_series<R: Rng + ?Sized>(&mut self, rng: &mut R, days: usize) -> Vec<Vec<f64>> {
         let n = self.tickers.len();
         let mut series = vec![Vec::with_capacity(days); n];
         for _ in 0..days {
@@ -216,10 +209,8 @@ mod tests {
         let mut m = Market::new(cfg);
         let series = m.closing_series(&mut rng, 500);
         // Log-returns for correlation.
-        let rets: Vec<Vec<f64>> = series
-            .iter()
-            .map(|s| s.windows(2).map(|w| (w[1] / w[0]).ln()).collect())
-            .collect();
+        let rets: Vec<Vec<f64>> =
+            series.iter().map(|s| s.windows(2).map(|w| (w[1] / w[0]).ln()).collect()).collect();
         let same = pearson(&rets[0], &rets[1]); // S00T00 vs S00T01
         let cross = pearson(&rets[0], &rets[2]); // S00T00 vs S01T00
         assert!(same > 0.5, "same-sector correlation {same} too low");
@@ -238,7 +229,8 @@ mod tests {
 
     #[test]
     fn ticker_naming_and_sectors() {
-        let m = Market::new(MarketConfig { sectors: 2, tickers_per_sector: 3, ..Default::default() });
+        let m =
+            Market::new(MarketConfig { sectors: 2, tickers_per_sector: 3, ..Default::default() });
         assert_eq!(m.tickers().len(), 6);
         assert_eq!(m.tickers()[0], "S00T00");
         assert_eq!(m.sector_of(4), 1);

@@ -18,11 +18,9 @@ fn main() {
     println!("ring: {} nodes, m = {} bits", ring.len(), space.bits());
 
     let probe_keys: Vec<u64> = (0..40u64).map(|i| space.reduce(i * 1571 + 99)).collect();
-    let hops_before: f64 = probe_keys
-        .iter()
-        .map(|&k| ring.lookup(ids[0], k).hops() as f64)
-        .sum::<f64>()
-        / probe_keys.len() as f64;
+    let hops_before: f64 =
+        probe_keys.iter().map(|&k| ring.lookup(ids[0], k).hops() as f64).sum::<f64>()
+            / probe_keys.len() as f64;
     println!("average lookup hops before churn: {hops_before:.2}");
 
     // Crash 8 nodes at once (no goodbye).
@@ -70,10 +68,8 @@ fn main() {
     assert!(ring.is_fully_consistent());
     println!("4 newcomers joined; ring consistent with {} nodes", ring.len());
 
-    let hops_after: f64 = probe_keys
-        .iter()
-        .map(|&k| ring.lookup(origin, k).hops() as f64)
-        .sum::<f64>()
-        / probe_keys.len() as f64;
+    let hops_after: f64 =
+        probe_keys.iter().map(|&k| ring.lookup(origin, k).hops() as f64).sum::<f64>()
+            / probe_keys.len() as f64;
     println!("average lookup hops after recovery: {hops_after:.2} (O(log N) preserved)");
 }

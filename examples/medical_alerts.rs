@@ -21,9 +21,8 @@ fn main() {
     let mut cluster = Cluster::new(cfg);
 
     // Three patients; patient 1 spikes a fever in the second half.
-    let patients: Vec<StreamId> = (0..3)
-        .map(|i| cluster.register_stream(&format!("patient-{i}"), i))
-        .collect();
+    let patients: Vec<StreamId> =
+        (0..3).map(|i| cluster.register_stream(&format!("patient-{i}"), i)).collect();
     for step in 0..window as u64 + 20 {
         let now = SimTime::from_ms(step * 500);
         for (i, &sid) in patients.iter().enumerate() {

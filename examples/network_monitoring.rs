@@ -49,11 +49,8 @@ fn main() {
     cluster.notify_all(t + 2000);
 
     println!("hosts matching the burst-storm fingerprint (radius 0.2):");
-    let mut flagged: Vec<usize> = cluster
-        .notifications(qid)
-        .iter()
-        .map(|n| n.stream as usize)
-        .collect();
+    let mut flagged: Vec<usize> =
+        cluster.notifications(qid).iter().map(|n| n.stream as usize).collect();
     flagged.sort_unstable();
     flagged.dedup();
     for &h in &flagged {

@@ -20,9 +20,8 @@ fn main() {
 
     // Four temperature sensors; sensors 0 and 1 share a diurnal pattern,
     // 2 is flat, 3 oscillates fast.
-    let sensors: Vec<StreamId> = (0..4)
-        .map(|i| cluster.register_stream(&format!("temp-sensor-{i}"), i))
-        .collect();
+    let sensors: Vec<StreamId> =
+        (0..4).map(|i| cluster.register_stream(&format!("temp-sensor-{i}"), i)).collect();
     println!("registered {} sensors on a 16-node ring", sensors.len());
 
     // Feed 60 readings each (one per 200 ms of simulated time).
@@ -49,8 +48,7 @@ fn main() {
     for n in cluster.notifications(qid) {
         println!("  match: {} at {}", cluster.streams()[n.stream as usize].name, n.at);
     }
-    let matched: Vec<StreamId> =
-        cluster.notifications(qid).iter().map(|n| n.stream).collect();
+    let matched: Vec<StreamId> = cluster.notifications(qid).iter().map(|n| n.stream).collect();
     assert!(matched.contains(&sensors[0]), "sensor 0 must match itself");
     assert!(matched.contains(&sensors[1]), "sensor 1 shares the pattern");
 

@@ -67,11 +67,8 @@ fn main() {
         "query: streams correlating with {} above {threshold} (radius {radius:.3})",
         tickers[anchor]
     );
-    let mut matched: Vec<&str> = cluster
-        .notifications(qid)
-        .iter()
-        .map(|n| tickers[n.stream as usize].as_str())
-        .collect();
+    let mut matched: Vec<&str> =
+        cluster.notifications(qid).iter().map(|n| tickers[n.stream as usize].as_str()).collect();
     matched.sort_unstable();
     matched.dedup();
     for m in &matched {

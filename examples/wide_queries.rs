@@ -10,7 +10,7 @@
 use dsindex::chord::{covering_nodes, IdSpace, RangeStrategy, Ring};
 use dsindex::core::{radius_key_range, summary_key, SimilarityKind, SimilarityQuery};
 use dsindex::dsp::{extract_features, Normalization};
-use dsindex::hierarchy::{Hierarchy, HierarchicalIndex};
+use dsindex::hierarchy::{HierarchicalIndex, Hierarchy};
 use dsindex::prelude::SimTime;
 
 fn window(level: f64) -> Vec<f64> {
@@ -22,10 +22,7 @@ fn main() {
     let ids: Vec<u64> = (0..81u64).map(|i| space.hash_str(&format!("dc-{i}"))).collect();
     let ring = Ring::with_nodes(space, ids.iter().copied());
     let hierarchy = Hierarchy::build(&ids, 3);
-    println!(
-        "81 data centers, bottom clusters of 3, {} hierarchy levels",
-        hierarchy.num_levels()
-    );
+    println!("81 data centers, bottom clusters of 3, {} hierarchy levels", hierarchy.num_levels());
     let mut index = HierarchicalIndex::new(hierarchy, space);
 
     // One stream per data center, feature levels spread over the space.
@@ -57,8 +54,7 @@ fn main() {
         // Flat §IV-C cost: every node covering [h(q1-r), h(q1+r)] hears it.
         let (lo, hi) = radius_key_range(space, q.feature.first_real(), radius);
         let flat_nodes = covering_nodes(&ring, lo, hi).len();
-        let flat_plan =
-            dsindex::chord::multicast(&ring, ids[0], lo, hi, RangeStrategy::Sequential);
+        let flat_plan = dsindex::chord::multicast(&ring, ids[0], lo, hi, RangeStrategy::Sequential);
 
         // Hierarchical cost: escalate to the first leader whose subtree
         // covers the whole query range.

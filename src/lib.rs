@@ -55,12 +55,12 @@ pub mod prelude {
         BuildRouter, ChordId, ContentRouter, IdSpace, PastryNet, RangeStrategy, Ring,
     };
     pub use dsi_core::{
-        run_experiment, AlertCondition, Cluster, ClusterConfig, ExperimentConfig,
-        InnerProductPush, InnerProductQuery, MatchNotification, QueryId, SimilarityKind,
-        SimilarityPush, SimilarityQuery, StreamId, StreamIndex, SystemReport,
+        run_experiment, AlertCondition, Cluster, ClusterConfig, ExperimentConfig, InnerProductPush,
+        InnerProductQuery, MatchNotification, QueryId, SimilarityKind, SimilarityPush,
+        SimilarityQuery, StreamId, StreamIndex, SystemReport,
     };
     pub use dsi_dsp::{FeatureExtractor, FeatureVector, Mbr, Normalization};
-    pub use dsi_hierarchy::{AdaptivePrecision, Hierarchy, HierarchicalIndex};
+    pub use dsi_hierarchy::{AdaptivePrecision, HierarchicalIndex, Hierarchy};
     pub use dsi_simnet::SimTime;
     pub use dsi_streamgen::{
         HostLoad, Market, MarketConfig, QueryWorkload, RandomWalk, WorkloadConfig,

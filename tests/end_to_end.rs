@@ -38,8 +38,7 @@ fn no_false_dismissals_across_the_full_stack() {
     for radius in [0.05, 0.15, 0.4] {
         let qid = c.post_similarity_query(2, target.clone(), radius, 60_000, SimTime::ZERO);
         c.notify_all(SimTime::from_ms(2000));
-        let notified: Vec<StreamId> =
-            c.notifications(qid).iter().map(|n| n.stream).collect();
+        let notified: Vec<StreamId> = c.notifications(qid).iter().map(|n| n.stream).collect();
         for &sid in &sids {
             let win = c.streams()[sid as usize].extractor.window_snapshot();
             let d = dsindex::dsp::normalized_distance(&target, &win, Normalization::UnitNorm);
@@ -95,10 +94,7 @@ fn summaries_land_on_the_ring_where_eq6_says() {
     let fv = c.streams()[0].extractor.current();
     let key = dsindex::core::summary_key(c.space(), &fv);
     let owner = c.ring().ideal_successor(key).unwrap();
-    assert!(
-        plan.nodes().contains(&owner),
-        "the current summary's key owner must hold a replica"
-    );
+    assert!(plan.nodes().contains(&owner), "the current summary's key owner must hold a replica");
 }
 
 #[test]

@@ -1,0 +1,55 @@
+//! Golden-report regression: a pinned-seed experiment must reproduce the
+//! checked-in `results/golden_report.json` byte for byte.
+//!
+//! This freezes the full measurement pipeline — workload generation,
+//! summarization, routing, replication, aggregation and the report
+//! serialization itself. Any change that shifts a single counter or hop
+//! shows up as a diff of the golden file, which is exactly the review
+//! surface such a change deserves.
+//!
+//! To regenerate after an *intentional* behavior change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test golden_report
+//! git diff results/golden_report.json   # review, then commit
+//! ```
+
+use dsi_chord::RangeStrategy;
+use dsi_core::{run_experiment, ExperimentConfig, SimilarityKind};
+use dsi_streamgen::WorkloadConfig;
+
+/// The pinned configuration. Changing anything here invalidates the golden
+/// file — regenerate and commit the diff together with the change.
+fn golden_cfg() -> ExperimentConfig {
+    let workload = WorkloadConfig { window_len: 32, ..WorkloadConfig::default() };
+    ExperimentConfig {
+        num_nodes: 15,
+        workload,
+        seed: 20_050_404, // the paper's conference date, for flavor
+        id_bits: 32,
+        strategy: RangeStrategy::Sequential,
+        kind: SimilarityKind::Subsequence,
+        warmup_ms: 12_000,
+        measure_ms: 20_000,
+        inner_product_fraction: 0.0,
+    }
+}
+
+#[test]
+fn pinned_seed_reproduces_golden_report() {
+    let report = run_experiment(&golden_cfg());
+    let rendered = serde_json::to_string_pretty(&report).expect("serialize report");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/results/golden_report.json");
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::write(path, &rendered).expect("write golden report");
+        return;
+    }
+
+    let golden = include_str!("../results/golden_report.json");
+    assert_eq!(
+        rendered, golden,
+        "report drifted from results/golden_report.json; if the change is \
+         intentional, regenerate with GOLDEN_REGEN=1 and commit the diff"
+    );
+}

@@ -100,10 +100,7 @@ fn location_service_recovers_after_h2_owner_crash() {
     // ...and the next query resolves and gets answers.
     let q2 = c.post_inner_product_query(0, sid, vec![0], vec![1.0], 60_000, SimTime::from_secs(6));
     c.notify_all(SimTime::from_secs(8));
-    assert!(
-        !c.ip_results(q2).is_empty(),
-        "location service must recover via periodic refresh"
-    );
+    assert!(!c.ip_results(q2).is_empty(), "location service must recover via periodic refresh");
 }
 
 #[test]
@@ -152,8 +149,7 @@ fn aggregators_are_reassigned_on_crash() {
     // Crash every node until only notifications' processing path survives —
     // here: crash 4 arbitrary non-home nodes (one may be the aggregator).
     let home = c.streams()[0].home;
-    let victims: Vec<_> =
-        c.node_ids().iter().copied().filter(|&n| n != home).take(4).collect();
+    let victims: Vec<_> = c.node_ids().iter().copied().filter(|&n| n != home).take(4).collect();
     for v in victims {
         c.crash_node(v);
     }

@@ -59,8 +59,14 @@ fn cluster_api_works_unchanged_on_pastry() {
     c.notify_all(SimTime::from_ms(4000));
     assert!(c.notifications(qid).iter().any(|n| n.stream == sid));
 
-    let ip = c.post_inner_product_query(5, sid, vec![0, 1], vec![0.5, 0.5], 60_000,
-        SimTime::from_ms(4000));
+    let ip = c.post_inner_product_query(
+        5,
+        sid,
+        vec![0, 1],
+        vec![0.5, 0.5],
+        60_000,
+        SimTime::from_ms(4000),
+    );
     c.notify_all(SimTime::from_ms(6000));
     assert!(!c.ip_results(ip).is_empty());
 }

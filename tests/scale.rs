@@ -16,8 +16,7 @@ fn multiple_streams_per_data_center() {
     cfg.kind = SimilarityKind::Subsequence;
     let mut c = Cluster::new(cfg);
     // 18 streams over 6 nodes: three each.
-    let sids: Vec<StreamId> =
-        (0..18).map(|i| c.register_stream(&format!("s{i}"), i % 6)).collect();
+    let sids: Vec<StreamId> = (0..18).map(|i| c.register_stream(&format!("s{i}"), i % 6)).collect();
     for step in 0..40u64 {
         for (i, &sid) in sids.iter().enumerate() {
             let v = i as f64 * 0.1 + (step as f64 * 0.5 + i as f64).sin();
@@ -47,8 +46,7 @@ fn skewed_placement_still_spreads_index_load() {
     cfg.workload.bspan_ms = 600_000; // keep everything stored for the check
     cfg.kind = SimilarityKind::Subsequence;
     let mut c = Cluster::new(cfg);
-    let sids: Vec<StreamId> =
-        (0..12).map(|i| c.register_stream(&format!("s{i}"), 0)).collect();
+    let sids: Vec<StreamId> = (0..12).map(|i| c.register_stream(&format!("s{i}"), 0)).collect();
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(17);
     let mut walks: Vec<_> =

@@ -141,11 +141,8 @@ fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) 
     for _ in 0..sample_size {
         f(&mut b);
     }
-    let mut per_iter_ns: Vec<f64> = b
-        .samples
-        .iter()
-        .map(|d| d.as_nanos() as f64 / iters as f64)
-        .collect();
+    let mut per_iter_ns: Vec<f64> =
+        b.samples.iter().map(|d| d.as_nanos() as f64 / iters as f64).collect();
     per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
     if per_iter_ns.is_empty() {
         println!("  {label}: no samples");

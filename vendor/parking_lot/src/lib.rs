@@ -27,18 +27,14 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard {
-            inner: self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner()),
-        }
+        MutexGuard { inner: self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner()) }
     }
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
             Ok(g) => Some(MutexGuard { inner: g }),
-            Err(std::sync::TryLockError::Poisoned(p)) => {
-                Some(MutexGuard { inner: p.into_inner() })
-            }
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard { inner: p.into_inner() }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }

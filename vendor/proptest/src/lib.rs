@@ -439,7 +439,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *__l != *__r,
             "assertion failed: `{} != {}`\n  both: {:?}",
-            stringify!($left), stringify!($right), __l
+            stringify!($left),
+            stringify!($right),
+            __l
         );
     }};
 }

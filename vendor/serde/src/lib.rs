@@ -78,9 +78,7 @@ impl Value {
         match *self {
             Value::U64(v) => Some(v),
             Value::I64(v) if v >= 0 => Some(v as u64),
-            Value::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
-                Some(v as u64)
-            }
+            Value::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Some(v as u64),
             _ => None,
         }
     }
@@ -295,11 +293,7 @@ impl<T: Serialize> Serialize for Vec<T> {
 }
 impl<T: Deserialize> Deserialize for Vec<T> {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        v.as_array()
-            .ok_or_else(|| Error::expected("array", v))?
-            .iter()
-            .map(T::from_value)
-            .collect()
+        v.as_array().ok_or_else(|| Error::expected("array", v))?.iter().map(T::from_value).collect()
     }
 }
 
@@ -474,8 +468,7 @@ mod tests {
         m.insert(10u64, 1u64);
         m.insert(2u64, 2u64);
         let v = m.to_value();
-        let keys: Vec<&str> =
-            v.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        let keys: Vec<&str> = v.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
         assert_eq!(keys, vec!["10", "2"]); // lexicographic, but deterministic
         assert_eq!(HashMap::<u64, u64>::from_value(&v).unwrap(), m);
     }

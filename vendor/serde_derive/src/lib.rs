@@ -273,9 +273,7 @@ fn gen_serialize(inp: &Input) -> String {
         Shape::Struct(Fields::Named(fields)) => {
             let entries: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!("({:?}.to_string(), serde::Serialize::to_value(&self.{f}))", f)
-                })
+                .map(|f| format!("({:?}.to_string(), serde::Serialize::to_value(&self.{f}))", f))
                 .collect();
             format!("serde::Value::Object(vec![{}])", entries.join(", "))
         }
@@ -291,10 +289,9 @@ fn gen_serialize(inp: &Input) -> String {
                 .map(|v| {
                     let vn = &v.name;
                     match &v.fields {
-                        Fields::Unit => format!(
-                            "{name}::{vn} => serde::Value::Str({:?}.to_string()),",
-                            vn
-                        ),
+                        Fields::Unit => {
+                            format!("{name}::{vn} => serde::Value::Str({:?}.to_string()),", vn)
+                        }
                         Fields::Tuple(1) => format!(
                             "{name}::{vn}(f0) => serde::Value::Object(vec![({:?}.to_string(), \
                              serde::Serialize::to_value(f0))]),",
@@ -439,10 +436,7 @@ fn gen_deserialize(inp: &Input) -> String {
                     tagged_arms.join(" ")
                 )
             };
-            format!(
-                "{{ {unit_block} {tagged_block} Err(serde::Error::expected({:?}, v)) }}",
-                name
-            )
+            format!("{{ {unit_block} {tagged_block} Err(serde::Error::expected({:?}, v)) }}", name)
         }
     };
     format!(

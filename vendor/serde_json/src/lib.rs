@@ -5,8 +5,8 @@
 //! serde shim), which the repository's golden-report and determinism tests
 //! depend on.
 
-pub use serde::{Error, Value};
 use serde::{Deserialize, Serialize};
+pub use serde::{Error, Value};
 
 /// Result alias matching `serde_json::Result`.
 pub type Result<T> = std::result::Result<T, Error>;
