@@ -27,7 +27,7 @@ fn bench_lookup_scaling(c: &mut Criterion) {
     group.sample_size(20);
     for n in [64u64, 256, 1024] {
         let ring = build_ring(n);
-        let origin = ring.node_ids()[0];
+        let origin = ring.iter_ids().next().unwrap();
         group.bench_with_input(BenchmarkId::new("iterative", n), &ring, |b, ring| {
             let mut key = 7u64;
             b.iter(|| {
@@ -54,7 +54,7 @@ fn bench_multicast_planning(c: &mut Criterion) {
     let mut group = c.benchmark_group("multicast_plan");
     group.sample_size(20);
     let ring = build_ring(512);
-    let origin = ring.node_ids()[0];
+    let origin = ring.iter_ids().next().unwrap();
     let space = ring.space();
     // A range covering ~10% of the circle (the radius-0.1 query shape).
     let lo = space.modulus() / 4;

@@ -1,0 +1,296 @@
+//! First measured performance baseline (`BENCH_ingest.json`).
+//!
+//! Measures the three hot paths this repo's perf work targets, in
+//! machine-readable form so future PRs can track the trajectory:
+//!
+//! 1. `local_candidates` — interval-indexed vs brute-force linear scan at a
+//!    10k-MBR shard (per-op p50/p99 ns, ops/sec, candidates/sec, speedup);
+//! 2. batch ingest — `Cluster::ingest_batch` vs a sequential `post_value`
+//!    loop (items/sec, per-item ns);
+//! 3. the multi-seed experiment driver — `parallel_seed_reports` vs a
+//!    sequential loop over the 50-node Table I workload (wall-clock).
+//!
+//! Parallel speedups scale with available cores (`workers` is recorded in
+//! the output; override with `DSI_WORKERS`). `--quick` / `DSI_QUICK=1`
+//! shrinks every population for CI smoke runs.
+
+use dsi_bench::{parallel_seed_reports, quick_mode, worker_count};
+use dsi_core::{
+    run_experiment, Cluster, ClusterConfig, DataCenter, ExperimentConfig, SimilarityKind,
+    SimilarityQuery, StoredMbr,
+};
+use dsi_dsp::{Complex64, FeatureVector, Mbr, Normalization};
+use dsi_simnet::SimTime;
+use serde_json::Value;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn f64v(x: f64) -> Value {
+    Value::F64(x)
+}
+
+fn u64v(x: u64) -> Value {
+    Value::U64(x)
+}
+
+/// Deterministic xorshift64* generator — keeps the baseline reproducible
+/// without pulling rng plumbing into a bench binary.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in [-1, 1).
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+    }
+}
+
+fn query(id: u64, re: f64, im: f64, radius: f64) -> SimilarityQuery {
+    SimilarityQuery {
+        id,
+        client: 0,
+        feature: FeatureVector::new(vec![Complex64::new(re, im)], Normalization::UnitNorm),
+        target: Vec::new(),
+        radius,
+        kind: SimilarityKind::Subsequence,
+        aggregator: 0,
+        expires: SimTime::from_ms(u64::MAX / 2),
+    }
+}
+
+/// Per-op latency stats over a batch of measured durations.
+fn percentiles(mut ns: Vec<u64>) -> (u64, u64) {
+    ns.sort_unstable();
+    let p = |q: f64| ns[((ns.len() - 1) as f64 * q) as usize];
+    (p(0.50), p(0.99))
+}
+
+fn bench_local_candidates(stored: usize, num_queries: usize) -> Value {
+    let mut rng = XorShift(0x5eed_0001);
+    let mut dc = DataCenter::new(7);
+    for i in 0..stored {
+        let (re, im) = (rng.unit(), rng.unit());
+        let w = 0.01 + 0.02 * (rng.unit().abs());
+        dc.store_mbr(StoredMbr {
+            stream: (i % (stored / 4).max(1)) as u32,
+            mbr: Mbr::from_corners(vec![re - w, im - w], vec![re + w, im + w]),
+            origin: 1,
+            expires: SimTime::from_ms(1_000_000),
+        });
+    }
+    let now = SimTime::from_ms(10);
+    let queries: Vec<SimilarityQuery> =
+        (0..num_queries).map(|i| query(i as u64, rng.unit(), rng.unit(), 0.05)).collect();
+
+    let run = |indexed: bool| {
+        let mut lat = Vec::with_capacity(queries.len());
+        let mut candidates = 0usize;
+        let start = Instant::now();
+        for q in &queries {
+            let t0 = Instant::now();
+            let out = if indexed {
+                dc.local_candidates(q, now)
+            } else {
+                dc.local_candidates_linear(q, now)
+            };
+            lat.push(t0.elapsed().as_nanos() as u64);
+            candidates += black_box(out).len();
+        }
+        let total_s = start.elapsed().as_secs_f64();
+        let (p50, p99) = percentiles(lat);
+        (total_s, p50, p99, candidates)
+    };
+
+    // Linear first so the indexed pass cannot benefit from warmed caches.
+    let (lin_s, lin_p50, lin_p99, lin_c) = run(false);
+    let (idx_s, idx_p50, idx_p99, idx_c) = run(true);
+    assert_eq!(lin_c, idx_c, "indexed and linear scans must agree");
+
+    obj(vec![
+        ("stored_mbrs", u64v(stored as u64)),
+        ("queries", u64v(num_queries as u64)),
+        (
+            "indexed",
+            obj(vec![
+                ("ops_per_sec", f64v(num_queries as f64 / idx_s)),
+                ("candidates_per_sec", f64v(idx_c as f64 / idx_s)),
+                ("p50_ns", u64v(idx_p50)),
+                ("p99_ns", u64v(idx_p99)),
+            ]),
+        ),
+        (
+            "linear",
+            obj(vec![
+                ("ops_per_sec", f64v(num_queries as f64 / lin_s)),
+                ("candidates_per_sec", f64v(lin_c as f64 / lin_s)),
+                ("p50_ns", u64v(lin_p50)),
+                ("p99_ns", u64v(lin_p99)),
+            ]),
+        ),
+        ("speedup", f64v(lin_s / idx_s)),
+    ])
+}
+
+fn bench_matching_subscriptions(subs: usize, probes: usize) -> Value {
+    let mut rng = XorShift(0x5eed_0002);
+    let mut dc = DataCenter::new(7);
+    for i in 0..subs {
+        dc.subscribe_similarity(query(i as u64, rng.unit(), rng.unit(), 0.05));
+    }
+    let now = SimTime::from_ms(10);
+    let boxes: Vec<Mbr> = (0..probes)
+        .map(|_| {
+            let (re, im, w) = (rng.unit(), rng.unit(), 0.02);
+            Mbr::from_corners(vec![re - w, im - w], vec![re + w, im + w])
+        })
+        .collect();
+    let mut lat = Vec::with_capacity(boxes.len());
+    let mut matched = 0usize;
+    let start = Instant::now();
+    for mbr in &boxes {
+        let t0 = Instant::now();
+        matched += black_box(dc.matching_subscriptions(mbr, now)).len();
+        lat.push(t0.elapsed().as_nanos() as u64);
+    }
+    let total_s = start.elapsed().as_secs_f64();
+    let (p50, p99) = percentiles(lat);
+    obj(vec![
+        ("subscriptions", u64v(subs as u64)),
+        ("probes", u64v(probes as u64)),
+        ("ops_per_sec", f64v(probes as f64 / total_s)),
+        ("matches_per_sec", f64v(matched as f64 / total_s)),
+        ("p50_ns", u64v(p50)),
+        ("p99_ns", u64v(p99)),
+    ])
+}
+
+fn bench_ingest(num_streams: usize, ticks: u64) -> Value {
+    let build = || {
+        let mut cfg = ClusterConfig::new(50);
+        cfg.kind = SimilarityKind::Subsequence;
+        let mut cluster = Cluster::new(cfg);
+        for i in 0..num_streams {
+            cluster.register_stream(&format!("bench-ingest-{i}"), i % 50);
+        }
+        cluster
+    };
+    let mut rng = XorShift(0x5eed_0003);
+    let values: Vec<Vec<(u32, f64)>> = (0..ticks)
+        .map(|_| (0..num_streams as u32).map(|s| (s, 5.0 + rng.unit())).collect())
+        .collect();
+
+    let mut seq = build();
+    let start = Instant::now();
+    for (t, tick) in values.iter().enumerate() {
+        let now = SimTime::from_ms(t as u64 * 100);
+        for &(s, v) in tick {
+            black_box(seq.post_value(s, v, now));
+        }
+    }
+    let seq_s = start.elapsed().as_secs_f64();
+
+    let mut par = build();
+    let mut lat = Vec::with_capacity(values.len());
+    let start = Instant::now();
+    for (t, tick) in values.iter().enumerate() {
+        let now = SimTime::from_ms(t as u64 * 100);
+        let t0 = Instant::now();
+        black_box(par.ingest_batch(tick, now));
+        lat.push(t0.elapsed().as_nanos() as u64 / num_streams as u64);
+    }
+    let par_s = start.elapsed().as_secs_f64();
+    let (p50, p99) = percentiles(lat);
+
+    let items = (ticks as usize * num_streams) as f64;
+    obj(vec![
+        ("streams", u64v(num_streams as u64)),
+        ("ticks", u64v(ticks)),
+        ("sequential_items_per_sec", f64v(items / seq_s)),
+        ("parallel_items_per_sec", f64v(items / par_s)),
+        ("parallel_p50_ns_per_item", u64v(p50)),
+        ("parallel_p99_ns_per_item", u64v(p99)),
+        ("speedup", f64v(seq_s / par_s)),
+    ])
+}
+
+fn bench_driver_sweep(num_seeds: u64, warmup_ms: u64, measure_ms: u64) -> Value {
+    let make_cfg = |seed: u64| {
+        let mut cfg = ExperimentConfig::with_nodes(50); // Table I workload
+        cfg.seed = seed;
+        cfg.warmup_ms = warmup_ms;
+        cfg.measure_ms = measure_ms;
+        cfg
+    };
+    let seeds: Vec<u64> = (0..num_seeds).map(|i| 42 + i).collect();
+
+    let start = Instant::now();
+    let seq: Vec<_> = seeds.iter().map(|&s| run_experiment(&make_cfg(s))).collect();
+    let seq_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let par = parallel_seed_reports(&seeds, make_cfg);
+    let par_s = start.elapsed().as_secs_f64();
+
+    for (a, b) in seq.iter().zip(par.iter()) {
+        assert_eq!(
+            serde_json::to_string(a).unwrap(),
+            serde_json::to_string(b).unwrap(),
+            "parallel sweep diverged from sequential"
+        );
+    }
+
+    obj(vec![
+        ("nodes", u64v(50)),
+        ("seeds", u64v(num_seeds)),
+        ("sim_ms_per_seed", u64v(warmup_ms + measure_ms)),
+        ("sequential_s", f64v(seq_s)),
+        ("parallel_s", f64v(par_s)),
+        ("speedup", f64v(seq_s / par_s)),
+        ("bit_identical", Value::Bool(true)),
+    ])
+}
+
+fn main() {
+    let quick = quick_mode();
+    let (stored, queries) = if quick { (2_000, 200) } else { (10_000, 2_000) };
+    let (subs, probes) = if quick { (500, 200) } else { (5_000, 2_000) };
+    let (streams, ticks) = if quick { (128, 50) } else { (512, 400) };
+    let (seeds, warm, meas) = if quick { (2, 6_000, 6_000) } else { (5, 12_000, 24_000) };
+
+    eprintln!("[bench_baseline] local_candidates ({stored} MBRs, {queries} queries)...");
+    let lc = bench_local_candidates(stored, queries);
+    eprintln!("[bench_baseline] matching_subscriptions ({subs} subs)...");
+    let ms = bench_matching_subscriptions(subs, probes);
+    eprintln!("[bench_baseline] ingest ({streams} streams x {ticks} ticks)...");
+    let ingest = bench_ingest(streams, ticks as u64);
+    eprintln!("[bench_baseline] driver sweep ({seeds} seeds x 50 nodes)...");
+    let sweep = bench_driver_sweep(seeds, warm, meas);
+
+    let report = obj(vec![
+        ("bench", Value::Str("ingest_baseline".to_string())),
+        ("quick", Value::Bool(quick)),
+        ("workers", u64v(worker_count(usize::MAX) as u64)),
+        ("host_cpus", u64v(std::thread::available_parallelism().map_or(1, |n| n.get()) as u64)),
+        ("local_candidates", lc),
+        ("matching_subscriptions", ms),
+        ("ingest", ingest),
+        ("driver_sweep", sweep),
+    ]);
+    let rendered = serde_json::to_string_pretty(&report).expect("serialize");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
+    std::fs::write(path, &rendered).expect("write BENCH_ingest.json");
+    println!("{rendered}");
+    eprintln!("[written {path}]");
+}

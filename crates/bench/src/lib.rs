@@ -11,7 +11,9 @@
 pub mod experiments;
 pub mod sweep;
 
-pub use sweep::parallel_reports;
+pub use sweep::{
+    parallel_experiments, parallel_map, parallel_reports, parallel_seed_reports, worker_count,
+};
 
 use std::path::PathBuf;
 

@@ -1,29 +1,84 @@
-//! Parallel parameter sweeps: one deterministic simulation per thread.
+//! Parallel parameter sweeps: one deterministic simulation per work item.
+//!
+//! Simulations are seeded and single-threaded, so a sweep over node counts,
+//! seeds, or ablation configs is embarrassingly parallel. [`parallel_map`]
+//! runs a fixed worker pool over the item list with a shared atomic cursor
+//! (work stealing by index); each result lands in the slot of its input
+//! index, so the merged output order — and every report in it — is
+//! bit-identical to a sequential `items.iter().map(f)` regardless of thread
+//! scheduling.
 
 use dsi_core::{run_experiment, ExperimentConfig, SystemReport};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
 
-/// Runs one experiment per node count, in parallel (crossbeam scoped
-/// threads), returning reports in input order. Each simulation is
-/// single-threaded and seeded, so the sweep is deterministic regardless of
-/// scheduling.
+/// Worker count for a sweep: `DSI_WORKERS` if set, else host parallelism,
+/// clamped to `[1, cap]`.
+pub fn worker_count(cap: usize) -> usize {
+    std::env::var("DSI_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()))
+        .clamp(1, cap.max(1))
+}
+
+/// Runs `f` over `items` on a `std::thread::scope` worker pool, returning
+/// results in input order. Deterministic for deterministic `f`: the output
+/// slot of item `i` depends only on `items[i]`.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let slots = Mutex::new(slots);
+    let cursor = AtomicUsize::new(0);
+    let workers = worker_count(items.len());
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                slots.lock()[i] = Some(r);
+            });
+        }
+    });
+    slots.into_inner().into_iter().map(|r| r.expect("every slot filled")).collect()
+}
+
+/// Runs one experiment per node count, in parallel, returning reports in
+/// input order.
 pub fn parallel_reports<F>(node_counts: &[usize], make_cfg: F) -> Vec<SystemReport>
 where
     F: Fn(usize) -> ExperimentConfig + Sync,
 {
-    let slots: Mutex<Vec<Option<SystemReport>>> = Mutex::new(vec![None; node_counts.len()]);
-    crossbeam::thread::scope(|scope| {
-        for (i, &n) in node_counts.iter().enumerate() {
-            let slots = &slots;
-            let make_cfg = &make_cfg;
-            scope.spawn(move |_| {
-                let report = run_experiment(&make_cfg(n));
-                slots.lock()[i] = Some(report);
-            });
-        }
-    })
-    .expect("sweep threads must not panic");
-    slots.into_inner().into_iter().map(|r| r.expect("every slot filled")).collect()
+    parallel_map(node_counts, |&n| run_experiment(&make_cfg(n)))
+}
+
+/// Runs one experiment per seed, in parallel, returning reports in input
+/// order — the multi-seed driver behind confidence intervals and the
+/// bench-baseline wall-clock comparison.
+pub fn parallel_seed_reports<F>(seeds: &[u64], make_cfg: F) -> Vec<SystemReport>
+where
+    F: Fn(u64) -> ExperimentConfig + Sync,
+{
+    parallel_map(seeds, |&s| run_experiment(&make_cfg(s)))
+}
+
+/// Runs an arbitrary list of experiment configs (ablation sweeps), in
+/// parallel, returning reports in input order.
+pub fn parallel_experiments(cfgs: &[ExperimentConfig]) -> Vec<SystemReport> {
+    parallel_map(cfgs, run_experiment)
 }
 
 #[cfg(test)]
@@ -35,6 +90,12 @@ mod tests {
         cfg.workload.window_len = 16;
         cfg.warmup_ms = 6_000;
         cfg.measure_ms = 6_000;
+        cfg
+    }
+
+    fn seeded(seed: u64) -> ExperimentConfig {
+        let mut cfg = tiny(8);
+        cfg.seed = seed;
         cfg
     }
 
@@ -55,5 +116,28 @@ mod tests {
                 "parallel sweep must not change results"
             );
         }
+    }
+
+    #[test]
+    fn seed_sweep_is_bit_identical_to_sequential() {
+        // More items than a typical core count, so the worker pool actually
+        // multiplexes and the index-slotted merge is exercised.
+        let seeds: Vec<u64> = (0..6).map(|i| 1000 + i * 37).collect();
+        let par = parallel_seed_reports(&seeds, seeded);
+        for (s, report) in seeds.iter().zip(par.iter()) {
+            let seq = run_experiment(&seeded(*s));
+            assert_eq!(
+                serde_json::to_string(report).unwrap(),
+                serde_json::to_string(&seq).unwrap(),
+                "seed {s}: parallel report must be bit-identical to sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_singleton() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(parallel_map(&empty, |x| *x).is_empty());
+        assert_eq!(parallel_map(&[41], |x| x + 1), vec![42]);
     }
 }

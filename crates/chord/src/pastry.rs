@@ -132,6 +132,11 @@ impl PastryNet {
     pub fn node(&self, id: ChordId) -> Option<&PastryNode> {
         self.nodes.get(&id)
     }
+
+    /// All live node identifiers in ring order, without allocating.
+    pub fn iter_ids(&self) -> impl Iterator<Item = ChordId> + '_ {
+        self.nodes.keys().copied()
+    }
 }
 
 impl ContentRouter for PastryNet {
@@ -148,7 +153,7 @@ impl ContentRouter for PastryNet {
     }
 
     fn node_ids(&self) -> Vec<ChordId> {
-        self.nodes.keys().copied().collect()
+        self.iter_ids().collect()
     }
 
     fn ideal_successor(&self, key: ChordId) -> Option<ChordId> {

@@ -93,9 +93,16 @@ impl Ring {
         self.nodes.contains_key(&id)
     }
 
-    /// All live node identifiers in ring order.
+    /// All live node identifiers in ring order, without allocating.
+    /// Hot loops (stabilization, oracles, benches) should prefer this over
+    /// [`Ring::node_ids`].
+    pub fn iter_ids(&self) -> impl Iterator<Item = ChordId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// All live node identifiers in ring order, collected.
     pub fn node_ids(&self) -> Vec<ChordId> {
-        self.nodes.keys().copied().collect()
+        self.iter_ids().collect()
     }
 
     /// Read access to a node's routing state.
@@ -357,8 +364,8 @@ impl Ring {
             }
         }
         // Drop dead predecessors (Chord's periodic check_predecessor).
-        let ids = self.node_ids();
-        for id in ids {
+        // Membership has not changed since `ids` was collected above.
+        for &id in &ids {
             let dead = self
                 .nodes
                 .get(&id)
@@ -471,7 +478,7 @@ mod tests {
     #[test]
     fn lookup_matches_ground_truth_everywhere() {
         let ring = figure1_ring();
-        for from in ring.node_ids() {
+        for from in ring.iter_ids() {
             for key in 0..32 {
                 let l = ring.lookup(from, key);
                 assert_eq!(l.owner, ring.ideal_successor(key).unwrap(), "from {from} key {key}");

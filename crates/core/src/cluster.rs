@@ -71,6 +71,42 @@ pub struct StreamRuntime {
     pub last_feature: Option<FeatureVector>,
 }
 
+/// Batches smaller than this are summarized inline: thread-spawn overhead
+/// would dominate the O(k)-per-item sliding-DFT work.
+const PARALLEL_INGEST_MIN: usize = 32;
+
+/// Worker count for parallel phases: `DSI_WORKERS` if set (useful under CPU
+/// quotas and for oversubscription experiments), else the host parallelism,
+/// clamped to `[1, cap]`.
+pub(crate) fn worker_count(cap: usize) -> usize {
+    std::env::var("DSI_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .clamp(1, cap.max(1))
+}
+
+/// Worker body for [`Cluster::ingest_batch`]: advances each stream's
+/// summarizer and records the MBR its batcher emitted, if any. Mirrors the
+/// per-stream half of [`Cluster::post_value`] exactly (orphaned streams keep
+/// sliding their window but ship nothing).
+fn summarize_chunk(
+    nodes: &HashMap<ChordId, DataCenter>,
+    tasks: &mut [(&mut StreamRuntime, f64)],
+    emitted: &mut [Option<Mbr>],
+) {
+    for ((s, v), slot) in tasks.iter_mut().zip(emitted.iter_mut()) {
+        let homed = nodes.contains_key(&s.home);
+        if let Some(fv) = s.extractor.update(*v) {
+            s.last_feature = Some(fv.clone());
+            if homed {
+                *slot = s.batcher.push(fv);
+            }
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 enum QueryRuntime {
     Similarity(SimilarityQuery),
@@ -579,6 +615,70 @@ impl<R: ContentRouter> Cluster<R> {
         Some(self.replicate_mbr(stream, mbr, now))
     }
 
+    /// Feeds one value into each of many streams at the same instant.
+    ///
+    /// The per-stream summarization work (sliding-DFT update, normalization,
+    /// feature extraction, ζ-batching) is sharded across `std::thread::scope`
+    /// workers — stream summarizers are mutually independent, which is the
+    /// paper's own distribution argument turned inward onto one host. Any
+    /// emitted MBRs are then content-routed *sequentially* in ascending
+    /// stream order, so metrics, storage, and the returned plans — and
+    /// therefore `SystemReport` — are bit-identical to calling
+    /// [`Cluster::post_value`] once per entry in `values` order.
+    ///
+    /// Returns `(stream, emitted MBR, multicast plan)` for every stream
+    /// whose batcher shipped a summary this tick.
+    ///
+    /// # Panics
+    /// Panics if `values` is not sorted by strictly increasing stream id or
+    /// names an unregistered stream.
+    pub fn ingest_batch(
+        &mut self,
+        values: &[(StreamId, f64)],
+        now: SimTime,
+    ) -> Vec<(StreamId, Mbr, MulticastPlan)> {
+        assert!(
+            values.windows(2).all(|w| w[0].0 < w[1].0),
+            "ingest_batch requires strictly increasing stream ids"
+        );
+        let mut emitted: Vec<Option<Mbr>> = vec![None; values.len()];
+        {
+            // Carve disjoint `&mut` views of the touched streams, in order.
+            let mut tasks: Vec<(&mut StreamRuntime, f64)> = Vec::with_capacity(values.len());
+            let mut rest: &mut [StreamRuntime] = &mut self.streams;
+            let mut offset = 0usize;
+            for &(sid, v) in values {
+                let (_, tail) = rest.split_at_mut(sid as usize - offset);
+                let (s, tail) = tail.split_first_mut().expect("stream id in range");
+                rest = tail;
+                offset = sid as usize + 1;
+                tasks.push((s, v));
+            }
+            let nodes = &self.nodes;
+            let workers =
+                if tasks.len() < PARALLEL_INGEST_MIN { 1 } else { worker_count(tasks.len()) };
+            if workers == 1 {
+                summarize_chunk(nodes, &mut tasks, &mut emitted);
+            } else {
+                let chunk = tasks.len().div_ceil(workers);
+                std::thread::scope(|scope| {
+                    for (t_chunk, e_chunk) in tasks.chunks_mut(chunk).zip(emitted.chunks_mut(chunk))
+                    {
+                        scope.spawn(move || summarize_chunk(nodes, t_chunk, e_chunk));
+                    }
+                });
+            }
+        }
+        let mut out = Vec::new();
+        for (&(sid, _), slot) in values.iter().zip(emitted.iter_mut()) {
+            if let Some(mbr) = slot.take() {
+                let plan = self.replicate_mbr(sid, mbr.clone(), now);
+                out.push((sid, mbr, plan));
+            }
+        }
+        out
+    }
+
     /// Content-routes an MBR from the stream's home to every node covering
     /// its key range (§IV-G), storing a replica (with BSPAN expiry) at each.
     pub fn replicate_mbr(&mut self, stream: StreamId, mbr: Mbr, now: SimTime) -> MulticastPlan {
@@ -780,14 +880,13 @@ impl<R: ContentRouter> Cluster<R> {
         // Soft-state location refresh: if churn moved (or lost) the h2
         // record of a stream homed here, re-register it. Free in the steady
         // state; one routed message when the owner changed.
-        let homed: Vec<(StreamId, String)> = self
+        let homed: Vec<(StreamId, ChordId)> = self
             .streams
             .iter()
             .filter(|s| s.home == node)
-            .map(|s| (s.id, s.name.clone()))
+            .map(|s| (s.id, stream_key(self.space, &s.name)))
             .collect();
-        for (sid, name) in homed {
-            let key = stream_key(self.space, &name);
+        for (sid, key) in homed {
             let owner = self.ring.ideal_successor(key).expect("non-empty ring");
             if self.nodes[&owner].location_get(sid) != Some(node) {
                 let lookup = self.ring.route(node, key);
@@ -880,10 +979,15 @@ impl<R: ContentRouter> Cluster<R> {
     /// the streams' current windows.
     fn aggregate_and_verify(&mut self, q: &SimilarityQuery, now: SimTime) -> Vec<StreamId> {
         let (lo, hi) = radius_key_range(self.space, q.feature.first_real(), q.radius);
-        let mut candidates: Vec<StreamId> = dsi_chord::covering_nodes(&self.ring, lo, hi)
-            .into_iter()
-            .flat_map(|n| self.nodes[&n].local_candidates(q, now))
-            .collect();
+        // One feature->point conversion per query, shared across every
+        // covering node's index probe; per-node results arrive unsorted and
+        // possibly duplicated, so one global sort+dedup replaces the
+        // per-node ones (same final set).
+        let point = q.feature.to_reals();
+        let mut candidates: Vec<StreamId> = Vec::new();
+        for n in dsi_chord::covering_nodes(&self.ring, lo, hi) {
+            self.nodes[&n].collect_candidates(q, &point, now, &mut candidates);
+        }
         candidates.sort_unstable();
         candidates.dedup();
         self.quality.candidates += candidates.len() as u64;

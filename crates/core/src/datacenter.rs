@@ -26,6 +26,156 @@ pub struct StoredMbr {
     pub expires: SimTime,
 }
 
+/// The dim-0 (routing-coefficient) extent of a box, widened to the whole
+/// axis for degenerate dimension-less boxes so they are never pruned.
+#[inline]
+fn extent0(mbr: &Mbr) -> (f64, f64) {
+    if mbr.dims() == 0 {
+        (f64::NEG_INFINITY, f64::INFINITY)
+    } else {
+        mbr.first_interval()
+    }
+}
+
+/// Slack added around a search interval so that dim-0 pruning can never
+/// exclude a record the exact `min_dist <= radius + 1e-12` test would
+/// accept: the rounding of `sqrt(sum of squares)` is at most a few ulps,
+/// and this pad is ~1e7 times wider than that at any magnitude.
+#[inline]
+fn prune_pad(r: f64) -> f64 {
+    1e-9 + r.abs() * 1e-9
+}
+
+/// A 1-D interval index: sorted endpoint array plus an unsorted staged tail.
+///
+/// Eq. 6 maps summaries onto the ring through the *first* DFT coefficient
+/// only, so both stored MBRs and subscription ranges project onto 1-D
+/// intervals of that axis. Intersection queries against a sorted-by-low
+/// array need the classic max-width trick: `[l, h]` intersects `[a, b]` iff
+/// `l <= b` and `h >= a`, and since `l >= h - max_width` every intersecting
+/// interval has `l` in `[a - max_width, b]` — two binary searches bound the
+/// scan. Appends go to a small staged tail (scanned linearly, extents
+/// inline) and are merged into the sorted run once the tail outgrows
+/// `16 + sorted/16`, keeping amortized append cost O(log n).
+///
+/// The payload is an opaque `u64`: the position in `mbrs` for the MBR index,
+/// the `QueryId` for the subscription index.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct IntervalIndex {
+    /// `(low, high, payload)` sorted by `(low, payload)`.
+    entries: Vec<(f64, f64, u64)>,
+    /// Recent appends, unsorted, scanned linearly until compacted.
+    staged: Vec<(f64, f64, u64)>,
+    /// Widest `high - low` over `entries` and `staged`.
+    max_width: f64,
+}
+
+impl IntervalIndex {
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.staged.clear();
+        self.max_width = 0.0;
+    }
+
+    /// Stages one interval; merges the tail into the sorted run when it
+    /// outgrows its bound.
+    fn push(&mut self, low: f64, high: f64, payload: u64) {
+        self.staged.push((low, high, payload));
+        self.max_width = self.max_width.max(high - low);
+        if self.staged.len() > 16 + self.entries.len() / 16 {
+            self.compact();
+        }
+    }
+
+    /// Merges the staged tail into the sorted run. The stable sort detects
+    /// the two pre-sorted runs, so this is effectively one O(n) merge.
+    fn compact(&mut self) {
+        if self.staged.is_empty() {
+            return;
+        }
+        self.staged.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.2.cmp(&y.2)));
+        self.entries.append(&mut self.staged);
+        self.entries.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.2.cmp(&y.2)));
+    }
+
+    /// Calls `visit` with the payload of every interval intersecting
+    /// `[a, b]`, in deterministic (sorted-run, then staged-insertion) order.
+    fn for_overlapping(&self, a: f64, b: f64, mut visit: impl FnMut(u64)) {
+        let from = self.entries.partition_point(|e| e.0 < a - self.max_width);
+        for &(low, high, payload) in &self.entries[from..] {
+            if low > b {
+                break;
+            }
+            if high >= a {
+                visit(payload);
+            }
+        }
+        for &(low, high, payload) in &self.staged {
+            if low <= b && high >= a {
+                visit(payload);
+            }
+        }
+    }
+}
+
+/// Implicit-array binary min-heap over expiry timestamps (ms).
+///
+/// Entries are never removed eagerly: replaced subscriptions and rebalanced
+/// replicas leave stale timestamps behind, which only makes the heap's
+/// minimum a conservative lower bound on the earliest real expiry — a purge
+/// fired on a stale minimum simply removes nothing and pops it.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct ExpiryHeap {
+    times: Vec<u64>,
+}
+
+impl ExpiryHeap {
+    fn push(&mut self, t: u64) {
+        self.times.push(t);
+        let mut i = self.times.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.times[parent] <= self.times[i] {
+                break;
+            }
+            self.times.swap(parent, i);
+            i = parent;
+        }
+    }
+
+    /// Earliest (possibly stale) expiry, if any.
+    fn next_at(&self) -> Option<u64> {
+        self.times.first().copied()
+    }
+
+    /// Drops every timestamp `<= now` — they all refer to items a purge at
+    /// `now` has just removed (or to stale entries).
+    fn pop_through(&mut self, now: u64) {
+        while self.times.first().is_some_and(|&t| t <= now) {
+            let last = self.times.len() - 1;
+            self.times.swap(0, last);
+            self.times.pop();
+            // Sift the promoted leaf back down.
+            let mut i = 0;
+            loop {
+                let (l, r) = (2 * i + 1, 2 * i + 2);
+                let mut smallest = i;
+                if l < self.times.len() && self.times[l] < self.times[smallest] {
+                    smallest = l;
+                }
+                if r < self.times.len() && self.times[r] < self.times[smallest] {
+                    smallest = r;
+                }
+                if smallest == i {
+                    break;
+                }
+                self.times.swap(i, smallest);
+                i = smallest;
+            }
+        }
+    }
+}
+
 /// State of one data center.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DataCenter {
@@ -41,6 +191,12 @@ pub struct DataCenter {
     location: HashMap<StreamId, ChordId>,
     /// Peak number of simultaneously stored MBRs (storage accounting).
     peak_mbrs: usize,
+    /// Dim-0 interval index over `mbrs` (payload = position).
+    mbr_index: IntervalIndex,
+    /// Dim-0 interval index over `subscriptions` (payload = query id).
+    sub_index: IntervalIndex,
+    /// Min-heap of pending expiries across all three soft-state tables.
+    expiry: ExpiryHeap,
 }
 
 impl DataCenter {
@@ -56,7 +212,10 @@ impl DataCenter {
     /// Stores an MBR replica. Expired entries for the same batch are left to
     /// the periodic purge (the paper expires by life span, not by version).
     pub fn store_mbr(&mut self, stored: StoredMbr) {
+        let (low, high) = extent0(&stored.mbr);
+        self.expiry.push(stored.expires.as_ms());
         self.mbrs.push(stored);
+        self.mbr_index.push(low, high, (self.mbrs.len() - 1) as u64);
         self.peak_mbrs = self.peak_mbrs.max(self.mbrs.len());
     }
 
@@ -77,6 +236,45 @@ impl DataCenter {
     /// churn moves records off nodes that no longer cover their range).
     pub(crate) fn retain_mbrs(&mut self, keep: impl FnMut(&StoredMbr) -> bool) {
         self.mbrs.retain(keep);
+        self.rebuild_mbr_index();
+    }
+
+    /// Rebuilds the dim-0 index after positions in `mbrs` shifted.
+    fn rebuild_mbr_index(&mut self) {
+        self.mbr_index.clear();
+        for (pos, s) in self.mbrs.iter().enumerate() {
+            let (low, high) = extent0(&s.mbr);
+            self.mbr_index.staged.push((low, high, pos as u64));
+            self.mbr_index.max_width = self.mbr_index.max_width.max(high - low);
+        }
+        self.mbr_index.compact();
+    }
+
+    /// Rebuilds the subscription interval index (after removal/replacement).
+    fn rebuild_sub_index(&mut self) {
+        self.sub_index.clear();
+        let mut point = Vec::new();
+        for (&qid, q) in &self.subscriptions {
+            let (low, high) = Self::sub_interval(q, &mut point);
+            self.sub_index.staged.push((low, high, qid));
+            self.sub_index.max_width = self.sub_index.max_width.max(high - low);
+        }
+        self.sub_index.compact();
+    }
+
+    /// The dim-0 interval a subscription can match boxes in: the query
+    /// point's first coordinate widened by radius plus pruning slack.
+    fn sub_interval(q: &SimilarityQuery, scratch: &mut Vec<f64>) -> (f64, f64) {
+        q.feature.write_reals(scratch);
+        match scratch.first() {
+            Some(&p0) => {
+                let r = q.radius + 1e-12;
+                let pad = prune_pad(r);
+                (p0 - r - pad, p0 + r + pad)
+            }
+            // A dimension-less query matches every box at distance zero.
+            None => (f64::NEG_INFINITY, f64::INFINITY),
+        }
     }
 
     /// Peak storage footprint in MBRs.
@@ -89,6 +287,55 @@ impl DataCenter {
     /// feature is within the radius. This is the superset guarantee — false
     /// positives possible, false dismissals impossible.
     pub fn local_candidates(&self, query: &SimilarityQuery, now: SimTime) -> Vec<StreamId> {
+        let point = query.feature.to_reals();
+        let mut out = Vec::new();
+        self.collect_candidates(query, &point, now, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Index-pruned candidate walk: appends every live matching stream to
+    /// `out` (unsorted, possibly with duplicates). `point` must be
+    /// `query.feature.to_reals()` — callers probing many nodes compute it
+    /// once and pass it down.
+    ///
+    /// Dim-0 of the feature space is the routing coefficient's real part, so
+    /// any box within `radius` of the query point must overlap
+    /// `[p0 - r, p0 + r]` on that axis; the interval index prunes to those
+    /// boxes before the exact `min_dist` test, which keeps the result set
+    /// identical to the brute-force scan.
+    pub fn collect_candidates(
+        &self,
+        query: &SimilarityQuery,
+        point: &[f64],
+        now: SimTime,
+        out: &mut Vec<StreamId>,
+    ) {
+        let r = query.radius + 1e-12;
+        if point.is_empty() {
+            // Dimension-less query: min_dist is 0 to every box; no pruning.
+            for s in &self.mbrs {
+                if now < s.expires && s.mbr.min_dist(point) <= r {
+                    out.push(s.stream);
+                }
+            }
+            return;
+        }
+        let pad = prune_pad(r);
+        let (a, b) = (point[0] - r - pad, point[0] + r + pad);
+        self.mbr_index.for_overlapping(a, b, |pos| {
+            let s = &self.mbrs[pos as usize];
+            if now < s.expires && s.mbr.min_dist(point) <= r {
+                out.push(s.stream);
+            }
+        });
+    }
+
+    /// Brute-force reference for [`DataCenter::local_candidates`]: the
+    /// original full linear scan. Kept for property tests and as the
+    /// baseline the bench suite measures the index against.
+    pub fn local_candidates_linear(&self, query: &SimilarityQuery, now: SimTime) -> Vec<StreamId> {
         let point = query.feature.to_reals();
         let mut out: Vec<StreamId> = self
             .mbrs
@@ -109,11 +356,22 @@ impl DataCenter {
     /// Registers a similarity subscription (replica of a query whose key
     /// range covers this node).
     pub fn subscribe_similarity(&mut self, q: SimilarityQuery) {
-        self.subscriptions.insert(q.id, q);
+        let mut scratch = Vec::new();
+        let (low, high) = Self::sub_interval(&q, &mut scratch);
+        let qid = q.id;
+        self.expiry.push(q.expires.as_ms());
+        let replaced = self.subscriptions.insert(qid, q).is_some();
+        if replaced {
+            // The old entry's interval is stale; rebuild rather than track it.
+            self.rebuild_sub_index();
+        } else {
+            self.sub_index.push(low, high, qid);
+        }
     }
 
     /// Registers an inner-product subscription at the stream's source node.
     pub fn subscribe_inner_product(&mut self, q: InnerProductQuery) {
+        self.expiry.push(q.expires.as_ms());
         self.ip_subscriptions.insert(q.id, q);
     }
 
@@ -153,6 +411,28 @@ impl DataCenter {
             || self.active_ip_subscriptions(now).next().is_some()
     }
 
+    /// The active similarity subscriptions a freshly arrived summary box can
+    /// satisfy — the symmetric counterpart of [`DataCenter::local_candidates`]
+    /// for the publish side. The subscription interval index prunes by the
+    /// box's dim-0 extent before the exact `min_dist` test, so the result is
+    /// exactly the set a full scan would produce, ordered deterministically
+    /// by (interval low, query id).
+    pub fn matching_subscriptions(&self, mbr: &Mbr, now: SimTime) -> Vec<&SimilarityQuery> {
+        let (low, high) = extent0(mbr);
+        let mut out = Vec::new();
+        let mut point = Vec::new();
+        self.sub_index.for_overlapping(low, high, |qid| {
+            let q = &self.subscriptions[&qid];
+            if !q.expired(now) {
+                q.feature.write_reals(&mut point);
+                if mbr.min_dist(&point) <= q.radius + 1e-12 {
+                    out.push(q);
+                }
+            }
+        });
+        out
+    }
+
     // ------------------------------------------------------------------
     // Location service
     // ------------------------------------------------------------------
@@ -176,10 +456,19 @@ impl DataCenter {
     /// space and to eliminate query responses that contain stale
     /// information".
     pub fn purge_expired(&mut self, now: SimTime) -> usize {
+        // The heap minimum is a lower bound on the earliest expiry of any
+        // live item; while it is in the future, nothing can be expired and
+        // the scan below would only re-inspect live state.
+        if self.expiry.next_at().is_none_or(|t| now.as_ms() < t) {
+            return 0;
+        }
         let before = self.mbrs.len() + self.subscriptions.len() + self.ip_subscriptions.len();
         self.mbrs.retain(|s| now < s.expires);
         self.subscriptions.retain(|_, q| !q.expired(now));
         self.ip_subscriptions.retain(|_, q| !q.expired(now));
+        self.expiry.pop_through(now.as_ms());
+        self.rebuild_mbr_index();
+        self.rebuild_sub_index();
         before - (self.mbrs.len() + self.subscriptions.len() + self.ip_subscriptions.len())
     }
 }
@@ -289,6 +578,72 @@ mod tests {
         dc.subscribe_similarity(query(1, wave(32, 0.3), 0.2, 1000));
         let radii: Vec<f64> = dc.active_subscriptions(SimTime::ZERO).map(|q| q.radius).collect();
         assert_eq!(radii, vec![0.2]);
+    }
+
+    #[test]
+    fn indexed_candidates_match_linear_scan_through_mutations() {
+        let mut dc = DataCenter::new(5);
+        // Enough inserts to force several staged-tail compactions.
+        for i in 0..200u32 {
+            let w = wave(32, 0.05 + (i % 23) as f64 * 0.07);
+            dc.store_mbr(stored(i, &w, 500 + (i as u64 % 7) * 400));
+        }
+        let queries: Vec<SimilarityQuery> =
+            (0..23).map(|j| query(j, wave(32, 0.05 + j as f64 * 0.07), 0.4, 10_000)).collect();
+        for t in [0u64, 600, 1300, 2500, 9000] {
+            let now = SimTime::from_ms(t);
+            dc.purge_expired(now);
+            for q in &queries {
+                assert_eq!(
+                    dc.local_candidates(q, now),
+                    dc.local_candidates_linear(q, now),
+                    "indexed/linear divergence at t={t} query={}",
+                    q.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn purge_skips_scan_until_first_expiry() {
+        let mut dc = DataCenter::new(5);
+        dc.store_mbr(stored(1, &wave(32, 0.3), 1000));
+        dc.subscribe_similarity(query(1, wave(32, 0.3), 0.1, 2000));
+        assert_eq!(dc.purge_expired(SimTime::from_ms(999)), 0);
+        assert_eq!(dc.mbr_count(), 1);
+        assert_eq!(dc.purge_expired(SimTime::from_ms(1000)), 1);
+        assert_eq!(dc.purge_expired(SimTime::from_ms(1500)), 0);
+        assert_eq!(dc.purge_expired(SimTime::from_ms(2000)), 1);
+        assert_eq!(dc.purge_expired(SimTime::from_ms(90_000)), 0);
+    }
+
+    #[test]
+    fn matching_subscriptions_equals_brute_force() {
+        let mut dc = DataCenter::new(5);
+        for j in 0..40 {
+            dc.subscribe_similarity(query(j, wave(32, 0.05 + j as f64 * 0.04), 0.3, 5000));
+        }
+        let now = SimTime::from_ms(10);
+        for i in 0..40u32 {
+            let fv = extract_features(&wave(32, 0.05 + i as f64 * 0.04), Normalization::ZNorm, 2);
+            let mbr = dsi_dsp::Mbr::from_point(&fv.to_reals());
+            let mut indexed: Vec<QueryId> =
+                dc.matching_subscriptions(&mbr, now).iter().map(|q| q.id).collect();
+            indexed.sort_unstable();
+            let mut brute: Vec<QueryId> = dc
+                .all_subscriptions()
+                .filter(|q| !q.expired(now))
+                .filter(|q| mbr.min_dist(&q.feature.to_reals()) <= q.radius + 1e-12)
+                .map(|q| q.id)
+                .collect();
+            brute.sort_unstable();
+            assert_eq!(indexed, brute, "box {i}");
+        }
+        // Replacement with a wider radius must be visible through the index.
+        dc.subscribe_similarity(query(0, wave(32, 0.9), 2.5, 5000));
+        let fv = extract_features(&wave(32, 0.9), Normalization::ZNorm, 2);
+        let mbr = dsi_dsp::Mbr::from_point(&fv.to_reals());
+        assert!(dc.matching_subscriptions(&mbr, now).iter().any(|q| q.id == 0));
     }
 
     #[test]

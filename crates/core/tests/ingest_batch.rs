@@ -1,0 +1,92 @@
+//! Equivalence of the parallel batch-ingest path with the sequential
+//! per-stream feed: same emitted MBRs, same multicast plans, same stored
+//! shard state, same metrics — bit for bit.
+
+use dsi_core::{Cluster, ClusterConfig};
+use dsi_simnet::SimTime;
+
+/// Deterministic pseudo-value for (stream, tick) without any rng.
+fn value(stream: u32, tick: u64) -> f64 {
+    5.0 + ((stream as f64) * 0.37 + (tick as f64) * 0.11).sin() * 2.0
+}
+
+fn build(num_streams: usize) -> Cluster {
+    let mut cfg = ClusterConfig::new(12);
+    cfg.workload.window_len = 16;
+    let mut cluster = Cluster::new(cfg);
+    for i in 0..num_streams {
+        cluster.register_stream(&format!("batch-eq-{i}"), i % 12);
+    }
+    cluster.start_measurement();
+    cluster
+}
+
+#[test]
+fn batch_ingest_is_bit_identical_to_sequential_feed() {
+    // Enough streams to cross the parallel threshold and spread chunks over
+    // several workers.
+    let num_streams = 96usize;
+    let mut seq = build(num_streams);
+    let mut par = build(num_streams);
+
+    for tick in 0..40u64 {
+        let now = SimTime::from_ms(tick * 100);
+        let values: Vec<(u32, f64)> =
+            (0..num_streams as u32).map(|s| (s, value(s, tick))).collect();
+
+        let mut seq_emitted = Vec::new();
+        for &(s, v) in &values {
+            if let Some(plan) = seq.post_value(s, v, now) {
+                seq_emitted.push((s, plan));
+            }
+        }
+        let par_emitted = par.ingest_batch(&values, now);
+
+        assert_eq!(seq_emitted.len(), par_emitted.len(), "tick {tick}: emission count");
+        for ((s_a, plan_a), (s_b, mbr_b, plan_b)) in seq_emitted.iter().zip(par_emitted.iter()) {
+            assert_eq!(s_a, s_b, "tick {tick}: emitting stream");
+            assert_eq!(plan_a, plan_b, "tick {tick}: multicast plan");
+            // The batch-returned MBR is the one that was stored.
+            let at = plan_b.deliveries[0].node;
+            let stored = par.node(at).stored_mbrs().iter().rev().find(|r| r.stream == *s_b);
+            assert_eq!(stored.map(|r| &r.mbr), Some(mbr_b), "tick {tick}: stored MBR");
+        }
+    }
+
+    // Full shard state and measurement are identical.
+    for &n in seq.node_ids().to_vec().iter() {
+        assert_eq!(
+            serde_json::to_string(seq.node(n).stored_mbrs()).unwrap(),
+            serde_json::to_string(par.node(n).stored_mbrs()).unwrap(),
+            "node {n}: shard contents diverged"
+        );
+    }
+    assert_eq!(
+        serde_json::to_string(seq.metrics()).unwrap(),
+        serde_json::to_string(par.metrics()).unwrap(),
+        "metrics diverged"
+    );
+}
+
+#[test]
+fn small_batches_use_the_inline_path_with_same_results() {
+    let mut seq = build(4);
+    let mut par = build(4);
+    for tick in 0..200u64 {
+        let now = SimTime::from_ms(tick * 100);
+        let values: Vec<(u32, f64)> = (0..4u32).map(|s| (s, value(s, tick))).collect();
+        let mut seq_count = 0;
+        for &(s, v) in &values {
+            if seq.post_value(s, v, now).is_some() {
+                seq_count += 1;
+            }
+        }
+        assert_eq!(seq_count, par.ingest_batch(&values, now).len(), "tick {tick}");
+    }
+    for &n in seq.node_ids().to_vec().iter() {
+        assert_eq!(
+            serde_json::to_string(seq.node(n).stored_mbrs()).unwrap(),
+            serde_json::to_string(par.node(n).stored_mbrs()).unwrap(),
+        );
+    }
+}

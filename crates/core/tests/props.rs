@@ -2,11 +2,11 @@
 
 use dsi_chord::IdSpace;
 use dsi_core::{
-    feature_to_key, interval_key_range, radius_key_range, summary_key, InnerProductQuery,
-    MbrBatcher, SimilarityKind, SimilarityQuery,
+    feature_to_key, interval_key_range, radius_key_range, summary_key, DataCenter,
+    InnerProductQuery, MbrBatcher, SimilarityKind, SimilarityQuery, StoredMbr,
 };
 use dsi_dsp::dft::dft;
-use dsi_dsp::{extract_features, Complex64, FeatureVector, Normalization};
+use dsi_dsp::{extract_features, Complex64, FeatureVector, Mbr, Normalization};
 use dsi_simnet::SimTime;
 use proptest::prelude::*;
 
@@ -93,6 +93,106 @@ proptest! {
                 pending.drain(..emitted);
             }
             prop_assert!(b.pending() <= zeta);
+        }
+    }
+
+    // ----- Interval-indexed matching -----
+
+    #[test]
+    fn indexed_local_candidates_equal_brute_force(
+        boxes in prop::collection::vec(
+            // (center re, center im, box half-width, stream id, expiry ms)
+            (-1.0f64..1.0, -1.0f64..1.0, 0.0f64..0.3, 0u32..40, 1u64..5000),
+            0..120,
+        ),
+        queries in prop::collection::vec(
+            // (target re, target im, radius, now ms)
+            (-1.0f64..1.0, -1.0f64..1.0, 0.0f64..0.8, 0u64..5000),
+            1..12,
+        ),
+        purge_at in prop::option::of(0u64..5000),
+    ) {
+        let mut dc = DataCenter::new(7);
+        for &(re, im, w, stream, exp) in &boxes {
+            let low = vec![re - w, im - w];
+            let high = vec![re + w, im + w];
+            dc.store_mbr(StoredMbr {
+                stream,
+                mbr: Mbr::from_corners(low, high),
+                origin: 1,
+                expires: SimTime::from_ms(exp),
+            });
+        }
+        if let Some(t) = purge_at {
+            dc.purge_expired(SimTime::from_ms(t));
+        }
+        for &(re, im, radius, at) in &queries {
+            let fv = FeatureVector::new(
+                vec![Complex64::new(re, im)],
+                Normalization::UnitNorm,
+            );
+            let q = SimilarityQuery {
+                id: 1,
+                client: 0,
+                feature: fv,
+                target: Vec::new(),
+                radius,
+                kind: SimilarityKind::Subsequence,
+                aggregator: 0,
+                expires: SimTime::from_ms(10_000),
+            };
+            let now = SimTime::from_ms(at);
+            prop_assert_eq!(
+                dc.local_candidates(&q, now),
+                dc.local_candidates_linear(&q, now),
+                "index diverged from brute force at t={}", at
+            );
+        }
+    }
+
+    #[test]
+    fn indexed_matching_subscriptions_equal_brute_force(
+        subs in prop::collection::vec(
+            (-1.0f64..1.0, -1.0f64..1.0, 0.0f64..0.5, 1u64..5000),
+            0..60,
+        ),
+        boxes in prop::collection::vec(
+            (-1.0f64..1.0, -1.0f64..1.0, 0.0f64..0.3),
+            1..10,
+        ),
+        now_ms in 0u64..5000,
+    ) {
+        let mut dc = DataCenter::new(7);
+        for (qid, &(re, im, radius, exp)) in subs.iter().enumerate() {
+            let fv = FeatureVector::new(
+                vec![Complex64::new(re, im)],
+                Normalization::UnitNorm,
+            );
+            dc.subscribe_similarity(SimilarityQuery {
+                id: qid as u64,
+                client: 0,
+                feature: fv,
+                target: Vec::new(),
+                radius,
+                kind: SimilarityKind::Subsequence,
+                aggregator: 0,
+                expires: SimTime::from_ms(exp),
+            });
+        }
+        let now = SimTime::from_ms(now_ms);
+        for &(re, im, w) in &boxes {
+            let mbr = Mbr::from_corners(vec![re - w, im - w], vec![re + w, im + w]);
+            let mut indexed: Vec<u64> =
+                dc.matching_subscriptions(&mbr, now).iter().map(|q| q.id).collect();
+            indexed.sort_unstable();
+            let mut brute: Vec<u64> = dc
+                .all_subscriptions()
+                .filter(|q| !q.expired(now))
+                .filter(|q| mbr.min_dist(&q.feature.to_reals()) <= q.radius + 1e-12)
+                .map(|q| q.id)
+                .collect();
+            brute.sort_unstable();
+            prop_assert_eq!(indexed, brute);
         }
     }
 

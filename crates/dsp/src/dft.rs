@@ -5,8 +5,14 @@
 //! (Parseval). This module is the reference implementation; the radix-2 FFT
 //! in [`crate::fft`] and the incremental update in [`crate::sliding`] are
 //! tested against it.
+//!
+//! Kernel values come from the per-length tables in [`crate::kernel`], so the
+//! `n^2` `cis()` calls are paid once per transform length per thread instead
+//! of once per transform. The tables store the bitwise-identical values the
+//! inline calls produced, keeping the golden-report regression byte-exact.
 
 use crate::complex::Complex64;
+use crate::kernel;
 
 /// Computes the unitary DFT of a real signal:
 /// `X_f = (1/sqrt(N)) * sum_i x_i e^{-j 2 pi f i / N}`.
@@ -16,16 +22,17 @@ pub fn dft(signal: &[f64]) -> Vec<Complex64> {
         return Vec::new();
     }
     let scale = 1.0 / (n as f64).sqrt();
-    let step = -2.0 * std::f64::consts::PI / n as f64;
-    (0..n)
-        .map(|f| {
-            let mut acc = Complex64::ZERO;
-            for (i, &x) in signal.iter().enumerate() {
-                acc += Complex64::cis(step * (f * i) as f64) * x;
-            }
-            acc.scale(scale)
-        })
-        .collect()
+    kernel::with_kernel(n, |k| {
+        (0..n)
+            .map(|f| {
+                let mut acc = Complex64::ZERO;
+                for (i, &x) in signal.iter().enumerate() {
+                    acc += k.forward(f, i) * x;
+                }
+                acc.scale(scale)
+            })
+            .collect()
+    })
 }
 
 /// Computes the unitary DFT of a complex signal.
@@ -35,16 +42,17 @@ pub fn dft_complex(signal: &[Complex64]) -> Vec<Complex64> {
         return Vec::new();
     }
     let scale = 1.0 / (n as f64).sqrt();
-    let step = -2.0 * std::f64::consts::PI / n as f64;
-    (0..n)
-        .map(|f| {
-            let mut acc = Complex64::ZERO;
-            for (i, &x) in signal.iter().enumerate() {
-                acc += Complex64::cis(step * (f * i) as f64) * x;
-            }
-            acc.scale(scale)
-        })
-        .collect()
+    kernel::with_kernel(n, |k| {
+        (0..n)
+            .map(|f| {
+                let mut acc = Complex64::ZERO;
+                for (i, &x) in signal.iter().enumerate() {
+                    acc += k.forward(f, i) * x;
+                }
+                acc.scale(scale)
+            })
+            .collect()
+    })
 }
 
 /// Inverse unitary DFT: `x_i = (1/sqrt(N)) * sum_f X_f e^{+j 2 pi f i / N}`
@@ -56,16 +64,17 @@ pub fn idft(coeffs: &[Complex64]) -> Vec<Complex64> {
         return Vec::new();
     }
     let scale = 1.0 / (n as f64).sqrt();
-    let step = 2.0 * std::f64::consts::PI / n as f64;
-    (0..n)
-        .map(|i| {
-            let mut acc = Complex64::ZERO;
-            for (f, &c) in coeffs.iter().enumerate() {
-                acc += Complex64::cis(step * (f * i) as f64) * c;
-            }
-            acc.scale(scale)
-        })
-        .collect()
+    kernel::with_kernel(n, |k| {
+        (0..n)
+            .map(|i| {
+                let mut acc = Complex64::ZERO;
+                for (f, &c) in coeffs.iter().enumerate() {
+                    acc += k.inverse(f, i) * c;
+                }
+                acc.scale(scale)
+            })
+            .collect()
+    })
 }
 
 /// Reconstructs an approximate real signal of length `n` from the first `k`
@@ -78,25 +87,25 @@ pub fn reconstruct_from_prefix(prefix: &[Complex64], n: usize) -> Vec<f64> {
         return Vec::new();
     }
     let scale = 1.0 / (n as f64).sqrt();
-    let step = 2.0 * std::f64::consts::PI / n as f64;
-    let k = prefix.len().min(n);
-    (0..n)
-        .map(|i| {
-            let mut acc = 0.0;
-            for (f, &c) in prefix.iter().take(k).enumerate() {
-                let w = Complex64::cis(step * (f * i) as f64);
-                let term = (c * w).re;
-                // The DC term (f = 0) and, for even n, the Nyquist term
-                // (f = n/2) are their own conjugate mirrors.
-                if f == 0 || 2 * f == n {
-                    acc += term;
-                } else {
-                    acc += 2.0 * term;
+    let keep = prefix.len().min(n);
+    kernel::with_kernel(n, |kern| {
+        (0..n)
+            .map(|i| {
+                let mut acc = 0.0;
+                for (f, &c) in prefix.iter().take(keep).enumerate() {
+                    let term = (c * kern.inverse(f, i)).re;
+                    // The DC term (f = 0) and, for even n, the Nyquist term
+                    // (f = n/2) are their own conjugate mirrors.
+                    if f == 0 || 2 * f == n {
+                        acc += term;
+                    } else {
+                        acc += 2.0 * term;
+                    }
                 }
-            }
-            acc * scale
-        })
-        .collect()
+                acc * scale
+            })
+            .collect()
+    })
 }
 
 /// Signal energy: `sum_i x_i^2`.
@@ -200,6 +209,31 @@ mod tests {
         assert!(dft(&[]).is_empty());
         assert!(idft(&[]).is_empty());
         assert!(reconstruct_from_prefix(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn table_backed_dft_is_bit_identical_to_inline_loop() {
+        // The kernel cache must not shift a single bit of the transform the
+        // golden report depends on; compare against the original inline form.
+        for n in [5usize, 16, 32, 33] {
+            let x: Vec<f64> = (0..n).map(|i| ((i * 13 + 5) % 7) as f64 - 3.0).collect();
+            let scale = 1.0 / (n as f64).sqrt();
+            let step = -2.0 * std::f64::consts::PI / n as f64;
+            let expected: Vec<Complex64> = (0..n)
+                .map(|f| {
+                    let mut acc = Complex64::ZERO;
+                    for (i, &v) in x.iter().enumerate() {
+                        acc += Complex64::cis(step * (f * i) as f64) * v;
+                    }
+                    acc.scale(scale)
+                })
+                .collect();
+            let got = dft(&x);
+            for (f, (e, g)) in expected.iter().zip(got.iter()).enumerate() {
+                assert_eq!(e.re.to_bits(), g.re.to_bits(), "n={n} bin={f} (re)");
+                assert_eq!(e.im.to_bits(), g.im.to_bits(), "n={n} bin={f} (im)");
+            }
+        }
     }
 
     #[test]

@@ -62,11 +62,21 @@ impl FeatureVector {
     /// feature space in which MBRs live.
     pub fn to_reals(&self) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.coeffs.len() * 2);
+        self.write_reals(&mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`FeatureVector::to_reals`]: clears `out`
+    /// and fills it with the interleaved re/im components, reusing its
+    /// capacity. Hot loops that convert many features keep one scratch
+    /// buffer instead of allocating per feature.
+    pub fn write_reals(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.coeffs.len() * 2);
         for c in &self.coeffs {
             out.push(c.re);
             out.push(c.im);
         }
-        out
     }
 
     /// Lower-bounding feature-space distance (Eq. 9).

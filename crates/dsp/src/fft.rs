@@ -7,6 +7,7 @@
 
 use crate::complex::Complex64;
 use crate::dft;
+use crate::kernel::{self, Kernel};
 
 /// Returns true if `n` is a power of two (and nonzero).
 #[inline]
@@ -29,25 +30,30 @@ fn bit_reverse_permute(buf: &mut [Complex64]) {
     }
 }
 
-/// Core iterative butterfly pass. `sign` is -1 for the forward transform,
-/// +1 for the inverse.
-fn fft_in_place(buf: &mut [Complex64], sign: f64) {
+/// Core iterative butterfly pass. `inverse` selects the twiddle sign.
+///
+/// Stage twiddles are read from the shared per-length [`Kernel`] table
+/// (stride `n / len` into the half-size twiddle vector) rather than built by
+/// repeated multiplication, which both removes the per-butterfly complex
+/// multiply and avoids the O(len) error accumulation of the recurrence.
+fn fft_in_place(buf: &mut [Complex64], kern: &Kernel, inverse: bool) {
     let n = buf.len();
     debug_assert!(is_pow2(n));
     bit_reverse_permute(buf);
     let mut len = 2;
     while len <= n {
-        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let wlen = Complex64::cis(ang);
+        let half = len / 2;
+        let stride = n / len;
         for chunk in buf.chunks_mut(len) {
-            let mut w = Complex64::ONE;
-            let half = len / 2;
             for i in 0..half {
+                let mut w = kern.half_twiddle(i * stride);
+                if inverse {
+                    w = w.conj();
+                }
                 let u = chunk[i];
                 let v = chunk[i + half] * w;
                 chunk[i] = u + v;
                 chunk[i + half] = u - v;
-                w *= wlen;
             }
         }
         len <<= 1;
@@ -61,7 +67,7 @@ pub fn fft(signal: &[f64]) -> Vec<Complex64> {
         return dft::dft(signal);
     }
     let mut buf: Vec<Complex64> = signal.iter().map(|&x| Complex64::from_re(x)).collect();
-    fft_in_place(&mut buf, -1.0);
+    kernel::with_kernel(n, |k| fft_in_place(&mut buf, k, false));
     let scale = 1.0 / (n as f64).sqrt();
     for c in &mut buf {
         *c = c.scale(scale);
@@ -76,7 +82,7 @@ pub fn fft_complex(signal: &[Complex64]) -> Vec<Complex64> {
         return dft::dft_complex(signal);
     }
     let mut buf = signal.to_vec();
-    fft_in_place(&mut buf, -1.0);
+    kernel::with_kernel(n, |k| fft_in_place(&mut buf, k, false));
     let scale = 1.0 / (n as f64).sqrt();
     for c in &mut buf {
         *c = c.scale(scale);
@@ -91,7 +97,7 @@ pub fn ifft(coeffs: &[Complex64]) -> Vec<Complex64> {
         return dft::idft(coeffs);
     }
     let mut buf = coeffs.to_vec();
-    fft_in_place(&mut buf, 1.0);
+    kernel::with_kernel(n, |k| fft_in_place(&mut buf, k, true));
     let scale = 1.0 / (n as f64).sqrt();
     for c in &mut buf {
         *c = c.scale(scale);

@@ -24,6 +24,7 @@ pub mod complex;
 pub mod dft;
 pub mod features;
 pub mod fft;
+pub mod kernel;
 pub mod mbr;
 pub mod normalize;
 pub mod sliding;

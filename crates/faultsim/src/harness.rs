@@ -186,6 +186,27 @@ impl Harness {
         }
     }
 
+    /// One virtual-time tick advancing every stream by one value through the
+    /// parallel batch-ingest path. Random values are drawn sequentially in
+    /// stream order *before* summarization, so rng consumption is identical
+    /// to the per-stream [`Harness::feed_one`] loop this replaces; shipped
+    /// records are reconstructed from the batch result (same fields the
+    /// cluster stored) instead of being fished out of a node's shard.
+    fn feed_tick(&mut self) {
+        self.now += self.tick_ms();
+        let mut values = Vec::with_capacity(self.cfg.num_streams);
+        for s in 0..self.cfg.num_streams {
+            values.push((s as StreamId, self.walks[s].next_value(&mut self.rng)));
+        }
+        let bspan = self.cluster.config().workload.bspan_ms;
+        for (stream, mbr, _plan) in self.cluster.ingest_batch(&values, self.now) {
+            self.mbr_ships += 1;
+            let origin = self.cluster.streams()[stream as usize].home;
+            let expires = self.now + bspan;
+            self.ref_mbrs.push(StoredMbr { stream, mbr, origin, expires });
+        }
+    }
+
     fn post_query(&mut self, client: u32, anchor: u32, radius: f64, lifespan_ms: u64) {
         let w = self.cfg.workload.window_len;
         let anchor = anchor as usize % self.cfg.num_streams;
@@ -227,10 +248,7 @@ impl Harness {
         match *ev {
             FaultEvent::Feed { steps } => {
                 for _ in 0..steps {
-                    self.now += self.tick_ms();
-                    for s in 0..self.cfg.num_streams {
-                        self.feed_one(s);
-                    }
+                    self.feed_tick();
                 }
             }
             FaultEvent::Burst { stream, count } => {
