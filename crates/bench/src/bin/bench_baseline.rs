@@ -8,7 +8,11 @@
 //! 2. batch ingest — `Cluster::ingest_batch` vs a sequential `post_value`
 //!    loop (items/sec, per-item ns);
 //! 3. the multi-seed experiment driver — `parallel_seed_reports` vs a
-//!    sequential loop over the 50-node Table I workload (wall-clock).
+//!    sequential loop over the 50-node Table I workload (wall-clock);
+//! 4. the observability layer — a traced golden-style run, reporting
+//!    exact per-class latency/hop percentiles from the causal trace
+//!    (`dsi-trace`) and writing a chrome://tracing timeline to
+//!    `target/bench_trace.trace.json` for manual inspection.
 //!
 //! Parallel speedups scale with available cores (`workers` is recorded in
 //! the output; override with `DSI_WORKERS`). `--quick` / `DSI_QUICK=1`
@@ -16,11 +20,12 @@
 
 use dsi_bench::{parallel_seed_reports, quick_mode, worker_count};
 use dsi_core::{
-    run_experiment, Cluster, ClusterConfig, DataCenter, ExperimentConfig, SimilarityKind,
-    SimilarityQuery, StoredMbr,
+    run_experiment, run_experiment_traced, Cluster, ClusterConfig, DataCenter, ExperimentConfig,
+    SimilarityKind, SimilarityQuery, StoredMbr,
 };
 use dsi_dsp::{Complex64, FeatureVector, Mbr, Normalization};
-use dsi_simnet::SimTime;
+use dsi_simnet::{MsgClass, SimTime};
+use dsi_trace::{write_chrome_trace, TraceSummary};
 use serde_json::Value;
 use std::hint::black_box;
 use std::time::Instant;
@@ -262,12 +267,47 @@ fn bench_driver_sweep(num_seeds: u64, warmup_ms: u64, measure_ms: u64) -> Value 
     ])
 }
 
+/// Observability baseline: one traced golden-style experiment. Reports
+/// trace volume, the stable digest, and exact per-class latency/hop
+/// percentiles, and drops a loadable chrome://tracing timeline into
+/// `target/` (an inspection artifact, deliberately not committed).
+fn bench_trace(num_nodes: usize, warmup_ms: u64, measure_ms: u64) -> Value {
+    let mut cfg = ExperimentConfig::with_nodes(num_nodes);
+    cfg.seed = 20_050_404;
+    cfg.warmup_ms = warmup_ms;
+    cfg.measure_ms = measure_ms;
+    let start = Instant::now();
+    let traced = run_experiment_traced(&cfg, 1 << 20);
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let names: Vec<&str> = MsgClass::ALL.iter().map(|c| c.name()).collect();
+    let summary = TraceSummary::from_tracer(traced.cluster.tracer(), &names);
+
+    let mut buf = Vec::new();
+    let records = traced.cluster.tracer().snapshot();
+    if write_chrome_trace(&mut buf, &records, &names, &traced.engine_ticks).is_ok() {
+        let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/bench_trace.trace.json");
+        if std::fs::write(out, &buf).is_ok() {
+            eprintln!("[bench_baseline] chrome://tracing timeline: {out}");
+        }
+    }
+
+    obj(vec![
+        ("nodes", u64v(num_nodes as u64)),
+        ("sim_ms", u64v(warmup_ms + measure_ms)),
+        ("wall_s", f64v(wall_s)),
+        ("summary", serde_json::to_value(&summary).expect("summary to json")),
+    ])
+}
+
 fn main() {
     let quick = quick_mode();
     let (stored, queries) = if quick { (2_000, 200) } else { (10_000, 2_000) };
     let (subs, probes) = if quick { (500, 200) } else { (5_000, 2_000) };
     let (streams, ticks) = if quick { (128, 50) } else { (512, 400) };
     let (seeds, warm, meas) = if quick { (2, 6_000, 6_000) } else { (5, 12_000, 24_000) };
+    let (tr_nodes, tr_warm, tr_meas) =
+        if quick { (10, 2_000, 4_000) } else { (15, 12_000, 20_000) };
 
     eprintln!("[bench_baseline] local_candidates ({stored} MBRs, {queries} queries)...");
     let lc = bench_local_candidates(stored, queries);
@@ -277,6 +317,8 @@ fn main() {
     let ingest = bench_ingest(streams, ticks as u64);
     eprintln!("[bench_baseline] driver sweep ({seeds} seeds x 50 nodes)...");
     let sweep = bench_driver_sweep(seeds, warm, meas);
+    eprintln!("[bench_baseline] traced run ({tr_nodes} nodes, {} sim-ms)...", tr_warm + tr_meas);
+    let trace = bench_trace(tr_nodes, tr_warm, tr_meas);
 
     let report = obj(vec![
         ("bench", Value::Str("ingest_baseline".to_string())),
@@ -287,6 +329,7 @@ fn main() {
         ("matching_subscriptions", ms),
         ("ingest", ingest),
         ("driver_sweep", sweep),
+        ("trace", trace),
     ]);
     let rendered = serde_json::to_string_pretty(&report).expect("serialize");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");

@@ -235,7 +235,7 @@ pub fn fig6b(quick: bool) -> (Fig6bData, String) {
     let reports = parallel_reports(&[200], |n| base_config(n, s));
     let report = &reports[0];
     let hist = Histogram::build(&report.per_node_load, 2.0);
-    let tail = hist.tail_fraction(&report.per_node_load, 3.0);
+    let tail = hist.tail_fraction(3.0);
     let mut out = String::new();
     writeln!(out, "Fig. 6(b) — distribution of load across nodes (N = 200)").unwrap();
     writeln!(out, "  {:>10} {:>6}  histogram", "load", "nodes").unwrap();

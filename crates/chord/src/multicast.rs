@@ -13,6 +13,7 @@
 
 use crate::id::ChordId;
 use crate::router::ContentRouter;
+use dsi_trace::{Cursor, MsgId, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// How a range multicast propagates once it reaches the range.
@@ -87,6 +88,69 @@ impl MulticastPlan {
             }
         }
         edges
+    }
+
+    /// [`MulticastPlan::forward_edges`] annotated with the *absolute* hop
+    /// depth at which each receiver gets the message, sorted by that depth.
+    ///
+    /// `forward_edges` yields edges in ring order, which for bidirectional
+    /// plans can mention a sender before the edge that reached it; sorting
+    /// by receiver depth restores causal order, so a consumer replaying the
+    /// forwards always knows the sender's position in the chain before the
+    /// edge departs from it.
+    pub fn causal_forwards(&self) -> Vec<(ChordId, ChordId, u32)> {
+        let mut forwards: Vec<(ChordId, ChordId, u32)> = self
+            .forward_edges()
+            .into_iter()
+            .map(|(from, to)| {
+                let hops = self
+                    .deliveries
+                    .iter()
+                    .find(|d| d.node == to)
+                    .expect("forward edges point at deliveries")
+                    .hops;
+                (from, to, hops)
+            })
+            .collect();
+        forwards.sort_by_key(|&(_, _, hops)| hops);
+        forwards
+    }
+
+    /// Record this plan into `tracer` as one causal tree: the initial
+    /// routing as a `base`/`transit` chain (hop count logged at the tail,
+    /// mirroring `Metrics::record_route` + `record_hops(base, route_hops)`),
+    /// then every covering-set forward as an `internal`-class hop whose
+    /// depth equals the delivery's absolute hop count (mirroring
+    /// `record_message(internal, ..)` + `record_hops(internal, d.hops)`).
+    /// Classes are `MsgClass::index()` values; `[lo, hi]` is the targeted
+    /// key range, kept as multicast metadata for the delivery-set oracle.
+    ///
+    /// Returns the root record id, or `None` when the tracer is disabled.
+    pub fn trace_into(
+        &self,
+        tracer: &mut Tracer,
+        base: u8,
+        transit: u8,
+        internal: u8,
+        lo: ChordId,
+        hi: ChordId,
+    ) -> Option<MsgId> {
+        if !tracer.is_enabled() {
+            return None;
+        }
+        let rt = tracer.route(&self.route_path, base, transit, true)?;
+        let mut reached: Vec<(ChordId, Cursor)> = vec![(self.entry, rt.tail)];
+        for (from, to, _) in self.causal_forwards() {
+            let parent = reached
+                .iter()
+                .find(|(node, _)| *node == from)
+                .map(|(_, c)| *c)
+                .expect("causal forwards visit senders before their edges");
+            let cur = tracer.hop(parent, internal, from, to, Some(internal));
+            reached.push((to, cur));
+        }
+        tracer.push_multicast(rt.root, self.origin, lo, hi);
+        Some(rt.root)
     }
 }
 
@@ -344,5 +408,56 @@ mod tests {
         let ring = figure_ring();
         let plan = multicast(&ring, 1, 12, 22, RangeStrategy::Sequential);
         assert_eq!(plan.total_messages(), plan.route_hops + 2);
+    }
+
+    #[test]
+    fn causal_forwards_sorted_by_depth_and_sender_reached_first() {
+        let space = IdSpace::new(12);
+        let ids: Vec<ChordId> = (0..40u64).map(|i| i * 97 + 13).collect();
+        let ring = Ring::with_nodes(space, ids.clone());
+        for strat in [RangeStrategy::Sequential, RangeStrategy::Bidirectional] {
+            let plan = multicast(&ring, ids[0], 100, 2000, strat);
+            let forwards = plan.causal_forwards();
+            assert_eq!(forwards.len() as u32, plan.forward_messages);
+            let mut reached = vec![plan.entry];
+            let mut last_hops = plan.route_hops;
+            for (from, to, hops) in forwards {
+                assert!(hops >= last_hops, "forwards must be depth-sorted");
+                assert!(reached.contains(&from), "sender {from} not yet reached");
+                let d = plan.deliveries.iter().find(|d| d.node == to).unwrap();
+                assert_eq!(d.hops, hops);
+                reached.push(to);
+                last_hops = hops;
+            }
+            // Every delivery except the entry was reached by a forward.
+            assert_eq!(reached.len(), plan.deliveries.len());
+        }
+    }
+
+    #[test]
+    fn trace_into_builds_one_tree_per_multicast() {
+        let ring = figure_ring();
+        let mut tracer = Tracer::disabled();
+        let plan = multicast(&ring, 8, 12, 22, RangeStrategy::Bidirectional);
+        assert!(plan.trace_into(&mut tracer, 0, 2, 1, 12, 22).is_none());
+
+        tracer.enable(256);
+        let root = plan.trace_into(&mut tracer, 0, 2, 1, 12, 22).unwrap();
+        // Records: route (1 origin + route_hops hops) + one hop per forward.
+        assert_eq!(
+            tracer.len() as u32,
+            1 + plan.route_hops + plan.forward_messages,
+            "one record per overlay message plus the origin"
+        );
+        // Forward receivers sit at their delivery's absolute depth and are
+        // marked as internal-class hop-log points.
+        for d in plan.deliveries.iter().filter(|d| d.node != plan.entry) {
+            let rec = tracer.iter().find(|r| r.class == 1 && r.to == d.node).unwrap();
+            assert_eq!(rec.depth, d.hops);
+            assert_eq!(rec.hops_class, Some(1));
+        }
+        let meta = &tracer.multicasts()[0];
+        assert_eq!((meta.root, meta.origin, meta.lo, meta.hi), (root, 8, 12, 22));
+        dsi_trace::validate_causality(tracer.iter()).unwrap();
     }
 }

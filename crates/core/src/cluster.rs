@@ -23,6 +23,7 @@ use dsi_chord::{
 use dsi_dsp::{normalized_distance, FeatureExtractor, FeatureVector, Mbr};
 use dsi_simnet::{InputEvent, Metrics, MsgClass, SimTime};
 use dsi_streamgen::WorkloadConfig;
+use dsi_trace::Tracer;
 use std::collections::HashMap;
 
 /// Static configuration of a cluster.
@@ -147,6 +148,10 @@ pub struct Cluster<R: ContentRouter = Ring> {
     location_misses: u64,
     metrics: Metrics,
     measuring: bool,
+    /// Causal message tracer (disabled by default; see `dsi-trace`). Records
+    /// exactly the overlay messages `metrics` counts, as parent-linked
+    /// chains, whenever both measurement and tracing are on.
+    tracer: Tracer,
     /// Whether churn operations re-establish range replication (§VII);
     /// disabled it models pure soft-state coverage holes.
     repair_on_churn: bool,
@@ -208,6 +213,7 @@ impl<R: BuildRouter> Cluster<R> {
             location_misses: 0,
             metrics: Metrics::new(),
             measuring: false,
+            tracer: Tracer::disabled(),
             repair_on_churn: true,
             next_query: 1,
             quality: QualityStats::default(),
@@ -299,15 +305,47 @@ impl<R: ContentRouter> Cluster<R> {
         self.streams[stream as usize].batcher.max_width()
     }
 
-    /// Starts counting messages (call after warm-up); clears history.
+    /// Starts counting messages (call after warm-up); clears history —
+    /// including any captured trace, so trace and metrics describe the same
+    /// measurement window.
     pub fn start_measurement(&mut self) {
         self.metrics.reset();
+        self.tracer.clear();
         self.measuring = true;
     }
 
     /// Stops counting messages.
     pub fn stop_measurement(&mut self) {
         self.measuring = false;
+    }
+
+    /// Enables causal message tracing into a ring buffer of at most
+    /// `capacity` records. While both tracing and measurement are on, every
+    /// overlay message charged to [`Cluster::metrics`] also appends a
+    /// `dsi_trace::TraceRecord`, parent-linked to the event that caused it;
+    /// the conformance suite reconciles the two bit-for-bit. Off by
+    /// default: the instrumented paths then cost a single branch.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.tracer.enable(capacity);
+    }
+
+    /// Stops tracing (captured records are kept until the next
+    /// [`Cluster::start_measurement`] or [`Cluster::enable_tracing`]).
+    pub fn disable_tracing(&mut self) {
+        self.tracer.disable();
+    }
+
+    /// The causal tracer (records, multicast metadata, drop counter).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Sets the trace clock. Entry points that take a `now` argument stamp
+    /// it themselves; drivers should call this before operations that do
+    /// not ([`Cluster::rebalance_replicas`] via churn, registration) so
+    /// their records carry the right simulated time.
+    pub fn set_trace_time(&mut self, now: SimTime) {
+        self.tracer.set_now_ms(now.as_ms());
     }
 
     /// Notifications delivered so far for a similarity query.
@@ -413,6 +451,9 @@ impl<R: ContentRouter> Cluster<R> {
                     if self.measuring {
                         self.metrics.record_message(MsgClass::MbrInternal, *holder, n);
                         self.metrics.record_hops(MsgClass::MbrInternal, 1);
+                        if self.tracer.is_enabled() {
+                            self.tracer.single(MsgClass::MbrInternal.index() as u8, *holder, n);
+                        }
                     }
                     self.nodes.get_mut(&n).expect("covering node is live").store_mbr(rec.clone());
                 }
@@ -430,7 +471,7 @@ impl<R: ContentRouter> Cluster<R> {
         // newly inside a query's radius range get its subscription. Stale
         // copies outside the range are harmless (aggregation only reads the
         // covering set) and expire with the query.
-        let sims: Vec<SimilarityQuery> = self
+        let mut sims: Vec<SimilarityQuery> = self
             .queries
             .values()
             .filter_map(|q| match q {
@@ -438,6 +479,7 @@ impl<R: ContentRouter> Cluster<R> {
                 _ => None,
             })
             .collect();
+        sims.sort_unstable_by_key(|q| q.id);
         for q in sims {
             let (lo, hi) = radius_key_range(self.space, q.feature.first_real(), q.radius);
             for n in dsi_chord::covering_nodes(&self.ring, lo, hi) {
@@ -445,6 +487,13 @@ impl<R: ContentRouter> Cluster<R> {
                     if self.measuring {
                         self.metrics.record_message(MsgClass::QueryInternal, q.aggregator, n);
                         self.metrics.record_hops(MsgClass::QueryInternal, 1);
+                        if self.tracer.is_enabled() {
+                            self.tracer.single(
+                                MsgClass::QueryInternal.index() as u8,
+                                q.aggregator,
+                                n,
+                            );
+                        }
                     }
                     self.nodes
                         .get_mut(&n)
@@ -536,13 +585,16 @@ impl Cluster<Ring> {
 
     /// Re-homes an orphaned (or migrating) stream to the data center at
     /// `home_idx` and refreshes its location-service record.
-    pub fn rehome_stream(&mut self, stream: StreamId, home_idx: usize, _now: SimTime) {
+    pub fn rehome_stream(&mut self, stream: StreamId, home_idx: usize, now: SimTime) {
         let home = self.node_order[home_idx];
         self.streams[stream as usize].home = home;
         let name = self.streams[stream as usize].name.clone();
         let key = stream_key(self.space, &name);
         let lookup = self.ring.route(home, key);
-        self.record_route(MsgClass::Query, MsgClass::QueryTransit, &lookup.path);
+        if self.tracer.is_enabled() {
+            self.tracer.set_now_ms(now.as_ms());
+        }
+        self.record_route(MsgClass::Query, MsgClass::QueryTransit, &lookup.path, false);
         self.nodes.get_mut(&lookup.owner).expect("owner is live").location_put(stream, home);
     }
 
@@ -588,7 +640,7 @@ impl<R: ContentRouter> Cluster<R> {
         // Location put: route (home -> h2 owner) and store the record.
         let key = stream_key(self.space, name);
         let lookup = self.ring.route(home, key);
-        self.record_route(MsgClass::Query, MsgClass::QueryTransit, &lookup.path);
+        self.record_route(MsgClass::Query, MsgClass::QueryTransit, &lookup.path, false);
         self.nodes.get_mut(&lookup.owner).expect("owner is live").location_put(id, home);
         id
     }
@@ -702,6 +754,17 @@ impl<R: ContentRouter> Cluster<R> {
             for d in plan.deliveries.iter().filter(|d| d.node != plan.entry) {
                 self.metrics.record_hops(MsgClass::MbrInternal, d.hops);
             }
+            if self.tracer.is_enabled() {
+                self.tracer.set_now_ms(now.as_ms());
+                plan.trace_into(
+                    &mut self.tracer,
+                    MsgClass::MbrOriginated.index() as u8,
+                    MsgClass::MbrTransit.index() as u8,
+                    MsgClass::MbrInternal.index() as u8,
+                    lo,
+                    hi,
+                );
+            }
         }
 
         let expires = now + self.cfg.workload.bspan_ms;
@@ -766,6 +829,17 @@ impl<R: ContentRouter> Cluster<R> {
             for d in plan.deliveries.iter().filter(|d| d.node != plan.entry) {
                 self.metrics.record_hops(MsgClass::QueryInternal, d.hops);
             }
+            if self.tracer.is_enabled() {
+                self.tracer.set_now_ms(now.as_ms());
+                plan.trace_into(
+                    &mut self.tracer,
+                    MsgClass::Query.index() as u8,
+                    MsgClass::QueryTransit.index() as u8,
+                    MsgClass::QueryInternal.index() as u8,
+                    lo,
+                    hi,
+                );
+            }
         }
         for d in &plan.deliveries {
             self.nodes
@@ -791,6 +865,9 @@ impl<R: ContentRouter> Cluster<R> {
     ) -> QueryId {
         let client = self.node_order[client_idx];
         let q = InnerProductQuery::new(0, client, stream, indices, weights, now + lifespan_ms);
+        if self.tracer.is_enabled() {
+            self.tracer.set_now_ms(now.as_ms());
+        }
         self.submit_inner_product(client, q)
     }
 
@@ -807,6 +884,9 @@ impl<R: ContentRouter> Cluster<R> {
         let client = self.node_order[client_idx];
         query.client = client;
         query.expires = now + lifespan_ms;
+        if self.tracer.is_enabled() {
+            self.tracer.set_now_ms(now.as_ms());
+        }
         self.submit_inner_product(client, query)
     }
 
@@ -832,8 +912,13 @@ impl<R: ContentRouter> Cluster<R> {
                 // ...and the reply returns to the client.
                 let reply = self.ring.route(get.owner, client);
                 if self.measuring {
-                    self.record_route(MsgClass::Query, MsgClass::QueryTransit, &get.path);
-                    self.record_route(MsgClass::Response, MsgClass::ResponseTransit, &reply.path);
+                    self.record_route(MsgClass::Query, MsgClass::QueryTransit, &get.path, false);
+                    self.record_route(
+                        MsgClass::Response,
+                        MsgClass::ResponseTransit,
+                        &reply.path,
+                        false,
+                    );
                 }
                 match record {
                     Some(source) => {
@@ -854,7 +939,7 @@ impl<R: ContentRouter> Cluster<R> {
         let send = self.ring.route(client, source);
         if self.measuring {
             self.metrics.record_event(InputEvent::Query);
-            self.record_route(MsgClass::Query, MsgClass::QueryTransit, &send.path);
+            self.record_route(MsgClass::Query, MsgClass::QueryTransit, &send.path, true);
             self.metrics.record_hops(MsgClass::Query, send.hops());
         }
 
@@ -873,6 +958,9 @@ impl<R: ContentRouter> Cluster<R> {
     /// candidates and push a response to the client. Inner-product
     /// subscriptions sourced here push their current value.
     pub fn notify_cycle(&mut self, node: ChordId, now: SimTime) {
+        if self.tracer.is_enabled() {
+            self.tracer.set_now_ms(now.as_ms());
+        }
         let dc = self.nodes.get_mut(&node).expect("live node");
         dc.purge_expired(now);
         let has_subs = dc.has_active_subscriptions(now);
@@ -890,13 +978,7 @@ impl<R: ContentRouter> Cluster<R> {
             let owner = self.ring.ideal_successor(key).expect("non-empty ring");
             if self.nodes[&owner].location_get(sid) != Some(node) {
                 let lookup = self.ring.route(node, key);
-                if self.measuring {
-                    self.metrics.record_route(
-                        MsgClass::Query,
-                        MsgClass::QueryTransit,
-                        &lookup.path,
-                    );
-                }
+                self.record_route(MsgClass::Query, MsgClass::QueryTransit, &lookup.path, false);
                 self.nodes.get_mut(&owner).expect("owner is live").location_put(sid, node);
             }
         }
@@ -910,16 +992,22 @@ impl<R: ContentRouter> Cluster<R> {
                 if succ != node {
                     self.metrics.record_message(MsgClass::ResponseInternal, node, succ);
                     self.metrics.record_hops(MsgClass::ResponseInternal, 1);
+                    if self.tracer.is_enabled() {
+                        self.tracer.single(MsgClass::ResponseInternal.index() as u8, node, succ);
+                    }
                 }
                 if pred != node && pred != succ {
                     self.metrics.record_message(MsgClass::ResponseInternal, node, pred);
                     self.metrics.record_hops(MsgClass::ResponseInternal, 1);
+                    if self.tracer.is_enabled() {
+                        self.tracer.single(MsgClass::ResponseInternal.index() as u8, node, pred);
+                    }
                 }
             }
         }
 
         // Response aggregation for queries whose middle node this is.
-        let aggregated: Vec<SimilarityQuery> = self
+        let mut aggregated: Vec<SimilarityQuery> = self
             .queries
             .values()
             .filter_map(|q| match q {
@@ -929,13 +1017,16 @@ impl<R: ContentRouter> Cluster<R> {
                 _ => None,
             })
             .collect();
+        // Id order, not HashMap order: response traffic (and its causal
+        // trace) must be reproducible under a pinned seed.
+        aggregated.sort_unstable_by_key(|q| q.id);
         for q in aggregated {
             let matches = self.aggregate_and_verify(&q, now);
             // Periodic response to the client, routed over the overlay.
             let path = self.ring.route(node, q.client).path;
             if self.measuring {
                 self.metrics.record_event(InputEvent::Response);
-                self.record_route(MsgClass::Response, MsgClass::ResponseTransit, &path);
+                self.record_route(MsgClass::Response, MsgClass::ResponseTransit, &path, true);
                 self.metrics.record_hops(MsgClass::Response, (path.len().saturating_sub(1)) as u32);
             }
             let entry = self.notifications.entry(q.id).or_default();
@@ -945,8 +1036,9 @@ impl<R: ContentRouter> Cluster<R> {
         }
 
         // Inner-product pushes for streams sourced here.
-        let pushes: Vec<InnerProductQuery> =
+        let mut pushes: Vec<InnerProductQuery> =
             self.nodes[&node].active_ip_subscriptions(now).cloned().collect();
+        pushes.sort_unstable_by_key(|q| q.id);
         for q in pushes {
             let s = &self.streams[q.stream as usize];
             if !s.extractor.is_warm() {
@@ -956,7 +1048,7 @@ impl<R: ContentRouter> Cluster<R> {
             let path = self.ring.route(node, q.client).path;
             if self.measuring {
                 self.metrics.record_event(InputEvent::Response);
-                self.record_route(MsgClass::Response, MsgClass::ResponseTransit, &path);
+                self.record_route(MsgClass::Response, MsgClass::ResponseTransit, &path, true);
                 self.metrics.record_hops(MsgClass::Response, (path.len().saturating_sub(1)) as u32);
             }
             self.ip_results.entry(q.id).or_default().push((now, value));
@@ -1011,9 +1103,23 @@ impl<R: ContentRouter> Cluster<R> {
         verified
     }
 
-    fn record_route(&mut self, base: MsgClass, transit: MsgClass, path: &[ChordId]) {
+    /// Measurement-gated route accounting: charges `Metrics::record_route`
+    /// and, when tracing, records the same path as one causal chain.
+    /// `log_hops` marks the chain's tail as a `record_hops(base, ..)` point
+    /// — pass `true` exactly when the caller also logs the route's hop
+    /// count, so the trace audit reconstructs `hop_count`/`hop_sum`.
+    fn record_route(
+        &mut self,
+        base: MsgClass,
+        transit: MsgClass,
+        path: &[ChordId],
+        log_hops: bool,
+    ) {
         if self.measuring {
             self.metrics.record_route(base, transit, path);
+            if self.tracer.is_enabled() {
+                self.tracer.route(path, base.index() as u8, transit.index() as u8, log_hops);
+            }
         }
     }
 }

@@ -39,4 +39,6 @@ pub use query::{
     StreamId,
 };
 pub use report::{EventCounts, HopComponents, LoadComponents, OverheadComponents, SystemReport};
-pub use system::{run_experiment, run_experiment_on, ExperimentConfig};
+pub use system::{
+    run_experiment, run_experiment_on, run_experiment_traced, ExperimentConfig, TracedExperiment,
+};

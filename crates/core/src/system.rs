@@ -100,6 +100,41 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> SystemReport {
 /// # Panics
 /// Panics on invalid configuration.
 pub fn run_experiment_on<R: BuildRouter>(cfg: &ExperimentConfig) -> SystemReport {
+    run_experiment_inner::<R>(cfg, None).report
+}
+
+/// A traced experiment: the ordinary [`SystemReport`] plus everything the
+/// observability layer captured alongside it.
+pub struct TracedExperiment<R: dsi_chord::ContentRouter = Ring> {
+    /// The report — identical to the untraced run's (tracing is
+    /// observationally free; the golden conformance test pins this).
+    pub report: SystemReport,
+    /// The cluster in its end-of-run state: its
+    /// [`Cluster::tracer`](crate::Cluster::tracer) holds the causal trace
+    /// of the measurement window, its metrics the matching counters.
+    pub cluster: Cluster<R>,
+    /// The engine's dispatched-event tick log (`(sim_ms, seq)`), for the
+    /// scheduler lane of `dsi_trace::write_chrome_trace`.
+    pub engine_ticks: Vec<(u64, u64)>,
+}
+
+/// [`run_experiment`] with causal tracing enabled: records up to
+/// `trace_capacity` trace records (and as many engine ticks) over the
+/// measured window and returns them alongside the report.
+///
+/// # Panics
+/// Panics on invalid configuration.
+pub fn run_experiment_traced(
+    cfg: &ExperimentConfig,
+    trace_capacity: usize,
+) -> TracedExperiment<Ring> {
+    run_experiment_inner::<Ring>(cfg, Some(trace_capacity))
+}
+
+fn run_experiment_inner<R: BuildRouter>(
+    cfg: &ExperimentConfig,
+    trace_capacity: Option<usize>,
+) -> TracedExperiment<R> {
     assert!(
         (0.0..=1.0).contains(&cfg.inner_product_fraction),
         "inner-product fraction must be a probability"
@@ -112,6 +147,9 @@ pub fn run_experiment_on<R: BuildRouter>(cfg: &ExperimentConfig) -> SystemReport
         kind: cfg.kind,
     };
     let mut cluster: Cluster<R> = Cluster::with_backend(cluster_cfg);
+    if let Some(capacity) = trace_capacity {
+        cluster.enable_tracing(capacity);
+    }
     for i in 0..cfg.num_nodes {
         cluster.register_stream(&format!("stream-{i}"), i);
     }
@@ -126,6 +164,9 @@ pub fn run_experiment_on<R: BuildRouter>(cfg: &ExperimentConfig) -> SystemReport
     let arrivals = PoissonArrivals::new(cfg.workload.qrate_per_sec);
 
     let mut engine: Engine<Ev> = Engine::new();
+    if let Some(capacity) = trace_capacity {
+        engine.enable_tick_log(capacity);
+    }
     for (i, &p) in periods.iter().enumerate() {
         let phase = rng.gen_range(0..p);
         engine.schedule_at(SimTime::from_ms(phase), Ev::StreamTick { stream: i });
@@ -199,7 +240,7 @@ pub fn run_experiment_on<R: BuildRouter>(cfg: &ExperimentConfig) -> SystemReport
 
     let duration_s = cfg.measure_ms as f64 / 1000.0;
     let quality = driver.cluster.quality();
-    SystemReport::from_metrics(
+    let report = SystemReport::from_metrics(
         driver.cluster.metrics(),
         driver.cluster.node_ids(),
         duration_s,
@@ -207,7 +248,8 @@ pub fn run_experiment_on<R: BuildRouter>(cfg: &ExperimentConfig) -> SystemReport
         cfg.workload.query_radius,
         count_matches(&driver.cluster) - matches_before,
         quality.candidates - quality_before.candidates,
-    )
+    );
+    TracedExperiment { report, cluster: driver.cluster, engine_ticks: engine.tick_log() }
 }
 
 fn count_matches<R: dsi_chord::ContentRouter>(cluster: &Cluster<R>) -> u64 {

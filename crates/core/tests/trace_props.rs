@@ -1,0 +1,138 @@
+//! Property tests of the causal trace (see `dsi-trace`): over random small
+//! clusters driven by random operation sequences, the trace must
+//!
+//! * satisfy causality — every chain terminates at an origin, ids are
+//!   unique, children depart from where (and when) their parent arrived;
+//! * account for the metrics exactly — per-class message totals, hop sums
+//!   and hop counts reconstructed from trace records equal what the
+//!   middleware's [`Metrics`] counted, bit for bit.
+//!
+//! The second property is the strong one: `Metrics` and `Tracer` are
+//! updated by separate code paths at every recording site, so any site
+//! that counts without tracing (or vice versa) fails here.
+
+use dsi_core::{Cluster, ClusterConfig, SimilarityKind};
+use dsi_simnet::{MsgClass, SimTime, NUM_CLASSES};
+use dsi_trace::{audit, validate_causality};
+use proptest::prelude::*;
+
+const WINDOW: usize = 8;
+
+/// One raw operation: `(kind, count, center, radius)`. Decoded in the
+/// test body (the vendored proptest shim has no `prop_oneof`):
+/// kind 0–2 feeds `count` values per stream, 3–4 posts a similarity
+/// query at `(center, radius)`, 5–6 runs a notify cycle on every node,
+/// 7 re-establishes range replication.
+type RawOp = (u8, u8, f64, f64);
+
+fn op() -> impl Strategy<Value = RawOp> {
+    (0u8..8, 1u8..32, -0.9f64..0.9, 0.02f64..0.5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn trace_is_causal_and_audits_to_metrics(
+        num_nodes in 3usize..10,
+        num_streams in 1usize..4,
+        ops in prop::collection::vec(op(), 1..14),
+        salt in 0u64..1024,
+    ) {
+        let mut cfg = ClusterConfig::new(num_nodes);
+        cfg.workload.window_len = WINDOW;
+        cfg.kind = SimilarityKind::Subsequence;
+        let mut cluster = Cluster::new(cfg);
+        let streams: Vec<_> = (0..num_streams)
+            .map(|i| cluster.register_stream(&format!("s{i}"), i % num_nodes))
+            .collect();
+
+        cluster.enable_tracing(1 << 18);
+        cluster.start_measurement();
+
+        let mut now = SimTime::from_ms(1);
+        let mut tick = salt;
+        for &(kind, count, center, radius) in &ops {
+            now += 40;
+            match kind {
+                0..=2 => {
+                    for _ in 0..count {
+                        for &sid in &streams {
+                            // A deterministic wandering signal: enough
+                            // variety to emit MBRs of differing widths.
+                            let v = ((tick as f64) * 0.37).sin() + ((tick % 7) as f64) * 0.05;
+                            cluster.post_value(sid, v, now);
+                            tick += 1;
+                        }
+                    }
+                }
+                3..=4 => {
+                    let client = (tick as usize) % num_nodes;
+                    let target: Vec<f64> =
+                        (0..WINDOW).map(|i| center + (i as f64) * 0.01).collect();
+                    cluster.post_similarity_query(client, target, radius, 60_000, now);
+                    tick += 1;
+                }
+                5..=6 => cluster.notify_all(now),
+                _ => cluster.rebalance_replicas(),
+            }
+        }
+        cluster.stop_measurement();
+
+        let tracer = cluster.tracer();
+        prop_assert_eq!(tracer.dropped(), 0, "capacity must not bind in this test");
+        if let Err(e) = validate_causality(tracer.iter()) {
+            return Err(TestCaseError::Fail(format!("causality violation: {e}")));
+        }
+
+        let reconstructed = audit(tracer.iter(), NUM_CLASSES);
+        let metrics = cluster.metrics();
+        for class in MsgClass::ALL {
+            let c = class.index();
+            prop_assert_eq!(
+                reconstructed.messages[c], metrics.total(class),
+                "message total mismatch for {}", class.name()
+            );
+            prop_assert_eq!(
+                reconstructed.hop_sum[c], metrics.hop_sum(class),
+                "hop_sum mismatch for {}", class.name()
+            );
+            prop_assert_eq!(
+                reconstructed.hop_count[c], metrics.hop_count(class),
+                "hop_count mismatch for {}", class.name()
+            );
+        }
+    }
+
+    /// Tracing must be inert when disabled: same operations, zero records,
+    /// identical metrics to an untraced twin.
+    #[test]
+    fn disabled_tracer_records_nothing_and_changes_nothing(
+        num_nodes in 3usize..8,
+        values in prop::collection::vec(-1.0f64..1.0, WINDOW..64),
+    ) {
+        let make = |tracing: bool| {
+            let mut cfg = ClusterConfig::new(num_nodes);
+            cfg.workload.window_len = WINDOW;
+            let mut cluster = Cluster::new(cfg);
+            let sid = cluster.register_stream("s", 0);
+            if tracing {
+                cluster.enable_tracing(1 << 16);
+            }
+            cluster.start_measurement();
+            for (i, &v) in values.iter().enumerate() {
+                cluster.post_value(sid, v, SimTime::from_ms(1 + i as u64));
+            }
+            cluster.notify_all(SimTime::from_ms(values.len() as u64 + 10));
+            cluster.stop_measurement();
+            cluster
+        };
+        let plain = make(false);
+        let traced = make(true);
+        prop_assert_eq!(plain.tracer().len(), 0);
+        for class in MsgClass::ALL {
+            prop_assert_eq!(plain.metrics().total(class), traced.metrics().total(class));
+            prop_assert_eq!(plain.metrics().hop_sum(class), traced.metrics().hop_sum(class));
+        }
+    }
+}

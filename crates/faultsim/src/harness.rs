@@ -1,7 +1,7 @@
 //! Scenario execution against a full [`Cluster`], with an invariant audit
 //! after every event.
 //!
-//! Five oracles run after each scheduled event:
+//! Six oracles run after each scheduled event:
 //!
 //! 1. **No false dismissals** — every match a brute-force reference index
 //!    (a flat list of all surviving MBR records) produces must also be a
@@ -15,6 +15,12 @@
 //!    and recorded hop sums reconcile with per-hop message counts.
 //! 5. **Purge** — after a notify round, no expired MBR or subscription
 //!    survives on any node whose cycle actually ran.
+//! 6. **Trace conformance** — the causal trace (see `dsi-trace`) is
+//!    well-formed, its reconstructed per-class counters equal [`Metrics`]
+//!    bit for bit, and every multicast traced since the previous audit
+//!    delivered to exactly the brute-force owner set of its key range.
+//!
+//! [`Metrics`]: dsi_simnet::Metrics
 //!
 //! Faults (drop/duplicate/delay) apply only to NPER notify ticks: they
 //! model lost periodic messages, which the middleware's soft state must
@@ -24,8 +30,9 @@
 use crate::scenario::{FaultEvent, Scenario, ScenarioConfig};
 use dsi_chord::{covering_nodes, multicast, ChordId, Ring};
 use dsi_core::{radius_key_range, Cluster, ClusterConfig, SimilarityQuery, StoredMbr, StreamId};
-use dsi_simnet::{FaultOutcome, MsgClass, SimTime};
+use dsi_simnet::{FaultOutcome, MsgClass, SimTime, NUM_CLASSES};
 use dsi_streamgen::RandomWalk;
+use dsi_trace::{multicast_delivery_set, validate_causality, TraceSummary};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -35,7 +42,8 @@ use std::collections::BTreeSet;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Violation {
     /// Which oracle fired (`no-false-dismissal`, `routing-termination`,
-    /// `replica-placement`, `metrics-conservation`, `purge`).
+    /// `replica-placement`, `metrics-conservation`, `purge`,
+    /// `trace-conformance`).
     pub oracle: String,
     /// Human-readable description of the violated invariant.
     pub detail: String,
@@ -62,15 +70,22 @@ pub struct RunReport {
     pub final_nodes: usize,
     /// Final simulated time in ms.
     pub final_time_ms: u64,
+    /// Causal-trace digest of the run: counts, golden hash, per-class
+    /// latency/hop percentiles. Attached to reproducers on failure.
+    pub trace: TraceSummary,
 }
 
 /// Replays a scenario's schedule against a fresh cluster, auditing every
-/// invariant after every event. Stops at the first violation.
+/// invariant after every event. Stops at the first violation; a failing
+/// run additionally exports its causal trace as a chrome://tracing
+/// timeline to `results/repro-<seed>.trace.json`, next to where the
+/// reproducer lands.
 pub fn run_scenario(scenario: &Scenario) -> RunReport {
     let mut h = Harness::new(scenario);
     for (i, ev) in scenario.events.iter().enumerate() {
         h.apply(ev);
         if let Some((oracle, detail)) = h.check_oracles(ev) {
+            h.export_timeline(scenario.seed);
             return RunReport {
                 violation: Some(Violation {
                     oracle,
@@ -84,6 +99,7 @@ pub fn run_scenario(scenario: &Scenario) -> RunReport {
                 notifications: h.cluster.total_notifications(),
                 final_nodes: h.cluster.num_nodes(),
                 final_time_ms: h.now.as_ms(),
+                trace: h.trace_summary(),
             };
         }
     }
@@ -95,8 +111,18 @@ pub fn run_scenario(scenario: &Scenario) -> RunReport {
         notifications: h.cluster.total_notifications(),
         final_nodes: h.cluster.num_nodes(),
         final_time_ms: h.now.as_ms(),
+        trace: h.trace_summary(),
     }
 }
+
+/// `MsgClass` names in index order, for trace exports and summaries.
+fn class_names() -> Vec<&'static str> {
+    MsgClass::ALL.iter().map(|c| c.name()).collect()
+}
+
+/// Trace ring capacity: comfortably above the record count of the longest
+/// tier-1 schedule, so oracle 6 always audits a complete trace.
+const TRACE_CAPACITY: usize = 1 << 20;
 
 /// Scenario executor: the cluster under test plus the reference state the
 /// oracles compare against.
@@ -120,11 +146,39 @@ struct Harness {
     mbr_ships: u64,
     queries_posted: u64,
     join_counter: u32,
+    /// Multicast metas already coverage-checked by oracle 6 (delta cursor:
+    /// each meta is audited exactly once, against the ring it was sent on).
+    audited_multicasts: usize,
 }
 
 /// Replica-record identity: one batch shipped by one origin.
 fn same_record(a: &StoredMbr, b: &StoredMbr) -> bool {
     a.stream == b.stream && a.origin == b.origin && a.expires == b.expires && a.mbr == b.mbr
+}
+
+/// Brute-force covering set, computed independently of the multicast
+/// planner: every node whose owned arc `(pred, n]` intersects the circular
+/// key range `[lo, hi]`. `sorted` must be the live node ids in ascending
+/// order.
+fn brute_owners(
+    space: dsi_chord::IdSpace,
+    sorted: &[ChordId],
+    lo: ChordId,
+    hi: ChordId,
+) -> BTreeSet<ChordId> {
+    let contains =
+        |a: ChordId, b: ChordId, x: ChordId| space.distance_cw(a, x) <= space.distance_cw(a, b);
+    let mut owners = BTreeSet::new();
+    for (i, &n) in sorted.iter().enumerate() {
+        let pred = sorted[(i + sorted.len() - 1) % sorted.len()];
+        let own_lo = space.add(pred, 1);
+        // Two circular closed intervals intersect iff either contains the
+        // other's low endpoint.
+        if contains(own_lo, n, lo) || contains(lo, hi, own_lo) {
+            owners.insert(n);
+        }
+    }
+    owners
 }
 
 impl Harness {
@@ -145,7 +199,9 @@ impl Harness {
         }
         let walks: Vec<RandomWalk> =
             (0..cfg.num_streams).map(|_| RandomWalk::sample_spread(&mut rng)).collect();
-        // Measure from the start: oracle 4 audits the full message history.
+        // Measure from the start: oracle 4 audits the full message history,
+        // and oracle 6 audits its causal trace against it.
+        cluster.enable_tracing(TRACE_CAPACITY);
         cluster.start_measurement();
         Harness {
             cluster,
@@ -160,6 +216,25 @@ impl Harness {
             mbr_ships: 0,
             queries_posted: 0,
             join_counter: 0,
+            audited_multicasts: 0,
+        }
+    }
+
+    /// Compact trace digest of the run so far (attached to every report).
+    fn trace_summary(&self) -> TraceSummary {
+        TraceSummary::from_tracer(self.cluster.tracer(), &class_names())
+    }
+
+    /// Write the captured trace as a chrome://tracing timeline next to the
+    /// reproducer. Best effort: a failing oracle must never be masked by
+    /// an export error.
+    fn export_timeline(&self, seed: u64) {
+        let dir = crate::repro::results_dir();
+        let _ = std::fs::create_dir_all(&dir);
+        let mut buf = Vec::new();
+        let records = self.cluster.tracer().snapshot();
+        if dsi_trace::write_chrome_trace(&mut buf, &records, &class_names(), &[]).is_ok() {
+            let _ = std::fs::write(dir.join(format!("repro-{seed}.trace.json")), buf);
         }
     }
 
@@ -245,6 +320,9 @@ impl Harness {
     }
 
     fn apply(&mut self, ev: &FaultEvent) {
+        // Events that trace without an explicit timestamp (churn-repair
+        // copies) inherit the current event time.
+        self.cluster.set_trace_time(self.now);
         match *ev {
             FaultEvent::Feed { steps } => {
                 for _ in 0..steps {
@@ -347,6 +425,9 @@ impl Harness {
             if let Some(d) = self.oracle_purge() {
                 return Some(("purge".into(), d));
             }
+        }
+        if let Some(d) = self.oracle_trace_conformance() {
+            return Some(("trace-conformance".into(), d));
         }
         None
     }
@@ -551,6 +632,74 @@ impl Harness {
                 m.hop_sum(MsgClass::Response)
             ));
         }
+        None
+    }
+
+    /// Oracle 6: the causal trace is internally consistent and accounts
+    /// for the metrics exactly — unique ids, chains rooted at origins,
+    /// per-class message/hop counters reconstructed from trace records
+    /// equal to [`dsi_simnet::Metrics`] bit for bit — and every multicast
+    /// traced since the previous audit delivered to exactly the
+    /// brute-force owner set of its key range. Skipped (for coverage)
+    /// only if the ring buffer ever overflowed, which `TRACE_CAPACITY`
+    /// is sized to prevent on tier-1 schedules.
+    fn oracle_trace_conformance(&mut self) -> Option<String> {
+        let tracer = self.cluster.tracer();
+        let n_metas = tracer.multicasts().len();
+        if tracer.dropped() > 0 {
+            self.audited_multicasts = n_metas;
+            return None;
+        }
+        if let Err(e) = validate_causality(tracer.iter()) {
+            return Some(format!("causal structure broken: {e}"));
+        }
+        let rec = dsi_trace::audit(tracer.iter(), NUM_CLASSES);
+        let m = self.cluster.metrics();
+        for c in MsgClass::ALL {
+            let i = c.index();
+            if rec.messages[i] != m.total(c) {
+                return Some(format!(
+                    "{}: trace counts {} messages, metrics counted {}",
+                    c.name(),
+                    rec.messages[i],
+                    m.total(c)
+                ));
+            }
+            if rec.hop_count[i] != m.hop_count(c) || rec.hop_sum[i] != m.hop_sum(c) {
+                return Some(format!(
+                    "{}: trace hop count/sum {}/{}, metrics {}/{}",
+                    c.name(),
+                    rec.hop_count[i],
+                    rec.hop_sum[i],
+                    m.hop_count(c),
+                    m.hop_sum(c)
+                ));
+            }
+        }
+        // Coverage of multicasts traced since the last audit. Sound to
+        // check against the *current* ring: no event both multicasts and
+        // churns, so the topology is the one each multicast was sent on.
+        let new_metas = &tracer.multicasts()[self.audited_multicasts..];
+        if !new_metas.is_empty() {
+            let records = tracer.snapshot();
+            let internal =
+                [MsgClass::MbrInternal.index() as u8, MsgClass::QueryInternal.index() as u8];
+            let mut sorted: Vec<ChordId> = self.cluster.node_ids().to_vec();
+            sorted.sort_unstable();
+            let space = self.cluster.space();
+            for meta in new_metas {
+                let delivered = multicast_delivery_set(&records, meta, &internal);
+                let expected = brute_owners(space, &sorted, meta.lo, meta.hi);
+                if delivered != expected {
+                    return Some(format!(
+                        "multicast over [{}, {}] delivered to {delivered:?}, \
+                         brute-force owner set is {expected:?}",
+                        meta.lo, meta.hi
+                    ));
+                }
+            }
+        }
+        self.audited_multicasts = n_metas;
         None
     }
 

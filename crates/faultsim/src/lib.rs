@@ -4,7 +4,7 @@
 //! the style of FoundationDB's simulator: a seed fully determines a
 //! scenario — node churn, message faults, stream bursts, query storms —
 //! which is replayed against a complete [`dsi_core::Cluster`] over
-//! simulated time. After every scheduled event the harness audits five
+//! simulated time. After every scheduled event the harness audits six
 //! invariants end to end:
 //!
 //! 1. **No false dismissals** — the distributed index never misses a match
@@ -19,12 +19,18 @@
 //!    hop counts (the bookkeeping behind Figs. 6–8 cannot drift).
 //! 5. **Purge** — expired soft state is actually gone after each NPER
 //!    round on every node whose cycle ran.
+//! 6. **Trace conformance** — the causal message trace (`dsi-trace`) is
+//!    well-formed, reconstructs the metrics counters bit for bit, and
+//!    every traced multicast covered exactly the brute-force owner set
+//!    of its key range.
 //!
 //! On a violation the failing run is serialized as a minimal
-//! [`Reproducer`] (seed + truncated schedule) to
-//! `results/repro-<seed>.json`; replaying it reproduces the identical
-//! failure, because the execution RNG is consumed strictly in event order
-//! and independently of the schedule generator.
+//! [`Reproducer`] (seed + truncated schedule + trace summary) to
+//! `results/repro-<seed>.json`, and its causal trace is exported as a
+//! chrome://tracing timeline to `results/repro-<seed>.trace.json`;
+//! replaying it reproduces the identical failure, because the execution
+//! RNG is consumed strictly in event order and independently of the
+//! schedule generator.
 //!
 //! Entry points: [`Scenario::generate`] + [`run_scenario`] for bounded
 //! runs (wired into `cargo test`), and the `--ignored` soak test for long

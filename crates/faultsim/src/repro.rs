@@ -10,6 +10,7 @@
 
 use crate::harness::{run_scenario, Violation};
 use crate::scenario::{FaultEvent, Scenario, ScenarioConfig};
+use dsi_trace::TraceSummary;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
@@ -24,6 +25,10 @@ pub struct Reproducer {
     pub events: Vec<FaultEvent>,
     /// The violation the truncated schedule replays to.
     pub violation: Violation,
+    /// Causal-trace digest of the failing run (counts, golden hash,
+    /// per-class latency/hop percentiles), when the run was traced. The
+    /// full timeline lands beside this file as `repro-<seed>.trace.json`.
+    pub trace: Option<TraceSummary>,
 }
 
 impl Reproducer {
@@ -36,7 +41,15 @@ impl Reproducer {
             config: scenario.config.clone(),
             events: scenario.events[..cut].to_vec(),
             violation,
+            trace: None,
         }
+    }
+
+    /// Attaches the failing run's trace summary (builder style).
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceSummary) -> Reproducer {
+        self.trace = Some(trace);
+        self
     }
 
     /// The truncated schedule as a runnable scenario.

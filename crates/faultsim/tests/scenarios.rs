@@ -22,7 +22,8 @@ fn assert_clean(seed: u64, cfg: ScenarioConfig) -> RunReport {
     let scenario = Scenario::generate(seed, cfg);
     let report = run_scenario(&scenario);
     if let Some(v) = report.violation.clone() {
-        let path = write_reproducer(&Reproducer::from_failure(&scenario, v.clone()));
+        let repro = Reproducer::from_failure(&scenario, v.clone()).with_trace(report.trace.clone());
+        let path = write_reproducer(&repro);
         panic!(
             "seed {seed}: oracle `{}` violated at event {} (t={}ms): {}\nreproducer: {}",
             v.oracle,
@@ -134,12 +135,12 @@ fn injected_bug_is_caught_and_replays_from_disk() {
         };
         let scenario = Scenario::generate(seed, cfg);
         let report = run_scenario(&scenario);
-        if let Some(v) = report.violation {
-            caught = Some((scenario, v));
+        if let Some(v) = report.violation.clone() {
+            caught = Some((scenario, v, report.trace));
             break;
         }
     }
-    let (scenario, violation) =
+    let (scenario, violation, trace) =
         caught.expect("disabling churn repair must violate an invariant within 200 seeds");
     assert!(
         violation.oracle == "replica-placement" || violation.oracle == "no-false-dismissal",
@@ -148,14 +149,22 @@ fn injected_bug_is_caught_and_replays_from_disk() {
         violation.detail
     );
 
-    // Serialize, reload from disk, replay: identical failure.
-    let path = write_reproducer(&Reproducer::from_failure(&scenario, violation.clone()));
+    // Serialize (with the failing run's trace attached), reload from disk,
+    // replay: identical failure.
+    let repro = Reproducer::from_failure(&scenario, violation.clone()).with_trace(trace);
+    let path = write_reproducer(&repro);
     let loaded = load_reproducer(&path);
     assert_eq!(loaded.seed, scenario.seed);
+    let attached = loaded.trace.as_ref().expect("reproducer carries the run's trace summary");
+    assert!(attached.records > 0, "failing run must have traced messages");
+    assert_eq!(attached.dropped, 0, "trace ring must not overflow on tier-1 schedules");
     let replayed = loaded.replay().expect("reproducer must replay to a violation");
     assert_eq!(replayed, violation, "replay must reproduce the identical violation");
-    // The reproducer's schedule ends at the failing event.
+    // The reproducer's schedule ends at the failing event, and the failing
+    // run exported a loadable timeline next to it.
     assert_eq!(loaded.events.len(), violation.event_index + 1);
+    let timeline = path.with_file_name(format!("repro-{}.trace.json", loaded.seed));
+    assert!(timeline.exists(), "missing chrome://tracing export {}", timeline.display());
 }
 
 /// Long randomized soak: 30 fresh seeds × 300-event schedules under lossy

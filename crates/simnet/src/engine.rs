@@ -9,7 +9,7 @@
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 struct Scheduled<E> {
     at: SimTime,
@@ -42,6 +42,19 @@ pub struct Engine<E> {
     queue: BinaryHeap<Scheduled<E>>,
     seq: u64,
     processed: u64,
+    tick_log: Option<TickLog>,
+}
+
+/// Bounded log of dispatched events: `(sim_time_ms, dispatch_seq)` pairs,
+/// ring-evicted past `capacity`. Feeds the `engine` lane of the
+/// chrome://tracing export (see `dsi-trace`), giving timelines a scheduler
+/// track to correlate overlay hops against. Disabled by default —
+/// dispatch pays nothing but a `None` check.
+#[derive(Debug, Clone)]
+struct TickLog {
+    capacity: usize,
+    ticks: VecDeque<(u64, u64)>,
+    dropped: u64,
 }
 
 impl<E> Default for Engine<E> {
@@ -53,7 +66,41 @@ impl<E> Default for Engine<E> {
 impl<E> Engine<E> {
     /// Creates an engine at time zero with an empty queue.
     pub fn new() -> Self {
-        Engine { clock: SimTime::ZERO, queue: BinaryHeap::new(), seq: 0, processed: 0 }
+        Engine {
+            clock: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            processed: 0,
+            tick_log: None,
+        }
+    }
+
+    /// Start logging every dispatched event as a `(time_ms, seq)` tick into
+    /// a ring buffer of at most `capacity` entries (oldest evicted first).
+    pub fn enable_tick_log(&mut self, capacity: usize) {
+        self.tick_log =
+            Some(TickLog { capacity: capacity.max(1), ticks: VecDeque::new(), dropped: 0 });
+    }
+
+    /// Dispatched-event ticks captured so far (empty when logging is off).
+    pub fn tick_log(&self) -> Vec<(u64, u64)> {
+        self.tick_log.as_ref().map_or_else(Vec::new, |l| l.ticks.iter().copied().collect())
+    }
+
+    /// Ticks evicted by the ring bound since logging was enabled.
+    pub fn ticks_dropped(&self) -> u64 {
+        self.tick_log.as_ref().map_or(0, |l| l.dropped)
+    }
+
+    #[inline]
+    fn log_tick(&mut self, at: SimTime) {
+        if let Some(log) = &mut self.tick_log {
+            if log.ticks.len() == log.capacity {
+                log.ticks.pop_front();
+                log.dropped += 1;
+            }
+            log.ticks.push_back((at.as_ms(), self.processed));
+        }
     }
 
     /// Current simulated time.
@@ -105,6 +152,7 @@ impl<E> Engine<E> {
             let Scheduled { at, event, .. } = self.queue.pop().expect("peeked");
             self.clock = at;
             self.processed += 1;
+            self.log_tick(at);
             handler(self, state, at, event);
         }
         if self.clock < until {
@@ -117,6 +165,7 @@ impl<E> Engine<E> {
         let Scheduled { at, event, .. } = self.queue.pop()?;
         self.clock = at;
         self.processed += 1;
+        self.log_tick(at);
         Some((at, event))
     }
 }
@@ -199,6 +248,28 @@ mod tests {
         let mut s = ();
         eng.run_until(&mut s, SimTime::from_ms(10), |_, _, _, _| {});
         eng.schedule_at(SimTime::from_ms(5), Ev::Stop);
+    }
+
+    #[test]
+    fn tick_log_records_dispatches_and_bounds_memory() {
+        let mut eng = Engine::new();
+        // Off by default: nothing captured.
+        eng.schedule_at(SimTime::from_ms(1), Ev::Tick(0));
+        eng.step();
+        assert!(eng.tick_log().is_empty());
+
+        eng.enable_tick_log(3);
+        for i in 0..5u32 {
+            eng.schedule_at(SimTime::from_ms(10 + i as u64), Ev::Tick(i));
+        }
+        let mut s = ();
+        eng.run_until(&mut s, SimTime::from_ms(100), |_, _, _, _| {});
+        // Ring bound: only the last 3 of 5 dispatches survive.
+        let ticks = eng.tick_log();
+        assert_eq!(ticks.len(), 3);
+        assert_eq!(eng.ticks_dropped(), 2);
+        assert_eq!(ticks[0].0, 12);
+        assert_eq!(ticks[2], (14, 6)); // 6 events processed in total
     }
 
     #[test]

@@ -47,10 +47,34 @@ impl MsgClass {
         MsgClass::ResponseTransit,
     ];
 
-    /// Dense index for array-backed counters.
+    /// Dense index for array-backed counters. Constant-time (and usable in
+    /// const contexts); a unit test pins it to the position in
+    /// [`MsgClass::ALL`].
     #[inline]
-    pub fn index(self) -> usize {
-        Self::ALL.iter().position(|c| *c == self).expect("class listed in ALL")
+    pub const fn index(self) -> usize {
+        match self {
+            MsgClass::MbrOriginated => 0,
+            MsgClass::MbrInternal => 1,
+            MsgClass::MbrTransit => 2,
+            MsgClass::Query => 3,
+            MsgClass::QueryInternal => 4,
+            MsgClass::QueryTransit => 5,
+            MsgClass::Response => 6,
+            MsgClass::ResponseInternal => 7,
+            MsgClass::ResponseTransit => 8,
+        }
+    }
+
+    /// Inverse of [`MsgClass::index`]; `None` for out-of-range indices.
+    /// Used to map the `u8` class tags of `dsi-trace` records back to the
+    /// enum when rendering or auditing.
+    #[inline]
+    pub const fn from_index(i: usize) -> Option<MsgClass> {
+        if i < NUM_CLASSES {
+            Some(Self::ALL[i])
+        } else {
+            None
+        }
     }
 
     /// Human-readable legend label.
@@ -231,10 +255,15 @@ impl Metrics {
 }
 
 /// A fixed-width histogram over non-negative values (Fig. 6(b)).
+///
+/// Besides the bucket counts it retains the (sorted) raw samples, so it
+/// answers exact percentile and tail queries without the caller having to
+/// re-supply the value slice it was built from.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Histogram {
     bucket_width: f64,
     counts: Vec<u64>,
+    samples: Vec<f64>,
 }
 
 impl Histogram {
@@ -252,7 +281,9 @@ impl Histogram {
             }
             counts[b] += 1;
         }
-        Histogram { bucket_width, counts }
+        let mut samples = values.to_vec();
+        samples.sort_unstable_by(f64::total_cmp);
+        Histogram { bucket_width, counts, samples }
     }
 
     /// `(bucket_midpoint, count)` pairs.
@@ -269,16 +300,36 @@ impl Histogram {
         self.counts.iter().sum()
     }
 
-    /// A crude heavy-tail indicator: the fraction of mass in buckets beyond
-    /// `factor` times the mean-holding bucket. The paper argues the load
-    /// distribution is *not* heavy-tailed; tests assert this is small.
-    pub fn tail_fraction(&self, values: &[f64], factor: f64) -> f64 {
-        if values.is_empty() {
+    /// Exact nearest-rank percentile over the retained samples: the
+    /// smallest sample `s` such that at least `p` of the distribution is
+    /// `<= s`. Returns `None` on an empty histogram.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&p), "percentile rank must be in [0, 1], got {p}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let n = self.samples.len();
+        let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.samples[rank - 1])
+    }
+
+    /// A crude heavy-tail indicator: the fraction of samples beyond
+    /// `factor` times the mean. The paper argues the load distribution is
+    /// *not* heavy-tailed; tests assert this is small. Answered from the
+    /// retained samples — no need to re-supply the values the histogram
+    /// was built from.
+    pub fn tail_fraction(&self, factor: f64) -> f64 {
+        if self.samples.is_empty() {
             return 0.0;
         }
-        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
         let cut = mean * factor;
-        values.iter().filter(|&&v| v > cut).count() as f64 / values.len() as f64
+        // Samples are sorted: the tail is a suffix.
+        let tail = self.samples.partition_point(|&v| v <= cut);
+        (self.samples.len() - tail) as f64 / self.samples.len() as f64
     }
 }
 
@@ -401,9 +452,39 @@ mod tests {
     fn tail_fraction_flags_outliers() {
         let uniform: Vec<f64> = (0..100).map(|i| 1.0 + (i % 10) as f64 * 0.01).collect();
         let h = Histogram::build(&uniform, 0.5);
-        assert_eq!(h.tail_fraction(&uniform, 2.0), 0.0);
+        assert_eq!(h.tail_fraction(2.0), 0.0);
         let skewed: Vec<f64> = (0..100).map(|i| if i < 90 { 1.0 } else { 50.0 }).collect();
         let h2 = Histogram::build(&skewed, 0.5);
-        assert!(h2.tail_fraction(&skewed, 2.0) > 0.05);
+        assert!(h2.tail_fraction(2.0) > 0.05);
+        // Exactly 10 of 100 samples sit beyond 2x the mean (mean = 5.9).
+        assert!((h2.tail_fraction(2.0) - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_is_exact_nearest_rank() {
+        // Canonical nearest-rank example: p30 of {15,20,35,40,50} = 20.
+        let h = Histogram::build(&[50.0, 15.0, 40.0, 20.0, 35.0], 10.0);
+        assert_eq!(h.percentile(0.30), Some(20.0));
+        assert_eq!(h.percentile(0.50), Some(35.0));
+        assert_eq!(h.percentile(0.0), Some(15.0));
+        assert_eq!(h.percentile(1.0), Some(50.0));
+        // Every reported percentile is an actual sample.
+        for p in [0.01, 0.25, 0.5, 0.75, 0.95, 0.99] {
+            let v = h.percentile(p).unwrap();
+            assert!([15.0, 20.0, 35.0, 40.0, 50.0].contains(&v));
+        }
+        assert_eq!(Histogram::build(&[], 1.0).percentile(0.5), None);
+    }
+
+    #[test]
+    fn index_agrees_with_position_in_all() {
+        for (pos, c) in MsgClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), pos, "{c:?} index diverged from ALL order");
+            assert_eq!(MsgClass::from_index(pos), Some(*c));
+        }
+        assert_eq!(MsgClass::from_index(NUM_CLASSES), None);
+        // And it is usable in const position.
+        const QUERY_IDX: usize = MsgClass::Query.index();
+        assert_eq!(QUERY_IDX, 3);
     }
 }

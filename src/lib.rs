@@ -48,6 +48,7 @@ pub use dsi_dsp as dsp;
 pub use dsi_hierarchy as hierarchy;
 pub use dsi_simnet as simnet;
 pub use dsi_streamgen as streamgen;
+pub use dsi_trace as trace;
 
 /// The most common imports for applications.
 pub mod prelude {

@@ -1,0 +1,206 @@
+//! Trace-replay conformance: the causal trace captured by `dsi-trace` must
+//! agree with every other account of the same run.
+//!
+//! Four independent cross-checks over the pinned golden scenario:
+//!
+//! 1. **Observational freedom** — running with tracing enabled produces a
+//!    report byte-identical to `results/golden_report.json` (tracing may
+//!    never perturb what it observes).
+//! 2. **Counter conformance** — per-class message totals, hop sums and hop
+//!    counts *reconstructed from the trace alone* equal the middleware's
+//!    [`Metrics`] bit for bit.
+//! 3. **Coverage conformance** — every traced multicast tree delivers to
+//!    exactly the brute-force owner set of its key range on the ring.
+//! 4. **Golden digest** — an FNV-1a digest of every record pins the full
+//!    trace against `results/golden_trace_digest.json`
+//!    (`GOLDEN_REGEN=1` to refresh after an intentional change).
+//!
+//! On any failure the offending trace is exported to
+//! `results/trace-failure.jsonl` and `results/trace-failure.trace.json`
+//! (the latter loads in chrome://tracing / ui.perfetto.dev) before the
+//! test panics, so CI uploads a browsable timeline of the regression.
+
+use dsi_chord::{ChordId, IdSpace, RangeStrategy};
+use dsi_core::{run_experiment_traced, ExperimentConfig, SimilarityKind};
+use dsi_simnet::{MsgClass, NUM_CLASSES};
+use dsi_streamgen::WorkloadConfig;
+use dsi_trace::{
+    audit, digest, multicast_delivery_set, validate_causality, write_chrome_trace, write_jsonl,
+    TraceRecord,
+};
+use std::collections::BTreeSet;
+
+/// Same pinned configuration as `tests/golden_report.rs`.
+fn golden_cfg() -> ExperimentConfig {
+    let workload = WorkloadConfig { window_len: 32, ..WorkloadConfig::default() };
+    ExperimentConfig {
+        num_nodes: 15,
+        workload,
+        seed: 20_050_404,
+        id_bits: 32,
+        strategy: RangeStrategy::Sequential,
+        kind: SimilarityKind::Subsequence,
+        warmup_ms: 12_000,
+        measure_ms: 20_000,
+        inner_product_fraction: 0.0,
+    }
+}
+
+fn class_names() -> Vec<&'static str> {
+    MsgClass::ALL.iter().map(|c| c.name()).collect()
+}
+
+/// Dump the trace as JSONL + chrome://tracing JSON under `results/` so a
+/// failing CI run uploads a loadable timeline, then panic with `errors`.
+fn fail_with_artifacts(records: &[TraceRecord], ticks: &[(u64, u64)], errors: &[String]) -> ! {
+    let names = class_names();
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/results");
+    let jsonl_path = format!("{dir}/trace-failure.jsonl");
+    let chrome_path = format!("{dir}/trace-failure.trace.json");
+    let mut jsonl = Vec::new();
+    let mut chrome = Vec::new();
+    write_jsonl(&mut jsonl, records, &names).expect("render jsonl");
+    write_chrome_trace(&mut chrome, records, &names, ticks).expect("render chrome trace");
+    std::fs::write(&jsonl_path, jsonl).expect("write jsonl artifact");
+    std::fs::write(&chrome_path, chrome).expect("write chrome artifact");
+    panic!(
+        "trace conformance failed ({} violations); timeline exported to {} — \
+         load it in chrome://tracing or ui.perfetto.dev:\n  {}",
+        errors.len(),
+        chrome_path,
+        errors.join("\n  ")
+    );
+}
+
+/// Brute-force covering set: every live node whose owned arc `(pred, n]`
+/// intersects the circular key range `[lo, hi]`.
+fn brute_force_owners(
+    space: IdSpace,
+    nodes: &[ChordId],
+    lo: ChordId,
+    hi: ChordId,
+) -> BTreeSet<u64> {
+    let mut sorted: Vec<ChordId> = nodes.to_vec();
+    sorted.sort_unstable();
+    let contains =
+        |a: ChordId, b: ChordId, x: ChordId| space.distance_cw(a, x) <= space.distance_cw(a, b);
+    let mut owners = BTreeSet::new();
+    for (i, &n) in sorted.iter().enumerate() {
+        let pred = sorted[(i + sorted.len() - 1) % sorted.len()];
+        let own_lo = space.add(pred, 1);
+        // Two circular closed intervals intersect iff either contains the
+        // other's low endpoint.
+        if contains(own_lo, n, lo) || contains(lo, hi, own_lo) {
+            owners.insert(n);
+        }
+    }
+    owners
+}
+
+#[test]
+fn traced_run_conforms_to_metrics_coverage_and_golden_digest() {
+    let traced = run_experiment_traced(&golden_cfg(), 1 << 20);
+    let records = traced.cluster.tracer().snapshot();
+    let metas = traced.cluster.tracer().multicasts().to_vec();
+    let mut errors: Vec<String> = Vec::new();
+
+    // 1. Tracing is observationally free: the report matches the golden
+    //    file produced by the *untraced* pipeline, byte for byte.
+    let rendered = serde_json::to_string_pretty(&traced.report).expect("serialize report");
+    let golden = include_str!("../results/golden_report.json");
+    if rendered != golden {
+        errors.push("traced report differs from results/golden_report.json".to_string());
+    }
+
+    // The capacity must never be the binding constraint on this scenario —
+    // a lossy trace cannot be audited.
+    if traced.cluster.tracer().dropped() != 0 {
+        errors.push(format!(
+            "ring buffer overflowed: {} records dropped",
+            traced.cluster.tracer().dropped()
+        ));
+    }
+
+    if let Err(e) = validate_causality(records.iter()) {
+        errors.push(format!("causality violation: {e}"));
+    }
+
+    // 2. Counters reconstructed from the trace equal Metrics exactly.
+    let reconstructed = audit(records.iter(), NUM_CLASSES);
+    let metrics = traced.cluster.metrics();
+    for class in MsgClass::ALL {
+        let c = class.index();
+        if reconstructed.messages[c] != metrics.total(class) {
+            errors.push(format!(
+                "{}: trace counts {} messages, metrics {}",
+                class.name(),
+                reconstructed.messages[c],
+                metrics.total(class)
+            ));
+        }
+        if reconstructed.hop_sum[c] != metrics.hop_sum(class) {
+            errors.push(format!(
+                "{}: trace hop_sum {}, metrics {}",
+                class.name(),
+                reconstructed.hop_sum[c],
+                metrics.hop_sum(class)
+            ));
+        }
+        if reconstructed.hop_count[c] != metrics.hop_count(class) {
+            errors.push(format!(
+                "{}: trace hop_count {}, metrics {}",
+                class.name(),
+                reconstructed.hop_count[c],
+                metrics.hop_count(class)
+            ));
+        }
+    }
+
+    // 3. Every traced multicast covers exactly the brute-force owner set.
+    let space = traced.cluster.space();
+    let nodes = traced.cluster.node_ids().to_vec();
+    let internal = [MsgClass::MbrInternal.index() as u8, MsgClass::QueryInternal.index() as u8];
+    if metas.is_empty() {
+        errors.push("golden scenario produced no multicasts to audit".to_string());
+    }
+    for meta in &metas {
+        let delivered = multicast_delivery_set(&records, meta, &internal);
+        let expected = brute_force_owners(space, &nodes, meta.lo, meta.hi);
+        if delivered != expected {
+            errors.push(format!(
+                "multicast {} over [{}, {}] delivered to {:?}, owners are {:?}",
+                meta.root.0, meta.lo, meta.hi, delivered, expected
+            ));
+        }
+    }
+
+    // 4. Golden digest over the full trace.
+    let got = digest(&records, &metas);
+    let digest_doc = {
+        use serde_json::Value;
+        let fields = vec![
+            ("digest".to_string(), Value::Str(got.clone())),
+            ("records".to_string(), Value::U64(records.len() as u64)),
+            ("multicasts".to_string(), Value::U64(metas.len() as u64)),
+        ];
+        serde_json::to_string_pretty(&Value::Object(fields)).expect("render digest doc")
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/results/golden_trace_digest.json");
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::write(path, &digest_doc).expect("write golden trace digest");
+    } else {
+        let pinned = include_str!("../results/golden_trace_digest.json");
+        if digest_doc != pinned {
+            errors.push(format!(
+                "trace digest drifted from results/golden_trace_digest.json \
+                 (got {got}, {} records); if intentional, regenerate with \
+                 GOLDEN_REGEN=1 and commit the diff",
+                records.len()
+            ));
+        }
+    }
+
+    if !errors.is_empty() {
+        fail_with_artifacts(&records, &traced.engine_ticks, &errors);
+    }
+}
