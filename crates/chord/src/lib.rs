@@ -15,6 +15,11 @@
 //! surface plus ground-truth accessors for simulation assertions.
 
 #![warn(missing_docs)]
+// Crate-level override on top of the shared [workspace.lints] policy: the
+// router and multicast planner sit on the per-message hot path, so every
+// panic site must be a deliberate, documented invariant (`expect`), never a
+// bare `unwrap`. Test code is exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod id;
 pub mod multicast;

@@ -107,6 +107,7 @@ impl MulticastPlan {
                     .deliveries
                     .iter()
                     .find(|d| d.node == to)
+                    // dsilint: allow(hot-path-unwrap, plan construction adds a delivery per edge target)
                     .expect("forward edges point at deliveries")
                     .hops;
                 (from, to, hops)
@@ -145,6 +146,7 @@ impl MulticastPlan {
                 .iter()
                 .find(|(node, _)| *node == from)
                 .map(|(_, c)| *c)
+                // dsilint: allow(hot-path-unwrap, forwards are emitted in causal order by build)
                 .expect("causal forwards visit senders before their edges");
             let cur = tracer.hop(parent, internal, from, to, Some(internal));
             reached.push((to, cur));
@@ -165,6 +167,7 @@ pub fn covering_nodes<R: ContentRouter>(ring: &R, lo: ChordId, hi: ChordId) -> V
         return Vec::new();
     }
     let space = ring.space();
+    // dsilint: allow(hot-path-unwrap, is_empty checked on entry)
     let first = ring.ideal_successor(lo).expect("non-empty ring");
     let width = space.distance_cw(lo, hi);
     let mut out = vec![first];
@@ -173,6 +176,7 @@ pub fn covering_nodes<R: ContentRouter>(ring: &R, lo: ChordId, hi: ChordId) -> V
     // clockwise from `lo` (that node owns the tail of the range). The length
     // guard handles ranges that wrap around more nodes than exist.
     while space.distance_cw(lo, cur) < width && out.len() < ring.len() {
+        // dsilint: allow(hot-path-unwrap, is_empty checked on entry)
         cur = ring.ideal_successor(space.add(cur, 1)).expect("non-empty ring");
         out.push(cur);
     }
@@ -221,6 +225,7 @@ pub fn multicast<R: ContentRouter>(
             let entry_idx = members
                 .iter()
                 .position(|&n| n == entry)
+                // dsilint: allow(hot-path-unwrap, members = covering_nodes(lo..hi) and mid_key is inside)
                 .expect("successor of a key inside the range covers the range");
             let deliveries = members
                 .iter()

@@ -219,7 +219,7 @@ impl ContentRouter for PastryNet {
         }
         // Budget exhausted (cannot happen with converged tables): finish
         // directly so callers always get the true owner.
-        if *path.last().unwrap() != owner {
+        if *path.last().expect("path starts at the querying node") != owner {
             path.push(owner);
         }
         Lookup { owner, path }

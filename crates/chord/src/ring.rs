@@ -248,7 +248,7 @@ impl Ring {
         // Tables too stale to terminate — fall back to ground truth, charging
         // the hops walked so far (models a flooding-recovery resolution).
         let owner = self.ideal_successor(key).expect("non-empty");
-        if *path.last().unwrap() != owner {
+        if *path.last().expect("path starts at the querying node") != owner {
             path.push(owner);
         }
         Lookup { owner, path }
@@ -286,7 +286,8 @@ impl Ring {
             None => true,
         };
         if better {
-            self.nodes.get_mut(&succ).unwrap().predecessor = Some(id);
+            self.nodes.get_mut(&succ).expect("successor checked alive above").predecessor =
+                Some(id);
         }
     }
 
@@ -349,7 +350,8 @@ impl Ring {
             }
             successors.dedup();
             successors.truncate(self.succ_list_len);
-            self.nodes.get_mut(&id).unwrap().successors = successors;
+            self.nodes.get_mut(&id).expect("membership unchanged since collected").successors =
+                successors;
             // notify(adopted): we may be its better predecessor.
             if adopted != id {
                 let cur_pred = self.nodes.get(&adopted).and_then(|s| s.predecessor);
@@ -359,7 +361,10 @@ impl Ring {
                     Some(p) => self.space.in_open(p, id, adopted),
                 };
                 if should_adopt {
-                    self.nodes.get_mut(&adopted).unwrap().predecessor = Some(id);
+                    self.nodes
+                        .get_mut(&adopted)
+                        .expect("adopted successor is a live node")
+                        .predecessor = Some(id);
                 }
             }
         }
@@ -373,7 +378,10 @@ impl Ring {
                 .map(|p| !self.contains(p))
                 .unwrap_or(false);
             if dead {
-                self.nodes.get_mut(&id).unwrap().predecessor = None;
+                self.nodes
+                    .get_mut(&id)
+                    .expect("membership unchanged since collected")
+                    .predecessor = None;
             }
         }
         messages
@@ -395,7 +403,8 @@ impl Ring {
                 messages += l.hops() as u64;
                 fingers.push(l.owner);
             }
-            self.nodes.get_mut(&id).unwrap().fingers = fingers;
+            self.nodes.get_mut(&id).expect("membership unchanged since collected").fingers =
+                fingers;
         }
         messages
     }
@@ -406,7 +415,8 @@ impl Ring {
         let m = self.space.bits() as usize;
         self.nodes.values().all(|state| {
             let id = state.id;
-            let true_succ = self.ideal_successor(self.space.add(id, 1)).unwrap();
+            let true_succ =
+                self.ideal_successor(self.space.add(id, 1)).expect("ring is non-empty here");
             let true_pred = self.ideal_predecessor(id);
             if self.successor_of(id) != true_succ {
                 return false;
@@ -417,7 +427,7 @@ impl Ring {
             state.fingers.len() == m
                 && state.fingers.iter().enumerate().all(|(i, &f)| {
                     let start = self.space.add(id, 1u64 << i);
-                    f == self.ideal_successor(start).unwrap()
+                    f == self.ideal_successor(start).expect("ring is non-empty here")
                 })
         })
     }

@@ -377,6 +377,7 @@ impl<R: ContentRouter> Cluster<R> {
 
     /// Total match notifications delivered across all queries.
     pub fn total_notifications(&self) -> u64 {
+        // dsilint: allow(unordered-iter, commutative sum over all queries)
         self.notifications.values().map(|v| v.len() as u64).sum()
     }
 
@@ -532,7 +533,7 @@ impl Cluster<Ring> {
         // Chord repairs itself; the middleware keeps operating meanwhile.
         self.stabilize();
         // Re-assign orphaned aggregators.
-        let fixes: Vec<(QueryId, ChordId)> = self
+        let mut fixes: Vec<(QueryId, ChordId)> = self
             .queries
             .iter()
             .filter_map(|(qid, q)| match q {
@@ -544,6 +545,8 @@ impl Cluster<Ring> {
                 _ => None,
             })
             .collect();
+        // Repair in query-id order so recovery replays byte-identically.
+        fixes.sort_unstable_by_key(|&(qid, _)| qid);
         for (qid, agg) in fixes {
             if let Some(QueryRuntime::Similarity(sq)) = self.queries.get_mut(&qid) {
                 sq.aggregator = agg;

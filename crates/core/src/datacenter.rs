@@ -254,6 +254,7 @@ impl DataCenter {
     fn rebuild_sub_index(&mut self) {
         self.sub_index.clear();
         let mut point = Vec::new();
+        // dsilint: allow(unordered-iter, compact() sorts the rebuilt index wholesale)
         for (&qid, q) in &self.subscriptions {
             let (low, high) = Self::sub_interval(q, &mut point);
             self.sub_index.staged.push((low, high, qid));
@@ -383,17 +384,20 @@ impl DataCenter {
 
     /// Every similarity subscription, including not-yet-purged expired ones.
     pub fn all_subscriptions(&self) -> impl Iterator<Item = &SimilarityQuery> {
+        // dsilint: allow(unordered-iter, accessor; ordering consumers sort, see notify_cycle)
         self.subscriptions.values()
     }
 
     /// Every inner-product subscription, including not-yet-purged expired
     /// ones.
     pub fn all_ip_subscriptions(&self) -> impl Iterator<Item = &InnerProductQuery> {
+        // dsilint: allow(unordered-iter, accessor; ordering consumers sort, see notify_cycle)
         self.ip_subscriptions.values()
     }
 
     /// Active similarity subscriptions at `now`.
     pub fn active_subscriptions(&self, now: SimTime) -> impl Iterator<Item = &SimilarityQuery> {
+        // dsilint: allow(unordered-iter, accessor; ordering consumers sort, see notify_cycle)
         self.subscriptions.values().filter(move |q| !q.expired(now))
     }
 
@@ -402,6 +406,7 @@ impl DataCenter {
         &self,
         now: SimTime,
     ) -> impl Iterator<Item = &InnerProductQuery> {
+        // dsilint: allow(unordered-iter, accessor; ordering consumers sort, see notify_cycle)
         self.ip_subscriptions.values().filter(move |q| !q.expired(now))
     }
 

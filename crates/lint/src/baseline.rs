@@ -1,0 +1,464 @@
+//! Baseline file support: record pre-existing violations so the gate lands
+//! green, then burn them down.
+//!
+//! The format is plain JSON (`results/lint_baseline.json`), read and
+//! written by a small hand-rolled parser so the lint crate stays
+//! dependency-free:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "entries": [
+//!     { "rule": "unordered-iter", "file": "crates/core/src/cluster.rs",
+//!       "line": 42, "excerpt": "for q in self.queries.values() {",
+//!       "introduced": "2026-08-06" }
+//!   ]
+//! }
+//! ```
+//!
+//! Matching is by `(rule, file, excerpt)` — *not* line — so unrelated edits
+//! that shift line numbers don't invalidate the baseline; `line` is kept
+//! for human navigation. `introduced` feeds the nightly
+//! `--max-baseline-age-days` burn-down check.
+
+use crate::rules::Violation;
+
+/// One baselined violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub rule: String,
+    pub file: String,
+    pub line: usize,
+    pub excerpt: String,
+    /// `YYYY-MM-DD` the entry was recorded.
+    pub introduced: String,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    pub entries: Vec<Entry>,
+}
+
+impl Baseline {
+    /// Whether `v` is covered by a baseline entry.
+    pub fn covers(&self, v: &Violation) -> bool {
+        self.entries.iter().any(|e| e.rule == v.rule && e.file == v.file && e.excerpt == v.excerpt)
+    }
+
+    /// Entries older than `max_age_days` relative to `today` (days since
+    /// Unix epoch). Used by the nightly soak burn-down check.
+    pub fn stale(&self, today_days: i64, max_age_days: i64) -> Vec<&Entry> {
+        self.entries
+            .iter()
+            .filter(|e| match date_to_days(&e.introduced) {
+                Some(d) => today_days - d > max_age_days,
+                None => true, // unparsable dates count as stale
+            })
+            .collect()
+    }
+
+    /// Parse the baseline JSON. Returns `Err` with a short message on
+    /// malformed input (a broken baseline must fail loudly, not pass).
+    pub fn parse(src: &str) -> Result<Baseline, String> {
+        let v = Json::parse(src)?;
+        let obj = v.as_obj().ok_or("baseline root must be an object")?;
+        let entries_json = match lookup(obj, "entries") {
+            Some(Json::Arr(a)) => a,
+            Some(_) => return Err("`entries` must be an array".into()),
+            None => return Ok(Baseline::default()),
+        };
+        let mut entries = Vec::new();
+        for e in entries_json {
+            let o = e.as_obj().ok_or("baseline entry must be an object")?;
+            let s = |k: &str| -> Result<String, String> {
+                match lookup(o, k) {
+                    Some(Json::Str(s)) => Ok(s.clone()),
+                    _ => Err(format!("baseline entry missing string field `{k}`")),
+                }
+            };
+            let line = match lookup(o, "line") {
+                Some(Json::Num(n)) => *n as usize,
+                _ => 0,
+            };
+            entries.push(Entry {
+                rule: s("rule")?,
+                file: s("file")?,
+                line,
+                excerpt: s("excerpt")?,
+                introduced: s("introduced").unwrap_or_default(),
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Serialize, deterministically ordered by `(file, line, rule)`.
+    pub fn emit(&self) -> String {
+        let mut entries = self.entries.clone();
+        entries.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+        let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [");
+        for (i, e) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{ \"rule\": {}, \"file\": {}, \"line\": {}, \"excerpt\": {}, \"introduced\": {} }}",
+                quote(&e.rule),
+                quote(&e.file),
+                e.line,
+                quote(&e.excerpt),
+                quote(&e.introduced),
+            ));
+        }
+        if !entries.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Build a baseline from the current violation list.
+pub fn from_violations(vs: &[Violation], today: &str) -> Baseline {
+    Baseline {
+        entries: vs
+            .iter()
+            .map(|v| Entry {
+                rule: v.rule.to_string(),
+                file: v.file.clone(),
+                line: v.line,
+                excerpt: v.excerpt.clone(),
+                introduced: today.to_string(),
+            })
+            .collect(),
+    }
+}
+
+/// `YYYY-MM-DD` → days since the Unix epoch (civil-date arithmetic,
+/// Howard Hinnant's `days_from_civil`).
+pub fn date_to_days(date: &str) -> Option<i64> {
+    let mut parts = date.split('-');
+    let y: i64 = parts.next()?.parse().ok()?;
+    let m: i64 = parts.next()?.parse().ok()?;
+    let d: i64 = parts.next()?.parse().ok()?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    let y = y - i64::from(m <= 2);
+    let era = y.div_euclid(400);
+    let yoe = y - era * 400;
+    let mp = (m + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    Some(era * 146097 + doe - 719468)
+}
+
+/// Days since the Unix epoch → `YYYY-MM-DD` (inverse of [`date_to_days`]).
+pub fn days_to_date(days: i64) -> String {
+    let z = days + 719468;
+    let era = z.div_euclid(146097);
+    let doe = z - era * 146097;
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = y + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ----------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser (objects, arrays,
+// strings, numbers, booleans, null) — just enough for the baseline file.
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+impl Json {
+    fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let chars: Vec<char> = src.chars().collect();
+        let mut p = Parser { chars, pos: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.chars.len() {
+            return Err(format!("trailing garbage at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+fn lookup<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn skip_ws(&mut self) {
+        while self.chars.get(self.pos).is_some_and(|c| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{c}` at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some('t') => self.literal("true", Json::Bool(true)),
+            Some('f') => self.literal("false", Json::Bool(false)),
+            Some('n') => self.literal("null", Json::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected character at offset {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        for w in word.chars() {
+            if self.peek() != Some(w) {
+                return Err(format!("bad literal at offset {}", self.pos));
+            }
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect('{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(':')?;
+            let val = self.value()?;
+            out.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => self.pos += 1,
+                Some('}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(out));
+                }
+                _ => return Err(format!("expected `,` or `}}` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect('[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => self.pos += 1,
+                Some(']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(out));
+                }
+                _ => return Err(format!("expected `,` or `]` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.skip_ws();
+        if self.peek() != Some('"') {
+            return Err(format!("expected string at offset {}", self.pos));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let Some(e) = self.peek() else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match e {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'u' => {
+                            let mut cp = 0u32;
+                            for _ in 0..4 {
+                                let Some(h) = self.peek().and_then(|c| c.to_digit(16)) else {
+                                    return Err("bad \\u escape".into());
+                                };
+                                cp = cp * 16 + h;
+                                self.pos += 1;
+                            }
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape `\\{e}`")),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|c| {
+            c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-'
+        }) {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number `{text}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Violation, D01};
+
+    fn v(rule: &'static str, file: &str, line: usize, excerpt: &str) -> Violation {
+        Violation {
+            rule,
+            file: file.to_string(),
+            line,
+            message: String::new(),
+            excerpt: excerpt.to_string(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_line_drift_tolerance() {
+        let b = from_violations(
+            &[v(D01, "crates/core/src/cluster.rs", 42, "for q in self.queries.values() {")],
+            "2026-08-06",
+        );
+        let text = b.emit();
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed.entries, b.entries);
+        // Same (rule, file, excerpt) at a shifted line is still covered.
+        let shifted = v(D01, "crates/core/src/cluster.rs", 99, "for q in self.queries.values() {");
+        assert!(parsed.covers(&shifted));
+        let other = v(D01, "crates/core/src/cluster.rs", 42, "different excerpt");
+        assert!(!parsed.covers(&other));
+    }
+
+    #[test]
+    fn empty_baseline_parses_and_covers_nothing() {
+        let b = Baseline::parse("{\n  \"version\": 1,\n  \"entries\": []\n}\n").unwrap();
+        assert!(b.entries.is_empty());
+        assert!(!b.covers(&v(D01, "x.rs", 1, "y")));
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(Baseline::parse("{ not json").is_err());
+        assert!(Baseline::parse("{\"entries\": 3}").is_err());
+    }
+
+    #[test]
+    fn stale_entries_by_date() {
+        let mut b = from_violations(&[v(D01, "a.rs", 1, "x")], "2026-01-01");
+        b.entries.push(Entry {
+            rule: D01.into(),
+            file: "b.rs".into(),
+            line: 2,
+            excerpt: "y".into(),
+            introduced: "2026-08-01".into(),
+        });
+        let today = date_to_days("2026-08-06").unwrap();
+        let stale = b.stale(today, 14);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].file, "a.rs");
+    }
+
+    #[test]
+    fn civil_date_roundtrip() {
+        for d in ["1970-01-01", "2000-02-29", "2026-08-06", "2038-01-19"] {
+            let days = date_to_days(d).unwrap();
+            assert_eq!(days_to_date(days), d, "roundtrip {d}");
+        }
+        assert_eq!(date_to_days("1970-01-01"), Some(0));
+    }
+
+    #[test]
+    fn json_escapes_roundtrip() {
+        let b = from_violations(&[v(D01, "a.rs", 1, "say \"hi\"\tand \\ back")], "2026-08-06");
+        let parsed = Baseline::parse(&b.emit()).unwrap();
+        assert_eq!(parsed.entries[0].excerpt, "say \"hi\"\tand \\ back");
+    }
+}

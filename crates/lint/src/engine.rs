@@ -1,0 +1,250 @@
+//! The driver: walk the workspace, parse every `.rs` file, run the rules
+//! in two passes (pass 1 builds shared context such as the `MsgClass`
+//! table, pass 2 runs the rules), then apply allow markers and the
+//! baseline.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::baseline::Baseline;
+use crate::rules::{self, Context, Violation};
+use crate::source::SourceFile;
+
+/// Directories walked relative to the workspace root.
+const WALK_ROOTS: [&str; 3] = ["src", "crates", "tests"];
+
+/// Path fragments that are never linted. The lint crate's own fixtures
+/// contain intentional violations; vendored shims and build output are not
+/// ours to police.
+const EXCLUDED: [&str; 3] = ["vendor/", "target/", "crates/lint/tests/fixtures"];
+
+/// Everything one lint run produced.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Violations not suppressed by a marker and not covered by the baseline.
+    pub violations: Vec<Violation>,
+    /// Violations suppressed by an allow marker.
+    pub allowed: Vec<(Violation, String)>,
+    /// Violations covered by the baseline.
+    pub baselined: Vec<Violation>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Shared context from pass 1 (exposed for the self-test).
+    pub context: Context,
+}
+
+/// Workspace-relative `.rs` files to lint, deterministically ordered.
+pub fn collect_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for dir in WALK_ROOTS {
+        let base = root.join(dir);
+        if base.is_dir() {
+            walk(&base, &mut out);
+        }
+    }
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        let unix = path.to_string_lossy().replace('\\', "/");
+        if EXCLUDED.iter().any(|x| unix.contains(x)) {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Parse all lintable files under `root`.
+pub fn parse_workspace(root: &Path) -> Vec<SourceFile> {
+    collect_files(root)
+        .iter()
+        .filter_map(|p| {
+            let rel = p.strip_prefix(root).unwrap_or(p).to_string_lossy().replace('\\', "/");
+            fs::read_to_string(p).ok().map(|src| SourceFile::parse(&rel, &src))
+        })
+        .collect()
+}
+
+/// Run the full lint over `root` with an optional baseline.
+pub fn run(root: &Path, baseline: &Baseline) -> Outcome {
+    let files = parse_workspace(root);
+    lint_files(&files, baseline)
+}
+
+/// Core two-pass lint over already-parsed files (fixture tests enter here).
+pub fn lint_files(files: &[SourceFile], baseline: &Baseline) -> Outcome {
+    let context = Context::build(files);
+    let mut out =
+        Outcome { files_scanned: files.len(), context: context.clone(), ..Default::default() };
+    for f in files {
+        for v in rules::run_all(&context, f) {
+            if let Some(reason) = f.allow_reason(v.rule, v.line) {
+                out.allowed.push((v, reason.to_string()));
+            } else if baseline.covers(&v) {
+                out.baselined.push(v);
+            } else {
+                out.violations.push(v);
+            }
+        }
+    }
+    // Deterministic report order.
+    let key = |v: &Violation| (v.file.clone(), v.line, v.rule);
+    out.violations.sort_by_key(key);
+    out.allowed.sort_by_key(|(v, _)| key(v));
+    out.baselined.sort_by_key(key);
+    out
+}
+
+/// Human-readable report, one line per violation.
+pub fn render_text(outcome: &Outcome) -> String {
+    let mut out = String::new();
+    for v in &outcome.violations {
+        out.push_str(&format!("{}:{}: [{}] {}\n", v.file, v.line, v.rule, v.message));
+    }
+    out.push_str(&format!(
+        "dsilint: {} file(s), {} violation(s), {} allowed, {} baselined\n",
+        outcome.files_scanned,
+        outcome.violations.len(),
+        outcome.allowed.len(),
+        outcome.baselined.len()
+    ));
+    out
+}
+
+/// Machine-readable report (uploaded as a CI artifact on failure).
+pub fn render_json(outcome: &Outcome) -> String {
+    let mut out = String::from("{\n  \"violations\": [");
+    for (i, v) in outcome.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{ \"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"excerpt\": {} }}",
+            json_str(v.rule),
+            json_str(&v.file),
+            v.line,
+            json_str(&v.message),
+            json_str(&v.excerpt),
+        ));
+    }
+    if !outcome.violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"files_scanned\": {},\n  \"allowed\": {},\n  \"baselined\": {}\n}}\n",
+        outcome.files_scanned,
+        outcome.allowed.len(),
+        outcome.baselined.len()
+    ));
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `--fix-markers` scaffolding: insert a standalone
+/// `// dsilint: allow(<rule>, TODO: justify)` comment above every
+/// unsuppressed violation. The `TODO` reason deliberately does **not**
+/// suppress the rule — the scaffold marks where a human must write the
+/// real justification.
+///
+/// Returns `(path, new_content)` pairs; the caller decides whether to
+/// write them.
+pub fn fix_markers(root: &Path, outcome: &Outcome) -> Vec<(PathBuf, String)> {
+    let mut by_file: Vec<(&str, Vec<&Violation>)> = Vec::new();
+    for v in &outcome.violations {
+        match by_file.iter_mut().find(|(f, _)| *f == v.file) {
+            Some((_, vs)) => vs.push(v),
+            None => by_file.push((&v.file, vec![v])),
+        }
+    }
+    let mut out = Vec::new();
+    for (file, mut vs) in by_file {
+        let path = root.join(file);
+        let Ok(src) = fs::read_to_string(&path) else { continue };
+        let mut lines: Vec<String> = src.split('\n').map(str::to_string).collect();
+        // Insert bottom-up so earlier insertions don't shift later lines.
+        vs.sort_by_key(|v| std::cmp::Reverse(v.line));
+        for v in vs {
+            if v.line == 0 || v.line > lines.len() {
+                continue;
+            }
+            let indent: String =
+                lines[v.line - 1].chars().take_while(|c| *c == ' ' || *c == '\t').collect();
+            lines.insert(
+                v.line - 1,
+                format!("{indent}// dsilint: allow({}, TODO: justify)", v.rule),
+            );
+        }
+        out.push((path, lines.join("\n")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::D02;
+
+    #[test]
+    fn lint_files_applies_markers_and_baseline() {
+        let bad = SourceFile::parse("crates/core/src/x.rs", "fn f() { let t = Instant::now(); }\n");
+        let allowed = SourceFile::parse(
+            "crates/core/src/y.rs",
+            "fn f() { let t = Instant::now(); } // dsilint: allow(wall-clock-and-entropy, log only)\n",
+        );
+        let out = lint_files(&[bad, allowed], &Baseline::default());
+        assert_eq!(out.violations.len(), 1);
+        assert_eq!(out.violations[0].rule, D02);
+        assert_eq!(out.violations[0].file, "crates/core/src/x.rs");
+        assert_eq!(out.allowed.len(), 1);
+
+        // The same violation disappears once baselined.
+        let b = crate::baseline::from_violations(&out.violations, "2026-08-06");
+        let bad2 =
+            SourceFile::parse("crates/core/src/x.rs", "fn f() { let t = Instant::now(); }\n");
+        let out2 = lint_files(&[bad2], &b);
+        assert!(out2.violations.is_empty());
+        assert_eq!(out2.baselined.len(), 1);
+    }
+
+    #[test]
+    fn report_renders_deterministically() {
+        let f = SourceFile::parse(
+            "crates/core/src/x.rs",
+            "fn f() { thread_rng(); }\nfn g() { Instant::now(); }\n",
+        );
+        let out = lint_files(&[f], &Baseline::default());
+        let text = render_text(&out);
+        let json = render_json(&out);
+        assert!(text.contains("crates/core/src/x.rs:1"));
+        assert!(json.contains("\"files_scanned\": 1"));
+        // Sorted by line.
+        let l1 = text.find(":1:").unwrap();
+        let l2 = text.find(":2:").unwrap();
+        assert!(l1 < l2);
+    }
+}

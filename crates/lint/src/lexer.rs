@@ -1,0 +1,353 @@
+//! A hand-written, dependency-free Rust *scrubbing* lexer.
+//!
+//! The rule engine works on source text, so it must never be fooled by a
+//! `HashMap` mentioned inside a doc comment or an `Instant::now` inside a
+//! string literal. This module walks the raw source once and produces:
+//!
+//! * **scrubbed code lines** — the source with the contents of every
+//!   comment, string literal, raw string literal, byte string and char
+//!   literal replaced by spaces (line structure preserved, so `file:line`
+//!   spans computed on the scrubbed text are valid for the raw text);
+//! * **comments** — the text of every `//` / `/* */` comment with the line
+//!   it starts on, for allow-marker parsing.
+//!
+//! The lexer understands the token shapes that matter for scrubbing:
+//! nested block comments, escape sequences in strings, raw strings with an
+//! arbitrary number of `#`s, byte strings/chars, and the `'` ambiguity
+//! between char literals, lifetimes and loop labels.
+
+/// Output of [`scrub`].
+#[derive(Debug, Clone)]
+pub struct Scrubbed {
+    /// Source lines with comment and literal contents blanked to spaces.
+    pub code: Vec<String>,
+    /// `(1-based start line, comment text)` for every comment.
+    pub comments: Vec<(usize, String)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    /// Nesting depth of `/* */`.
+    BlockComment(u32),
+    /// Inside `"…"`; `true` after a backslash.
+    Str(bool),
+    /// Inside `r##"…"##` with this many `#`s.
+    RawStr(u32),
+    /// Inside `'…'`; `true` after a backslash.
+    CharLit(bool),
+}
+
+/// Whether `c` can appear inside an identifier (so a preceding one means an
+/// `r` / `b` is *part of* an identifier, not a raw/byte-literal prefix).
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scrub `src`, blanking comment and literal contents. See module docs.
+pub fn scrub(src: &str) -> Scrubbed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut comment_buf = String::new();
+    let mut comment_line = 0usize;
+    let mut state = State::Normal;
+    let mut line = 1usize;
+    let mut prev_ident = false; // last emitted Normal char was an ident char
+    let mut i = 0usize;
+
+    macro_rules! flush_comment {
+        () => {
+            if !comment_buf.is_empty() {
+                comments.push((comment_line, std::mem::take(&mut comment_buf)));
+            }
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Normal => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    comment_line = line;
+                    comment_buf.clear();
+                    out.push_str("  ");
+                    i += 2;
+                    prev_ident = false;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    comment_line = line;
+                    comment_buf.clear();
+                    out.push_str("  ");
+                    i += 2;
+                    prev_ident = false;
+                    continue;
+                }
+                '"' => {
+                    state = State::Str(false);
+                    out.push(' ');
+                    prev_ident = false;
+                }
+                'r' | 'b' if !prev_ident => {
+                    // Possible raw-string / byte-string / byte-char prefix:
+                    // r"…", r#"…"#, br"…", b"…", b'…'.
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    let raw_prefix = c == 'r' || chars.get(i + 1) == Some(&'r');
+                    if chars.get(j) == Some(&'"') && (raw_prefix || hashes == 0) {
+                        if raw_prefix {
+                            for _ in i..=j {
+                                out.push(' ');
+                            }
+                            state = State::RawStr(hashes);
+                            i = j + 1;
+                            prev_ident = false;
+                            continue;
+                        }
+                        // b"…": plain string with a byte prefix.
+                        out.push(' '); // the `b`
+                        out.push(' '); // the `"`
+                        state = State::Str(false);
+                        i += 2;
+                        prev_ident = false;
+                        continue;
+                    }
+                    if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+                        out.push(' '); // the `b`
+                        out.push(' '); // the `'`
+                        state = State::CharLit(false);
+                        i += 2;
+                        prev_ident = false;
+                        continue;
+                    }
+                    out.push(c);
+                    prev_ident = true;
+                }
+                '\'' => {
+                    // Char literal vs lifetime/label. A char literal is
+                    // `'x'` or `'\…'`; a lifetime is `'ident` with no
+                    // closing quote right after one ident char.
+                    if next == Some('\\') {
+                        state = State::CharLit(false);
+                        out.push(' ');
+                        i += 1; // consume the quote; backslash handled below
+                        prev_ident = false;
+                        // Re-enter loop so CharLit sees the backslash.
+                        continue;
+                    }
+                    if let Some(n) = next {
+                        if chars.get(i + 2) == Some(&'\'') && n != '\'' {
+                            // 'x' — a one-char literal.
+                            out.push_str("   ");
+                            i += 3;
+                            prev_ident = false;
+                            continue;
+                        }
+                    }
+                    // Lifetime or label: keep it (harmless identifiers).
+                    out.push(c);
+                    prev_ident = false;
+                }
+                '\n' => {
+                    out.push('\n');
+                    line += 1;
+                    prev_ident = false;
+                }
+                _ => {
+                    out.push(c);
+                    prev_ident = is_ident(c);
+                }
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    flush_comment!();
+                    state = State::Normal;
+                    out.push('\n');
+                    line += 1;
+                } else {
+                    comment_buf.push(c);
+                    out.push(' ');
+                }
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    if depth == 1 {
+                        flush_comment!();
+                        state = State::Normal;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                        comment_buf.push_str("*/");
+                    }
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    comment_buf.push_str("/*");
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '\n' {
+                    comment_buf.push('\n');
+                    out.push('\n');
+                    line += 1;
+                } else {
+                    comment_buf.push(c);
+                    out.push(' ');
+                }
+            }
+            State::Str(escaped) => {
+                if c == '\n' {
+                    out.push('\n');
+                    line += 1;
+                    state = State::Str(false);
+                } else {
+                    out.push(' ');
+                    state = match (escaped, c) {
+                        (false, '\\') => State::Str(true),
+                        (false, '"') => State::Normal,
+                        _ => State::Str(false),
+                    };
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..=hashes {
+                            out.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        state = State::Normal;
+                        continue;
+                    }
+                }
+                if c == '\n' {
+                    out.push('\n');
+                    line += 1;
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::CharLit(escaped) => {
+                if c == '\n' {
+                    // Malformed literal; bail back to normal scanning.
+                    out.push('\n');
+                    line += 1;
+                    state = State::Normal;
+                } else {
+                    out.push(' ');
+                    state = match (escaped, c) {
+                        (false, '\\') => State::CharLit(true),
+                        (false, '\'') => State::Normal,
+                        _ => State::CharLit(false),
+                    };
+                }
+            }
+        }
+        i += 1;
+    }
+    if matches!(state, State::LineComment | State::BlockComment(_)) {
+        flush_comment!();
+    }
+
+    Scrubbed { code: out.split('\n').map(str::to_string).collect(), comments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_blanked_and_collected() {
+        let s = scrub("let x = 1; // HashMap here\nlet y = 2;");
+        assert!(!s.code[0].contains("HashMap"));
+        assert!(s.code[0].contains("let x = 1;"));
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(s.comments[0], (1, " HashMap here".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scrub("a /* outer /* inner */ still */ b");
+        assert_eq!(s.code[0].trim_start().chars().next(), Some('a'));
+        assert!(s.code[0].contains('b'));
+        assert!(!s.code[0].contains("inner"));
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].1.contains("inner"));
+    }
+
+    #[test]
+    fn strings_are_blanked_including_escapes() {
+        let s = scrub(r#"let s = "Instant::now \" still string"; let t = 1;"#);
+        assert!(!s.code[0].contains("Instant"));
+        assert!(s.code[0].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let s = scrub(r####"let s = r##"thread_rng " quote"##; let u = 2;"####);
+        assert!(!s.code[0].contains("thread_rng"));
+        assert!(s.code[0].contains("let u = 2;"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let s = scrub("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        assert!(s.code[0].contains("<'a>"), "lifetime kept: {}", s.code[0]);
+        assert!(s.code[0].contains("&'a str"));
+        assert!(!s.code[0].contains("'x'"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let s = scrub(r#"let a = b"SystemTime::now"; let b2 = b'Z'; let k = 3;"#);
+        assert!(!s.code[0].contains("SystemTime"));
+        assert!(!s.code[0].contains('Z'));
+        assert!(s.code[0].contains("let k = 3;"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_raw_string() {
+        let s = scrub(r#"let var = 1; for r in 0..2 { attr"x"; }"#);
+        // `attr"x"` — the r belongs to the identifier, the string is plain.
+        assert!(s.code[0].contains("attr"));
+        assert!(!s.code[0].contains('x'));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "a\n/* two\nlines */\nlet s = \"x\ny\";\nz";
+        let s = scrub(src);
+        assert_eq!(s.code.len(), 6);
+        assert_eq!(s.code[5], "z");
+        assert_eq!(s.comments[0].0, 2);
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_are_ignored() {
+        let s = scrub(r#"let s = "// not a comment"; real();"#);
+        assert!(s.comments.is_empty());
+        assert!(s.code[0].contains("real();"));
+    }
+}

@@ -1,0 +1,29 @@
+//! `dsi-lint` — a tidy-style, dependency-free determinism & invariant
+//! linter for the dsindex workspace.
+//!
+//! The repo's whole test strategy (golden-report byte-identity, trace
+//! digests, bit-identical parallel ingest, `audit(trace) == Metrics`)
+//! rests on source-level invariants that no unit test can see being
+//! eroded: unordered `HashMap` iteration feeding routed state, ambient
+//! wall-clock or entropy in simulation crates, a `Metrics` call without
+//! its paired `Tracer` call. This crate checks them statically on every
+//! commit, in the spirit of rust-lang/rust's `tidy`.
+//!
+//! Layers:
+//! * [`lexer`] — scrubbing lexer: blanks comments/literals, keeps lines;
+//! * [`source`] — per-file model: allow markers, test regions, statement
+//!   windows;
+//! * [`rules`] — the five rules (D01, D02, D03, R01, X01);
+//! * [`baseline`] — record/burn-down file for pre-existing violations;
+//! * [`engine`] — workspace walk, two-pass run, reports, `--fix-markers`.
+
+pub mod baseline;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use baseline::Baseline;
+pub use engine::{lint_files, parse_workspace, run, Outcome};
+pub use rules::{Context, Violation};
+pub use source::SourceFile;

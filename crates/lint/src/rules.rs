@@ -1,0 +1,621 @@
+//! The five determinism / invariant rules.
+//!
+//! Every rule is a pure function from a [`SourceFile`] (plus the shared
+//! [`Context`]) to violations. Rules are deliberately *textual* — this is a
+//! tidy-style gate, not a type checker — so each one documents its
+//! heuristics and every rule honors `// dsilint: allow(<rule>, <reason>)`
+//! markers (applied later by the engine, so fixtures can test raw hits).
+
+use crate::source::SourceFile;
+
+/// Slugs, used in allow markers and baseline entries.
+pub const D01: &str = "unordered-iter";
+pub const D02: &str = "wall-clock-and-entropy";
+pub const D03: &str = "metrics-trace-pairing";
+pub const R01: &str = "hot-path-unwrap";
+pub const X01: &str = "class-table";
+
+/// All rule slugs, in report order.
+pub const ALL_RULES: [&str; 5] = [D01, D02, D03, R01, X01];
+
+/// One rule hit (before allow-marker / baseline filtering).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule slug.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+    /// Trimmed raw source of the offending line (baseline identity).
+    pub excerpt: String,
+}
+
+/// Workspace-level facts shared by rules (today: the `MsgClass` table).
+#[derive(Debug, Clone, Default)]
+pub struct Context {
+    /// Variant names of `pub enum MsgClass`, in declaration order.
+    pub msg_class_variants: Vec<String>,
+    /// File the enum was found in.
+    pub msg_class_file: Option<String>,
+}
+
+impl Context {
+    /// Scan `files` for the `MsgClass` enum definition.
+    pub fn build(files: &[SourceFile]) -> Context {
+        let mut ctx = Context::default();
+        for f in files {
+            if let Some(vars) = parse_enum_variants(f, "MsgClass") {
+                ctx.msg_class_variants = vars;
+                ctx.msg_class_file = Some(f.path.clone());
+                break;
+            }
+        }
+        ctx
+    }
+}
+
+/// Run every rule on one file.
+pub fn run_all(ctx: &Context, f: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    out.extend(unordered_iter(f));
+    out.extend(wall_clock_and_entropy(f));
+    out.extend(metrics_trace_pairing(f));
+    out.extend(hot_path_unwrap(f));
+    out.extend(class_table(ctx, f));
+    out
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// The identifier ending at byte offset `end` (exclusive) of `line`, if any.
+fn ident_ending_at(line: &str, end: usize) -> Option<&str> {
+    let bytes = line.as_bytes();
+    let mut start = end;
+    while start > 0 && is_ident_char(bytes[start - 1] as char) {
+        start -= 1;
+    }
+    (start < end).then(|| &line[start..end])
+}
+
+/// Walk back from the `.` of a method call to the *base identifier* of the
+/// receiver: skips one trailing `[…]` index, refuses call results `(…)`
+/// (unknown type). `self.queries.iter()` → `queries`;
+/// `self.membership[0].keys()` → `membership`; `foo().iter()` → `None`.
+fn receiver_base(line: &str, dot: usize) -> Option<&str> {
+    let bytes = line.as_bytes();
+    let mut i = dot;
+    if i > 0 && bytes[i - 1] == b']' {
+        // Skip the balanced […] suffix.
+        let mut depth = 0i32;
+        while i > 0 {
+            i -= 1;
+            match bytes[i] {
+                b']' => depth += 1,
+                b'[' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    if i > 0 && bytes[i - 1] == b')' {
+        return None; // method-call result: receiver type unknown
+    }
+    ident_ending_at(line, i)
+}
+
+// ----------------------------------------------------------------------
+// D01 — unordered-iter
+// ----------------------------------------------------------------------
+
+/// Crates whose routed / emitted state must not depend on hash order.
+const D01_CRATES: [&str; 5] =
+    ["crates/core/", "crates/chord/", "crates/simnet/", "crates/hierarchy/", "crates/trace/"];
+
+/// Iteration methods whose order is the hasher's.
+const ITER_METHODS: [&str; 8] = [
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".iter()",
+    ".iter_mut()",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+];
+
+/// **D01** — iteration over a `HashMap` / `HashSet` in the deterministic
+/// crates, unless the surrounding statement window sorts the result (or
+/// collects into a `BTree*`).
+///
+/// Receivers are recognized *nominally*: the file is scanned for names
+/// declared with a type mentioning `HashMap`/`HashSet` (struct fields,
+/// `let` bindings, parameters) or initialized from `HashMap::…` /
+/// `HashSet::…`, and iteration calls / `for … in` loops over those names
+/// are flagged. Closure-bound aliases of map contents are not tracked —
+/// the self-test and reviewers cover that gap (documented in DESIGN §11).
+pub fn unordered_iter(f: &SourceFile) -> Vec<Violation> {
+    if !D01_CRATES.iter().any(|c| f.path.starts_with(c)) {
+        return Vec::new();
+    }
+    let names = hash_container_names(f);
+    if names.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, line) in f.code.iter().enumerate() {
+        let mut hits: Vec<(usize, String)> = Vec::new();
+        // Method-style iteration: name.values() / name.drain(..) …
+        for m in ITER_METHODS.iter().copied().chain([".drain("]) {
+            let probe = &m[..m.len() - 1]; // match without the final ) so
+                                           // `.drain(..)` also hits
+            let mut from = 0usize;
+            while let Some(p) = line[from..].find(probe) {
+                let dot = from + p;
+                let base = receiver_base(line, dot).map(str::to_string).or_else(|| {
+                    // Multi-line chain: `.iter()` at line start — the
+                    // receiver is the trailing identifier of the previous
+                    // non-blank line (`self\n  .queries\n  .iter()`).
+                    if !line[..dot].trim().is_empty() {
+                        return None;
+                    }
+                    let prev = f.code[..idx].iter().rev().find(|l| !l.trim().is_empty())?;
+                    let prev = prev.trim_end();
+                    ident_ending_at(prev, prev.len()).map(str::to_string)
+                });
+                if let Some(base) = base {
+                    if names.contains(&base) {
+                        hits.push((dot, format!("`{base}{probe}…`")));
+                    }
+                }
+                from = dot + probe.len();
+            }
+        }
+        // Loop-style iteration: for … in &name { / for … in self.name {
+        if let Some(pos) = find_for_in(line) {
+            let mut expr = line[pos..].trim_start();
+            expr = expr.strip_prefix("&mut ").unwrap_or(expr);
+            expr = expr.strip_prefix('&').unwrap_or(expr);
+            expr = expr.strip_prefix("self.").unwrap_or(expr);
+            let base: String = expr.chars().take_while(|&c| is_ident_char(c)).collect();
+            if names.contains(&base) {
+                let after = &expr[base.len()..];
+                // Direct loop over the container only (not `map[i]`,
+                // `map.get(..)`, `map.len()` …) — field access and calls
+                // have their own matchers above.
+                if after.trim_start().starts_with('{') || after.trim().is_empty() {
+                    hits.push((pos, format!("`for … in {base}`")));
+                }
+            }
+        }
+        if hits.is_empty() {
+            continue;
+        }
+        let window = f.statement_window(idx);
+        if window.contains("sort") || window.contains("BTree") {
+            continue; // deterministically reordered in the same window
+        }
+        for (_, what) in hits {
+            out.push(Violation {
+                rule: D01,
+                file: f.path.clone(),
+                line: idx + 1,
+                message: format!(
+                    "{what} iterates a HashMap/HashSet in hash order; sort the result in the \
+                     same statement window or justify with `// dsilint: allow({D01}, <reason>)`"
+                ),
+                excerpt: f.raw.get(idx).map(|l| l.trim().to_string()).unwrap_or_default(),
+            });
+        }
+    }
+    out
+}
+
+/// Byte offset just past `" in "` of a `for … in ` header on this line.
+fn find_for_in(line: &str) -> Option<usize> {
+    let f = line.find("for ")?;
+    // `for` must be a word (start of line or preceded by non-ident).
+    if f > 0 && is_ident_char(line.as_bytes()[f - 1] as char) {
+        return None;
+    }
+    let rest = &line[f..];
+    let in_pos = rest.find(" in ")?;
+    Some(f + in_pos + 4)
+}
+
+/// Names in this file declared as (or initialized from) hash containers.
+fn hash_container_names(f: &SourceFile) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in &f.code {
+        // `name: …HashMap…` / `name: …HashSet…` (field, param, let).
+        let mut from = 0usize;
+        while let Some(p) = line[from..].find(':') {
+            let colon = from + p;
+            from = colon + 1;
+            if line[colon..].starts_with("::") {
+                from = colon + 2;
+                continue;
+            }
+            if colon > 0 && line.as_bytes()[colon - 1] == b':' {
+                continue; // second colon of a path
+            }
+            let ty_end =
+                line[colon + 1..].find([';', '=']).map(|e| colon + 1 + e).unwrap_or(line.len());
+            let ty = &line[colon + 1..ty_end];
+            if ty.contains("HashMap") || ty.contains("HashSet") {
+                if let Some(name) = ident_ending_at(line, colon) {
+                    push_unique(&mut names, name);
+                }
+            }
+        }
+        // `let name = HashMap::new()` style.
+        for ctor in ["HashMap::", "HashSet::"] {
+            if let Some(p) = line.find(ctor) {
+                let lhs = &line[..p];
+                if let Some(eq) = lhs.rfind('=') {
+                    let lhs = lhs[..eq].trim_end();
+                    if let Some(name) = ident_ending_at(lhs, lhs.len()) {
+                        if lhs.trim_start().starts_with("let") || lhs.contains("let ") {
+                            push_unique(&mut names, name);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+fn push_unique(names: &mut Vec<String>, name: &str) {
+    if name != "Self" && !names.iter().any(|n| n == name) {
+        names.push(name.to_string());
+    }
+}
+
+// ----------------------------------------------------------------------
+// D02 — wall-clock-and-entropy
+// ----------------------------------------------------------------------
+
+/// **D02** — ambient time / randomness outside `crates/bench`: simulation
+/// code must take time from `SimTime` and randomness from seeded RNGs, or
+/// replay breaks.
+pub fn wall_clock_and_entropy(f: &SourceFile) -> Vec<Violation> {
+    if f.path.starts_with("crates/bench/") {
+        return Vec::new();
+    }
+    const TOKENS: [&str; 5] =
+        ["Instant::now", "SystemTime::now", "thread_rng", "rand::random", "from_entropy"];
+    let mut out = Vec::new();
+    for (idx, line) in f.code.iter().enumerate() {
+        for t in TOKENS {
+            if line.contains(t) {
+                out.push(Violation {
+                    rule: D02,
+                    file: f.path.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "`{t}` is nondeterministic under replay; use SimTime / a seeded RNG, \
+                         move it to crates/bench, or justify with \
+                         `// dsilint: allow({D02}, <reason>)`"
+                    ),
+                    excerpt: f.raw.get(idx).map(|l| l.trim().to_string()).unwrap_or_default(),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// D03 — metrics-trace-pairing
+// ----------------------------------------------------------------------
+
+/// Lines scanned after a metrics call for the paired trace call.
+const D03_WINDOW_AFTER: usize = 15;
+const D03_WINDOW_BEFORE: usize = 3;
+
+/// **D03** — every `metrics.record_hops` / `record_message` /
+/// `record_route` site in the `Cluster` middleware must have its paired
+/// tracer call within the surrounding statement window, mirroring the
+/// contract the trace-replay conformance oracle checks dynamically
+/// (`audit(trace) == Metrics`, bit for bit). Calls through the
+/// `self.record_route(…)` helper count as paired — the helper itself is a
+/// checked site.
+pub fn metrics_trace_pairing(f: &SourceFile) -> Vec<Violation> {
+    if !f.path.ends_with("core/src/cluster.rs") {
+        return Vec::new();
+    }
+    const SITES: [&str; 3] =
+        ["metrics.record_hops(", "metrics.record_message(", "metrics.record_route("];
+    const PAIRED: [&str; 3] = ["tracer", "trace_into", "self.record_route("];
+    let mut out = Vec::new();
+    for (idx, line) in f.code.iter().enumerate() {
+        if !SITES.iter().any(|s| line.contains(s)) {
+            continue;
+        }
+        if f.in_test_region(idx + 1) {
+            continue;
+        }
+        let lo = idx.saturating_sub(D03_WINDOW_BEFORE);
+        let hi = (idx + D03_WINDOW_AFTER).min(f.code.len() - 1);
+        let window = f.code[lo..=hi].join("\n");
+        if PAIRED.iter().any(|p| window.contains(p)) {
+            continue;
+        }
+        out.push(Violation {
+            rule: D03,
+            file: f.path.clone(),
+            line: idx + 1,
+            message: format!(
+                "Metrics call without a paired Tracer call within {D03_WINDOW_AFTER} lines — \
+                 the trace audit (`audit(trace) == Metrics`) will diverge; add the tracer call \
+                 or justify with `// dsilint: allow({D03}, <reason>)`"
+            ),
+            excerpt: f.raw.get(idx).map(|l| l.trim().to_string()).unwrap_or_default(),
+        });
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// R01 — hot-path-unwrap
+// ----------------------------------------------------------------------
+
+/// Files on the per-message hot path.
+const R01_FILES: [&str; 3] =
+    ["chord/src/router.rs", "chord/src/multicast.rs", "simnet/src/engine.rs"];
+
+/// **R01** — `unwrap()` / `expect(` on the routing / engine hot path:
+/// every one is a latent crash on a malformed overlay state, so each must
+/// carry an allow marker naming the invariant that makes it unreachable.
+/// `#[cfg(test)]` modules are exempt.
+pub fn hot_path_unwrap(f: &SourceFile) -> Vec<Violation> {
+    if !R01_FILES.iter().any(|p| f.path.ends_with(p)) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, line) in f.code.iter().enumerate() {
+        if f.in_test_region(idx + 1) {
+            continue;
+        }
+        for probe in [".unwrap()", ".expect("] {
+            let mut from = 0usize;
+            while let Some(p) = line[from..].find(probe) {
+                out.push(Violation {
+                    rule: R01,
+                    file: f.path.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "`{}` on the routing hot path; name the invariant that makes it \
+                         unreachable with `// dsilint: allow({R01}, <reason>)` or handle the None/Err",
+                        probe.trim_end_matches('(')
+                    ),
+                    excerpt: f.raw.get(idx).map(|l| l.trim().to_string()).unwrap_or_default(),
+                });
+                from += p + probe.len();
+            }
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// X01 — class-table
+// ----------------------------------------------------------------------
+
+/// **X01** — the `MsgClass` table must stay in sync everywhere: the
+/// `NUM_CLASSES` constant and every `[MsgClass; N]` array length must
+/// equal the variant count, and every `match` with `MsgClass::…` patterns
+/// must name every variant itself — a `_` wildcard arm silently swallows
+/// newly added classes and defeats the compiler's exhaustiveness aid.
+pub fn class_table(ctx: &Context, f: &SourceFile) -> Vec<Violation> {
+    // Fixture files carry their own enum; the live workspace shares the one
+    // from crates/simnet.
+    let (variants, local) = match parse_enum_variants(f, "MsgClass") {
+        Some(v) => (v, true),
+        None => (ctx.msg_class_variants.clone(), false),
+    };
+    if variants.is_empty() {
+        return Vec::new();
+    }
+    let n = variants.len();
+    let mut out = Vec::new();
+    let mut push = |line: usize, message: String| {
+        out.push(Violation {
+            rule: X01,
+            file: f.path.clone(),
+            line,
+            message,
+            excerpt: f.raw.get(line - 1).map(|l| l.trim().to_string()).unwrap_or_default(),
+        });
+    };
+
+    for (idx, line) in f.code.iter().enumerate() {
+        // `NUM_CLASSES: usize = k` (only meaningful next to the enum).
+        if local || ctx.msg_class_file.as_deref() == Some(f.path.as_str()) {
+            if let Some(p) = line.find("NUM_CLASSES: usize =") {
+                let val = line[p + "NUM_CLASSES: usize =".len()..]
+                    .trim()
+                    .trim_end_matches(';')
+                    .parse::<usize>()
+                    .ok();
+                if val != Some(n) {
+                    push(
+                        idx + 1,
+                        format!(
+                            "NUM_CLASSES is {} but `enum MsgClass` has {n} variants",
+                            val.map_or("unparsable".to_string(), |v| v.to_string())
+                        ),
+                    );
+                }
+            }
+        }
+        // `[MsgClass; k]` array lengths.
+        let mut from = 0usize;
+        while let Some(p) = line[from..].find("[MsgClass;") {
+            let start = from + p + "[MsgClass;".len();
+            let len: String =
+                line[start..].trim_start().chars().take_while(|c| c.is_ascii_digit()).collect();
+            if len.parse::<usize>().ok() != Some(n) {
+                push(idx + 1, format!("`[MsgClass; {len}]` out of sync with {n} variants"));
+            }
+            from = start;
+        }
+    }
+
+    // Matches with MsgClass:: patterns.
+    for m in find_matches(f) {
+        let mut named: Vec<String> = Vec::new();
+        let mut wildcard: Option<usize> = None;
+        let mut relevant = false;
+        for line_no in m.0..=m.1 {
+            let line = &f.code[line_no - 1];
+            let t = line.trim_start();
+            if t.starts_with("MsgClass::") && line.contains("=>") {
+                relevant = true;
+                // Collect every variant named in the pattern part of the
+                // arm (left of `=>`; covers `A | B =>`).
+                let pat_end = line.find("=>").unwrap_or(line.len());
+                let pat = &line[..pat_end];
+                let mut from = 0usize;
+                while let Some(p) = pat[from..].find("MsgClass::") {
+                    let vstart = from + p + "MsgClass::".len();
+                    let name: String =
+                        pat[vstart..].chars().take_while(|&c| is_ident_char(c)).collect();
+                    // Unknown names are the compiler's problem, not ours.
+                    if variants.contains(&name) && !named.contains(&name) {
+                        named.push(name);
+                    }
+                    from = vstart;
+                }
+            }
+            if (t.starts_with("_ =>") || t.starts_with("_ if ")) && relevant && wildcard.is_none() {
+                wildcard = Some(line_no);
+            }
+        }
+        if !relevant {
+            continue;
+        }
+        if let Some(w) = wildcard {
+            push(
+                w,
+                "wildcard `_` arm in a `MsgClass` match silently swallows future variants; \
+                 name every class instead"
+                    .to_string(),
+            );
+        } else if named.len() != n {
+            push(
+                m.0,
+                format!(
+                    "`MsgClass` match covers {} of {n} variants; the class table drifted",
+                    named.len()
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// `(start_line, end_line)` 1-based inclusive spans of every `match` body.
+fn find_matches(f: &SourceFile) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let joined = f.code.join("\n");
+    let bytes = joined.as_bytes();
+    let line_of = |pos: usize| joined[..pos].matches('\n').count() + 1;
+    let mut from = 0usize;
+    while let Some(p) = joined[from..].find("match ") {
+        let kw = from + p;
+        from = kw + 6;
+        if kw > 0 && is_ident_char(bytes[kw - 1] as char) {
+            continue; // part of an identifier
+        }
+        // Scan to the `{` opening the match body (at relative depth 0).
+        let mut depth = 0i32;
+        let mut body_open = None;
+        for (off, c) in joined[kw..].char_indices() {
+            match c {
+                '(' | '[' => depth += 1,
+                ')' | ']' => depth -= 1,
+                '{' if depth == 0 => {
+                    body_open = Some(kw + off);
+                    break;
+                }
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                ';' if depth == 0 => break, // not a match expression after all
+                _ => {}
+            }
+        }
+        let Some(open) = body_open else { continue };
+        // Find the matching close brace.
+        let mut bd = 0i32;
+        let mut close = None;
+        for (off, c) in joined[open..].char_indices() {
+            match c {
+                '{' => bd += 1,
+                '}' => {
+                    bd -= 1;
+                    if bd == 0 {
+                        close = Some(open + off);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(close) = close {
+            out.push((line_of(open), line_of(close)));
+        }
+    }
+    out
+}
+
+/// Variant names of `pub enum <name>` in this file, if defined here.
+/// Handles the simple C-like shape the class table uses (one variant per
+/// line, optional trailing comma, doc comments already scrubbed).
+fn parse_enum_variants(f: &SourceFile, name: &str) -> Option<Vec<String>> {
+    let needle = format!("enum {name}");
+    let start = f.code.iter().position(|l| {
+        l.contains(&needle)
+            && l[l.find(&needle).unwrap() + needle.len()..]
+                .trim_start()
+                .starts_with(['{', '<'].as_ref())
+            || l.trim_end().ends_with(&needle)
+    })?;
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    for line in f.code.iter().skip(start) {
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(variants);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if depth == 1 {
+            let t = line.trim();
+            let ident: String = t.chars().take_while(|&c| is_ident_char(c)).collect();
+            if !ident.is_empty()
+                && ident.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                && (t.len() == ident.len() || t[ident.len()..].starts_with([',', '(', ' ', '{']))
+                && !t.contains("enum ")
+            {
+                variants.push(ident);
+            }
+        }
+    }
+    None
+}

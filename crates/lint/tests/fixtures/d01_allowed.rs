@@ -1,0 +1,13 @@
+// D01 allow-marker: order-insensitive reduction, justified in place.
+use std::collections::HashMap;
+
+pub struct Registry {
+    queries: HashMap<u64, Vec<u32>>,
+}
+
+impl Registry {
+    pub fn total(&self) -> usize {
+        // dsilint: allow(unordered-iter, commutative sum over all queries)
+        self.queries.values().map(|v| v.len()).sum()
+    }
+}

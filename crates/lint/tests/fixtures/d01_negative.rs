@@ -1,0 +1,15 @@
+// D01 negative: the collected keys are sorted in the statement window, so
+// hash order never escapes.
+use std::collections::HashMap;
+
+pub struct Registry {
+    queries: HashMap<u64, String>,
+}
+
+impl Registry {
+    pub fn snapshot(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.queries.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}

@@ -1,0 +1,18 @@
+// D01 positive: hash-order iteration feeding an output vector, no sort in
+// the statement window. Linted under the synthetic path
+// `crates/core/src/fixture.rs` (fixtures are never compiled).
+use std::collections::HashMap;
+
+pub struct Registry {
+    queries: HashMap<u64, String>,
+}
+
+impl Registry {
+    pub fn broadcast(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for q in self.queries.values() {
+            out.push(q.clone());
+        }
+        out
+    }
+}

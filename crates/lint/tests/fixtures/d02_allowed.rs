@@ -1,0 +1,7 @@
+// D02 allow-marker: a justified wall-clock read outside crates/bench.
+pub fn wall_clock_days() -> u64 {
+    // dsilint: allow(wall-clock-and-entropy, build tool stamps dates, not simulation state)
+    let secs = std::time::SystemTime::now();
+    let _ = secs;
+    0
+}

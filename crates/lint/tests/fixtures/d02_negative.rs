@@ -1,0 +1,8 @@
+// D02 negative: the same tokens are fine inside crates/bench (linted under
+// `crates/bench/src/fixture.rs`), and mentions inside strings or comments
+// never count: "Instant::now" / thread_rng in this comment is invisible.
+pub fn bench_stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub const DOC: &str = "SystemTime::now is only a string here";

@@ -1,0 +1,9 @@
+// D02 positive: wall-clock and ambient entropy in a simulation crate
+// (linted under `crates/simnet/src/fixture.rs`).
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn jitter() -> f64 {
+    rand::random::<f64>()
+}

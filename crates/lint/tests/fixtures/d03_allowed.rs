@@ -1,0 +1,8 @@
+// D03 allow-marker: a Metrics-only site justified in place (e.g. an
+// aggregate counter with no per-message trace record by design).
+impl Cluster {
+    fn account(&mut self, n: u32) {
+        // dsilint: allow(metrics-trace-pairing, aggregate counter, no per-message record exists)
+        self.metrics.record_hops(MsgClass::Maintenance, n);
+    }
+}

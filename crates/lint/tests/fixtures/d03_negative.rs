@@ -1,0 +1,18 @@
+// D03 negative: every Metrics call has its paired Tracer call inside the
+// statement window, so audit(trace) == Metrics stays provable.
+impl Cluster {
+    fn on_query(&mut self, path: &[u64]) {
+        if self.measuring {
+            self.metrics.record_hops(MsgClass::Query, (path.len() - 1) as u32);
+            self.tracer.single(MsgClass::Query, path);
+        }
+    }
+
+    fn on_response(&mut self, path: &[u64]) {
+        // Routing through the helper pairs metrics and trace internally.
+        self.record_route(MsgClass::Response, MsgClass::ResponseTransit, path, true);
+        if self.measuring {
+            self.metrics.record_message(MsgClass::Response, path[0]);
+        }
+    }
+}

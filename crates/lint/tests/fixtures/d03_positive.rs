@@ -1,0 +1,18 @@
+// D03 positive: a Metrics call in Cluster with no paired Tracer call
+// anywhere in the surrounding statement window (linted under
+// `crates/core/src/cluster.rs`).
+impl Cluster {
+    fn on_query(&mut self, path: &[u64]) {
+        if self.measuring {
+            self.metrics.record_hops(MsgClass::Query, (path.len() - 1) as u32);
+        }
+        self.deliver(path);
+    }
+
+    fn deliver(&mut self, _path: &[u64]) {}
+    fn unrelated_a(&self) {}
+    fn unrelated_b(&self) {}
+    fn unrelated_c(&self) {}
+    fn unrelated_d(&self) {}
+    fn unrelated_e(&self) {}
+}

@@ -1,0 +1,15 @@
+// R01 negative: hot path handles its Options; unwraps inside #[cfg(test)]
+// modules are exempt.
+pub fn next_hop(fingers: &[u64], key: u64) -> Option<u64> {
+    fingers.iter().copied().find(|&f| f <= key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_hop() {
+        assert_eq!(next_hop(&[1, 2], 2).unwrap(), 1);
+    }
+}

@@ -1,0 +1,7 @@
+// R01 positive: bare unwrap/expect on the routing hot path (linted under
+// `crates/chord/src/router.rs`).
+pub fn next_hop(fingers: &[u64], key: u64) -> u64 {
+    let first = fingers.first().unwrap();
+    let best = fingers.iter().find(|&&f| f <= key).expect("some finger covers");
+    *first.max(best)
+}

@@ -1,0 +1,16 @@
+// X01 allow-marker: a deliberately partial match justified in place.
+pub enum MsgClass {
+    Query,
+    Response,
+    Summary,
+}
+
+pub const NUM_CLASSES: usize = 3;
+
+pub fn is_query(c: MsgClass) -> bool {
+    match c {
+        MsgClass::Query => true,
+        // dsilint: allow(class-table, predicate only distinguishes queries)
+        _ => false,
+    }
+}

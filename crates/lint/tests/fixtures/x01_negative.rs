@@ -1,0 +1,18 @@
+// X01 negative: constant, array lengths and match arms all agree with the
+// variant count, with no wildcard.
+pub enum MsgClass {
+    Query,
+    Response,
+    Summary,
+}
+
+pub const NUM_CLASSES: usize = 3;
+
+pub const ZEROS: [MsgClass; 3] = [MsgClass::Query, MsgClass::Response, MsgClass::Summary];
+
+pub fn name(c: MsgClass) -> &'static str {
+    match c {
+        MsgClass::Query => "query",
+        MsgClass::Response | MsgClass::Summary => "other",
+    }
+}

@@ -1,0 +1,16 @@
+// X01 positive: the class table drifted — NUM_CLASSES disagrees with the
+// variant count and a match hides future variants behind a wildcard.
+pub enum MsgClass {
+    Query,
+    Response,
+    Summary,
+}
+
+pub const NUM_CLASSES: usize = 2;
+
+pub fn name(c: MsgClass) -> &'static str {
+    match c {
+        MsgClass::Query => "query",
+        _ => "other",
+    }
+}

@@ -1,0 +1,168 @@
+//! Fixture suite: one positive, one negative and one allow-marker case per
+//! rule. Fixtures live under `tests/fixtures/` (never compiled — the
+//! engine also excludes that directory from workspace walks) and are
+//! parsed under synthetic workspace paths because every rule is
+//! path-scoped.
+
+use dsi_lint::baseline::Baseline;
+use dsi_lint::engine::lint_files;
+use dsi_lint::rules::{D01, D02, D03, R01, X01};
+use dsi_lint::SourceFile;
+
+/// Parse `tests/fixtures/<name>` as if it lived at `path` in the workspace.
+fn fixture(name: &str, path: &str) -> SourceFile {
+    let full = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&full).unwrap_or_else(|e| panic!("read {full}: {e}"));
+    SourceFile::parse(path, &src)
+}
+
+/// Violations (rule, line) and allowed count for one fixture.
+fn lint(name: &str, path: &str) -> (Vec<(&'static str, usize)>, usize) {
+    let out = lint_files(&[fixture(name, path)], &Baseline::default());
+    (out.violations.iter().map(|v| (v.rule, v.line)).collect(), out.allowed.len())
+}
+
+// ---------------------------------------------------------------- D01
+
+#[test]
+fn d01_positive_flags_hash_order_iteration() {
+    let (vs, _) = lint("d01_positive.rs", "crates/core/src/fixture.rs");
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert_eq!(vs[0].0, D01);
+    assert_eq!(vs[0].1, 13, "the `for … values()` line");
+}
+
+#[test]
+fn d01_negative_sorted_in_window_passes() {
+    let (vs, allowed) = lint("d01_negative.rs", "crates/core/src/fixture.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+    assert_eq!(allowed, 0);
+}
+
+#[test]
+fn d01_allow_marker_suppresses_with_reason() {
+    let (vs, allowed) = lint("d01_allowed.rs", "crates/core/src/fixture.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+    assert_eq!(allowed, 1);
+}
+
+#[test]
+fn d01_out_of_scope_crate_is_ignored() {
+    let (vs, _) = lint("d01_positive.rs", "crates/streamgen/src/fixture.rs");
+    assert!(vs.is_empty(), "D01 only covers the deterministic crates: {vs:?}");
+}
+
+// ---------------------------------------------------------------- D02
+
+#[test]
+fn d02_positive_flags_wall_clock_and_entropy() {
+    let (vs, _) = lint("d02_positive.rs", "crates/simnet/src/fixture.rs");
+    let rules: Vec<_> = vs.iter().map(|v| v.0).collect();
+    assert_eq!(rules, vec![D02, D02], "{vs:?}");
+}
+
+#[test]
+fn d02_negative_bench_crate_and_strings_are_exempt() {
+    let (vs, _) = lint("d02_negative.rs", "crates/bench/src/fixture.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn d02_allow_marker_suppresses_with_reason() {
+    let (vs, allowed) = lint("d02_allowed.rs", "crates/lint/src/fixture.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+    assert_eq!(allowed, 1);
+}
+
+// ---------------------------------------------------------------- D03
+
+#[test]
+fn d03_positive_flags_unpaired_metrics_call() {
+    let (vs, _) = lint("d03_positive.rs", "crates/core/src/cluster.rs");
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert_eq!(vs[0].0, D03);
+}
+
+#[test]
+fn d03_negative_paired_sites_pass() {
+    let (vs, _) = lint("d03_negative.rs", "crates/core/src/cluster.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn d03_only_applies_to_cluster() {
+    let (vs, _) = lint("d03_positive.rs", "crates/core/src/datacenter.rs");
+    assert!(vs.is_empty(), "D03 is scoped to the Cluster middleware: {vs:?}");
+}
+
+#[test]
+fn d03_allow_marker_suppresses_with_reason() {
+    let (vs, allowed) = lint("d03_allowed.rs", "crates/core/src/cluster.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+    assert_eq!(allowed, 1);
+}
+
+// ---------------------------------------------------------------- R01
+
+#[test]
+fn r01_positive_flags_hot_path_unwrap_and_expect() {
+    let (vs, _) = lint("r01_positive.rs", "crates/chord/src/router.rs");
+    let rules: Vec<_> = vs.iter().map(|v| v.0).collect();
+    assert_eq!(rules, vec![R01, R01], "{vs:?}");
+}
+
+#[test]
+fn r01_negative_handled_options_and_test_mods_pass() {
+    let (vs, _) = lint("r01_negative.rs", "crates/chord/src/router.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn r01_off_hot_path_is_ignored() {
+    let (vs, _) = lint("r01_positive.rs", "crates/chord/src/ring.rs");
+    assert!(vs.is_empty(), "R01 covers router/multicast/engine only: {vs:?}");
+}
+
+#[test]
+fn r01_allow_marker_suppresses_with_reason() {
+    let (vs, allowed) = lint("r01_allowed.rs", "crates/chord/src/multicast.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+    assert_eq!(allowed, 1);
+}
+
+// ---------------------------------------------------------------- X01
+
+#[test]
+fn x01_positive_flags_stale_constant_and_wildcard() {
+    let (vs, _) = lint("x01_positive.rs", "crates/simnet/src/metrics.rs");
+    let rules: Vec<_> = vs.iter().map(|v| v.0).collect();
+    assert_eq!(rules, vec![X01, X01], "{vs:?}");
+}
+
+#[test]
+fn x01_negative_consistent_table_passes() {
+    let (vs, _) = lint("x01_negative.rs", "crates/simnet/src/metrics.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn x01_allow_marker_suppresses_with_reason() {
+    let (vs, allowed) = lint("x01_allowed.rs", "crates/simnet/src/metrics.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+    assert_eq!(allowed, 1);
+}
+
+// ------------------------------------------------------ marker pressure
+
+#[test]
+fn todo_reason_markers_do_not_suppress() {
+    // The --fix-markers scaffolding inserts TODO reasons; they must keep
+    // the violation alive until a human writes the real justification.
+    let f = SourceFile::parse(
+        "crates/chord/src/router.rs",
+        "pub fn f(v: &[u64]) -> u64 {\n    // dsilint: allow(hot-path-unwrap, TODO: justify)\n    *v.first().unwrap()\n}\n",
+    );
+    let out = lint_files(&[f], &Baseline::default());
+    assert_eq!(out.violations.len(), 1);
+    assert_eq!(out.violations[0].rule, R01);
+}

@@ -1,0 +1,57 @@
+//! Self-test: the live workspace must pass `dsi-lint --check` with the
+//! committed baseline — the same gate CI runs, so a PR that introduces an
+//! unannotated violation fails `cargo test -p dsi-lint` locally too.
+
+use std::path::Path;
+
+use dsi_lint::baseline::Baseline;
+use dsi_lint::engine;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap()
+}
+
+#[test]
+fn live_workspace_passes_check_with_committed_baseline() {
+    let root = workspace_root();
+    let baseline_path = root.join("results/lint_baseline.json");
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::parse(&text).expect("committed baseline parses"),
+        Err(_) => Baseline::default(),
+    };
+    let outcome = engine::run(root, &baseline);
+    assert!(outcome.files_scanned > 50, "walk found the workspace ({})", outcome.files_scanned);
+    assert!(
+        outcome.violations.is_empty(),
+        "unannotated violations in the committed tree:\n{}",
+        engine::render_text(&outcome)
+    );
+}
+
+#[test]
+fn msg_class_context_is_discovered() {
+    // X01 is only meaningful if pass 1 actually finds the class table; a
+    // refactor that moves/renames the enum must fail here, not silently
+    // disable the rule.
+    let outcome = engine::run(workspace_root(), &Baseline::default());
+    assert_eq!(
+        outcome.context.msg_class_file.as_deref(),
+        Some("crates/simnet/src/metrics.rs"),
+        "MsgClass enum not found where expected"
+    );
+    assert!(
+        outcome.context.msg_class_variants.len() >= 9,
+        "MsgClass variants: {:?}",
+        outcome.context.msg_class_variants
+    );
+}
+
+#[test]
+fn fixtures_and_vendor_are_excluded_from_the_walk() {
+    let files = engine::parse_workspace(workspace_root());
+    assert!(files.iter().all(|f| !f.path.contains("fixtures")
+        && !f.path.contains("vendor/")
+        && !f.path.contains("target/")));
+    // But the linter does police itself.
+    assert!(files.iter().any(|f| f.path == "crates/lint/src/main.rs"));
+}

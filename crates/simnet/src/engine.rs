@@ -149,6 +149,7 @@ impl<E> Engine<E> {
             if next.at > until {
                 break;
             }
+            // dsilint: allow(hot-path-unwrap, peek above proves the heap is non-empty)
             let Scheduled { at, event, .. } = self.queue.pop().expect("peeked");
             self.clock = at;
             self.processed += 1;

@@ -14,6 +14,11 @@
 //!   overhead (Fig. 7) and hop counts (Fig. 8).
 
 #![warn(missing_docs)]
+// Crate-level override on top of the shared [workspace.lints] policy: the
+// event engine drives every simulated message, so panic sites must be
+// deliberate, documented invariants (`expect`), never a bare `unwrap`.
+// Test code is exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod engine;
 pub mod faults;

@@ -190,6 +190,7 @@ impl Metrics {
     /// auditors can check the bookkeeping itself.
     pub fn sent_total(&self, class: MsgClass) -> u64 {
         let i = class.index();
+        // dsilint: allow(unordered-iter, commutative sum over per-node counters)
         self.sent.values().map(|a| a[i]).sum()
     }
 
@@ -197,6 +198,7 @@ impl Metrics {
     /// [`Metrics::total`].
     pub fn received_total(&self, class: MsgClass) -> u64 {
         let i = class.index();
+        // dsilint: allow(unordered-iter, commutative sum over per-node counters)
         self.received.values().map(|a| a[i]).sum()
     }
 
@@ -300,9 +302,20 @@ impl Histogram {
         self.counts.iter().sum()
     }
 
-    /// Exact nearest-rank percentile over the retained samples: the
+    /// Exact **nearest-rank** percentile over the retained samples: the
     /// smallest sample `s` such that at least `p` of the distribution is
     /// `<= s`. Returns `None` on an empty histogram.
+    ///
+    /// # Interpolation contract
+    /// There is **no interpolation**: the result is always one of the
+    /// recorded samples, `sorted[rank - 1]` with
+    /// `rank = ceil(p * n).clamp(1, n)`. In particular `percentile(0.0)`
+    /// is the minimum, `percentile(1.0)` the maximum, and for `n = 2`
+    /// `percentile(0.5)` is the *lower* sample (not their average, as a
+    /// linear-interpolation definition would give). Callers comparing
+    /// against externally computed quantiles must use the same
+    /// nearest-rank definition; `p` is a fraction in `[0, 1]`, **not** a
+    /// percent in `[0, 100]`.
     ///
     /// # Panics
     /// Panics if `p` is outside `[0, 1]`.
@@ -316,12 +329,18 @@ impl Histogram {
         Some(self.samples[rank - 1])
     }
 
-    /// A crude heavy-tail indicator: the fraction of samples beyond
-    /// `factor` times the mean. The paper argues the load distribution is
-    /// *not* heavy-tailed; tests assert this is small. Answered from the
+    /// A crude heavy-tail indicator: the fraction of samples **strictly
+    /// beyond** `factor` times the mean (samples equal to the cutoff are
+    /// not in the tail). The paper argues the load distribution is *not*
+    /// heavy-tailed; tests assert this is small. Answered from the
     /// retained samples — no need to re-supply the values the histogram
-    /// was built from.
+    /// was built from. Returns `0.0` for an empty histogram. `factor` is
+    /// a multiplier (e.g. `2.0` = twice the mean), not a percentile rank.
     pub fn tail_fraction(&self, factor: f64) -> f64 {
+        debug_assert!(
+            factor.is_finite() && factor >= 0.0,
+            "tail factor must be a finite non-negative multiplier, got {factor}"
+        );
         if self.samples.is_empty() {
             return 0.0;
         }

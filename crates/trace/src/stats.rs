@@ -58,9 +58,21 @@ impl QuantileBuffer {
         }
     }
 
-    /// Exact nearest-rank percentile: the smallest sample `s` such that at
-    /// least `p` of the distribution is `<= s`. `p` must be in `[0, 1]`.
-    /// Returns `None` on an empty buffer.
+    /// Exact **nearest-rank** percentile: the smallest sample `s` such that
+    /// at least `p` of the distribution is `<= s`. Returns `None` on an
+    /// empty buffer.
+    ///
+    /// # Interpolation contract
+    /// There is **no interpolation**: the result is always one of the
+    /// recorded samples, `sorted[rank - 1]` with
+    /// `rank = ceil(p * n).clamp(1, n)` — identical to
+    /// `Histogram::percentile` in `dsi-simnet`, so latency percentiles
+    /// from the trace and from live metrics are comparable sample-for-
+    /// sample. `p` is a fraction in `[0, 1]`, **not** a percent in
+    /// `[0, 100]`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
     pub fn percentile(&mut self, p: f64) -> Option<u64> {
         assert!((0.0..=1.0).contains(&p), "percentile rank must be in [0, 1], got {p}");
         if self.sorted.is_empty() {
