@@ -29,7 +29,10 @@ pub mod router;
 pub mod sha1;
 
 pub use id::{ChordId, IdSpace};
-pub use multicast::{covering_nodes, multicast, Delivery, MulticastPlan, RangeStrategy};
+pub use multicast::{
+    covering_nodes, multicast, multicast_with_failover, Delivery, FailoverOutcome, HopKind,
+    HopOutcome, MulticastPlan, RangeStrategy,
+};
 pub use pastry::PastryNet;
 pub use ring::{Lookup, NodeState, Ring, DEFAULT_SUCCESSOR_LIST_LEN};
 pub use router::{BuildRouter, ContentRouter};

@@ -136,6 +136,24 @@ impl MulticastPlan {
         lo: ChordId,
         hi: ChordId,
     ) -> Option<MsgId> {
+        let root = self.trace_tree_into(tracer, base, transit, internal)?;
+        tracer.push_multicast(root, self.origin, lo, hi);
+        Some(root)
+    }
+
+    /// The causal-tree half of [`MulticastPlan::trace_into`]: records the
+    /// routing chain and every forward, but does **not** register the
+    /// multicast metadata with the tracer. Degraded plans (a failover that
+    /// skipped unreachable members) use this so the trace-replay audit's
+    /// delivery-set check — which asserts a multicast reached *exactly* the
+    /// brute-force owner set — only audits complete multicasts.
+    pub fn trace_tree_into(
+        &self,
+        tracer: &mut Tracer,
+        base: u8,
+        transit: u8,
+        internal: u8,
+    ) -> Option<MsgId> {
         if !tracer.is_enabled() {
             return None;
         }
@@ -151,7 +169,6 @@ impl MulticastPlan {
             let cur = tracer.hop(parent, internal, from, to, Some(internal));
             reached.push((to, cur));
         }
-        tracer.push_multicast(rt.root, self.origin, lo, hi);
         Some(rt.root)
     }
 }
@@ -244,6 +261,214 @@ pub fn multicast<R: ContentRouter>(
                 route_path: route.path,
             }
         }
+    }
+}
+
+/// Which kind of hop a failover multicast is attempting (see
+/// [`multicast_with_failover`]'s `judge` argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopKind {
+    /// The initial point routing from the origin to an entry candidate.
+    Route,
+    /// A covering-set forward between ring neighbors.
+    Forward,
+}
+
+/// What the reliability layer decided about one attempted hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopOutcome {
+    /// The hop succeeded (possibly after retries); the target is reached.
+    Deliver,
+    /// The hop succeeded but its payload effect is parked in a delay queue;
+    /// the target still propagates the multicast onward.
+    DeliverLate,
+    /// The retry budget was exhausted (or the target is unreachable); the
+    /// plan must route around the target.
+    Fail,
+}
+
+/// Result of a failover-aware range multicast: the achieved plan plus the
+/// degradation bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailoverOutcome {
+    /// The achieved propagation plan, or `None` when no entry candidate was
+    /// reachable at all (total loss).
+    pub plan: Option<MulticastPlan>,
+    /// Covering members the plan could not reach, in ring order.
+    pub skipped: Vec<ChordId>,
+    /// Reached members whose delivery effect is parked for late re-delivery.
+    pub late: Vec<ChordId>,
+    /// Fraction of the key range `[lo, hi]` owned by reached members
+    /// (1.0 when `skipped` is empty, 0.0 on total loss).
+    pub coverage: f64,
+}
+
+impl FailoverOutcome {
+    /// Whether every covering member was reached (late deliveries count:
+    /// the message arrived, only its local effect is deferred).
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.skipped.is_empty() && self.plan.is_some()
+    }
+}
+
+/// Fraction of the clockwise key range `[lo, hi]` owned by the `reached`
+/// subset of `members` (the covering set in ring order). Member `i` owns
+/// the arc from just past member `i - 1` (or `lo` for the first) up to its
+/// own identifier (or `hi` for the last).
+fn covered_fraction<R: ContentRouter>(
+    ring: &R,
+    members: &[ChordId],
+    reached: &[bool],
+    lo: ChordId,
+    hi: ChordId,
+) -> f64 {
+    let space = ring.space();
+    let total = space.distance_cw(lo, hi) as f64 + 1.0;
+    let mut covered = 0.0;
+    for (i, &m) in members.iter().enumerate() {
+        if !reached[i] {
+            continue;
+        }
+        let start = if i == 0 { lo } else { space.add(members[i - 1], 1) };
+        let end = if i == members.len() - 1 { hi } else { m };
+        covered += space.distance_cw(start, end) as f64 + 1.0;
+    }
+    (covered / total).min(1.0)
+}
+
+/// Plans a multicast from `origin` to every node covering a key in
+/// `[lo, hi]`, routing around unreachable members via the ring's successor
+/// order: when `judge` fails a hop, the sender skips the dead member and
+/// forwards directly to the next covering member (its next live successor
+/// within the range), preserving the covering-set property for every
+/// reachable member.
+///
+/// `judge(from, to, kind)` is consulted once per attempted hop — the
+/// reliability layer's retry/ack state machine lives behind it — in a
+/// deterministic order: entry candidates first (the strategy's preferred
+/// entry, then the remaining members ring-ascending from it, then
+/// ring-descending below it), then the forward chain upward from the entry,
+/// then (bidirectional only) the chain downward. With a judge that always
+/// returns [`HopOutcome::Deliver`], the achieved plan is identical to
+/// [`multicast`]'s.
+///
+/// # Panics
+/// Panics if the ring is empty or `origin` is not a live node.
+pub fn multicast_with_failover<R: ContentRouter>(
+    ring: &R,
+    origin: ChordId,
+    lo: ChordId,
+    hi: ChordId,
+    strategy: RangeStrategy,
+    judge: &mut dyn FnMut(ChordId, ChordId, HopKind) -> HopOutcome,
+) -> FailoverOutcome {
+    assert!(!ring.is_empty(), "cannot multicast over an empty ring");
+    let members = covering_nodes(ring, lo, hi);
+    let mut late = Vec::new();
+
+    // Preferred entry: the strategy's usual target key.
+    let preferred_key = match strategy {
+        RangeStrategy::Sequential => lo,
+        RangeStrategy::Bidirectional => ring.space().midpoint(lo, hi),
+    };
+    let preferred = ring.route(origin, preferred_key);
+    let e0 = members
+        .iter()
+        .position(|&n| n == preferred.owner)
+        // dsilint: allow(hot-path-unwrap, successor of a key inside [lo, hi] is a covering member)
+        .expect("route owner of a key inside the range covers the range");
+
+    // Entry failover: try the preferred member, then the rest ring-ascending
+    // from it, then ring-descending below it. Each candidate is a fresh
+    // point routing.
+    let mut entry_choice: Option<(usize, crate::ring::Lookup)> = None;
+    let candidates = (e0..members.len()).chain((0..e0).rev());
+    for i in candidates {
+        let route = if i == e0 { preferred.clone() } else { ring.route(origin, members[i]) };
+        match judge(origin, members[i], HopKind::Route) {
+            HopOutcome::Deliver => {
+                entry_choice = Some((i, route));
+                break;
+            }
+            HopOutcome::DeliverLate => {
+                late.push(members[i]);
+                entry_choice = Some((i, route));
+                break;
+            }
+            HopOutcome::Fail => {}
+        }
+    }
+
+    let Some((entry_idx, route)) = entry_choice else {
+        // Total loss: no covering member was reachable within budget.
+        return FailoverOutcome { plan: None, skipped: members, late, coverage: 0.0 };
+    };
+
+    let route_hops = route.hops();
+    let entry = members[entry_idx];
+    let mut reached = vec![false; members.len()];
+    let mut hops = vec![0u32; members.len()];
+    reached[entry_idx] = true;
+    hops[entry_idx] = route_hops;
+
+    // Forward chain(s): on a failed hop the sender stays put and tries the
+    // next member in that direction — one extra successor-list hop, so the
+    // receiver's depth still grows by exactly one per *successful* forward.
+    let mut walk_dir = |indices: Vec<usize>,
+                        reached: &mut Vec<bool>,
+                        hops: &mut Vec<u32>,
+                        late: &mut Vec<ChordId>| {
+        let mut cur = entry_idx;
+        for i in indices {
+            match judge(members[cur], members[i], HopKind::Forward) {
+                HopOutcome::Deliver => {
+                    reached[i] = true;
+                    hops[i] = hops[cur] + 1;
+                    cur = i;
+                }
+                HopOutcome::DeliverLate => {
+                    late.push(members[i]);
+                    reached[i] = true;
+                    hops[i] = hops[cur] + 1;
+                    cur = i;
+                }
+                HopOutcome::Fail => {}
+            }
+        }
+    };
+    match strategy {
+        RangeStrategy::Sequential => {
+            walk_dir((entry_idx + 1..members.len()).collect(), &mut reached, &mut hops, &mut late);
+        }
+        RangeStrategy::Bidirectional => {
+            walk_dir((entry_idx + 1..members.len()).collect(), &mut reached, &mut hops, &mut late);
+            walk_dir((0..entry_idx).rev().collect(), &mut reached, &mut hops, &mut late);
+        }
+    }
+
+    let deliveries: Vec<Delivery> = members
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| reached[i])
+        .map(|(i, &node)| Delivery { node, hops: hops[i] })
+        .collect();
+    let skipped: Vec<ChordId> =
+        members.iter().enumerate().filter(|&(i, _)| !reached[i]).map(|(_, &node)| node).collect();
+    let coverage = covered_fraction(ring, &members, &reached, lo, hi);
+    let forward_messages = (deliveries.len() - 1) as u32;
+    FailoverOutcome {
+        plan: Some(MulticastPlan {
+            origin,
+            entry,
+            route_hops,
+            deliveries,
+            forward_messages,
+            route_path: route.path,
+        }),
+        skipped,
+        late,
+        coverage,
     }
 }
 
@@ -436,6 +661,169 @@ mod tests {
             }
             // Every delivery except the entry was reached by a forward.
             assert_eq!(reached.len(), plan.deliveries.len());
+        }
+    }
+
+    #[test]
+    fn failover_with_lossless_judge_matches_multicast() {
+        let space = IdSpace::new(12);
+        let ids: Vec<ChordId> = (0..40u64).map(|i| i * 97 + 13).collect();
+        let ring = Ring::with_nodes(space, ids.clone());
+        for strat in [RangeStrategy::Sequential, RangeStrategy::Bidirectional] {
+            for &(lo, hi) in &[(0u64, 500u64), (3000, 3500), (3900, 200), (100, 100)] {
+                let plain = multicast(&ring, ids[3], lo, hi, strat);
+                let out = multicast_with_failover(&ring, ids[3], lo, hi, strat, &mut |_, _, _| {
+                    HopOutcome::Deliver
+                });
+                assert_eq!(out.plan.as_ref(), Some(&plain), "[{lo},{hi}] {strat:?}");
+                assert!(out.skipped.is_empty());
+                assert!(out.late.is_empty());
+                assert_eq!(out.coverage, 1.0);
+                assert!(out.is_complete());
+            }
+        }
+    }
+
+    #[test]
+    fn failover_routes_around_a_dead_forward_target() {
+        let ring = figure_ring();
+        // Range [12, 22] covers {14, 20, 23}; kill every hop into N20.
+        let mut out = multicast_with_failover(
+            &ring,
+            8,
+            12,
+            22,
+            RangeStrategy::Sequential,
+            &mut |_, to, _| {
+                if to == 20 {
+                    HopOutcome::Fail
+                } else {
+                    HopOutcome::Deliver
+                }
+            },
+        );
+        let plan = out.plan.take().expect("entry reachable");
+        assert_eq!(plan.entry, 14);
+        assert_eq!(plan.nodes(), vec![14, 23]);
+        assert_eq!(out.skipped, vec![20]);
+        // N23 is reached directly from N14 (one successor-list hop).
+        let depth: Vec<u32> = plan.deliveries.iter().map(|d| d.hops - plan.route_hops).collect();
+        assert_eq!(depth, vec![0, 1]);
+        assert_eq!(plan.forward_edges(), vec![(14, 23)]);
+        assert_eq!(plan.forward_messages, 1);
+        // Arcs: N14 owns [12,14] (3 keys), N20 [15,20] (6), N23 [21,22] (2).
+        let expect = (3.0 + 2.0) / 11.0;
+        assert!((out.coverage - expect).abs() < 1e-12, "coverage {}", out.coverage);
+        assert!(!out.is_complete());
+    }
+
+    #[test]
+    fn failover_entry_falls_back_to_next_member() {
+        let ring = figure_ring();
+        // Bidirectional entry for [12, 22] is N20 (midpoint 17); fail the
+        // initial routing into it, so the entry falls forward to N23 and the
+        // plan walks back 23 → 20 → 14 over successor-list forwards.
+        let mut routed_entries = Vec::new();
+        let out = multicast_with_failover(
+            &ring,
+            8,
+            12,
+            22,
+            RangeStrategy::Bidirectional,
+            &mut |_, to, kind| {
+                if kind == HopKind::Route {
+                    routed_entries.push(to);
+                    if to == 20 {
+                        return HopOutcome::Fail;
+                    }
+                }
+                HopOutcome::Deliver
+            },
+        );
+        assert_eq!(routed_entries, vec![20, 23]);
+        let plan = out.plan.expect("fallback entry reachable");
+        assert_eq!(plan.entry, 23);
+        assert_eq!(plan.nodes(), vec![14, 20, 23]);
+        let depth_of = |n: ChordId| {
+            plan.deliveries.iter().find(|d| d.node == n).unwrap().hops - plan.route_hops
+        };
+        assert_eq!(depth_of(23), 0);
+        assert_eq!(depth_of(20), 1);
+        assert_eq!(depth_of(14), 2);
+        assert!(out.skipped.is_empty());
+        assert_eq!(out.coverage, 1.0);
+        assert_eq!(plan.forward_edges().len() as u32, plan.forward_messages);
+    }
+
+    #[test]
+    fn failover_total_loss_degrades_to_empty_plan() {
+        let ring = figure_ring();
+        let out =
+            multicast_with_failover(&ring, 8, 12, 22, RangeStrategy::Sequential, &mut |_, _, _| {
+                HopOutcome::Fail
+            });
+        assert!(out.plan.is_none());
+        assert_eq!(out.skipped, vec![14, 20, 23]);
+        assert_eq!(out.coverage, 0.0);
+        assert!(!out.is_complete());
+    }
+
+    #[test]
+    fn failover_late_deliveries_still_propagate() {
+        let ring = figure_ring();
+        let out = multicast_with_failover(
+            &ring,
+            8,
+            12,
+            22,
+            RangeStrategy::Sequential,
+            &mut |_, to, _| {
+                if to == 20 {
+                    HopOutcome::DeliverLate
+                } else {
+                    HopOutcome::Deliver
+                }
+            },
+        );
+        assert!(out.is_complete());
+        let plan = out.plan.expect("entry reachable");
+        // N20's payload is parked, but it still forwards the multicast on,
+        // so the chain and the covering set are intact.
+        assert_eq!(plan.nodes(), vec![14, 20, 23]);
+        assert_eq!(out.late, vec![20]);
+        assert!(out.skipped.is_empty());
+        assert_eq!(out.coverage, 1.0);
+    }
+
+    #[test]
+    fn degraded_plans_keep_forward_edge_invariants() {
+        // Sweep drop patterns and check the achieved plan still satisfies
+        // the structural invariants downstream consumers rely on.
+        let space = IdSpace::new(12);
+        let ids: Vec<ChordId> = (0..40u64).map(|i| i * 97 + 13).collect();
+        let ring = Ring::with_nodes(space, ids.clone());
+        for strat in [RangeStrategy::Sequential, RangeStrategy::Bidirectional] {
+            for kill in 0u64..8 {
+                let out =
+                    multicast_with_failover(&ring, ids[0], 100, 2000, strat, &mut |_, to, _| {
+                        if to % 8 == kill {
+                            HopOutcome::Fail
+                        } else {
+                            HopOutcome::Deliver
+                        }
+                    });
+                let Some(plan) = out.plan else { continue };
+                assert_eq!(plan.forward_edges().len() as u32, plan.forward_messages);
+                assert_eq!(plan.forward_messages as usize, plan.deliveries.len() - 1);
+                // causal_forwards must reach every non-entry delivery.
+                assert_eq!(plan.causal_forwards().len(), plan.deliveries.len() - 1);
+                assert!((0.0..=1.0).contains(&out.coverage));
+                if out.skipped.is_empty() {
+                    assert_eq!(out.coverage, 1.0);
+                } else {
+                    assert!(out.coverage < 1.0);
+                }
+            }
         }
     }
 

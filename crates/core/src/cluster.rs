@@ -17,11 +17,15 @@ use crate::mapping::{interval_key_range, radius_key_range, stream_key};
 use crate::query::{
     InnerProductQuery, MatchNotification, QueryId, SimilarityKind, SimilarityQuery, StreamId,
 };
+use crate::reliability::{
+    DeliveryVerdict, PendingDelivery, PendingEffect, ReliabilityState, Resolution,
+};
 use dsi_chord::{
-    multicast, BuildRouter, ChordId, ContentRouter, IdSpace, MulticastPlan, RangeStrategy, Ring,
+    multicast, multicast_with_failover, BuildRouter, ChordId, ContentRouter, FailoverOutcome,
+    HopKind, HopOutcome, IdSpace, MulticastPlan, RangeStrategy, Ring,
 };
 use dsi_dsp::{normalized_distance, FeatureExtractor, FeatureVector, Mbr};
-use dsi_simnet::{InputEvent, Metrics, MsgClass, SimTime};
+use dsi_simnet::{FaultPlan, InputEvent, Metrics, MsgClass, SimTime};
 use dsi_streamgen::WorkloadConfig;
 use dsi_trace::Tracer;
 use std::collections::HashMap;
@@ -160,6 +164,15 @@ pub struct Cluster<R: ContentRouter = Ring> {
     /// Per-stream candidates that failed exact verification (false
     /// positives charged to that stream's MBRs) — the §VI-A cost signal.
     stream_false_positives: HashMap<StreamId, u64>,
+    /// Retry/backoff/dedup state machine (DESIGN.md §12); `None` (the
+    /// default) keeps every send on the exact historical lossless path.
+    reliability: Option<ReliabilityState>,
+    /// State effects of `Delay`ed messages, parked until the receiver's
+    /// next notify cycle drains them.
+    pending: Vec<PendingDelivery>,
+    /// Achieved dissemination coverage per query posted while a fault
+    /// plan was armed (1.0 = the full key range was confirmed reached).
+    query_coverage: HashMap<QueryId, f64>,
 }
 
 impl Cluster<Ring> {
@@ -218,8 +231,46 @@ impl<R: BuildRouter> Cluster<R> {
             next_query: 1,
             quality: QualityStats::default(),
             stream_false_positives: HashMap::new(),
+            reliability: None,
+            pending: Vec::new(),
+            query_coverage: HashMap::new(),
         }
     }
+}
+
+/// A replica record's identity: one batch shipped by one origin.
+fn same_record(a: &StoredMbr, b: &StoredMbr) -> bool {
+    a.stream == b.stream && a.origin == b.origin && a.expires == b.expires && a.mbr == b.mbr
+}
+
+/// Runs a failover range multicast with every hop resolved through the
+/// reliability state machine; `classes` is the (route, forward) message
+/// class pair. Returns the achieved outcome plus the per-hop resolutions
+/// in deterministic judge order, for counter accounting by the caller.
+fn reliable_multicast<R: ContentRouter>(
+    ring: &R,
+    rel: &mut ReliabilityState,
+    strategy: RangeStrategy,
+    origin: ChordId,
+    lo: ChordId,
+    hi: ChordId,
+    classes: (MsgClass, MsgClass),
+) -> (FailoverOutcome, Vec<(MsgClass, Resolution)>) {
+    let mut log = Vec::new();
+    let out = multicast_with_failover(ring, origin, lo, hi, strategy, &mut |_from, _to, kind| {
+        let class = match kind {
+            HopKind::Route => classes.0,
+            HopKind::Forward => classes.1,
+        };
+        let res = rel.resolve(class);
+        log.push((class, res));
+        match res.verdict {
+            DeliveryVerdict::Deliver => HopOutcome::Deliver,
+            DeliveryVerdict::Late => HopOutcome::DeliverLate,
+            DeliveryVerdict::Lost => HopOutcome::Fail,
+        }
+    });
+    (out, log)
 }
 
 impl<R: ContentRouter> Cluster<R> {
@@ -348,6 +399,44 @@ impl<R: ContentRouter> Cluster<R> {
         self.tracer.set_now_ms(now.as_ms());
     }
 
+    /// Installs a per-class fault plan and arms the reliability layer
+    /// (retry/backoff, bounded dedup, successor-list multicast failover,
+    /// parked late effects — DESIGN.md §12). `FaultPlan::NONE` disarms it:
+    /// sends then take the exact lossless code paths and consume no fault
+    /// randomness, keeping golden outputs byte-identical. The fault RNG is
+    /// seeded from `seed`; derive it from the scenario seed.
+    ///
+    /// # Panics
+    /// Panics if the plan's probabilities are invalid.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan, seed: u64) {
+        plan.validate();
+        self.reliability =
+            if plan.is_none() { None } else { Some(ReliabilityState::new(plan, seed)) };
+    }
+
+    /// Whether a fault plan is currently armed.
+    pub fn fault_plan_active(&self) -> bool {
+        self.reliability.is_some()
+    }
+
+    /// Fraction of a query's key range confirmed reached when it was
+    /// disseminated. `None` for queries posted while no fault plan was
+    /// armed — dissemination is then complete by construction.
+    pub fn query_coverage(&self, q: QueryId) -> Option<f64> {
+        self.query_coverage.get(&q).copied()
+    }
+
+    /// Analytic retry-backoff latency accumulated so far, in virtual
+    /// milliseconds (the virtual clock itself is never shifted).
+    pub fn backoff_ms_total(&self) -> u64 {
+        self.reliability.as_ref().map_or(0, |r| r.backoff_ms_total)
+    }
+
+    /// Parked late effects not yet drained by their receiver's cycle.
+    pub fn pending_effects(&self) -> usize {
+        self.pending.len()
+    }
+
     /// Notifications delivered so far for a similarity query.
     pub fn notifications(&self, q: QueryId) -> &[MatchNotification] {
         self.notifications.get(&q).map_or(&[], |v| v.as_slice())
@@ -422,18 +511,33 @@ impl<R: ContentRouter> Cluster<R> {
     /// as internal MBR / query traffic: one neighbor-to-neighbor hop per
     /// copy, like range forwarding.
     pub fn rebalance_replicas(&mut self) {
-        // A replica record's identity: one batch shipped by one origin.
-        fn same(a: &StoredMbr, b: &StoredMbr) -> bool {
-            a.stream == b.stream && a.origin == b.origin && a.expires == b.expires && a.mbr == b.mbr
-        }
+        self.rebalance_inner(None);
+    }
 
+    /// Reliability-layer repair round (DESIGN.md §12): like
+    /// [`Cluster::rebalance_replicas`], but skips records and queries
+    /// already expired at `now` — healing a coverage hole must not
+    /// resurrect state whose purge the expiry oracle requires — and routes
+    /// every copy through the armed fault plan, so a copy lost after
+    /// retries leaves the hole for the next round. The fault-injection
+    /// harness runs one such round per NPER tick to restore the
+    /// no-false-dismissal invariant within its eventual-completeness
+    /// budget.
+    pub fn repair_coverage(&mut self, now: SimTime) {
+        self.rebalance_inner(Some(now));
+    }
+
+    fn rebalance_inner(&mut self, filter: Option<SimTime>) {
         // ---- MBR replicas ----
         // One entry per distinct surviving record, with a holder to copy
         // from.
         let mut records: Vec<(StoredMbr, ChordId)> = Vec::new();
         for &n in &self.node_order {
             for s in self.nodes[&n].stored_mbrs() {
-                if !records.iter().any(|(r, _)| same(r, s)) {
+                if filter.is_some_and(|now| now >= s.expires) {
+                    continue;
+                }
+                if !records.iter().any(|(r, _)| same_record(r, s)) {
                     records.push((s.clone(), n));
                 }
             }
@@ -448,7 +552,14 @@ impl<R: ContentRouter> Cluster<R> {
                 want.push(rec.origin);
             }
             for &n in &want {
-                if !self.nodes[&n].stored_mbrs().iter().any(|s| same(s, rec)) {
+                if !self.nodes[&n].stored_mbrs().iter().any(|s| same_record(s, rec)) {
+                    if let Some(res) = self.resolve_send(MsgClass::MbrInternal) {
+                        if res.verdict == DeliveryVerdict::Lost {
+                            // Copy lost after retries: the hole persists
+                            // until the next repair round or shipment.
+                            continue;
+                        }
+                    }
                     if self.measuring {
                         self.metrics.record_message(MsgClass::MbrInternal, *holder, n);
                         self.metrics.record_hops(MsgClass::MbrInternal, 1);
@@ -463,7 +574,7 @@ impl<R: ContentRouter> Cluster<R> {
         }
         for n in self.node_order.clone() {
             self.nodes.get_mut(&n).expect("live node").retain_mbrs(|s| {
-                records.iter().zip(&wants).any(|((r, _), w)| same(r, s) && w.contains(&n))
+                records.iter().zip(&wants).any(|((r, _), w)| same_record(r, s) && w.contains(&n))
             });
         }
 
@@ -482,9 +593,17 @@ impl<R: ContentRouter> Cluster<R> {
             .collect();
         sims.sort_unstable_by_key(|q| q.id);
         for q in sims {
+            if filter.is_some_and(|now| q.expired(now)) {
+                continue;
+            }
             let (lo, hi) = radius_key_range(self.space, q.feature.first_real(), q.radius);
             for n in dsi_chord::covering_nodes(&self.ring, lo, hi) {
                 if !self.nodes[&n].has_subscription(q.id) {
+                    if let Some(res) = self.resolve_send(MsgClass::QueryInternal) {
+                        if res.verdict == DeliveryVerdict::Lost {
+                            continue;
+                        }
+                    }
                     if self.measuring {
                         self.metrics.record_message(MsgClass::QueryInternal, q.aggregator, n);
                         self.metrics.record_hops(MsgClass::QueryInternal, 1);
@@ -530,6 +649,8 @@ impl Cluster<Ring> {
         self.nodes.remove(&id);
         self.node_order.retain(|&n| n != id);
         self.location_cache.retain(|_, &mut source| source != id);
+        // In-flight delayed effects addressed to the victim die with it.
+        self.pending.retain(|p| p.to != id);
         // Chord repairs itself; the middleware keeps operating meanwhile.
         self.stabilize();
         // Re-assign orphaned aggregators.
@@ -741,6 +862,9 @@ impl<R: ContentRouter> Cluster<R> {
         let home = s.home;
         let (lo_v, hi_v) = mbr.first_interval();
         let (lo, hi) = interval_key_range(self.space, lo_v.clamp(-1.0, 1.0), hi_v.clamp(-1.0, 1.0));
+        if self.reliability.is_some() {
+            return self.replicate_mbr_reliable(stream, mbr, now, home, lo, hi);
+        }
         let plan = multicast(&self.ring, home, lo, hi, self.cfg.strategy);
 
         if self.measuring {
@@ -774,6 +898,113 @@ impl<R: ContentRouter> Cluster<R> {
         let stored = StoredMbr { stream, mbr, origin: home, expires };
         for d in &plan.deliveries {
             self.nodes.get_mut(&d.node).expect("delivery node is live").store_mbr(stored.clone());
+        }
+        // The summary is also stored locally at the source (§IV-A).
+        if !plan.deliveries.iter().any(|d| d.node == home) {
+            self.nodes.get_mut(&home).expect("home is live").store_mbr(stored);
+        }
+        plan
+    }
+
+    /// [`Cluster::replicate_mbr`] under an armed fault plan: the multicast
+    /// fails over dropped hops via the ring's successor lists, charges the
+    /// *achieved* plan (messages are charged once, at send time; dropped
+    /// attempts only count retries), parks `Delay`ed replica copies for the
+    /// target's next cycle, and on total loss degrades to the §IV-A local
+    /// store with coverage 0.
+    fn replicate_mbr_reliable(
+        &mut self,
+        stream: StreamId,
+        mbr: Mbr,
+        now: SimTime,
+        home: ChordId,
+        lo: ChordId,
+        hi: ChordId,
+    ) -> MulticastPlan {
+        let (out, log) = reliable_multicast(
+            &self.ring,
+            self.reliability.as_mut().expect("reliable path requires an armed plan"),
+            self.cfg.strategy,
+            home,
+            lo,
+            hi,
+            (MsgClass::MbrOriginated, MsgClass::MbrInternal),
+        );
+        if self.measuring {
+            self.metrics.record_event(InputEvent::Mbr);
+            self.metrics.record_coverage(out.coverage);
+        }
+        for (class, res) in &log {
+            self.record_resolution(*class, res);
+        }
+        let expires = now + self.cfg.workload.bspan_ms;
+        let stored = StoredMbr { stream, mbr, origin: home, expires };
+        let Some(plan) = out.plan else {
+            // Every entry attempt exhausted its retry budget: nothing on
+            // the wire took effect. The summary still lands locally at the
+            // source (§IV-A); the next shipment or repair round refreshes
+            // the range.
+            self.nodes.get_mut(&home).expect("home is live").store_mbr(stored);
+            return MulticastPlan {
+                origin: home,
+                entry: home,
+                route_hops: 0,
+                deliveries: Vec::new(),
+                forward_messages: 0,
+                route_path: vec![home],
+            };
+        };
+        if self.measuring {
+            self.metrics.record_route(
+                MsgClass::MbrOriginated,
+                MsgClass::MbrTransit,
+                &plan.route_path,
+            );
+            self.metrics.record_hops(MsgClass::MbrOriginated, plan.route_hops);
+            for (from, to) in plan.forward_edges() {
+                self.metrics.record_message(MsgClass::MbrInternal, from, to);
+            }
+            for d in plan.deliveries.iter().filter(|d| d.node != plan.entry) {
+                self.metrics.record_hops(MsgClass::MbrInternal, d.hops);
+            }
+            if self.tracer.is_enabled() {
+                self.tracer.set_now_ms(now.as_ms());
+                if out.skipped.is_empty() {
+                    plan.trace_into(
+                        &mut self.tracer,
+                        MsgClass::MbrOriginated.index() as u8,
+                        MsgClass::MbrTransit.index() as u8,
+                        MsgClass::MbrInternal.index() as u8,
+                        lo,
+                        hi,
+                    );
+                } else {
+                    // Degraded plan: trace the achieved tree without the
+                    // multicast meta, so the delivery-set audit only vets
+                    // complete multicasts.
+                    plan.trace_tree_into(
+                        &mut self.tracer,
+                        MsgClass::MbrOriginated.index() as u8,
+                        MsgClass::MbrTransit.index() as u8,
+                        MsgClass::MbrInternal.index() as u8,
+                    );
+                }
+            }
+        }
+        let due = now + self.cfg.workload.nper_ms;
+        for d in &plan.deliveries {
+            if out.late.contains(&d.node) {
+                self.pending.push(PendingDelivery {
+                    due,
+                    to: d.node,
+                    effect: PendingEffect::StoreMbr(stored.clone()),
+                });
+            } else {
+                self.nodes
+                    .get_mut(&d.node)
+                    .expect("delivery node is live")
+                    .store_mbr(stored.clone());
+            }
         }
         // The summary is also stored locally at the source (§IV-A).
         if !plan.deliveries.iter().any(|d| d.node == home) {
@@ -821,6 +1052,9 @@ impl<R: ContentRouter> Cluster<R> {
         let mid = self.space.midpoint(lo, hi);
         q.aggregator = self.ring.ideal_successor(mid).expect("ring non-empty");
 
+        if self.reliability.is_some() {
+            return self.post_similarity_reliable(q, lo, hi, now);
+        }
         let plan = multicast(&self.ring, client, lo, hi, self.cfg.strategy);
         if self.measuring {
             self.metrics.record_event(InputEvent::Query);
@@ -854,6 +1088,92 @@ impl<R: ContentRouter> Cluster<R> {
         id
     }
 
+    /// [`Cluster::post_similarity_query`] under an armed fault plan:
+    /// dissemination fails over dropped hops, `Delay`ed subscriptions are
+    /// parked for the target's next cycle, and the achieved coverage is
+    /// recorded so responses are tagged as partial answers.
+    fn post_similarity_reliable(
+        &mut self,
+        q: SimilarityQuery,
+        lo: ChordId,
+        hi: ChordId,
+        now: SimTime,
+    ) -> QueryId {
+        let id = q.id;
+        let client = q.client;
+        let (out, log) = reliable_multicast(
+            &self.ring,
+            self.reliability.as_mut().expect("reliable path requires an armed plan"),
+            self.cfg.strategy,
+            client,
+            lo,
+            hi,
+            (MsgClass::Query, MsgClass::QueryInternal),
+        );
+        if self.measuring {
+            self.metrics.record_event(InputEvent::Query);
+        }
+        for (class, res) in &log {
+            self.record_resolution(*class, res);
+        }
+        self.record_query_coverage(id, out.coverage);
+        let Some(plan) = out.plan else {
+            // Retry budget exhausted on every entry candidate: the query
+            // is registered (the client owns it) but no node subscribed.
+            // Responses carry coverage 0 until a repair round heals the
+            // range.
+            self.queries.insert(id, QueryRuntime::Similarity(q));
+            return id;
+        };
+        if self.measuring {
+            self.metrics.record_route(MsgClass::Query, MsgClass::QueryTransit, &plan.route_path);
+            self.metrics.record_hops(MsgClass::Query, plan.route_hops);
+            for (from, to) in plan.forward_edges() {
+                self.metrics.record_message(MsgClass::QueryInternal, from, to);
+            }
+            for d in plan.deliveries.iter().filter(|d| d.node != plan.entry) {
+                self.metrics.record_hops(MsgClass::QueryInternal, d.hops);
+            }
+            if self.tracer.is_enabled() {
+                self.tracer.set_now_ms(now.as_ms());
+                if out.skipped.is_empty() {
+                    plan.trace_into(
+                        &mut self.tracer,
+                        MsgClass::Query.index() as u8,
+                        MsgClass::QueryTransit.index() as u8,
+                        MsgClass::QueryInternal.index() as u8,
+                        lo,
+                        hi,
+                    );
+                } else {
+                    plan.trace_tree_into(
+                        &mut self.tracer,
+                        MsgClass::Query.index() as u8,
+                        MsgClass::QueryTransit.index() as u8,
+                        MsgClass::QueryInternal.index() as u8,
+                    );
+                }
+            }
+        }
+        let due = now + self.cfg.workload.nper_ms;
+        for d in &plan.deliveries {
+            if out.late.contains(&d.node) {
+                self.pending.push(PendingDelivery {
+                    due,
+                    to: d.node,
+                    effect: PendingEffect::SubscribeSimilarity(q.clone()),
+                });
+            } else {
+                self.nodes
+                    .get_mut(&d.node)
+                    .expect("delivery node is live")
+                    .subscribe_similarity(q.clone());
+            }
+        }
+        self.queries.insert(id, QueryRuntime::Similarity(q));
+        id
+    }
+
     /// Posts a continuous inner-product query (§IV-D): resolve the stream's
     /// source through the location service (`h2`), then subscribe at the
     /// source. Returns the query id.
@@ -871,7 +1191,7 @@ impl<R: ContentRouter> Cluster<R> {
         if self.tracer.is_enabled() {
             self.tracer.set_now_ms(now.as_ms());
         }
-        self.submit_inner_product(client, q)
+        self.submit_inner_product(client, q, now)
     }
 
     /// Posts a pre-built inner-product query (a point / range / alerting
@@ -890,10 +1210,15 @@ impl<R: ContentRouter> Cluster<R> {
         if self.tracer.is_enabled() {
             self.tracer.set_now_ms(now.as_ms());
         }
-        self.submit_inner_product(client, query)
+        self.submit_inner_product(client, query, now)
     }
 
-    fn submit_inner_product(&mut self, client: ChordId, mut q: InnerProductQuery) -> QueryId {
+    fn submit_inner_product(
+        &mut self,
+        client: ChordId,
+        mut q: InnerProductQuery,
+        now: SimTime,
+    ) -> QueryId {
         let id = self.next_query;
         self.next_query += 1;
         q.id = id;
@@ -908,14 +1233,32 @@ impl<R: ContentRouter> Cluster<R> {
             }
             _ => {
                 // "get" at the h2 owner...
+                let get_res = self.resolve_send(MsgClass::Query);
+                if get_res.is_some_and(|r| r.verdict == DeliveryVerdict::Lost) {
+                    // The lookup exhausted its retry budget: client-side
+                    // this is indistinguishable from a missing record.
+                    self.location_misses += 1;
+                    self.record_query_coverage(id, 0.0);
+                    return id;
+                }
                 let name = self.streams[stream as usize].name.clone();
                 let key = stream_key(self.space, &name);
                 let get = self.ring.route(client, key);
                 let record = self.nodes[&get.owner].location_get(stream);
-                // ...and the reply returns to the client.
-                let reply = self.ring.route(get.owner, client);
                 if self.measuring {
                     self.record_route(MsgClass::Query, MsgClass::QueryTransit, &get.path, false);
+                }
+                // ...and the reply returns to the client.
+                let reply_res = self.resolve_send(MsgClass::Response);
+                if reply_res.is_some_and(|r| r.verdict == DeliveryVerdict::Lost) {
+                    // The reply never made it back: same client-side
+                    // observation as a missing record.
+                    self.location_misses += 1;
+                    self.record_query_coverage(id, 0.0);
+                    return id;
+                }
+                let reply = self.ring.route(get.owner, client);
+                if self.measuring {
                     self.record_route(
                         MsgClass::Response,
                         MsgClass::ResponseTransit,
@@ -932,6 +1275,7 @@ impl<R: ContentRouter> Cluster<R> {
                         // Record lost to churn and not yet refreshed: the
                         // client learns nothing this round (it may repost).
                         self.location_misses += 1;
+                        self.record_query_coverage(id, 0.0);
                         return id;
                     }
                 }
@@ -939,14 +1283,31 @@ impl<R: ContentRouter> Cluster<R> {
         };
 
         // The query itself is routed to the source node.
+        let send_res = self.resolve_send(MsgClass::Query);
+        if send_res.is_some_and(|r| r.verdict == DeliveryVerdict::Lost) {
+            // Retry budget exhausted: the query is registered client-side
+            // but no subscription exists; coverage 0 flags the degraded
+            // answer (no pushes until reposted).
+            self.record_query_coverage(id, 0.0);
+            self.queries.insert(id, QueryRuntime::InnerProduct(q));
+            return id;
+        }
         let send = self.ring.route(client, source);
         if self.measuring {
             self.metrics.record_event(InputEvent::Query);
             self.record_route(MsgClass::Query, MsgClass::QueryTransit, &send.path, true);
             self.metrics.record_hops(MsgClass::Query, send.hops());
         }
-
-        self.nodes.get_mut(&source).expect("source is live").subscribe_inner_product(q.clone());
+        self.record_query_coverage(id, 1.0);
+        if send_res.is_some_and(|r| r.verdict == DeliveryVerdict::Late) {
+            self.pending.push(PendingDelivery {
+                due: now + self.cfg.workload.nper_ms,
+                to: source,
+                effect: PendingEffect::SubscribeInnerProduct(q.clone()),
+            });
+        } else {
+            self.nodes.get_mut(&source).expect("source is live").subscribe_inner_product(q.clone());
+        }
         self.queries.insert(id, QueryRuntime::InnerProduct(q));
         id
     }
@@ -964,6 +1325,12 @@ impl<R: ContentRouter> Cluster<R> {
         if self.tracer.is_enabled() {
             self.tracer.set_now_ms(now.as_ms());
         }
+        // Delayed messages re-deliver at the receiver's refresh tick,
+        // before this cycle's purge (a late copy of expired state is
+        // dropped inside the drain).
+        if self.reliability.is_some() {
+            self.drain_pending(node, now);
+        }
         let dc = self.nodes.get_mut(&node).expect("live node");
         dc.purge_expired(now);
         let has_subs = dc.has_active_subscriptions(now);
@@ -980,9 +1347,23 @@ impl<R: ContentRouter> Cluster<R> {
         for (sid, key) in homed {
             let owner = self.ring.ideal_successor(key).expect("non-empty ring");
             if self.nodes[&owner].location_get(sid) != Some(node) {
+                let res = self.resolve_send(MsgClass::Query);
+                if res.is_some_and(|r| r.verdict == DeliveryVerdict::Lost) {
+                    // Refresh lost after retries; the next NPER tick
+                    // retries it naturally (soft state).
+                    continue;
+                }
                 let lookup = self.ring.route(node, key);
                 self.record_route(MsgClass::Query, MsgClass::QueryTransit, &lookup.path, false);
-                self.nodes.get_mut(&owner).expect("owner is live").location_put(sid, node);
+                if res.is_some_and(|r| r.verdict == DeliveryVerdict::Late) {
+                    self.pending.push(PendingDelivery {
+                        due: now + self.cfg.workload.nper_ms,
+                        to: owner,
+                        effect: PendingEffect::LocationPut { stream: sid, source: node },
+                    });
+                } else {
+                    self.nodes.get_mut(&owner).expect("owner is live").location_put(sid, node);
+                }
             }
         }
 
@@ -991,15 +1372,22 @@ impl<R: ContentRouter> Cluster<R> {
         if has_subs {
             let succ = self.ring.successor_of(node);
             let pred = self.ring.ideal_predecessor(node).unwrap_or(succ);
-            if self.measuring {
-                if succ != node {
+            // A lost exchange only skips the charge: the aggregation model
+            // reads the converged in-range state, and the next NPER round
+            // repeats the exchange (soft-state redundancy).
+            if succ != node {
+                let res = self.resolve_send(MsgClass::ResponseInternal);
+                if !res.is_some_and(|r| r.verdict == DeliveryVerdict::Lost) && self.measuring {
                     self.metrics.record_message(MsgClass::ResponseInternal, node, succ);
                     self.metrics.record_hops(MsgClass::ResponseInternal, 1);
                     if self.tracer.is_enabled() {
                         self.tracer.single(MsgClass::ResponseInternal.index() as u8, node, succ);
                     }
                 }
-                if pred != node && pred != succ {
+            }
+            if pred != node && pred != succ {
+                let res = self.resolve_send(MsgClass::ResponseInternal);
+                if !res.is_some_and(|r| r.verdict == DeliveryVerdict::Lost) && self.measuring {
                     self.metrics.record_message(MsgClass::ResponseInternal, node, pred);
                     self.metrics.record_hops(MsgClass::ResponseInternal, 1);
                     if self.tracer.is_enabled() {
@@ -1025,6 +1413,14 @@ impl<R: ContentRouter> Cluster<R> {
         aggregated.sort_unstable_by_key(|q| q.id);
         for q in aggregated {
             let matches = self.aggregate_and_verify(&q, now);
+            let res = self.resolve_send(MsgClass::Response);
+            if res.is_some_and(|r| r.verdict == DeliveryVerdict::Lost) {
+                // Response lost after retries: the client hears nothing
+                // this period; the next NPER cycle re-aggregates and
+                // resends (the event is charged only when a response
+                // actually goes out).
+                continue;
+            }
             // Periodic response to the client, routed over the overlay.
             let path = self.ring.route(node, q.client).path;
             if self.measuring {
@@ -1032,9 +1428,20 @@ impl<R: ContentRouter> Cluster<R> {
                 self.record_route(MsgClass::Response, MsgClass::ResponseTransit, &path, true);
                 self.metrics.record_hops(MsgClass::Response, (path.len().saturating_sub(1)) as u32);
             }
+            if res.is_some_and(|r| r.verdict == DeliveryVerdict::Late) {
+                if !matches.is_empty() {
+                    self.pending.push(PendingDelivery {
+                        due: now + self.cfg.workload.nper_ms,
+                        to: q.client,
+                        effect: PendingEffect::Notify { query: q.id, matches, at: now },
+                    });
+                }
+                continue;
+            }
+            let coverage = self.query_coverage.get(&q.id).copied().unwrap_or(1.0);
             let entry = self.notifications.entry(q.id).or_default();
             for stream in matches {
-                entry.push(MatchNotification { query: q.id, stream, at: now });
+                entry.push(MatchNotification { query: q.id, stream, at: now, coverage });
             }
         }
 
@@ -1048,14 +1455,29 @@ impl<R: ContentRouter> Cluster<R> {
                 continue;
             }
             let value = q.evaluate_approx(s.extractor.raw_prefix(), self.cfg.workload.window_len);
+            let res = self.resolve_send(MsgClass::Response);
+            if res.is_some_and(|r| r.verdict == DeliveryVerdict::Lost) {
+                // Push lost after retries: the client misses this period's
+                // value; the next NPER cycle pushes a fresh one.
+                continue;
+            }
             let path = self.ring.route(node, q.client).path;
             if self.measuring {
                 self.metrics.record_event(InputEvent::Response);
                 self.record_route(MsgClass::Response, MsgClass::ResponseTransit, &path, true);
                 self.metrics.record_hops(MsgClass::Response, (path.len().saturating_sub(1)) as u32);
             }
+            let alert = q.alert.is_some_and(|a| a.triggered(value));
+            if res.is_some_and(|r| r.verdict == DeliveryVerdict::Late) {
+                self.pending.push(PendingDelivery {
+                    due: now + self.cfg.workload.nper_ms,
+                    to: q.client,
+                    effect: PendingEffect::IpResult { query: q.id, value, alert, at: now },
+                });
+                continue;
+            }
             self.ip_results.entry(q.id).or_default().push((now, value));
-            if q.alert.is_some_and(|a| a.triggered(value)) {
+            if alert {
                 self.ip_alerts.entry(q.id).or_default().push((now, value));
             }
         }
@@ -1122,6 +1544,113 @@ impl<R: ContentRouter> Cluster<R> {
             self.metrics.record_route(base, transit, path);
             if self.tracer.is_enabled() {
                 self.tracer.route(path, base.index() as u8, transit.index() as u8, log_hops);
+            }
+        }
+    }
+
+    /// Resolves one logical message through the armed fault plan and
+    /// records its retry/redelivery/dup counters. `None` means no plan is
+    /// armed: the caller must take the lossless path, and no fault
+    /// randomness is consumed.
+    fn resolve_send(&mut self, class: MsgClass) -> Option<Resolution> {
+        let res = self.reliability.as_mut()?.resolve(class);
+        if self.measuring {
+            for _ in 0..res.retries {
+                self.metrics.record_retry(class);
+            }
+            if res.dup_suppressed {
+                self.metrics.record_dup_suppressed(class);
+            }
+            if res.verdict == DeliveryVerdict::Late {
+                self.metrics.record_redelivery(class);
+            }
+        }
+        Some(res)
+    }
+
+    /// Records the counters of an already-resolved send (used by the
+    /// failover multicast, whose resolutions happen inside the judge).
+    fn record_resolution(&mut self, class: MsgClass, res: &Resolution) {
+        if !self.measuring {
+            return;
+        }
+        for _ in 0..res.retries {
+            self.metrics.record_retry(class);
+        }
+        if res.dup_suppressed {
+            self.metrics.record_dup_suppressed(class);
+        }
+        if res.verdict == DeliveryVerdict::Late {
+            self.metrics.record_redelivery(class);
+        }
+    }
+
+    /// Stores a query's achieved dissemination coverage and records the
+    /// metrics sample. No-op while no fault plan is armed.
+    fn record_query_coverage(&mut self, id: QueryId, coverage: f64) {
+        if self.reliability.is_none() {
+            return;
+        }
+        self.query_coverage.insert(id, coverage);
+        if self.measuring {
+            self.metrics.record_coverage(coverage);
+        }
+    }
+
+    /// Applies parked late effects addressed to `node` that have come due
+    /// (the receiver's first refresh tick after the delayed delivery).
+    fn drain_pending(&mut self, node: ChordId, now: SimTime) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut due = Vec::new();
+        let mut rest = Vec::with_capacity(self.pending.len());
+        for p in std::mem::take(&mut self.pending) {
+            if p.to == node && p.due <= now {
+                due.push(p);
+            } else {
+                rest.push(p);
+            }
+        }
+        self.pending = rest;
+        for p in due {
+            match p.effect {
+                PendingEffect::StoreMbr(rec) => {
+                    // A copy that would be purged on arrival is dropped,
+                    // and one the node re-acquired meanwhile is a dedup.
+                    if rec.expires > now {
+                        let dc = self.nodes.get_mut(&node).expect("live node");
+                        if !dc.stored_mbrs().iter().any(|s| same_record(s, &rec)) {
+                            dc.store_mbr(rec);
+                        }
+                    }
+                }
+                PendingEffect::SubscribeSimilarity(q) => {
+                    if !q.expired(now) {
+                        self.nodes.get_mut(&node).expect("live node").subscribe_similarity(q);
+                    }
+                }
+                PendingEffect::SubscribeInnerProduct(q) => {
+                    if !q.expired(now) {
+                        self.nodes.get_mut(&node).expect("live node").subscribe_inner_product(q);
+                    }
+                }
+                PendingEffect::LocationPut { stream, source } => {
+                    self.nodes.get_mut(&node).expect("live node").location_put(stream, source);
+                }
+                PendingEffect::Notify { query, matches, at } => {
+                    let coverage = self.query_coverage.get(&query).copied().unwrap_or(1.0);
+                    let entry = self.notifications.entry(query).or_default();
+                    for stream in matches {
+                        entry.push(MatchNotification { query, stream, at, coverage });
+                    }
+                }
+                PendingEffect::IpResult { query, value, alert, at } => {
+                    self.ip_results.entry(query).or_default().push((at, value));
+                    if alert {
+                        self.ip_alerts.entry(query).or_default().push((at, value));
+                    }
+                }
             }
         }
     }
@@ -1307,5 +1836,143 @@ mod tests {
     fn wrong_target_length_panics() {
         let mut c = small_cluster(4);
         c.post_similarity_query(0, vec![1.0; 5], 0.1, 1000, SimTime::ZERO);
+    }
+
+    // ------------------------------------------------------------------
+    // Reliability layer (DESIGN.md §12)
+    // ------------------------------------------------------------------
+
+    use dsi_simnet::{FaultPlan, FaultSpec};
+
+    fn spec(drop: f64, dup: f64, delay: f64) -> FaultSpec {
+        FaultSpec { drop_prob: drop, dup_prob: dup, delay_prob: delay }
+    }
+
+    #[test]
+    fn none_plan_leaves_reliability_disarmed() {
+        let mut c = small_cluster(8);
+        c.set_fault_plan(FaultPlan::NONE, 1);
+        assert!(!c.fault_plan_active());
+        let sid = c.register_stream("s0", 0);
+        feed_stream(&mut c, sid, &wave(40, 0.4, 0.0), SimTime::ZERO);
+        let qid = c.post_similarity_query(1, wave(16, 0.4, 0.0), 0.3, 60_000, SimTime::ZERO);
+        assert_eq!(c.query_coverage(qid), None, "no coverage tracking while disarmed");
+        assert_eq!(c.pending_effects(), 0);
+        assert_eq!(c.metrics().reliability_totals(), (0, 0, 0));
+    }
+
+    #[test]
+    fn certain_delay_parks_effects_until_the_next_cycle() {
+        let mut c = small_cluster(8);
+        let sid = c.register_stream("s0", 0);
+        c.set_fault_plan(FaultPlan::uniform(spec(0.0, 0.0, 1.0)), 5);
+        feed_stream(&mut c, sid, &wave(40, 0.4, 0.0), SimTime::ZERO);
+        let qid = c.post_similarity_query(1, wave(16, 0.4, 0.0), 0.3, 60_000, SimTime::ZERO);
+        assert!(c.pending_effects() > 0, "delayed deliveries must be parked");
+        assert_eq!(c.query_coverage(qid), Some(1.0), "late deliveries still cover the range");
+        // One NPER period later every receiver drains its parked effects.
+        let later = SimTime::from_ms(c.config().workload.nper_ms);
+        c.notify_all(later);
+        assert_eq!(
+            c.pending.iter().filter(|p| p.due <= later).count(),
+            0,
+            "all due effects drained"
+        );
+    }
+
+    #[test]
+    fn certain_drop_degrades_to_local_store_with_zero_coverage() {
+        let mut c = small_cluster(8);
+        let sid = c.register_stream("s0", 0);
+        c.set_fault_plan(FaultPlan::uniform(spec(1.0, 0.0, 0.0)), 9);
+        c.start_measurement();
+        feed_stream(&mut c, sid, &wave(40, 0.4, 0.0), SimTime::ZERO);
+        // Every multicast totally lost: only the home holds replicas.
+        let home = c.streams()[sid as usize].home;
+        for &n in c.node_ids() {
+            if n != home {
+                assert_eq!(c.node(n).mbr_count(), 0, "node {n} got a replica through a dead net");
+            }
+        }
+        assert!(c.node(home).mbr_count() > 0, "§IV-A local store survives total loss");
+        let (retries, _, _) = c.metrics().reliability_totals();
+        assert!(retries > 0, "drops must burn the retry budget");
+        assert_eq!(c.metrics().avg_coverage(), Some(0.0), "total loss is coverage 0");
+    }
+
+    #[test]
+    fn similarity_matches_survive_a_lossy_network_via_failover() {
+        let mut c = small_cluster(8);
+        let sid = c.register_stream("s0", 0);
+        c.set_fault_plan(FaultPlan::uniform(spec(0.3, 0.1, 0.1)), 77);
+        c.start_measurement();
+        feed_stream(&mut c, sid, &wave(40, 0.4, 0.0), SimTime::ZERO);
+        let target = c.streams()[sid as usize].extractor.window_snapshot();
+        let qid = c.post_similarity_query(1, target, 0.05, 60_000, SimTime::ZERO);
+        // Two NPER rounds: late effects drain, responses go out.
+        c.notify_all(SimTime::from_ms(1000));
+        c.notify_all(SimTime::from_ms(2000));
+        for n in c.notifications(qid) {
+            assert!((0.0..=1.0).contains(&n.coverage), "coverage {} out of range", n.coverage);
+        }
+        let cov = c.query_coverage(qid).expect("armed plan tracks coverage");
+        assert!((0.0..=1.0).contains(&cov));
+        assert!(c.metrics().coverage_count() > 0);
+    }
+
+    #[test]
+    fn reliable_runs_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut c = small_cluster(8);
+            let sid = c.register_stream("s0", 0);
+            c.set_fault_plan(FaultPlan::uniform(spec(0.25, 0.15, 0.15)), seed);
+            c.start_measurement();
+            feed_stream(&mut c, sid, &wave(40, 0.4, 0.0), SimTime::ZERO);
+            let target = c.streams()[sid as usize].extractor.window_snapshot();
+            let qid = c.post_similarity_query(1, target, 0.05, 60_000, SimTime::ZERO);
+            c.notify_all(SimTime::from_ms(1000));
+            let per_class: Vec<u64> = MsgClass::ALL.iter().map(|&m| c.metrics().total(m)).collect();
+            (
+                c.metrics().reliability_totals(),
+                per_class,
+                c.notifications(qid).to_vec(),
+                c.query_coverage(qid),
+                c.backoff_ms_total(),
+            )
+        };
+        assert_eq!(run(42), run(42), "same seed, same run");
+        assert_ne!(run(42).0, run(43).0, "different fault seeds diverge");
+    }
+
+    #[test]
+    fn repair_coverage_heals_holes_without_resurrecting_expired_state() {
+        let mut c = small_cluster(8);
+        let sid = c.register_stream("s0", 0);
+        c.set_fault_plan(FaultPlan::uniform(spec(1.0, 0.0, 0.0)), 3);
+        feed_stream(&mut c, sid, &wave(40, 0.4, 0.0), SimTime::ZERO);
+        // All replicas lost except the home's local store.
+        c.set_fault_plan(FaultPlan::uniform(spec(0.0, 0.0, 0.0)), 3);
+        assert!(!c.fault_plan_active(), "zero-probability plan is NONE");
+        c.set_fault_plan(FaultPlan::uniform(spec(0.2, 0.0, 0.0)), 3);
+        // Before expiry, a repair round restores covering-set replication.
+        c.repair_coverage(SimTime::from_ms(100));
+        c.repair_coverage(SimTime::from_ms(200));
+        let total: usize = c.node_ids().iter().map(|&n| c.node(n).mbr_count()).sum();
+        assert!(total > c.node(c.streams()[sid as usize].home).mbr_count(), "holes healed");
+        // At/after expiry the filtered pass copies nothing.
+        let expired_at = SimTime::from_ms(c.config().workload.bspan_ms);
+        let mut d = small_cluster(8);
+        let sid2 = d.register_stream("s0", 0);
+        d.set_fault_plan(FaultPlan::uniform(spec(1.0, 0.0, 0.0)), 3);
+        feed_stream(&mut d, sid2, &wave(40, 0.4, 0.0), SimTime::ZERO);
+        d.set_fault_plan(FaultPlan::uniform(spec(0.2, 0.0, 0.0)), 3);
+        d.repair_coverage(expired_at);
+        for &n in d.node_ids() {
+            assert_eq!(
+                d.node(n).stored_mbrs().iter().filter(|s| expired_at >= s.expires).count(),
+                0,
+                "expired records must not be re-copied"
+            );
+        }
     }
 }

@@ -665,4 +665,42 @@ mod tests {
         assert_eq!(dc.active_ip_subscriptions(SimTime::from_ms(50)).count(), 1);
         assert_eq!(dc.active_ip_subscriptions(SimTime::from_ms(150)).count(), 0);
     }
+
+    #[test]
+    fn purge_at_exact_expiry_tick_removes_once() {
+        let mut dc = DataCenter::new(5);
+        // `expired(now)` is `now >= expires`: an item expiring exactly at
+        // the purge tick must go in that purge, and the heap bound
+        // (`next_at() <= now`) must let the scan run at equality.
+        dc.subscribe_similarity(query(1, wave(32, 0.2), 0.3, 1000));
+        dc.store_mbr(stored(0, &wave(32, 0.2), 1000));
+        let tick = SimTime::from_ms(1000);
+        assert_eq!(dc.purge_expired(tick), 2, "boundary items purged exactly at their tick");
+        assert!(!dc.has_subscription(1));
+        assert_eq!(dc.mbr_count(), 0);
+        // A second purge at the same tick finds nothing — no double purge.
+        assert_eq!(dc.purge_expired(tick), 0);
+        assert_eq!(dc.purge_expired(SimTime::from_ms(1001)), 0);
+    }
+
+    #[test]
+    fn duplicated_delivery_does_not_double_purge() {
+        let mut dc = DataCenter::new(5);
+        // A duplicated NPER delivery re-subscribes the same query; the
+        // replacement leaves one stale heap timestamp behind. The purge at
+        // expiry must remove the single live copy once, and the stale
+        // entry must only cost a no-op scan, never a second removal.
+        dc.subscribe_similarity(query(1, wave(32, 0.2), 0.3, 1000));
+        dc.subscribe_similarity(query(1, wave(32, 0.2), 0.3, 1000));
+        let tick = SimTime::from_ms(1000);
+        assert_eq!(dc.purge_expired(tick), 1, "one live copy, one removal");
+        assert_eq!(dc.purge_expired(tick), 0, "stale duplicate timestamp is a no-op");
+        // `store_mbr` appends blindly (the dedup cache upstream suppresses
+        // duplicated copies); both raw copies purge in one pass.
+        dc.store_mbr(stored(0, &wave(32, 0.2), 2000));
+        dc.store_mbr(stored(0, &wave(32, 0.2), 2000));
+        assert_eq!(dc.purge_expired(SimTime::from_ms(2000)), 2);
+        assert_eq!(dc.mbr_count(), 0);
+        assert_eq!(dc.purge_expired(SimTime::from_ms(2000)), 0);
+    }
 }

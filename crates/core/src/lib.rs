@@ -10,6 +10,8 @@
 //! * [`datacenter`] — per-node index shards, subscriptions, expiry;
 //! * [`cluster`] — the full middleware over a Chord ring with message
 //!   accounting;
+//! * [`reliability`] — acked delivery with retry/backoff, bounded dedup,
+//!   parked late effects and coverage-tagged degradation (DESIGN.md §12);
 //! * [`api`] — the Fig. 5 application view (`update` / `subscribe` /
 //!   periodic pushes);
 //! * [`system`] — the §V experiment driver (periodic streams, Poisson
@@ -25,6 +27,7 @@ pub mod datacenter;
 pub mod mapping;
 pub mod messages;
 pub mod query;
+pub mod reliability;
 pub mod report;
 pub mod system;
 
@@ -38,7 +41,13 @@ pub use query::{
     AlertCondition, InnerProductQuery, MatchNotification, QueryId, SimilarityKind, SimilarityQuery,
     StreamId,
 };
-pub use report::{EventCounts, HopComponents, LoadComponents, OverheadComponents, SystemReport};
+pub use reliability::{
+    DedupCache, DeliveryVerdict, PendingDelivery, PendingEffect, ReliabilityConfig,
+    ReliabilityState, Resolution,
+};
+pub use report::{
+    EventCounts, HopComponents, LoadComponents, OverheadComponents, ReliabilityReport, SystemReport,
+};
 pub use system::{
     run_experiment, run_experiment_on, run_experiment_traced, ExperimentConfig, TracedExperiment,
 };

@@ -79,6 +79,12 @@ pub enum Message {
         /// Stream being resolved.
         stream: StreamId,
     },
+    /// Reliability-layer acknowledgment of a delivered message id
+    /// (DESIGN.md §12); an unacked send retries with exponential backoff.
+    Ack {
+        /// Id of the message being acknowledged.
+        msg_id: u64,
+    },
 }
 
 impl Message {
@@ -99,6 +105,7 @@ impl Message {
             Message::InnerProductPush { .. } => 8 + F64,
             Message::LocationPut { .. } => 4 + 8,
             Message::LocationGet { .. } => 4,
+            Message::Ack { .. } => 8,
         }
     }
 
@@ -196,6 +203,7 @@ mod tests {
             Message::InnerProductPush { query: 1, value: 3.5 },
             Message::LocationPut { stream: 2, source: 77 },
             Message::LocationGet { stream: 2 },
+            Message::Ack { msg_id: 9 },
         ];
         for m in msgs {
             assert!(m.payload_size() > 0, "{m:?}");

@@ -216,6 +216,11 @@ pub struct MatchNotification {
     pub stream: StreamId,
     /// When the aggregator emitted the notification.
     pub at: SimTime,
+    /// Fraction of the query's key range confirmed reached when the
+    /// query was disseminated: `1.0` on a lossless network, lower when
+    /// the reliability layer exhausted its retry budget on part of the
+    /// range and degraded to a partial answer (DESIGN.md §12).
+    pub coverage: f64,
 }
 
 #[cfg(test)]

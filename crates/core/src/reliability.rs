@@ -1,0 +1,378 @@
+//! Reliability layer: acked delivery with retry/backoff, dedup, and
+//! parked late effects (§ DESIGN.md §12).
+//!
+//! The simulator charges every message **once, at send time**; this module
+//! decides what happens to that message afterwards.  Each logical send is
+//! assigned a fresh message id and resolved through the active
+//! [`FaultPlan`]:
+//!
+//! * **Deliver** — the common case; the id lands in the dedup cache so a
+//!   replayed copy would be recognised.
+//! * **Duplicate** — the second copy hits the bounded dedup cache and is
+//!   suppressed (`dups_suppressed` counter); the receiver observes exactly
+//!   one delivery.
+//! * **Delay** — the message is in flight (charged and traced at send
+//!   time) but its *state effect* on the receiver is parked as a
+//!   [`PendingDelivery`] and drained at the receiver's next refresh tick,
+//!   mirroring [`dsi_simnet::DelayQueue`] semantics.
+//! * **Drop** — the sender retries with exponential backoff and
+//!   deterministic, seed-driven jitter, up to
+//!   [`ReliabilityConfig::max_retries`]; a message that exhausts the
+//!   budget is **Lost** and the caller degrades gracefully (partial
+//!   results tagged with a coverage estimate).
+//!
+//! Backoff is *analytic*: the virtual clock is not shifted, the total
+//! backoff spent is accumulated in [`ReliabilityState::backoff_ms_total`]
+//! as a latency model the report layer can surface.  This keeps retries
+//! from perturbing the deterministic NPER schedule.
+
+use dsi_chord::ChordId;
+use dsi_simnet::{FaultOutcome, FaultPlan, MsgClass, SimTime, HOP_DELAY_MS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashSet, VecDeque};
+
+use crate::datacenter::StoredMbr;
+use crate::query::{InnerProductQuery, QueryId, SimilarityQuery, StreamId};
+
+/// Tuning knobs for the retry/backoff state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReliabilityConfig {
+    /// Retry budget per logical message; exhaustion makes the message
+    /// `Lost` and triggers graceful degradation at the call site.
+    pub max_retries: u32,
+    /// First backoff step in virtual milliseconds; step `k` waits
+    /// `base << k` plus jitter.
+    pub base_backoff_ms: u64,
+    /// Capacity of the bounded dedup cache (oldest ids evicted first).
+    pub dedup_capacity: usize,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig {
+            max_retries: 5,
+            // One network hop is a natural first retry horizon.
+            base_backoff_ms: HOP_DELAY_MS,
+            dedup_capacity: 1024,
+        }
+    }
+}
+
+/// Bounded first-seen cache for message ids.
+///
+/// Backed by a `HashSet` for membership plus a `VecDeque` for FIFO
+/// eviction.  The set is never iterated, so map-order nondeterminism
+/// (lint rule D01) cannot leak into behaviour.
+#[derive(Debug, Default)]
+pub struct DedupCache {
+    capacity: usize,
+    seen: HashSet<u64>,
+    order: VecDeque<u64>,
+}
+
+impl DedupCache {
+    /// Create a cache that remembers at most `capacity` ids.
+    pub fn new(capacity: usize) -> Self {
+        DedupCache { capacity: capacity.max(1), seen: HashSet::new(), order: VecDeque::new() }
+    }
+
+    /// Record `id`; returns `true` when the id is fresh (first copy) and
+    /// `false` when it is a duplicate that must be suppressed.
+    pub fn insert(&mut self, id: u64) -> bool {
+        if !self.seen.insert(id) {
+            return false;
+        }
+        self.order.push_back(id);
+        while self.order.len() > self.capacity {
+            if let Some(evicted) = self.order.pop_front() {
+                self.seen.remove(&evicted);
+            }
+        }
+        true
+    }
+
+    /// Number of ids currently remembered.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+/// Terminal fate of one logical message after retries and dedup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryVerdict {
+    /// The receiver observes the message this tick.
+    Deliver,
+    /// The message is in flight but its effect lands one refresh period
+    /// late (parked as a [`PendingDelivery`]).
+    Late,
+    /// The retry budget is exhausted; the caller must degrade.
+    Lost,
+}
+
+/// Full accounting for one resolved send: verdict plus the counters the
+/// metrics layer records ([`dsi_simnet::Metrics::record_retry`] et al.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resolution {
+    /// What the receiver ultimately observes.
+    pub verdict: DeliveryVerdict,
+    /// Retries consumed before the terminal outcome (0 on first-try
+    /// success, `max_retries` on a lost message).
+    pub retries: u32,
+    /// A duplicated copy arrived and was suppressed by the dedup cache.
+    pub dup_suppressed: bool,
+    /// Analytic backoff latency accumulated by the retries, in virtual
+    /// milliseconds (exponential steps plus seeded jitter).
+    pub backoff_ms: u64,
+}
+
+/// Seeded, deterministic retry/backoff/dedup state machine.
+///
+/// Lives inside `Cluster` and is consulted once per logical message on
+/// every faulted send path.  Holding its own `StdRng` keeps the fault
+/// stream independent of workload randomness: a fault-free run consumes
+/// no draws and stays byte-identical to the historical golden outputs.
+#[derive(Debug)]
+pub struct ReliabilityState {
+    /// Per-class fault probabilities driving each delivery attempt.
+    pub plan: FaultPlan,
+    /// Retry/backoff/dedup tuning.
+    pub cfg: ReliabilityConfig,
+    rng: StdRng,
+    next_msg_id: u64,
+    dedup: DedupCache,
+    /// Total analytic backoff latency spent across all resolved sends.
+    pub backoff_ms_total: u64,
+}
+
+impl ReliabilityState {
+    /// Build the state machine for `plan`, seeding the fault RNG from
+    /// `seed` (derive it from the scenario seed for reproducibility).
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        plan.validate();
+        ReliabilityState::with_config(plan, seed, ReliabilityConfig::default())
+    }
+
+    /// [`ReliabilityState::new`] with explicit tuning knobs.
+    pub fn with_config(plan: FaultPlan, seed: u64, cfg: ReliabilityConfig) -> Self {
+        ReliabilityState {
+            plan,
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            next_msg_id: 0,
+            dedup: DedupCache::new(cfg.dedup_capacity),
+            backoff_ms_total: 0,
+        }
+    }
+
+    /// Resolve the fate of one logical message of `class`.
+    ///
+    /// Each delivery attempt consumes exactly one fault draw; each retry
+    /// additionally consumes one jitter draw.  The first non-`Drop`
+    /// outcome within the budget wins.
+    pub fn resolve(&mut self, class: MsgClass) -> Resolution {
+        let spec = self.plan.spec_for(class);
+        let mut retries = 0u32;
+        let mut backoff_ms = 0u64;
+        loop {
+            let msg_id = self.next_msg_id;
+            self.next_msg_id += 1;
+            match spec.outcome(&mut self.rng) {
+                FaultOutcome::Deliver => {
+                    self.dedup.insert(msg_id);
+                    self.backoff_ms_total += backoff_ms;
+                    return Resolution {
+                        verdict: DeliveryVerdict::Deliver,
+                        retries,
+                        dup_suppressed: false,
+                        backoff_ms,
+                    };
+                }
+                FaultOutcome::Duplicate => {
+                    // Two copies of the same id hit the wire; the dedup
+                    // cache admits the first and suppresses the second.
+                    let first = self.dedup.insert(msg_id);
+                    let second = self.dedup.insert(msg_id);
+                    debug_assert!(first && !second, "dedup must admit once");
+                    self.backoff_ms_total += backoff_ms;
+                    return Resolution {
+                        verdict: DeliveryVerdict::Deliver,
+                        retries,
+                        dup_suppressed: true,
+                        backoff_ms,
+                    };
+                }
+                FaultOutcome::Delay => {
+                    self.dedup.insert(msg_id);
+                    self.backoff_ms_total += backoff_ms;
+                    return Resolution {
+                        verdict: DeliveryVerdict::Late,
+                        retries,
+                        dup_suppressed: false,
+                        backoff_ms,
+                    };
+                }
+                FaultOutcome::Drop => {
+                    if retries >= self.cfg.max_retries {
+                        self.backoff_ms_total += backoff_ms;
+                        return Resolution {
+                            verdict: DeliveryVerdict::Lost,
+                            retries,
+                            dup_suppressed: false,
+                            backoff_ms,
+                        };
+                    }
+                    retries += 1;
+                    // Exponential step, capped so the shift cannot
+                    // overflow, plus one seeded jitter draw.
+                    let step = self.cfg.base_backoff_ms << (retries - 1).min(16);
+                    let jitter = self.rng.gen_range(0..=self.cfg.base_backoff_ms);
+                    backoff_ms += step + jitter;
+                }
+            }
+        }
+    }
+}
+
+/// Deferred receiver-side state change for a `Delay`ed message.
+#[derive(Debug, Clone)]
+pub enum PendingEffect {
+    /// A late replica copy lands in the target's MBR index.
+    StoreMbr(StoredMbr),
+    /// A late similarity subscription activates on the target node.
+    SubscribeSimilarity(SimilarityQuery),
+    /// A late inner-product subscription activates on the source node.
+    SubscribeInnerProduct(InnerProductQuery),
+    /// A late location-service refresh lands on the `h2` owner.
+    LocationPut {
+        /// Stream whose home is being advertised.
+        stream: StreamId,
+        /// Data-center currently homing the stream.
+        source: ChordId,
+    },
+    /// A late aggregated similarity response reaches the client.
+    Notify {
+        /// Query the response answers.
+        query: QueryId,
+        /// Matching streams confirmed by the aggregator.
+        matches: Vec<StreamId>,
+        /// Virtual time the aggregator emitted the response.
+        at: SimTime,
+    },
+    /// A late periodic inner-product push reaches the client.
+    IpResult {
+        /// Query the push answers.
+        query: QueryId,
+        /// Reconstructed inner-product value.
+        value: f64,
+        /// Whether the alert condition fired for this value.
+        alert: bool,
+        /// Virtual time the source emitted the push.
+        at: SimTime,
+    },
+}
+
+/// A parked effect waiting for the receiver's next refresh tick.
+#[derive(Debug, Clone)]
+pub struct PendingDelivery {
+    /// Earliest virtual time the effect may apply.
+    pub due: SimTime,
+    /// Node whose refresh tick drains this effect.
+    pub to: ChordId,
+    /// The deferred state change.
+    pub effect: PendingEffect,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_simnet::FaultSpec;
+
+    fn drop_only(p: f64) -> FaultPlan {
+        FaultPlan::uniform(FaultSpec { drop_prob: p, dup_prob: 0.0, delay_prob: 0.0 })
+    }
+
+    #[test]
+    fn dedup_cache_is_bounded_and_suppresses_repeats() {
+        let mut cache = DedupCache::new(3);
+        assert!(cache.insert(1));
+        assert!(!cache.insert(1));
+        assert!(cache.insert(2));
+        assert!(cache.insert(3));
+        assert!(cache.insert(4)); // evicts 1
+        assert_eq!(cache.len(), 3);
+        assert!(cache.insert(1), "evicted id is fresh again");
+        assert!(!cache.insert(4), "recent id still suppressed");
+    }
+
+    #[test]
+    fn lossless_plan_always_delivers_without_retries() {
+        let mut state = ReliabilityState::new(drop_only(0.0), 7);
+        for class in MsgClass::ALL {
+            let res = state.resolve(class);
+            assert_eq!(res.verdict, DeliveryVerdict::Deliver);
+            assert_eq!(res.retries, 0);
+            assert_eq!(res.backoff_ms, 0);
+            assert!(!res.dup_suppressed);
+        }
+        assert_eq!(state.backoff_ms_total, 0);
+    }
+
+    #[test]
+    fn certain_drop_exhausts_budget_and_reports_lost() {
+        let mut state = ReliabilityState::new(drop_only(1.0), 7);
+        let res = state.resolve(MsgClass::MbrOriginated);
+        assert_eq!(res.verdict, DeliveryVerdict::Lost);
+        assert_eq!(res.retries, state.cfg.max_retries);
+        // Exponential schedule: base * (2^0 + ... + 2^(r-1)) plus jitter
+        // in [0, base] per retry.
+        let base = state.cfg.base_backoff_ms;
+        let floor = base * ((1 << state.cfg.max_retries) - 1);
+        assert!(res.backoff_ms >= floor);
+        assert!(res.backoff_ms <= floor + base * u64::from(state.cfg.max_retries));
+        assert_eq!(state.backoff_ms_total, res.backoff_ms);
+    }
+
+    #[test]
+    fn duplicate_outcome_is_suppressed_exactly_once() {
+        let mut state = ReliabilityState::new(
+            FaultPlan::uniform(FaultSpec { drop_prob: 0.0, dup_prob: 1.0, delay_prob: 0.0 }),
+            42,
+        );
+        let res = state.resolve(MsgClass::Query);
+        assert_eq!(res.verdict, DeliveryVerdict::Deliver);
+        assert!(res.dup_suppressed);
+    }
+
+    #[test]
+    fn resolution_stream_is_deterministic_for_a_seed() {
+        let plan = drop_only(0.4).with_class(
+            MsgClass::Query,
+            FaultSpec { drop_prob: 0.2, dup_prob: 0.2, delay_prob: 0.2 },
+        );
+        let run = |seed: u64| {
+            let mut state = ReliabilityState::new(plan, seed);
+            (0..256)
+                .map(|i| state.resolve(MsgClass::ALL[i % MsgClass::ALL.len()]))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100), "different seeds diverge");
+    }
+
+    #[test]
+    fn delay_outcome_reports_late() {
+        let mut state = ReliabilityState::new(
+            FaultPlan::uniform(FaultSpec { drop_prob: 0.0, dup_prob: 0.0, delay_prob: 1.0 }),
+            3,
+        );
+        let res = state.resolve(MsgClass::Response);
+        assert_eq!(res.verdict, DeliveryVerdict::Late);
+        assert_eq!(res.retries, 0);
+    }
+}

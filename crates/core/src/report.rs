@@ -185,6 +185,48 @@ impl SystemReport {
     }
 }
 
+/// Reliability-layer accounting: what the retry/backoff/dedup machinery
+/// did during a run (DESIGN.md §12).
+///
+/// Kept *separate* from [`SystemReport`] so the golden Figure series stays
+/// byte-identical for fault-free runs; a clean run reports all-zero
+/// counters and `avg_coverage == 1.0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityReport {
+    /// Total delivery retries across all message classes.
+    pub retries: u64,
+    /// Messages whose effect landed one refresh period late.
+    pub redeliveries: u64,
+    /// Duplicated copies suppressed by the bounded dedup cache.
+    pub dups_suppressed: u64,
+    /// Number of coverage samples recorded (one per degraded-capable op).
+    pub coverage_samples: u64,
+    /// Mean fraction of the key range confirmed reached (1.0 = complete).
+    pub avg_coverage: f64,
+}
+
+impl ReliabilityReport {
+    /// Assemble the reliability report from collected metrics.
+    pub fn from_metrics(metrics: &Metrics) -> Self {
+        let (retries, redeliveries, dups_suppressed) = metrics.reliability_totals();
+        ReliabilityReport {
+            retries,
+            redeliveries,
+            dups_suppressed,
+            coverage_samples: metrics.coverage_count(),
+            avg_coverage: metrics.avg_coverage().unwrap_or(1.0),
+        }
+    }
+
+    /// Whether the run saw no reliability events at all (fault-free).
+    pub fn is_clean(&self) -> bool {
+        self.retries == 0
+            && self.redeliveries == 0
+            && self.dups_suppressed == 0
+            && self.coverage_samples == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,5 +270,27 @@ mod tests {
             responses_in_transit: 0.75,
         };
         assert!((l.total() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reliability_report_reads_counters_and_detects_clean_runs() {
+        let mut m = Metrics::new();
+        let clean = ReliabilityReport::from_metrics(&m);
+        assert!(clean.is_clean());
+        assert!((clean.avg_coverage - 1.0).abs() < 1e-12);
+
+        m.record_retry(MsgClass::MbrOriginated);
+        m.record_retry(MsgClass::Query);
+        m.record_redelivery(MsgClass::Response);
+        m.record_dup_suppressed(MsgClass::QueryInternal);
+        m.record_coverage(0.5);
+        m.record_coverage(1.0);
+        let r = ReliabilityReport::from_metrics(&m);
+        assert!(!r.is_clean());
+        assert_eq!(r.retries, 2);
+        assert_eq!(r.redeliveries, 1);
+        assert_eq!(r.dups_suppressed, 1);
+        assert_eq!(r.coverage_samples, 2);
+        assert!((r.avg_coverage - 0.75).abs() < 1e-12);
     }
 }

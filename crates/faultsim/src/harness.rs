@@ -1,7 +1,7 @@
 //! Scenario execution against a full [`Cluster`], with an invariant audit
 //! after every event.
 //!
-//! Six oracles run after each scheduled event:
+//! Seven oracles run after each scheduled event:
 //!
 //! 1. **No false dismissals** — every match a brute-force reference index
 //!    (a flat list of all surviving MBR records) produces must also be a
@@ -19,18 +19,29 @@
 //!    well-formed, its reconstructed per-class counters equal [`Metrics`]
 //!    bit for bit, and every multicast traced since the previous audit
 //!    delivered to exactly the brute-force owner set of its key range.
+//! 7. **Eventual completeness** — when per-class faults degrade coverage
+//!    (DESIGN.md §12), the coverage oracles (1 and 3) switch from instant
+//!    to eventual mode: a hole is tolerated while the periodic repair
+//!    converges, but must close within [`K_REFRESH_ROUNDS`] NPER rounds.
 //!
 //! [`Metrics`]: dsi_simnet::Metrics
 //!
-//! Faults (drop/duplicate/delay) apply only to NPER notify ticks: they
-//! model lost periodic messages, which the middleware's soft state must
-//! absorb, and they provably cannot create index-coverage violations — so
-//! every oracle stays sound under fault injection.
+//! NPER faults ([`ScenarioConfig::faults`], drop/duplicate/delay) apply
+//! only to notify ticks: they model lost periodic messages, which the
+//! middleware's soft state must absorb, and they provably cannot create
+//! index-coverage violations — so every oracle stays sound and *instant*
+//! under them. Per-class faults ([`ScenarioConfig::class_faults`]) instead
+//! hit every overlay send inside the cluster's reliability layer; retry,
+//! failover and degradation bound the damage, and oracle 7 verifies the
+//! repair loop erases it.
 
 use crate::scenario::{FaultEvent, Scenario, ScenarioConfig};
 use dsi_chord::{covering_nodes, multicast, ChordId, Ring};
-use dsi_core::{radius_key_range, Cluster, ClusterConfig, SimilarityQuery, StoredMbr, StreamId};
-use dsi_simnet::{FaultOutcome, MsgClass, SimTime, NUM_CLASSES};
+use dsi_core::{
+    radius_key_range, Cluster, ClusterConfig, ReliabilityReport, SimilarityQuery, StoredMbr,
+    StreamId,
+};
+use dsi_simnet::{DelayQueue, FaultOutcome, MsgClass, SimTime, NUM_CLASSES};
 use dsi_streamgen::RandomWalk;
 use dsi_trace::{multicast_delivery_set, validate_causality, TraceSummary};
 use rand::rngs::StdRng;
@@ -43,7 +54,7 @@ use std::collections::BTreeSet;
 pub struct Violation {
     /// Which oracle fired (`no-false-dismissal`, `routing-termination`,
     /// `replica-placement`, `metrics-conservation`, `purge`,
-    /// `trace-conformance`).
+    /// `trace-conformance`, `eventual-completeness`).
     pub oracle: String,
     /// Human-readable description of the violated invariant.
     pub detail: String,
@@ -73,6 +84,10 @@ pub struct RunReport {
     /// Causal-trace digest of the run: counts, golden hash, per-class
     /// latency/hop percentiles. Attached to reproducers on failure.
     pub trace: TraceSummary,
+    /// Reliability-layer totals (retries, redeliveries, suppressed
+    /// duplicates, coverage). All-zero / coverage-free when
+    /// [`ScenarioConfig::class_faults`] is `FaultPlan::NONE`.
+    pub reliability: ReliabilityReport,
 }
 
 /// Replays a scenario's schedule against a fresh cluster, auditing every
@@ -100,6 +115,7 @@ pub fn run_scenario(scenario: &Scenario) -> RunReport {
                 final_nodes: h.cluster.num_nodes(),
                 final_time_ms: h.now.as_ms(),
                 trace: h.trace_summary(),
+                reliability: ReliabilityReport::from_metrics(h.cluster.metrics()),
             };
         }
     }
@@ -112,6 +128,7 @@ pub fn run_scenario(scenario: &Scenario) -> RunReport {
         final_nodes: h.cluster.num_nodes(),
         final_time_ms: h.now.as_ms(),
         trace: h.trace_summary(),
+        reliability: ReliabilityReport::from_metrics(h.cluster.metrics()),
     }
 }
 
@@ -123,6 +140,15 @@ fn class_names() -> Vec<&'static str> {
 /// Trace ring capacity: comfortably above the record count of the longest
 /// tier-1 schedule, so oracle 6 always audits a complete trace.
 const TRACE_CAPACITY: usize = 1 << 20;
+
+/// Refresh rounds the eventual-completeness oracle grants repair before a
+/// persistent coverage hole becomes a violation. Each NPER round runs one
+/// [`Cluster::repair_coverage`] sweep, which re-sends every missing copy
+/// through the armed fault plan; with per-copy retry budgets of 5 the
+/// probability a specific copy survives `drop_prob = 0.3` unrepaired for 6
+/// independent sweeps is (0.3⁶)⁶ ≈ 10⁻¹⁹ — any persistent hole is a bug,
+/// not bad luck.
+const K_REFRESH_ROUNDS: u32 = 6;
 
 /// Scenario executor: the cluster under test plus the reference state the
 /// oracles compare against.
@@ -139,8 +165,9 @@ struct Harness {
     ref_mbrs: Vec<StoredMbr>,
     /// Reference copies of posted queries (pruned on expiry).
     ref_queries: Vec<SimilarityQuery>,
-    /// Nodes whose NPER cycle was delayed into the next round.
-    delayed: Vec<ChordId>,
+    /// Nodes whose NPER cycle was delayed into a later round, keyed by the
+    /// simulated time their late cycle becomes due.
+    delayed: DelayQueue<ChordId>,
     /// Nodes whose cycle ran during the latest notify round.
     notified: Vec<ChordId>,
     mbr_ships: u64,
@@ -149,6 +176,10 @@ struct Harness {
     /// Multicast metas already coverage-checked by oracle 6 (delta cursor:
     /// each meta is audited exactly once, against the ring it was sent on).
     audited_multicasts: usize,
+    /// Consecutive Notify-round audits on which a coverage oracle (1 or 3)
+    /// reported a hole while per-class faults were active. Reset to zero on
+    /// any clean audit; past [`K_REFRESH_ROUNDS`] oracle 7 fires.
+    incomplete_rounds: u32,
 }
 
 /// Replica-record identity: one batch shipped by one origin.
@@ -193,6 +224,13 @@ impl Harness {
         };
         let mut cluster = Cluster::new(cluster_cfg);
         cluster.set_churn_repair(!cfg.disable_churn_repair);
+        // Arm the reliability layer with its own seed stream, decoupled from
+        // the execution RNG so schedules truncate-replay identically whether
+        // or not per-class faults are active. `FaultPlan::NONE` disarms.
+        cluster.set_fault_plan(
+            cfg.class_faults,
+            scenario.seed.wrapping_mul(0xA076_1D64_78BD_642F).wrapping_add(0x2545_F491_4F6C_DD1D),
+        );
         let mut rng = StdRng::seed_from_u64(scenario.seed);
         for i in 0..cfg.num_streams {
             cluster.register_stream(&format!("fault-stream-{i}"), i % cfg.num_nodes);
@@ -211,12 +249,13 @@ impl Harness {
             walks,
             ref_mbrs: Vec::new(),
             ref_queries: Vec::new(),
-            delayed: Vec::new(),
+            delayed: DelayQueue::new(),
             notified: Vec::new(),
             mbr_ships: 0,
             queries_posted: 0,
             join_counter: 0,
             audited_multicasts: 0,
+            incomplete_rounds: 0,
         }
     }
 
@@ -375,14 +414,15 @@ impl Harness {
             FaultEvent::Notify => {
                 self.now += self.cfg.workload.nper_ms;
                 self.notified.clear();
-                // Deliver last round's delayed cycles first (late arrival).
-                let late: Vec<ChordId> = std::mem::take(&mut self.delayed);
-                for n in late {
+                // Deliver previously delayed cycles that are now due (late
+                // arrival, in original delay order for equal due times).
+                for n in self.delayed.drain_due(self.now) {
                     if self.cluster.node_ids().contains(&n) {
                         self.cluster.notify_cycle(n, self.now);
                         self.notified.push(n);
                     }
                 }
+                let nper = self.cfg.workload.nper_ms;
                 for n in self.cluster.node_ids().to_vec() {
                     match self.cfg.faults.outcome(&mut self.rng) {
                         FaultOutcome::Deliver => {
@@ -395,10 +435,19 @@ impl Harness {
                             self.notified.push(n);
                         }
                         FaultOutcome::Drop => {}
-                        FaultOutcome::Delay => self.delayed.push(n),
+                        FaultOutcome::Delay => self.delayed.push(self.now + nper, n),
                     }
                 }
                 self.cluster.purge_queries(self.now);
+                // Under per-class faults, each NPER round ends with one
+                // repair sweep re-sending the copies loss left missing —
+                // the convergence loop oracle 7 audits. Skipped when the
+                // injected churn-repair bug is armed: the self-test wants
+                // holes to persist.
+                if self.cluster.fault_plan_active() && !self.cfg.disable_churn_repair {
+                    self.cluster.set_trace_time(self.now);
+                    self.cluster.repair_coverage(self.now);
+                }
             }
         }
     }
@@ -409,14 +458,37 @@ impl Harness {
 
     fn check_oracles(&mut self, last: &FaultEvent) -> Option<(String, String)> {
         self.prune_reference();
-        if let Some(d) = self.oracle_no_false_dismissal() {
-            return Some(("no-false-dismissal".into(), d));
+        // Coverage oracles (1 and 3). Instant on a reliable network; under
+        // per-class faults they switch to eventual mode — oracle 7: a hole
+        // is tolerated while repair converges, but a violation persisting
+        // across K_REFRESH_ROUNDS consecutive Notify audits means the
+        // retry/failover/repair loop failed to restore completeness.
+        let coverage = self
+            .oracle_no_false_dismissal()
+            .map(|d| ("no-false-dismissal", d))
+            .or_else(|| self.oracle_replica_placement().map(|d| ("replica-placement", d)));
+        match coverage {
+            Some((oracle, d)) if !self.cluster.fault_plan_active() => {
+                return Some((oracle.into(), d));
+            }
+            Some((oracle, d)) => {
+                if matches!(last, FaultEvent::Notify) {
+                    self.incomplete_rounds += 1;
+                    if self.incomplete_rounds > K_REFRESH_ROUNDS {
+                        return Some((
+                            "eventual-completeness".into(),
+                            format!(
+                                "coverage hole not repaired within {K_REFRESH_ROUNDS} refresh \
+                                 rounds ({oracle}: {d})"
+                            ),
+                        ));
+                    }
+                }
+            }
+            None => self.incomplete_rounds = 0,
         }
         if let Some(d) = self.oracle_routing_termination() {
             return Some(("routing-termination".into(), d));
-        }
-        if let Some(d) = self.oracle_replica_placement() {
-            return Some(("replica-placement".into(), d));
         }
         if let Some(d) = self.oracle_metrics_conservation() {
             return Some(("metrics-conservation".into(), d));

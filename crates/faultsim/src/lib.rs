@@ -4,7 +4,7 @@
 //! the style of FoundationDB's simulator: a seed fully determines a
 //! scenario — node churn, message faults, stream bursts, query storms —
 //! which is replayed against a complete [`dsi_core::Cluster`] over
-//! simulated time. After every scheduled event the harness audits six
+//! simulated time. After every scheduled event the harness audits seven
 //! invariants end to end:
 //!
 //! 1. **No false dismissals** — the distributed index never misses a match
@@ -23,6 +23,11 @@
 //!    well-formed, reconstructs the metrics counters bit for bit, and
 //!    every traced multicast covered exactly the brute-force owner set
 //!    of its key range.
+//! 7. **Eventual completeness** — when per-class message faults are armed
+//!    (`ScenarioConfig::class_faults`, hitting *every* overlay send
+//!    through the cluster's reliability layer — DESIGN.md §12), coverage
+//!    holes left by loss must be erased by retry, failover and periodic
+//!    repair within a bounded number of NPER refresh rounds.
 //!
 //! On a violation the failing run is serialized as a minimal
 //! [`Reproducer`] (seed + truncated schedule + trace summary) to

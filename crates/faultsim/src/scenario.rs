@@ -8,7 +8,7 @@
 //! reproducers rely on.
 
 use dsi_chord::RangeStrategy;
-use dsi_simnet::FaultSpec;
+use dsi_simnet::{FaultPlan, FaultSpec};
 use dsi_streamgen::WorkloadConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -29,6 +29,11 @@ pub struct ScenarioConfig {
     pub workload: WorkloadConfig,
     /// Message faults applied to NPER notify ticks.
     pub faults: FaultSpec,
+    /// Per-message-class faults applied to *every* overlay send through
+    /// the cluster's reliability layer (retry/backoff, failover,
+    /// degradation — DESIGN.md §12). `FaultPlan::NONE` leaves the layer
+    /// disarmed and the run byte-identical to the historical behavior.
+    pub class_faults: FaultPlan,
     /// Disables replica rebalancing on churn — the known-bug injection
     /// switch the oracle self-test flips.
     pub disable_churn_repair: bool,
@@ -54,6 +59,7 @@ impl Default for ScenarioConfig {
             strategy: RangeStrategy::Sequential,
             workload,
             faults: FaultSpec::NONE,
+            class_faults: FaultPlan::NONE,
             disable_churn_repair: false,
         }
     }
@@ -63,6 +69,13 @@ impl ScenarioConfig {
     /// A variant with lossy/duplicating/delaying NPER delivery.
     pub fn with_faults(mut self, faults: FaultSpec) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// A variant arming the cluster's reliability layer with per-class
+    /// faults on every overlay send.
+    pub fn with_class_faults(mut self, plan: FaultPlan) -> Self {
+        self.class_faults = plan;
         self
     }
 
@@ -145,6 +158,7 @@ impl Scenario {
     pub fn generate(seed: u64, config: ScenarioConfig) -> Scenario {
         config.workload.validate();
         config.faults.validate();
+        config.class_faults.validate();
         assert!(config.num_nodes >= 3, "scenarios need at least three data centers");
         assert!(config.num_streams >= 1, "scenarios need at least one stream");
         let mut rng =

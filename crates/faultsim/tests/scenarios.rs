@@ -1,6 +1,7 @@
-//! Tier-1 fault-injection campaigns: ≥25 seeded scenarios, each replaying
+//! Tier-1 fault-injection campaigns: ≥25 seeded scenarios — each also run
+//! with all-class message faults through the reliability layer — replaying
 //! a full churn/fault/burst/storm schedule against a live cluster with all
-//! five invariant oracles armed after every event.
+//! seven invariant oracles armed after every event.
 //!
 //! A violation writes `results/repro-<seed>.json` and fails the test with
 //! the path, so the failure is replayable offline:
@@ -14,7 +15,7 @@ use dsi_faultsim::{
     load_reproducer, run_scenario, write_reproducer, Reproducer, RunReport, Scenario,
     ScenarioConfig,
 };
-use dsi_simnet::FaultSpec;
+use dsi_simnet::{FaultPlan, FaultSpec, MsgClass};
 
 /// Runs one scenario; on violation, serializes the reproducer and panics
 /// with its path.
@@ -38,6 +39,12 @@ fn assert_clean(seed: u64, cfg: ScenarioConfig) -> RunReport {
 
 fn lossy() -> FaultSpec {
     FaultSpec { drop_prob: 0.15, dup_prob: 0.10, delay_prob: 0.10 }
+}
+
+/// Uniform per-class fault plan: every overlay send drops with `drop`
+/// probability and must be absorbed by retry/failover/repair (oracle 7).
+fn allclass(drop: f64) -> FaultPlan {
+    FaultPlan::uniform(FaultSpec { drop_prob: drop, dup_prob: 0.0, delay_prob: 0.0 })
 }
 
 /// Expands to one `#[test]` per seed, so every scenario shows up
@@ -104,12 +111,145 @@ scenario_tests! {
     };
 }
 
+// The same 26 scenarios re-run with every overlay send subject to 20%
+// drop through the reliability layer (ISSUE 5 acceptance): retry/backoff,
+// failover and periodic repair must keep all seven oracles green — the
+// coverage oracles in eventual mode.
+scenario_tests! {
+    seq_faultfree_seed_1_allclass02:  seed 1,
+        ScenarioConfig::default().with_class_faults(allclass(0.2));
+    seq_faultfree_seed_2_allclass02:  seed 2,
+        ScenarioConfig::default().with_class_faults(allclass(0.2));
+    seq_faultfree_seed_3_allclass02:  seed 3,
+        ScenarioConfig::default().with_class_faults(allclass(0.2));
+    seq_faultfree_seed_4_allclass02:  seed 4,
+        ScenarioConfig::default().with_class_faults(allclass(0.2));
+    seq_faultfree_seed_5_allclass02:  seed 5,
+        ScenarioConfig::default().with_class_faults(allclass(0.2));
+    seq_faultfree_seed_6_allclass02:  seed 6,
+        ScenarioConfig::default().with_class_faults(allclass(0.2));
+    seq_faultfree_seed_7_allclass02:  seed 7,
+        ScenarioConfig::default().with_class_faults(allclass(0.2));
+    seq_faultfree_seed_8_allclass02:  seed 8,
+        ScenarioConfig::default().with_class_faults(allclass(0.2));
+
+    seq_lossy_seed_11_allclass02:     seed 11,
+        ScenarioConfig::default().with_faults(lossy()).with_class_faults(allclass(0.2));
+    seq_lossy_seed_12_allclass02:     seed 12,
+        ScenarioConfig::default().with_faults(lossy()).with_class_faults(allclass(0.2));
+    seq_lossy_seed_13_allclass02:     seed 13,
+        ScenarioConfig::default().with_faults(lossy()).with_class_faults(allclass(0.2));
+    seq_lossy_seed_14_allclass02:     seed 14,
+        ScenarioConfig::default().with_faults(lossy()).with_class_faults(allclass(0.2));
+    seq_lossy_seed_15_allclass02:     seed 15,
+        ScenarioConfig::default().with_faults(lossy()).with_class_faults(allclass(0.2));
+    seq_drop_heavy_16_allclass02:     seed 16, ScenarioConfig::default()
+        .with_faults(FaultSpec { drop_prob: 0.4, dup_prob: 0.0, delay_prob: 0.0 })
+        .with_class_faults(allclass(0.2));
+    seq_dup_heavy_17_allclass02:      seed 17, ScenarioConfig::default()
+        .with_faults(FaultSpec { drop_prob: 0.0, dup_prob: 0.4, delay_prob: 0.0 })
+        .with_class_faults(allclass(0.2));
+    seq_delay_heavy_18_allclass02:    seed 18, ScenarioConfig::default()
+        .with_faults(FaultSpec { drop_prob: 0.0, dup_prob: 0.0, delay_prob: 0.4 })
+        .with_class_faults(allclass(0.2));
+
+    bidi_faultfree_21_allclass02:     seed 21,
+        ScenarioConfig::default().bidirectional().with_class_faults(allclass(0.2));
+    bidi_faultfree_22_allclass02:     seed 22,
+        ScenarioConfig::default().bidirectional().with_class_faults(allclass(0.2));
+    bidi_faultfree_23_allclass02:     seed 23,
+        ScenarioConfig::default().bidirectional().with_class_faults(allclass(0.2));
+    bidi_faultfree_24_allclass02:     seed 24,
+        ScenarioConfig::default().bidirectional().with_class_faults(allclass(0.2));
+    bidi_lossy_25_allclass02:         seed 25, ScenarioConfig::default()
+        .bidirectional().with_faults(lossy()).with_class_faults(allclass(0.2));
+    bidi_lossy_26_allclass02:         seed 26, ScenarioConfig::default()
+        .bidirectional().with_faults(lossy()).with_class_faults(allclass(0.2));
+
+    large_cluster_31_allclass02:      seed 31, ScenarioConfig {
+        num_nodes: 20, num_streams: 12, ..ScenarioConfig::default()
+    }.with_class_faults(allclass(0.2));
+    large_cluster_32_allclass02:      seed 32, ScenarioConfig {
+        num_nodes: 20, num_streams: 12, strategy: RangeStrategy::Bidirectional,
+        ..ScenarioConfig::default()
+    }.with_class_faults(allclass(0.2));
+    small_cluster_33_allclass02:      seed 33, ScenarioConfig {
+        num_nodes: 4, num_streams: 3, ..ScenarioConfig::default()
+    }.with_class_faults(allclass(0.2));
+    long_schedule_34_allclass02:      seed 34, ScenarioConfig {
+        num_events: 80, ..ScenarioConfig::default()
+    }.with_class_faults(allclass(0.2));
+    long_lossy_35_allclass02:         seed 35, ScenarioConfig {
+        num_events: 80, ..ScenarioConfig::default().with_faults(lossy())
+    }.with_class_faults(allclass(0.2));
+}
+
 #[test]
 fn runs_are_deterministic() {
     let scenario = Scenario::generate(42, ScenarioConfig::default().with_faults(lossy()));
     let a = run_scenario(&scenario);
     let b = run_scenario(&scenario);
     assert_eq!(a, b, "same scenario must produce byte-identical reports");
+}
+
+#[test]
+fn reliable_runs_are_deterministic_and_record_retries() {
+    let cfg = ScenarioConfig::default().with_class_faults(allclass(0.2));
+    let scenario = Scenario::generate(42, cfg);
+    let a = run_scenario(&scenario);
+    let b = run_scenario(&scenario);
+    assert_eq!(a, b, "armed reliability layer must stay seed-deterministic");
+    assert!(a.violation.is_none(), "20% all-class drop must be absorbed: {:?}", a.violation);
+    assert!(a.reliability.retries > 0, "a 20% drop rate must force retries");
+}
+
+#[test]
+fn duplicates_and_delays_on_all_classes_are_absorbed() {
+    let plan = FaultPlan::uniform(FaultSpec { drop_prob: 0.0, dup_prob: 0.2, delay_prob: 0.2 });
+    let report = assert_clean(57, ScenarioConfig::default().with_class_faults(plan));
+    assert!(report.reliability.dups_suppressed > 0, "duplicates must hit the dedup cache");
+    assert!(report.reliability.redeliveries > 0, "delays must park redeliveries");
+}
+
+/// Oracle 7's own self-test: query dissemination certain to be lost and
+/// churn repair disabled, so coverage holes can never close — the
+/// eventual-completeness oracle must fire once its grace window lapses.
+#[test]
+fn unrepaired_holes_trip_the_eventual_completeness_oracle() {
+    let lost = FaultSpec { drop_prob: 1.0, dup_prob: 0.0, delay_prob: 0.0 };
+    let plan =
+        FaultPlan::NONE.with_class(MsgClass::Query, lost).with_class(MsgClass::QueryInternal, lost);
+    let mut caught = None;
+    for seed in 0..50u64 {
+        let cfg = ScenarioConfig {
+            disable_churn_repair: true,
+            num_events: 60,
+            ..ScenarioConfig::default()
+        }
+        .with_class_faults(plan);
+        let scenario = Scenario::generate(seed, cfg);
+        let report = run_scenario(&scenario);
+        if let Some(v) = report.violation {
+            caught = Some(v);
+            break;
+        }
+    }
+    let v = caught.expect("total query loss without repair must trip an oracle within 50 seeds");
+    assert_eq!(
+        v.oracle, "eventual-completeness",
+        "expected the grace-window oracle, got `{}`: {}",
+        v.oracle, v.detail
+    );
+}
+
+/// Satellite of the purge-boundary work: a notify round duplicated on
+/// every node (NPER dup faults at certainty) must not double-purge or
+/// otherwise disturb any oracle.
+#[test]
+fn duplicated_notify_rounds_never_double_purge() {
+    let dup_all = FaultSpec { drop_prob: 0.0, dup_prob: 1.0, delay_prob: 0.0 };
+    let report = assert_clean(73, ScenarioConfig::default().with_faults(dup_all));
+    assert!(report.mbr_ships > 0);
 }
 
 #[test]
@@ -185,5 +325,37 @@ fn soak_lossy_campaign() {
         }
         let report = assert_clean(seed, cfg);
         assert!(report.mbr_ships > 0);
+    }
+}
+
+/// All-class lossy soak for the scheduled CI matrix: 20 fresh seeds ×
+/// 200-event schedules with every overlay send subject to drop faults.
+/// The drop probability comes from `DSI_LOSSY_DROP` (default 0.2; the CI
+/// matrix sweeps 0.1/0.2/0.3). Run with:
+/// `DSI_LOSSY_DROP=0.3 cargo test -p dsi-faultsim soak_allclass -- --ignored`
+#[test]
+#[ignore = "long soak; run explicitly or from the scheduled CI matrix"]
+fn soak_allclass_lossy_campaign() {
+    let drop: f64 = std::env::var("DSI_LOSSY_DROP")
+        .ok()
+        .map(|v| v.parse().expect("DSI_LOSSY_DROP must be a probability"))
+        .unwrap_or(0.2);
+    assert!((0.0..=0.3).contains(&drop), "soak drop rates above 0.3 are not a supported regime");
+    for seed in 2000..2020u64 {
+        let mut cfg = ScenarioConfig {
+            num_events: 200,
+            num_nodes: 12,
+            num_streams: 10,
+            ..ScenarioConfig::default()
+        }
+        .with_class_faults(allclass(drop));
+        if seed % 2 == 1 {
+            cfg = cfg.bidirectional();
+        }
+        let report = assert_clean(seed, cfg);
+        assert!(report.mbr_ships > 0);
+        if drop > 0.0 {
+            assert!(report.reliability.retries > 0, "seed {seed}: lossy soak never retried");
+        }
     }
 }

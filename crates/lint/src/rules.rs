@@ -370,8 +370,12 @@ pub fn metrics_trace_pairing(f: &SourceFile) -> Vec<Violation> {
 // ----------------------------------------------------------------------
 
 /// Files on the per-message hot path.
-const R01_FILES: [&str; 3] =
-    ["chord/src/router.rs", "chord/src/multicast.rs", "simnet/src/engine.rs"];
+const R01_FILES: [&str; 4] = [
+    "chord/src/router.rs",
+    "chord/src/multicast.rs",
+    "simnet/src/engine.rs",
+    "core/src/reliability.rs",
+];
 
 /// **R01** — `unwrap()` / `expect(` on the routing / engine hot path:
 /// every one is a latent crash on a malformed overlay state, so each must

@@ -1,0 +1,7 @@
+// R01 positive: bare unwrap/expect on the reliability delivery path
+// (linted under `crates/core/src/reliability.rs`).
+pub fn retry_budget(budgets: &[u32], class: usize) -> u32 {
+    let base = budgets.first().unwrap();
+    let per_class = budgets.get(class).expect("class budget configured");
+    (*base).max(*per_class)
+}

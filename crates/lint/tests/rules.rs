@@ -120,12 +120,26 @@ fn r01_negative_handled_options_and_test_mods_pass() {
 #[test]
 fn r01_off_hot_path_is_ignored() {
     let (vs, _) = lint("r01_positive.rs", "crates/chord/src/ring.rs");
-    assert!(vs.is_empty(), "R01 covers router/multicast/engine only: {vs:?}");
+    assert!(vs.is_empty(), "R01 covers router/multicast/engine/reliability only: {vs:?}");
 }
 
 #[test]
 fn r01_allow_marker_suppresses_with_reason() {
     let (vs, allowed) = lint("r01_allowed.rs", "crates/chord/src/multicast.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+    assert_eq!(allowed, 1);
+}
+
+#[test]
+fn r01_covers_the_reliability_module() {
+    let (vs, _) = lint("r01_reliability_positive.rs", "crates/core/src/reliability.rs");
+    let rules: Vec<_> = vs.iter().map(|v| v.0).collect();
+    assert_eq!(rules, vec![R01, R01], "{vs:?}");
+}
+
+#[test]
+fn r01_reliability_allow_marker_suppresses_with_reason() {
+    let (vs, allowed) = lint("r01_reliability_allowed.rs", "crates/core/src/reliability.rs");
     assert!(vs.is_empty(), "{vs:?}");
     assert_eq!(allowed, 1);
 }

@@ -171,6 +171,73 @@ impl<E> Engine<E> {
     }
 }
 
+/// A deterministic holding pen for delayed messages: items parked with a
+/// due time, drained in `(due_time, insertion_order)` order once the clock
+/// reaches them.
+///
+/// This is the re-delivery half of [`crate::faults::FaultOutcome::Delay`]:
+/// the fault layer parks the message here instead of delivering it, and the
+/// driver drains the queue at each tick so a message delayed at period *n*
+/// re-delivers at period *n + 1*. Items carry no ordering requirements of
+/// their own — FIFO among equal due times keeps replays byte-identical.
+pub struct DelayQueue<M> {
+    heap: BinaryHeap<Scheduled<M>>,
+    seq: u64,
+}
+
+impl<M> Default for DelayQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> DelayQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        DelayQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Number of parked items.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Parks `item` until the clock reaches `due`.
+    pub fn push(&mut self, due: SimTime, item: M) {
+        self.heap.push(Scheduled { at: due, seq: self.seq, event: item });
+        self.seq += 1;
+    }
+
+    /// Due time of the earliest parked item, if any.
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Removes and returns every item whose due time is `<= now`, earliest
+    /// first, FIFO among ties.
+    pub fn drain_due(&mut self, now: SimTime) -> Vec<M> {
+        let mut out = Vec::new();
+        while self.heap.peek().is_some_and(|s| s.at <= now) {
+            // dsilint: allow(hot-path-unwrap, peek above proves the heap is non-empty)
+            out.push(self.heap.pop().expect("peeked").event);
+        }
+        out
+    }
+
+    /// Drops every parked item for which `keep` returns false (e.g. items
+    /// addressed to a node that has since crashed). Due times and insertion
+    /// order of survivors are preserved.
+    pub fn retain(&mut self, mut keep: impl FnMut(&M) -> bool) {
+        let survivors: Vec<Scheduled<M>> = self.heap.drain().filter(|s| keep(&s.event)).collect();
+        self.heap = survivors.into_iter().collect();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +338,37 @@ mod tests {
         assert_eq!(eng.ticks_dropped(), 2);
         assert_eq!(ticks[0].0, 12);
         assert_eq!(ticks[2], (14, 6)); // 6 events processed in total
+    }
+
+    #[test]
+    fn delay_queue_drains_in_due_then_fifo_order() {
+        let mut q: DelayQueue<u32> = DelayQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.next_due(), None);
+        q.push(SimTime::from_ms(20), 1);
+        q.push(SimTime::from_ms(10), 2);
+        q.push(SimTime::from_ms(10), 3);
+        q.push(SimTime::from_ms(30), 4);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.next_due(), Some(SimTime::from_ms(10)));
+        // Nothing due yet.
+        assert_eq!(q.drain_due(SimTime::from_ms(5)), Vec::<u32>::new());
+        // Due items come out earliest-first, FIFO among equal due times.
+        assert_eq!(q.drain_due(SimTime::from_ms(20)), vec![2, 3, 1]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.drain_due(SimTime::from_ms(30)), vec![4]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn delay_queue_retain_preserves_order() {
+        let mut q: DelayQueue<u32> = DelayQueue::new();
+        for (t, v) in [(10u64, 1u32), (10, 2), (10, 3), (5, 4)] {
+            q.push(SimTime::from_ms(t), v);
+        }
+        q.retain(|v| v % 2 == 1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.drain_due(SimTime::from_ms(100)), vec![1, 3]);
     }
 
     #[test]

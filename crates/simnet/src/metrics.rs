@@ -127,6 +127,11 @@ pub struct Metrics {
     hop_sum: [u64; NUM_CLASSES],
     hop_count: [u64; NUM_CLASSES],
     events: [u64; 3],
+    retries: [u64; NUM_CLASSES],
+    redeliveries: [u64; NUM_CLASSES],
+    dups_suppressed: [u64; NUM_CLASSES],
+    coverage_sum: f64,
+    coverage_count: u64,
 }
 
 impl Metrics {
@@ -250,6 +255,73 @@ impl Metrics {
         }
     }
 
+    /// Records one retransmission attempt of a message of `class` after a
+    /// drop (the message itself is charged once, when an attempt finally
+    /// lands — retries measure wasted bandwidth separately).
+    pub fn record_retry(&mut self, class: MsgClass) {
+        self.retries[class.index()] += 1;
+    }
+
+    /// Records a message of `class` whose effect was re-delivered a period
+    /// late out of the delay queue.
+    pub fn record_redelivery(&mut self, class: MsgClass) {
+        self.redeliveries[class.index()] += 1;
+    }
+
+    /// Records a duplicate copy of `class` suppressed by the receiver's
+    /// dedup cache (the original is charged normally; the duplicate is
+    /// accounted here and nowhere else).
+    pub fn record_dup_suppressed(&mut self, class: MsgClass) {
+        self.dups_suppressed[class.index()] += 1;
+    }
+
+    /// Records the key-range coverage achieved by one dissemination
+    /// (1.0 = every covering node confirmed reached).
+    pub fn record_coverage(&mut self, fraction: f64) {
+        debug_assert!((0.0..=1.0).contains(&fraction), "coverage {fraction} outside [0, 1]");
+        self.coverage_sum += fraction;
+        self.coverage_count += 1;
+    }
+
+    /// Retransmission attempts for a class.
+    pub fn retries(&self, class: MsgClass) -> u64 {
+        self.retries[class.index()]
+    }
+
+    /// Late re-deliveries for a class.
+    pub fn redeliveries(&self, class: MsgClass) -> u64 {
+        self.redeliveries[class.index()]
+    }
+
+    /// Suppressed duplicate copies for a class.
+    pub fn dups_suppressed(&self, class: MsgClass) -> u64 {
+        self.dups_suppressed[class.index()]
+    }
+
+    /// Sum of a reliability counter over all classes:
+    /// `(retries, redeliveries, dups_suppressed)`.
+    pub fn reliability_totals(&self) -> (u64, u64, u64) {
+        (
+            self.retries.iter().sum(),
+            self.redeliveries.iter().sum(),
+            self.dups_suppressed.iter().sum(),
+        )
+    }
+
+    /// Number of disseminations whose coverage was recorded.
+    pub fn coverage_count(&self) -> u64 {
+        self.coverage_count
+    }
+
+    /// Mean recorded coverage, or `None` if nothing was recorded.
+    pub fn avg_coverage(&self) -> Option<f64> {
+        if self.coverage_count == 0 {
+            None
+        } else {
+            Some(self.coverage_sum / self.coverage_count as f64)
+        }
+    }
+
     /// Resets all counters (used to discard the warm-up phase).
     pub fn reset(&mut self) {
         *self = Metrics::new();
@@ -355,6 +427,30 @@ impl Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn reliability_counters_accumulate_and_reset() {
+        let mut m = Metrics::new();
+        assert_eq!(m.reliability_totals(), (0, 0, 0));
+        assert_eq!(m.avg_coverage(), None);
+        m.record_retry(MsgClass::MbrInternal);
+        m.record_retry(MsgClass::MbrInternal);
+        m.record_retry(MsgClass::Query);
+        m.record_redelivery(MsgClass::Response);
+        m.record_dup_suppressed(MsgClass::ResponseInternal);
+        m.record_coverage(1.0);
+        m.record_coverage(0.5);
+        assert_eq!(m.retries(MsgClass::MbrInternal), 2);
+        assert_eq!(m.retries(MsgClass::Query), 1);
+        assert_eq!(m.redeliveries(MsgClass::Response), 1);
+        assert_eq!(m.dups_suppressed(MsgClass::ResponseInternal), 1);
+        assert_eq!(m.reliability_totals(), (3, 1, 1));
+        assert_eq!(m.coverage_count(), 2);
+        assert_eq!(m.avg_coverage(), Some(0.75));
+        m.reset();
+        assert_eq!(m.reliability_totals(), (0, 0, 0));
+        assert_eq!(m.avg_coverage(), None);
+    }
 
     #[test]
     fn record_route_splits_base_and_transit() {
