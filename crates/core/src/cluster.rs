@@ -13,6 +13,7 @@
 
 use crate::batching::MbrBatcher;
 use crate::datacenter::{DataCenter, StoredMbr};
+use crate::load::{LoadLedger, ReweightAction, ReweightConfig};
 use crate::mapping::{interval_key_range, radius_key_range, stream_key};
 use crate::query::{
     InnerProductQuery, MatchNotification, QueryId, SimilarityKind, SimilarityQuery, StreamId,
@@ -173,6 +174,17 @@ pub struct Cluster<R: ContentRouter = Ring> {
     /// Achieved dissemination coverage per query posted while a fault
     /// plan was armed (1.0 = the full key range was confirmed reached).
     query_coverage: HashMap<QueryId, f64>,
+    /// Per-round load history (see [`crate::load`]); filled only when the
+    /// driver calls [`Cluster::record_load_round`], so undriven runs stay
+    /// byte-identical to the historical behavior.
+    load_ledger: LoadLedger,
+    /// Virtual identifier → physical host it is accounted to. Empty until
+    /// re-weighting acts.
+    virtual_of: HashMap<ChordId, ChordId>,
+    /// Re-weighting policy; `None` (the default) disables the mitigation.
+    reweight: Option<ReweightConfig>,
+    /// Re-weighting actions taken, in execution order.
+    reweight_actions: Vec<ReweightAction>,
 }
 
 impl Cluster<Ring> {
@@ -234,6 +246,10 @@ impl<R: BuildRouter> Cluster<R> {
             reliability: None,
             pending: Vec::new(),
             query_coverage: HashMap::new(),
+            load_ledger: LoadLedger::new(),
+            virtual_of: HashMap::new(),
+            reweight: None,
+            reweight_actions: Vec::new(),
         }
     }
 }
@@ -495,6 +511,73 @@ impl<R: ContentRouter> Cluster<R> {
     }
 
     // ------------------------------------------------------------------
+    // Load ledger & virtual-node accounting (see crate::load)
+    // ------------------------------------------------------------------
+
+    /// The per-round load history. Empty unless the driver sampled rounds
+    /// with [`Cluster::record_load_round`].
+    pub fn load_ledger(&self) -> &LoadLedger {
+        &self.load_ledger
+    }
+
+    /// Physical host an identifier's load is attributed to: virtual
+    /// identifiers map to their assigned host while that host lives,
+    /// everything else (including virtuals orphaned by a host crash) maps
+    /// to itself.
+    pub fn physical_of(&self, id: ChordId) -> ChordId {
+        match self.virtual_of.get(&id) {
+            Some(&host) if self.nodes.contains_key(&host) => host,
+            _ => id,
+        }
+    }
+
+    /// Number of live virtual identifiers created by re-weighting.
+    pub fn virtual_node_count(&self) -> usize {
+        // dsilint: allow(unordered-iter, commutative count over map keys)
+        self.virtual_of.keys().filter(|id| self.nodes.contains_key(id)).count()
+    }
+
+    /// Arms (or disarms, with `None`) the virtual-node re-weighting
+    /// mitigation evaluated by `Cluster::maybe_reweight`.
+    ///
+    /// # Panics
+    /// Panics if the config is internally inconsistent.
+    pub fn set_reweighting(&mut self, cfg: Option<ReweightConfig>) {
+        if let Some(c) = &cfg {
+            c.validate();
+        }
+        self.reweight = cfg;
+    }
+
+    /// Re-weighting actions taken so far, in execution order.
+    pub fn reweight_actions(&self) -> &[ReweightAction] {
+        &self.reweight_actions
+    }
+
+    /// Samples one load-ledger round at `now`: every live identifier's
+    /// cumulative message count (from [`Metrics`]), stored MBRs and
+    /// subscription gauge, attributed to its physical host. Call once per
+    /// NPER round; purely observational (no RNG, no messages, no state
+    /// change beyond the ledger).
+    pub fn record_load_round(&mut self, now: SimTime) {
+        let samples: Vec<(ChordId, ChordId, u64, u64, u64)> = self
+            .node_order
+            .iter()
+            .map(|&id| {
+                let dc = &self.nodes[&id];
+                (
+                    id,
+                    self.physical_of(id),
+                    self.metrics.node_message_count(id),
+                    dc.mbr_count() as u64,
+                    dc.subscription_count() as u64,
+                )
+            })
+            .collect();
+        self.load_ledger.record(now.as_ms(), samples);
+    }
+
+    // ------------------------------------------------------------------
     // Replica rebalancing (§VII)
     // ------------------------------------------------------------------
 
@@ -648,6 +731,9 @@ impl Cluster<Ring> {
         self.ring.crash(id);
         self.nodes.remove(&id);
         self.node_order.retain(|&n| n != id);
+        // A crashed virtual identifier stops counting against its host;
+        // virtuals whose *host* crashed fall back to self-attribution.
+        self.virtual_of.remove(&id);
         self.location_cache.retain(|_, &mut source| source != id);
         // In-flight delayed effects addressed to the victim die with it.
         self.pending.retain(|p| p.to != id);
@@ -720,6 +806,93 @@ impl Cluster<Ring> {
         }
         self.record_route(MsgClass::Query, MsgClass::QueryTransit, &lookup.path, false);
         self.nodes.get_mut(&lookup.owner).expect("owner is live").location_put(stream, home);
+    }
+
+    /// Virtual-node re-weighting: the mitigation lever for Fourier-space
+    /// hotspots (correlated streams collapsing onto one arc, §IV-B).
+    ///
+    /// When armed via [`Cluster::set_reweighting`] and the ledger's
+    /// per-host max/mean ratio has exceeded `trip_ratio` for `trip_rounds`
+    /// consecutive rounds, the hottest identifier's owned arc
+    /// `(pred, hot]` is split by joining `split_into` additional *virtual*
+    /// identifiers at evenly spaced points inside it, each attributed (via
+    /// the load ledger) to one of the currently coldest physical hosts.
+    /// The virtual identifiers are full ring members joined through the
+    /// ordinary Chord protocol, so routing and the Eq. 6 covering sets
+    /// stay correct by construction; [`Cluster::repair_coverage`] then
+    /// hands them the live replicas and subscriptions of their new
+    /// intervals without resurrecting expired state.
+    ///
+    /// No-op (returns `None`) when disarmed, the streak is short, an
+    /// action is still cooling down, the action budget is spent, or the
+    /// hot arc is too narrow to split. Consumes no RNG.
+    pub fn maybe_reweight(&mut self, now: SimTime) -> Option<ReweightAction> {
+        let cfg = self.reweight?;
+        if self.reweight_actions.len() >= cfg.max_actions as usize {
+            return None;
+        }
+        let round_idx = self.load_ledger.rounds().len().checked_sub(1)?;
+        if let Some(last) = self.reweight_actions.last() {
+            if round_idx.saturating_sub(last.round) <= cfg.cooldown_rounds as usize {
+                return None;
+            }
+        }
+        if self.load_ledger.hot_streak(cfg.trip_ratio) < cfg.trip_rounds {
+            return None;
+        }
+        let last_round = &self.load_ledger.rounds()[round_idx];
+        let hot = last_round.hottest()?.node;
+        let hot_host = self.physical_of(hot);
+        let pred = self.ring.ideal_predecessor(hot)?;
+        if pred == hot {
+            // Single-node ring: nothing to split against.
+            return None;
+        }
+        let arc = self.space.distance_cw(pred, hot);
+        let step = arc / (cfg.split_into as u64 + 1);
+        if step == 0 {
+            return None;
+        }
+        // Coldest physical hosts first (ties toward the lower id), the hot
+        // identifier's own host excluded: they receive the new intervals.
+        let mut cold: Vec<(ChordId, u64)> = last_round
+            .by_host()
+            .into_iter()
+            .filter(|&(h, _)| h != hot_host && self.nodes.contains_key(&h))
+            .collect();
+        cold.sort_unstable_by_key(|&(h, m)| (m, h));
+        if cold.is_empty() {
+            return None;
+        }
+        let bootstrap = self.node_order[0];
+        let mut new_ids = Vec::new();
+        let mut hosts = Vec::new();
+        for k in 1..=cfg.split_into as u64 {
+            let id = self.space.add(pred, step * k);
+            if self.nodes.contains_key(&id) {
+                continue; // identifier collision: skip this split point
+            }
+            let host = cold[new_ids.len() % cold.len()].0;
+            self.ring.join(id, bootstrap);
+            self.stabilize();
+            self.nodes.insert(id, DataCenter::new(id));
+            self.node_order.push(id);
+            self.virtual_of.insert(id, host);
+            new_ids.push(id);
+            hosts.push(host);
+        }
+        if new_ids.is_empty() {
+            return None;
+        }
+        if self.tracer.is_enabled() {
+            self.tracer.set_now_ms(now.as_ms());
+        }
+        // Hand the new identifiers the live state of their intervals; the
+        // expiry filter keeps purged records purged.
+        self.repair_coverage(now);
+        let action = ReweightAction { round: round_idx, hot, new_ids, hosts, time_ms: now.as_ms() };
+        self.reweight_actions.push(action.clone());
+        Some(action)
     }
 
     /// Runs stabilization until the ring is fully consistent (bounded).

@@ -410,6 +410,13 @@ impl DataCenter {
         self.ip_subscriptions.values().filter(move |q| !q.expired(now))
     }
 
+    /// Total subscriptions of both kinds currently replicated here
+    /// (including not-yet-purged expired ones) — the load ledger's
+    /// per-round subscription gauge.
+    pub fn subscription_count(&self) -> usize {
+        self.subscriptions.len() + self.ip_subscriptions.len()
+    }
+
     /// Whether any subscription of either kind is active.
     pub fn has_active_subscriptions(&self, now: SimTime) -> bool {
         self.active_subscriptions(now).next().is_some()

@@ -12,6 +12,8 @@
 //!   accounting;
 //! * [`reliability`] — acked delivery with retry/backoff, bounded dedup,
 //!   parked late effects and coverage-tagged degradation (DESIGN.md §12);
+//! * [`load`] — per-node load ledger and virtual-node re-weighting
+//!   mitigation for Fourier-space hotspots (DESIGN.md §13);
 //! * [`api`] — the Fig. 5 application view (`update` / `subscribe` /
 //!   periodic pushes);
 //! * [`system`] — the §V experiment driver (periodic streams, Poisson
@@ -24,6 +26,7 @@ pub mod api;
 pub mod batching;
 pub mod cluster;
 pub mod datacenter;
+pub mod load;
 pub mod mapping;
 pub mod messages;
 pub mod query;
@@ -35,6 +38,7 @@ pub use api::{InnerProductPush, SimilarityPush, StreamIndex};
 pub use batching::MbrBatcher;
 pub use cluster::{Cluster, ClusterConfig, QualityStats, StreamRuntime};
 pub use datacenter::{DataCenter, StoredMbr};
+pub use load::{gini, LoadLedger, NodeLoad, ReweightAction, ReweightConfig, RoundLoad};
 pub use mapping::{feature_to_key, interval_key_range, radius_key_range, stream_key, summary_key};
 pub use messages::{batching_saving, Message, HEADER_BYTES};
 pub use query::{
@@ -46,7 +50,8 @@ pub use reliability::{
     ReliabilityState, Resolution,
 };
 pub use report::{
-    EventCounts, HopComponents, LoadComponents, OverheadComponents, ReliabilityReport, SystemReport,
+    EventCounts, HopComponents, LoadBalanceReport, LoadComponents, OverheadComponents,
+    ReliabilityReport, SystemReport,
 };
 pub use system::{
     run_experiment, run_experiment_on, run_experiment_traced, ExperimentConfig, TracedExperiment,

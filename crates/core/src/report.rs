@@ -227,6 +227,48 @@ impl ReliabilityReport {
     }
 }
 
+/// Load-balance accounting: what the per-node load ledger saw over a run
+/// (DESIGN.md §13).
+///
+/// Kept *separate* from [`SystemReport`] so the golden Figure series stays
+/// byte-identical — the ledger is only populated when the driver samples
+/// rounds explicitly, and a run that never sampled reports all zeros.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadBalanceReport {
+    /// Ledger rounds sampled.
+    pub rounds: u64,
+    /// Final round's per-host max/mean message ratio (0.0 when idle).
+    pub final_max_over_mean: f64,
+    /// Final round's Gini coefficient of per-host message load.
+    pub final_gini: f64,
+    /// Exact percentiles over every per-host per-round message load.
+    pub host_load: dsi_trace::Percentiles,
+    /// Re-weighting actions the mitigation took.
+    pub reweight_actions: u64,
+    /// Live virtual identifiers at the end of the run.
+    pub virtual_nodes: u64,
+}
+
+impl LoadBalanceReport {
+    /// Assemble the report from a cluster's load ledger and re-weighting
+    /// history.
+    pub fn from_ledger(
+        ledger: &crate::load::LoadLedger,
+        reweight_actions: u64,
+        virtual_nodes: u64,
+    ) -> Self {
+        let last = ledger.rounds().last();
+        LoadBalanceReport {
+            rounds: ledger.rounds().len() as u64,
+            final_max_over_mean: last.and_then(|r| r.max_over_mean()).unwrap_or(0.0),
+            final_gini: last.map_or(0.0, |r| r.gini()),
+            host_load: dsi_trace::Percentiles::of(&mut ledger.host_load_quantiles()),
+            reweight_actions,
+            virtual_nodes,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,6 +23,12 @@
 //!    (DESIGN.md §12), the coverage oracles (1 and 3) switch from instant
 //!    to eventual mode: a hole is tolerated while the periodic repair
 //!    converges, but must close within [`K_REFRESH_ROUNDS`] NPER rounds.
+//! 8. **Load balance** — when a [`LoadBound`] envelope is armed, the
+//!    per-host max/mean message ratio of each NPER round (from the
+//!    cluster's load ledger, DESIGN.md §13) must stay under the bound;
+//!    `grace_rounds` consecutive hot rounds are tolerated, plus
+//!    `recovery_rounds` more when virtual-node re-weighting is armed —
+//!    after which a still-hot ring means the mitigation was ineffective.
 //!
 //! [`Metrics`]: dsi_simnet::Metrics
 //!
@@ -35,14 +41,14 @@
 //! failover and degradation bound the damage, and oracle 7 verifies the
 //! repair loop erases it.
 
-use crate::scenario::{FaultEvent, Scenario, ScenarioConfig};
+use crate::scenario::{FaultEvent, LoadBound, Scenario, ScenarioConfig};
 use dsi_chord::{covering_nodes, multicast, ChordId, Ring};
 use dsi_core::{
-    radius_key_range, Cluster, ClusterConfig, ReliabilityReport, SimilarityQuery, StoredMbr,
-    StreamId,
+    radius_key_range, Cluster, ClusterConfig, LoadBalanceReport, ReliabilityReport,
+    SimilarityQuery, StoredMbr, StreamId,
 };
 use dsi_simnet::{DelayQueue, FaultOutcome, MsgClass, SimTime, NUM_CLASSES};
-use dsi_streamgen::RandomWalk;
+use dsi_streamgen::{CorrelatedWalks, TenantLedger, ZipfSampler};
 use dsi_trace::{multicast_delivery_set, validate_causality, TraceSummary};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -54,7 +60,7 @@ use std::collections::BTreeSet;
 pub struct Violation {
     /// Which oracle fired (`no-false-dismissal`, `routing-termination`,
     /// `replica-placement`, `metrics-conservation`, `purge`,
-    /// `trace-conformance`, `eventual-completeness`).
+    /// `trace-conformance`, `eventual-completeness`, `load-balance`).
     pub oracle: String,
     /// Human-readable description of the violated invariant.
     pub detail: String,
@@ -88,6 +94,12 @@ pub struct RunReport {
     /// duplicates, coverage). All-zero / coverage-free when
     /// [`ScenarioConfig::class_faults`] is `FaultPlan::NONE`.
     pub reliability: ReliabilityReport,
+    /// Queries turned away by per-tenant admission quotas (always zero
+    /// without a tenant policy).
+    pub quota_rejections: u64,
+    /// Per-round load-distribution summary from the cluster's load ledger
+    /// (DESIGN.md §13), including any re-weighting actions taken.
+    pub load: LoadBalanceReport,
 }
 
 /// Replays a scenario's schedule against a fresh cluster, auditing every
@@ -116,6 +128,8 @@ pub fn run_scenario(scenario: &Scenario) -> RunReport {
                 final_time_ms: h.now.as_ms(),
                 trace: h.trace_summary(),
                 reliability: ReliabilityReport::from_metrics(h.cluster.metrics()),
+                quota_rejections: h.quota_rejections,
+                load: h.load_report(),
             };
         }
     }
@@ -129,6 +143,8 @@ pub fn run_scenario(scenario: &Scenario) -> RunReport {
         final_time_ms: h.now.as_ms(),
         trace: h.trace_summary(),
         reliability: ReliabilityReport::from_metrics(h.cluster.metrics()),
+        quota_rejections: h.quota_rejections,
+        load: h.load_report(),
     }
 }
 
@@ -159,7 +175,15 @@ struct Harness {
     /// strictly in event order (the truncation-replay guarantee).
     rng: StdRng,
     now: SimTime,
-    walks: Vec<RandomWalk>,
+    /// Stream value generators: independent walks at `rho == 0`
+    /// (bit-identical to the historical `Vec<RandomWalk>` path), blended
+    /// with a shared latent walk under correlation skew.
+    walks: CorrelatedWalks,
+    /// Execution-time Zipf anchor sampler for query storms (mirrors the
+    /// generation-side sampler used for scheduled `PostQuery` events).
+    zipf: Option<ZipfSampler>,
+    /// Per-tenant admission quotas; `None` admits everything.
+    tenants: Option<TenantLedger>,
     /// Brute-force reference index: every shipped record, pruned when its
     /// last live holder disappears or it expires.
     ref_mbrs: Vec<StoredMbr>,
@@ -180,6 +204,12 @@ struct Harness {
     /// reported a hole while per-class faults were active. Reset to zero on
     /// any clean audit; past [`K_REFRESH_ROUNDS`] oracle 7 fires.
     incomplete_rounds: u32,
+    /// Consecutive Notify rounds whose max/mean ratio exceeded the armed
+    /// [`LoadBound`]; past its grace (plus recovery, when mitigation is
+    /// armed) oracle 8 fires.
+    hot_rounds: u32,
+    /// Queries rejected by the tenant quota.
+    quota_rejections: u64,
 }
 
 /// Replica-record identity: one batch shipped by one origin.
@@ -224,6 +254,8 @@ impl Harness {
         };
         let mut cluster = Cluster::new(cluster_cfg);
         cluster.set_churn_repair(!cfg.disable_churn_repair);
+        // Arm (or leave disarmed) the virtual-node re-weighting mitigation.
+        cluster.set_reweighting(cfg.mitigation);
         // Arm the reliability layer with its own seed stream, decoupled from
         // the execution RNG so schedules truncate-replay identically whether
         // or not per-class faults are active. `FaultPlan::NONE` disarms.
@@ -235,8 +267,12 @@ impl Harness {
         for i in 0..cfg.num_streams {
             cluster.register_stream(&format!("fault-stream-{i}"), i % cfg.num_nodes);
         }
-        let walks: Vec<RandomWalk> =
-            (0..cfg.num_streams).map(|_| RandomWalk::sample_spread(&mut rng)).collect();
+        // At rho == 0 this draws exactly one sample_spread per stream and
+        // no latent walk — the same rng consumption, and the same values,
+        // as the historical independent-walk vector.
+        let walks = CorrelatedWalks::sample_spread(&mut rng, cfg.num_streams, cfg.skew.rho);
+        let zipf = cfg.skew.zipf_exponent.map(|s| ZipfSampler::new(cfg.num_streams, s));
+        let tenants = cfg.skew.tenants.map(TenantLedger::new);
         // Measure from the start: oracle 4 audits the full message history,
         // and oracle 6 audits its causal trace against it.
         cluster.enable_tracing(TRACE_CAPACITY);
@@ -247,6 +283,8 @@ impl Harness {
             rng,
             now: SimTime::ZERO,
             walks,
+            zipf,
+            tenants,
             ref_mbrs: Vec::new(),
             ref_queries: Vec::new(),
             delayed: DelayQueue::new(),
@@ -256,7 +294,18 @@ impl Harness {
             join_counter: 0,
             audited_multicasts: 0,
             incomplete_rounds: 0,
+            hot_rounds: 0,
+            quota_rejections: 0,
         }
+    }
+
+    /// Load-distribution summary of the run so far.
+    fn load_report(&self) -> LoadBalanceReport {
+        LoadBalanceReport::from_ledger(
+            self.cluster.load_ledger(),
+            self.cluster.reweight_actions().len() as u64,
+            self.cluster.virtual_node_count() as u64,
+        )
     }
 
     /// Compact trace digest of the run so far (attached to every report).
@@ -283,7 +332,7 @@ impl Harness {
     }
 
     fn feed_one(&mut self, stream: usize) {
-        let v = self.walks[stream].next_value(&mut self.rng);
+        let v = self.walks.next_value(stream, &mut self.rng);
         if let Some(plan) = self.cluster.post_value(stream as StreamId, v, self.now) {
             self.mbr_ships += 1;
             // Capture the shipped record for the reference index: the entry
@@ -308,10 +357,16 @@ impl Harness {
     /// cluster stored) instead of being fished out of a node's shard.
     fn feed_tick(&mut self) {
         self.now += self.tick_ms();
-        let mut values = Vec::with_capacity(self.cfg.num_streams);
-        for s in 0..self.cfg.num_streams {
-            values.push((s as StreamId, self.walks[s].next_value(&mut self.rng)));
-        }
+        // One correlated tick: the latent walk advances first (a no-op at
+        // rho == 0), then every stream in index order — the same per-stream
+        // draw sequence as the historical loop.
+        let values: Vec<(StreamId, f64)> = self
+            .walks
+            .next_tick(&mut self.rng)
+            .into_iter()
+            .enumerate()
+            .map(|(s, v)| (s as StreamId, v))
+            .collect();
         let bspan = self.cluster.config().workload.bspan_ms;
         for (stream, mbr, _plan) in self.cluster.ingest_batch(&values, self.now) {
             self.mbr_ships += 1;
@@ -324,6 +379,15 @@ impl Harness {
     fn post_query(&mut self, client: u32, anchor: u32, radius: f64, lifespan_ms: u64) {
         let w = self.cfg.workload.window_len;
         let anchor = anchor as usize % self.cfg.num_streams;
+        // Tenant admission runs before any rng draw, so a rejected query
+        // consumes nothing and the remaining schedule replays identically.
+        if let Some(t) = &mut self.tenants {
+            let tenant = t.tenant_of(anchor);
+            if !t.try_admit(tenant) {
+                self.quota_rejections += 1;
+                return;
+            }
+        }
         let target: Vec<f64> = if self.cluster.streams()[anchor].extractor.is_warm() {
             // Near-miss of a live shape: exercises both matches and the
             // false-positive filter.
@@ -381,10 +445,23 @@ impl Harness {
             FaultEvent::QueryStorm { count } => {
                 for _ in 0..count {
                     let client: u32 = self.rng.gen();
-                    let anchor: u32 = self.rng.gen_range(0..self.cfg.num_streams as u32);
+                    let anchor: u32 = match &self.zipf {
+                        Some(z) => z.sample(&mut self.rng) as u32,
+                        None => self.rng.gen_range(0..self.cfg.num_streams as u32),
+                    };
                     let radius = self.rng.gen_range(0.03..0.25);
                     let lifespan = self.rng.gen_range(4_000..30_000);
                     self.post_query(client, anchor, radius, lifespan);
+                }
+            }
+            FaultEvent::Herd { client, anchor, count } => {
+                // Thundering herd: distinct clients rush one anchor in a
+                // single tick; radius/lifespan jitter keeps the queries
+                // near-identical rather than byte-identical.
+                for i in 0..count {
+                    let radius = self.rng.gen_range(0.03..0.25);
+                    let lifespan = self.rng.gen_range(4_000..30_000);
+                    self.post_query(client.wrapping_add(i), anchor, radius, lifespan);
                 }
             }
             FaultEvent::CrashNode { victim } => {
@@ -448,6 +525,15 @@ impl Harness {
                     self.cluster.set_trace_time(self.now);
                     self.cluster.repair_coverage(self.now);
                 }
+                // Round boundary bookkeeping: tenant quotas refill, the
+                // load ledger samples the round (purely observational),
+                // and the mitigation — when armed — re-evaluates. All
+                // three consume no rng.
+                if let Some(t) = &mut self.tenants {
+                    t.reset_round();
+                }
+                self.cluster.record_load_round(self.now);
+                let _ = self.cluster.maybe_reweight(self.now);
             }
         }
     }
@@ -497,11 +583,52 @@ impl Harness {
             if let Some(d) = self.oracle_purge() {
                 return Some(("purge".into(), d));
             }
+            if let Some(d) = self.oracle_load_balance() {
+                return Some(("load-balance".into(), d));
+            }
         }
         if let Some(d) = self.oracle_trace_conformance() {
             return Some(("trace-conformance".into(), d));
         }
         None
+    }
+
+    /// Oracle 8: per-host message load stays inside the armed
+    /// [`LoadBound`] envelope. A round is *hot* when its max/mean ratio
+    /// (per physical host, virtuals charged to their host) exceeds the
+    /// bound; `grace_rounds` consecutive hot rounds are tolerated. With
+    /// mitigation armed the budget stretches by `recovery_rounds` — the
+    /// re-weighting must then actually cool the ring, or the oracle calls
+    /// it ineffective. Disarmed (`load_bound: None`) it never fires.
+    fn oracle_load_balance(&mut self) -> Option<String> {
+        let bound: LoadBound = self.cfg.load_bound?;
+        let last = self.cluster.load_ledger().rounds().last()?;
+        let ratio = last.max_over_mean().unwrap_or(0.0);
+        if ratio <= bound.max_over_mean {
+            self.hot_rounds = 0;
+            return None;
+        }
+        self.hot_rounds += 1;
+        let mitigated = self.cfg.mitigation.is_some();
+        let budget = bound.grace_rounds + if mitigated { bound.recovery_rounds } else { 0 };
+        if self.hot_rounds <= budget {
+            return None;
+        }
+        let actions = self.cluster.reweight_actions().len();
+        let verdict = if actions > 0 {
+            format!("mitigation ineffective after {actions} re-weighting action(s)")
+        } else if mitigated {
+            "mitigation armed but never tripped".to_string()
+        } else {
+            "no mitigation armed".to_string()
+        };
+        Some(format!(
+            "per-host max/mean load ratio {ratio:.2} exceeded bound {:.2} for {} consecutive \
+             rounds (budget {budget}; gini {:.3}); {verdict}",
+            bound.max_over_mean,
+            self.hot_rounds,
+            last.gini(),
+        ))
     }
 
     /// Drops reference records that legitimately left the system: expired,

@@ -4,7 +4,7 @@
 //! the style of FoundationDB's simulator: a seed fully determines a
 //! scenario — node churn, message faults, stream bursts, query storms —
 //! which is replayed against a complete [`dsi_core::Cluster`] over
-//! simulated time. After every scheduled event the harness audits seven
+//! simulated time. After every scheduled event the harness audits eight
 //! invariants end to end:
 //!
 //! 1. **No false dismissals** — the distributed index never misses a match
@@ -28,6 +28,18 @@
 //!    through the cluster's reliability layer — DESIGN.md §12), coverage
 //!    holes left by loss must be erased by retry, failover and periodic
 //!    repair within a bounded number of NPER refresh rounds.
+//! 8. **Load balance** — under an armed [`LoadBound`], the per-host
+//!    max/mean message ratio of every NPER round stays inside the
+//!    envelope; with virtual-node re-weighting armed as mitigation
+//!    (`ScenarioConfig::mitigation`, DESIGN.md §13) the ratio must drop
+//!    back under the bound within the recovery budget after the cluster
+//!    splits the hot arc.
+//!
+//! Adversarial workloads are first-class: [`SkewConfig`] injects
+//! cross-stream correlation (flash crowds collapsing onto one Fourier
+//! arc), Zipf-skewed query popularity, thundering-herd registration
+//! bursts and per-tenant admission quotas — all strictly opt-in, so
+//! default scenarios stay byte-identical to the historical corpus.
 //!
 //! On a violation the failing run is serialized as a minimal
 //! [`Reproducer`] (seed + truncated schedule + trace summary) to
@@ -49,4 +61,4 @@ pub mod scenario;
 
 pub use harness::{run_scenario, RunReport, Violation};
 pub use repro::{load_reproducer, results_dir, write_reproducer, Reproducer};
-pub use scenario::{FaultEvent, Scenario, ScenarioConfig};
+pub use scenario::{FaultEvent, LoadBound, Scenario, ScenarioConfig, SkewConfig};

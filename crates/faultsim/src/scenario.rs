@@ -8,14 +8,83 @@
 //! reproducers rely on.
 
 use dsi_chord::RangeStrategy;
+use dsi_core::load::ReweightConfig;
 use dsi_simnet::{FaultPlan, FaultSpec};
-use dsi_streamgen::WorkloadConfig;
+use dsi_streamgen::{TenantPolicy, WorkloadConfig, ZipfSampler};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+/// Adversarial workload skew knobs. The all-default value (`rho == 0`, no
+/// Zipf bias, no herd, no tenants) reproduces the historical independent
+/// workload bit-for-bit — every knob is strictly opt-in.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SkewConfig {
+    /// Cross-stream correlation in `[0, 1]`: streams share a latent walk
+    /// with weight `rho`. At 1.0 every stream is byte-identical — the
+    /// worst-case Fourier-space hotspot.
+    pub rho: f64,
+    /// When set, query anchors are drawn from a Zipf(`s`) distribution
+    /// over stream ranks instead of uniformly — query-popularity skew.
+    pub zipf_exponent: Option<f64>,
+    /// When positive, query storms become thundering herds: `herd_count`
+    /// clients register near-identical queries on one anchor in one tick.
+    pub herd_count: u32,
+    /// Per-tenant query admission quotas (multi-tenant isolation).
+    pub tenants: Option<TenantPolicy>,
+}
+
+impl SkewConfig {
+    /// Validates all knobs.
+    ///
+    /// # Panics
+    /// Panics on out-of-range correlation or non-positive Zipf exponent.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.rho) && self.rho.is_finite(),
+            "correlation must lie in [0, 1], got {}",
+            self.rho
+        );
+        if let Some(s) = self.zipf_exponent {
+            assert!(s.is_finite() && s >= 0.0, "zipf exponent must be finite and >= 0, got {s}");
+        }
+    }
+}
+
+/// The Fig. 8-style load-balance envelope the eighth oracle enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadBound {
+    /// Maximum tolerated per-host max/mean message ratio per NPER round.
+    pub max_over_mean: f64,
+    /// Consecutive over-ratio rounds tolerated before the oracle trips
+    /// (mirrors the re-weighting trigger's K).
+    pub grace_rounds: u32,
+    /// Extra rounds granted when mitigation is armed: after re-weighting
+    /// fires, the ratio must fall back under the bound within this many
+    /// rounds or the mitigation is judged ineffective.
+    pub recovery_rounds: u32,
+}
+
+impl LoadBound {
+    /// Validates the envelope.
+    ///
+    /// # Panics
+    /// Panics if the ratio bound is not above 1 (max/mean is never below 1).
+    pub fn validate(&self) {
+        assert!(
+            self.max_over_mean.is_finite() && self.max_over_mean > 1.0,
+            "load bound must exceed 1 (max/mean is never below 1)"
+        );
+        assert!(self.grace_rounds > 0, "need at least one grace round");
+    }
+}
+
 /// Static shape of a scenario (everything except the seed-driven schedule).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Serialize` / `Deserialize` are hand-written (below) so the three skew
+/// fields default when absent — reproducers serialized before the
+/// adversarial pack still parse, as a skew-free config.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioConfig {
     /// Initial number of data centers.
     pub num_nodes: usize,
@@ -37,6 +106,63 @@ pub struct ScenarioConfig {
     /// Disables replica rebalancing on churn — the known-bug injection
     /// switch the oracle self-test flips.
     pub disable_churn_repair: bool,
+    /// Adversarial workload skew (correlation, Zipf queries, herds,
+    /// tenants). Defaults to no skew; absent in old serialized scenarios.
+    pub skew: SkewConfig,
+    /// Arms the load-balance oracle with a max/mean envelope. `None`
+    /// (default) leaves oracle 8 disarmed.
+    pub load_bound: Option<LoadBound>,
+    /// Arms virtual-node re-weighting as the hotspot mitigation. `None`
+    /// (default) leaves the cluster's ring membership untouched.
+    pub mitigation: Option<ReweightConfig>,
+}
+
+impl Serialize for ScenarioConfig {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("num_nodes".into(), self.num_nodes.to_value()),
+            ("num_streams".into(), self.num_streams.to_value()),
+            ("num_events".into(), self.num_events.to_value()),
+            ("strategy".into(), self.strategy.to_value()),
+            ("workload".into(), self.workload.to_value()),
+            ("faults".into(), self.faults.to_value()),
+            ("class_faults".into(), self.class_faults.to_value()),
+            ("disable_churn_repair".into(), self.disable_churn_repair.to_value()),
+            ("skew".into(), self.skew.to_value()),
+            ("load_bound".into(), self.load_bound.to_value()),
+            ("mitigation".into(), self.mitigation.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ScenarioConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        // The three skew knobs default when absent (pre-pack reproducers);
+        // everything else is required, exactly like the derived impl.
+        let req = |name: &str| serde::field(v, name, "ScenarioConfig");
+        Ok(ScenarioConfig {
+            num_nodes: Deserialize::from_value(req("num_nodes")?)?,
+            num_streams: Deserialize::from_value(req("num_streams")?)?,
+            num_events: Deserialize::from_value(req("num_events")?)?,
+            strategy: Deserialize::from_value(req("strategy")?)?,
+            workload: Deserialize::from_value(req("workload")?)?,
+            faults: Deserialize::from_value(req("faults")?)?,
+            class_faults: Deserialize::from_value(req("class_faults")?)?,
+            disable_churn_repair: Deserialize::from_value(req("disable_churn_repair")?)?,
+            skew: match v.get("skew") {
+                Some(x) => Deserialize::from_value(x)?,
+                None => SkewConfig::default(),
+            },
+            load_bound: match v.get("load_bound") {
+                Some(x) => Deserialize::from_value(x)?,
+                None => None,
+            },
+            mitigation: match v.get("mitigation") {
+                Some(x) => Deserialize::from_value(x)?,
+                None => None,
+            },
+        })
+    }
 }
 
 impl Default for ScenarioConfig {
@@ -61,6 +187,9 @@ impl Default for ScenarioConfig {
             faults: FaultSpec::NONE,
             class_faults: FaultPlan::NONE,
             disable_churn_repair: false,
+            skew: SkewConfig::default(),
+            load_bound: None,
+            mitigation: None,
         }
     }
 }
@@ -82,6 +211,43 @@ impl ScenarioConfig {
     /// A variant using bidirectional range multicast.
     pub fn bidirectional(mut self) -> Self {
         self.strategy = RangeStrategy::Bidirectional;
+        self
+    }
+
+    /// A variant with cross-stream correlation `rho` (flash-crowd skew).
+    pub fn correlated(mut self, rho: f64) -> Self {
+        self.skew.rho = rho;
+        self
+    }
+
+    /// A variant drawing query anchors from a Zipf(`s`) popularity law.
+    pub fn zipfian(mut self, s: f64) -> Self {
+        self.skew.zipf_exponent = Some(s);
+        self
+    }
+
+    /// A variant turning query storms into thundering herds of `count`
+    /// clients registering against one anchor in a single tick.
+    pub fn with_herd(mut self, count: u32) -> Self {
+        self.skew.herd_count = count;
+        self
+    }
+
+    /// A variant enforcing per-tenant query admission quotas.
+    pub fn with_tenants(mut self, tenants: TenantPolicy) -> Self {
+        self.skew.tenants = Some(tenants);
+        self
+    }
+
+    /// A variant arming the load-balance oracle with `bound`.
+    pub fn with_load_bound(mut self, bound: LoadBound) -> Self {
+        self.load_bound = Some(bound);
+        self
+    }
+
+    /// A variant arming virtual-node re-weighting as the mitigation.
+    pub fn with_mitigation(mut self, cfg: ReweightConfig) -> Self {
+        self.mitigation = Some(cfg);
         self
     }
 }
@@ -118,6 +284,17 @@ pub enum FaultEvent {
     /// A burst of queries arriving in one tick.
     QueryStorm {
         /// Number of queries.
+        count: u32,
+    },
+    /// A thundering herd: `count` distinct clients register near-identical
+    /// queries against the *same* anchor stream in one tick — the
+    /// registration-burst hotspot the load-balance oracle watches for.
+    Herd {
+        /// First client id; the herd uses `client + i` for `i < count`.
+        client: u32,
+        /// The single anchor stream everyone rushes (modulo stream count).
+        anchor: u32,
+        /// Herd size.
         count: u32,
     },
     /// Abrupt failure of one data center.
@@ -159,10 +336,21 @@ impl Scenario {
         config.workload.validate();
         config.faults.validate();
         config.class_faults.validate();
+        config.skew.validate();
+        if let Some(b) = &config.load_bound {
+            b.validate();
+        }
+        if let Some(m) = &config.mitigation {
+            m.validate();
+        }
         assert!(config.num_nodes >= 3, "scenarios need at least three data centers");
         assert!(config.num_streams >= 1, "scenarios need at least one stream");
         let mut rng =
             StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xFA17));
+        // Popularity-skewed anchor choice. With no Zipf bias the draw is
+        // the exact historical `gen_range` call, keeping old schedules
+        // byte-identical.
+        let zipf = config.skew.zipf_exponent.map(|s| ZipfSampler::new(config.num_streams, s));
 
         let w = &config.workload;
         let mut events = Vec::with_capacity(config.num_events + 3);
@@ -181,9 +369,22 @@ impl Scenario {
                 25..=39 => FaultEvent::Notify,
                 40..=52 => FaultEvent::PostQuery {
                     client: rng.gen(),
-                    anchor: rng.gen_range(0..config.num_streams as u32),
+                    anchor: match &zipf {
+                        Some(z) => z.sample(&mut rng) as u32,
+                        None => rng.gen_range(0..config.num_streams as u32),
+                    },
                     radius_milli: rng.gen_range(30..250),
                     lifespan_ms: rng.gen_range(4_000..30_000),
+                },
+                // The branch choice is config-driven (not an extra roll),
+                // so herd-free configs keep the historical draw sequence.
+                53..=58 if config.skew.herd_count > 0 => FaultEvent::Herd {
+                    client: rng.gen(),
+                    anchor: match &zipf {
+                        Some(z) => z.sample(&mut rng) as u32,
+                        None => rng.gen_range(0..config.num_streams as u32),
+                    },
+                    count: config.skew.herd_count,
                 },
                 53..=58 => FaultEvent::QueryStorm { count: rng.gen_range(3..9) },
                 59..=68 => FaultEvent::Burst {
@@ -260,5 +461,85 @@ mod tests {
     fn tiny_cluster_config_panics() {
         let cfg = ScenarioConfig { num_nodes: 2, ..ScenarioConfig::default() };
         let _ = Scenario::generate(1, cfg);
+    }
+
+    #[test]
+    fn default_skew_leaves_generation_byte_identical() {
+        // The skew knobs are strictly opt-in: an all-default SkewConfig
+        // must not shift a single generation-RNG draw.
+        let plain = Scenario::generate(9, ScenarioConfig::default());
+        let skewed = Scenario::generate(
+            9,
+            ScenarioConfig { skew: SkewConfig::default(), ..ScenarioConfig::default() },
+        );
+        assert_eq!(plain, skewed);
+    }
+
+    #[test]
+    fn herd_config_replaces_query_storms() {
+        let mut saw_herd = false;
+        for seed in 0..20 {
+            let s = Scenario::generate(seed, ScenarioConfig::default().with_herd(12));
+            for ev in &s.events {
+                assert!(
+                    !matches!(ev, FaultEvent::QueryStorm { .. }),
+                    "herd configs must not schedule plain storms"
+                );
+                if let FaultEvent::Herd { count, .. } = ev {
+                    assert_eq!(*count, 12);
+                    saw_herd = true;
+                }
+            }
+        }
+        assert!(saw_herd, "twenty seeds without a single herd roll");
+    }
+
+    #[test]
+    fn zipf_anchors_concentrate_on_low_ranks() {
+        let mut low = 0u32;
+        let mut total = 0u32;
+        for seed in 0..40 {
+            let s = Scenario::generate(seed, ScenarioConfig::default().zipfian(2.0));
+            for ev in &s.events {
+                if let FaultEvent::PostQuery { anchor, .. } = ev {
+                    total += 1;
+                    if *anchor < 2 {
+                        low += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 50, "expected a healthy query population, got {total}");
+        // Zipf(2.0) over 8 ranks puts ~85% of mass on ranks 0-1.
+        assert!(low * 10 > total * 6, "only {low}/{total} anchors hit the hot ranks");
+    }
+
+    #[test]
+    fn legacy_scenario_json_without_skew_fields_parses() {
+        let s = Scenario::generate(4, ScenarioConfig::default());
+        let mut v = serde_json::to_value(&s).unwrap();
+        // Strip the three skew fields, simulating a reproducer serialized
+        // before the adversarial pack existed.
+        if let serde::Value::Object(entries) = &mut v {
+            for (k, cv) in entries.iter_mut() {
+                if k == "config" {
+                    if let serde::Value::Object(cfg) = cv {
+                        cfg.retain(|(f, _)| {
+                            f.as_str() != "skew"
+                                && f.as_str() != "load_bound"
+                                && f.as_str() != "mitigation"
+                        });
+                    }
+                }
+            }
+        }
+        let back: Scenario = serde_json::from_value(&v).unwrap();
+        assert_eq!(s, back, "defaults must reconstruct the pre-skew config");
+    }
+
+    #[test]
+    #[should_panic(expected = "correlation must lie in")]
+    fn out_of_range_rho_is_rejected() {
+        let _ = Scenario::generate(1, ScenarioConfig::default().correlated(1.5));
     }
 }

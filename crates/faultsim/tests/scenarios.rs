@@ -1,7 +1,10 @@
 //! Tier-1 fault-injection campaigns: ≥25 seeded scenarios — each also run
 //! with all-class message faults through the reliability layer — replaying
 //! a full churn/fault/burst/storm schedule against a live cluster with all
-//! seven invariant oracles armed after every event.
+//! eight invariant oracles armed after every event, plus an adversarial
+//! pack (correlated flash crowds, Zipf query skew, thundering herds,
+//! tenant quotas) exercising the load-balance oracle and the virtual-node
+//! re-weighting mitigation.
 //!
 //! A violation writes `results/repro-<seed>.json` and fails the test with
 //! the path, so the failure is replayable offline:
@@ -11,11 +14,13 @@
 //! ```
 
 use dsi_chord::RangeStrategy;
+use dsi_core::ReweightConfig;
 use dsi_faultsim::{
-    load_reproducer, run_scenario, write_reproducer, Reproducer, RunReport, Scenario,
+    load_reproducer, run_scenario, write_reproducer, LoadBound, Reproducer, RunReport, Scenario,
     ScenarioConfig,
 };
 use dsi_simnet::{FaultPlan, FaultSpec, MsgClass};
+use dsi_streamgen::TenantPolicy;
 
 /// Runs one scenario; on violation, serializes the reproducer and panics
 /// with its path.
@@ -45,6 +50,19 @@ fn lossy() -> FaultSpec {
 /// probability and must be absorbed by retry/failover/repair (oracle 7).
 fn allclass(drop: f64) -> FaultPlan {
     FaultPlan::uniform(FaultSpec { drop_prob: drop, dup_prob: 0.0, delay_prob: 0.0 })
+}
+
+/// Scenario shape the adversarial pack runs on: enough streams that a
+/// flash crowd's key collapse visibly tilts per-host load.
+fn hot_shape() -> ScenarioConfig {
+    ScenarioConfig { num_nodes: 10, num_streams: 16, num_events: 60, ..ScenarioConfig::default() }
+}
+
+/// Load-balance envelope used by the mitigation scenarios: trip past
+/// 2.5× mean for 2 rounds, then re-weighting has 6 rounds to cool the
+/// ring (mirrors `ReweightConfig::default()`'s trigger).
+fn hotspot_bound() -> LoadBound {
+    LoadBound { max_over_mean: 2.5, grace_rounds: 2, recovery_rounds: 6 }
 }
 
 /// Expands to one `#[test]` per seed, so every scenario shows up
@@ -182,6 +200,88 @@ scenario_tests! {
     long_lossy_35_allclass02:         seed 35, ScenarioConfig {
         num_events: 80, ..ScenarioConfig::default().with_faults(lossy())
     }.with_class_faults(allclass(0.2));
+}
+
+// Adversarial workload pack: correlated flash crowds, Zipf-skewed query
+// popularity, thundering herds, tenant quotas, and skew combined with
+// churn and loss — each seeded and reproducer-capable like every other
+// tier-1 scenario. Scenarios arming `with_mitigation` also arm the
+// load-balance oracle: virtual-node re-weighting must keep the per-host
+// max/mean ratio inside the envelope while the other seven oracles stay
+// green across the ring changes it makes.
+scenario_tests! {
+    flash_crowd_rho09_41:      seed 41, hot_shape().correlated(0.9);
+    flash_crowd_rho1_42:       seed 42, hot_shape().correlated(1.0);
+    flash_crowd_mitigated_43:  seed 43, hot_shape().correlated(1.0)
+        .with_load_bound(hotspot_bound()).with_mitigation(ReweightConfig::default());
+    flash_crowd_mitigated_44:  seed 44, hot_shape().correlated(1.0)
+        .with_load_bound(hotspot_bound()).with_mitigation(ReweightConfig::default());
+    flash_crowd_mit_bidi_45:   seed 41, hot_shape().correlated(1.0).bidirectional()
+        .with_load_bound(hotspot_bound()).with_mitigation(ReweightConfig::default());
+    zipf_queries_12_46:        seed 42, hot_shape().zipfian(1.2);
+    zipf_queries_20_47:        seed 43, hot_shape().zipfian(2.0);
+    herd_seq_48:               seed 44, hot_shape().with_herd(12);
+    herd_bidi_49:              seed 45, hot_shape().with_herd(16).bidirectional();
+    herd_zipf_50:              seed 41, hot_shape().zipfian(1.5).with_herd(16);
+    skew_churn_loss_51:        seed 42, hot_shape().correlated(1.0).with_faults(lossy())
+        .with_mitigation(ReweightConfig::default());
+    skew_allclass_52:          seed 43, hot_shape().correlated(1.0)
+        .with_class_faults(allclass(0.2)).with_mitigation(ReweightConfig::default());
+    large_correlated_53:       seed 44, ScenarioConfig {
+        num_nodes: 20, num_streams: 16, num_events: 60, ..ScenarioConfig::default()
+    }.correlated(1.0).with_mitigation(ReweightConfig::default());
+    long_skew_54:              seed 41, ScenarioConfig {
+        num_events: 80, num_streams: 16, ..ScenarioConfig::default()
+    }.correlated(0.9).zipfian(1.5);
+}
+
+/// Multi-tenant quota breach: four tenants capped at two query admissions
+/// per NPER round under Zipf-popular anchors — the quota must actually
+/// reject (the breach is real), and rejected registrations must leave all
+/// oracles untouched.
+#[test]
+fn tenant_quota_breach_rejects_and_stays_sound() {
+    let cfg = hot_shape()
+        .zipfian(1.5)
+        .with_tenants(TenantPolicy { num_tenants: 4, queries_per_round: 2 });
+    let report = assert_clean(43, cfg);
+    assert!(report.quota_rejections > 0, "quota never rejected a query");
+    assert!(report.queries_posted > 0, "quota rejected everything");
+}
+
+/// Oracle 8's negative control (the issue's acceptance criterion): a
+/// flash crowd with every stream byte-identical (`rho == 1`) and no
+/// mitigation must trip the load-balance oracle; the *same seed* with
+/// virtual-node re-weighting armed must end clean, with the re-weighting
+/// actually having acted.
+#[test]
+fn flash_crowd_without_mitigation_trips_load_balance_oracle() {
+    let cfg = hot_shape().correlated(1.0).with_load_bound(hotspot_bound());
+    let scenario = Scenario::generate(204, cfg);
+    let report = run_scenario(&scenario);
+    let v = report.violation.expect("unmitigated flash crowd must trip an oracle");
+    assert_eq!(
+        v.oracle, "load-balance",
+        "expected the load-balance oracle, got `{}`: {}",
+        v.oracle, v.detail
+    );
+    assert!(v.detail.contains("no mitigation armed"), "detail must name the verdict: {}", v.detail);
+    // The failing run writes a replayable reproducer like any other.
+    let repro = Reproducer::from_failure(&scenario, v.clone()).with_trace(report.trace);
+    let path = write_reproducer(&repro);
+    let replayed = load_reproducer(&path).replay().expect("reproducer must replay the violation");
+    assert_eq!(replayed, v, "replay must reproduce the identical load-balance violation");
+}
+
+#[test]
+fn flash_crowd_with_reweighting_passes_load_balance_oracle() {
+    let cfg = hot_shape()
+        .correlated(1.0)
+        .with_load_bound(hotspot_bound())
+        .with_mitigation(ReweightConfig::default());
+    let report = assert_clean(204, cfg);
+    assert!(report.load.reweight_actions > 0, "mitigation was armed but never acted");
+    assert!(report.load.virtual_nodes > 0, "re-weighting must leave live virtual identifiers");
 }
 
 #[test]
@@ -357,5 +457,44 @@ fn soak_allclass_lossy_campaign() {
         if drop > 0.0 {
             assert!(report.reliability.retries > 0, "seed {seed}: lossy soak never retried");
         }
+    }
+}
+
+/// Adversarial skew soak for the scheduled CI matrix: 20 fresh seeds ×
+/// 200-event schedules under correlated streams, Zipf-popular query
+/// anchors, thundering herds and NPER loss, with virtual-node
+/// re-weighting armed on odd seeds (so the ring is actively reshaped
+/// while all eight oracles audit every event). The skew comes from
+/// `DSI_SKEW_RHO` (default 0.9) and `DSI_ZIPF_EXP` (default 1.5; the CI
+/// matrix sweeps both). Run with:
+/// `DSI_SKEW_RHO=1.0 DSI_ZIPF_EXP=2.0 cargo test -p dsi-faultsim soak_skew -- --ignored`
+#[test]
+#[ignore = "long soak; run explicitly or from the scheduled CI matrix"]
+fn soak_skew_campaign() {
+    let rho: f64 = std::env::var("DSI_SKEW_RHO")
+        .ok()
+        .map(|v| v.parse().expect("DSI_SKEW_RHO must be a correlation in [0, 1]"))
+        .unwrap_or(0.9);
+    let zipf: f64 = std::env::var("DSI_ZIPF_EXP")
+        .ok()
+        .map(|v| v.parse().expect("DSI_ZIPF_EXP must be a non-negative exponent"))
+        .unwrap_or(1.5);
+    for seed in 3000..3020u64 {
+        let mut cfg = ScenarioConfig {
+            num_events: 200,
+            num_nodes: 12,
+            num_streams: 16,
+            ..ScenarioConfig::default()
+        }
+        .correlated(rho)
+        .zipfian(zipf)
+        .with_herd(12)
+        .with_faults(lossy());
+        if seed % 2 == 1 {
+            cfg = cfg.with_mitigation(ReweightConfig::default());
+        }
+        let report = assert_clean(seed, cfg);
+        assert!(report.mbr_ships > 0);
+        assert!(report.queries_posted > 0, "seed {seed}: skew soak posted no queries");
     }
 }

@@ -370,11 +370,12 @@ pub fn metrics_trace_pairing(f: &SourceFile) -> Vec<Violation> {
 // ----------------------------------------------------------------------
 
 /// Files on the per-message hot path.
-const R01_FILES: [&str; 4] = [
+const R01_FILES: [&str; 5] = [
     "chord/src/router.rs",
     "chord/src/multicast.rs",
     "simnet/src/engine.rs",
     "core/src/reliability.rs",
+    "core/src/load.rs",
 ];
 
 /// **R01** — `unwrap()` / `expect(` on the routing / engine hot path:

@@ -1,0 +1,7 @@
+// R01 positive: bare unwrap/expect on the load-ledger accounting path
+// (linted under `crates/core/src/load.rs`).
+pub fn round_ratio(messages: &[u64]) -> f64 {
+    let max = messages.iter().max().unwrap();
+    let mean = messages.iter().sum::<u64>().checked_div(messages.len() as u64);
+    *max as f64 / mean.expect("non-empty round") as f64
+}

@@ -144,6 +144,30 @@ fn r01_reliability_allow_marker_suppresses_with_reason() {
     assert_eq!(allowed, 1);
 }
 
+#[test]
+fn r01_covers_the_load_ledger() {
+    let (vs, _) = lint("r01_loadledger_positive.rs", "crates/core/src/load.rs");
+    let rules: Vec<_> = vs.iter().map(|v| v.0).collect();
+    assert_eq!(rules, vec![R01, R01], "{vs:?}");
+}
+
+#[test]
+fn r01_loadledger_allow_marker_suppresses_with_reason() {
+    let (vs, allowed) = lint("r01_loadledger_allowed.rs", "crates/core/src/load.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+    assert_eq!(allowed, 1);
+}
+
+#[test]
+fn d01_covers_the_load_ledger_module() {
+    // The ledger lives in `crates/core/`, so the determinism rule audits
+    // its map iterations too (the shipped module carries an allow marker
+    // for its one commutative count).
+    let (vs, _) = lint("d01_positive.rs", "crates/core/src/load.rs");
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert_eq!(vs[0].0, D01);
+}
+
 // ---------------------------------------------------------------- X01
 
 #[test]

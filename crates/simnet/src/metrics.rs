@@ -234,6 +234,16 @@ impl Metrics {
             .collect()
     }
 
+    /// Cumulative messages charged to one node across all classes, counting
+    /// both endpoints (sent + received) like [`Metrics::per_node_load`] —
+    /// but as a raw count, so callers (the per-round load ledger) can take
+    /// exact deltas between observation points.
+    pub fn node_message_count(&self, node: u64) -> u64 {
+        let s: u64 = self.sent.get(&node).map_or(0, |a| a.iter().sum());
+        let r: u64 = self.received.get(&node).map_or(0, |a| a.iter().sum());
+        s + r
+    }
+
     /// Message overhead: how many messages of `class` the system sent per
     /// input event of `kind` (Fig. 7). Zero if no such events occurred.
     pub fn overhead(&self, class: MsgClass, kind: InputEvent) -> f64 {

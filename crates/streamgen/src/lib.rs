@@ -10,6 +10,8 @@
 //!   substitute);
 //! * [`queries`] — similarity / inner-product query workloads;
 //! * [`seasonal`] — harmonic (diurnal) streams over drifting baselines;
+//! * [`skew`] — adversarial skew: latent-factor correlated streams,
+//!   Zipfian query popularity, multi-tenant quotas;
 //! * [`config::WorkloadConfig`] — the Table I parameters.
 
 #![warn(missing_docs)]
@@ -19,6 +21,7 @@ pub mod hostload;
 pub mod queries;
 pub mod random_walk;
 pub mod seasonal;
+pub mod skew;
 pub mod stocks;
 
 pub use config::WorkloadConfig;
@@ -26,4 +29,5 @@ pub use hostload::{lag1_autocorrelation, HostLoad, HostLoadConfig};
 pub use queries::{InnerProductQuerySpec, QueryWorkload, SimilarityQuerySpec};
 pub use random_walk::RandomWalk;
 pub use seasonal::{Harmonic, SeasonalStream};
+pub use skew::{CorrelatedWalks, TenantLedger, TenantPolicy, ZipfSampler};
 pub use stocks::{pearson, Market, MarketConfig, StockRecord};

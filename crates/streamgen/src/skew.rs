@@ -1,0 +1,403 @@
+//! Adversarial workload skew: correlated streams, Zipfian popularity and
+//! multi-tenant quotas.
+//!
+//! The paper's Fourier-space locality (§IV-B) assumes stream summaries
+//! spread uniformly over the key circle. This module synthesizes the
+//! workloads that break the assumption:
+//!
+//! * [`CorrelatedWalks`] — a population of bounded random walks coupled to
+//!   one shared latent walk (a "market factor"): at correlation `ρ = 1`
+//!   every stream is byte-identical and all summaries collapse onto one
+//!   key arc (the flash-crowd hotspot);
+//! * [`ZipfSampler`] — a deterministic Zipf(s) rank sampler for
+//!   query-popularity skew (a few streams attract most queries);
+//! * [`TenantPolicy`] / [`TenantLedger`] — per-tenant stream/query tagging
+//!   with a per-round admission quota, for multi-tenant abuse scenarios.
+//!
+//! All generators draw from a caller-supplied RNG and consume it in a
+//! documented order, so seeded harness runs replay bit-identically.
+
+use crate::random_walk::RandomWalk;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A population of per-stream random walks sharing one latent walk.
+///
+/// Each tick, stream `i` emits `(1 - ρ) · own_i + ρ · latent`: its private
+/// walk blended with the shared factor. The blend is degenerate at the
+/// endpoints — `ρ = 0` is the fully independent population and `ρ = 1`
+/// makes every stream an exact copy of the latent walk.
+///
+/// # RNG discipline
+/// At `ρ = 0` no latent walk exists: construction and every tick draw
+/// **exactly** the values the equivalent `Vec<RandomWalk>` loop would draw,
+/// in the same order, so a `ρ = 0` run is bit-identical to the historical
+/// independent path (a regression test pins this). At `ρ > 0` the latent
+/// walk is sampled after the streams and advanced once per tick, before
+/// the per-stream draws.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorrelatedWalks {
+    streams: Vec<RandomWalk>,
+    latent: Option<RandomWalk>,
+    rho: f64,
+}
+
+impl CorrelatedWalks {
+    /// Samples `n` spread-feature walks (see [`RandomWalk::sample_spread`])
+    /// coupled with correlation `rho`; the latent walk is sampled last and
+    /// only when `rho > 0`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ rho ≤ 1`.
+    pub fn sample_spread<R: Rng + ?Sized>(rng: &mut R, n: usize, rho: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rho), "correlation must lie in [0, 1], got {rho}");
+        let streams = (0..n).map(|_| RandomWalk::sample_spread(rng)).collect();
+        let latent = (rho > 0.0).then(|| RandomWalk::sample_spread(rng));
+        CorrelatedWalks { streams, latent, rho }
+    }
+
+    /// Number of streams.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// True when the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// The configured correlation.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Advances the shared latent walk one step (no-op at `ρ = 0`).
+    /// Call once per tick, before the per-stream values.
+    pub fn advance_latent<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        if let Some(l) = self.latent.as_mut() {
+            l.next_value(rng);
+        }
+    }
+
+    /// Advances stream `i` one step and returns its blended value. The
+    /// latent walk is *not* advanced — within one tick every stream (and
+    /// every burst value) sees the same factor level.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn next_value<R: Rng + ?Sized>(&mut self, i: usize, rng: &mut R) -> f64 {
+        let own = self.streams[i].next_value(rng);
+        match &self.latent {
+            // ρ = 0: return the private walk's value untouched (bit-identical
+            // to the independent path — no arithmetic applied).
+            None => own,
+            Some(l) => (1.0 - self.rho) * own + self.rho * l.value(),
+        }
+    }
+
+    /// One tick: advances the latent walk, then every stream in index
+    /// order. Returns the blended values.
+    pub fn next_tick<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<f64> {
+        self.advance_latent(rng);
+        (0..self.streams.len()).map(|i| self.next_value(i, rng)).collect()
+    }
+}
+
+/// Deterministic Zipf(s) sampler over ranks `0..n` (rank 0 most popular).
+///
+/// `P(rank = k) ∝ (k + 1)^-s`. The cumulative table is precomputed at
+/// construction; each draw consumes exactly one `f64` from the RNG and
+/// binary-searches the table, so equal seeds yield equal sequences.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative (unnormalized) mass; `cdf[k]` = Σ_{j ≤ k} (j+1)^-s.
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf sampler needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += ((k + 1) as f64).powf(-s);
+            cdf.push(acc);
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the sampler has no ranks (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank in `0..n`, consuming exactly one `f64`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cdf.last().expect("sampler has at least one rank");
+        let u: f64 = rng.gen::<f64>() * total;
+        // First rank whose cumulative mass covers u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Static multi-tenant policy: how many tenants share the system and how
+/// many query admissions each gets per NPER round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TenantPolicy {
+    /// Number of tenants; streams and queries are tagged `id % num_tenants`.
+    pub num_tenants: usize,
+    /// Maximum queries one tenant may register per NPER round; further
+    /// registrations are rejected at admission.
+    pub queries_per_round: u32,
+}
+
+impl TenantPolicy {
+    /// Tenant tag of a stream (round-robin over the tenant set).
+    ///
+    /// # Panics
+    /// Panics if the policy has zero tenants.
+    pub fn tenant_of(&self, stream: usize) -> usize {
+        assert!(self.num_tenants > 0, "policy needs at least one tenant");
+        stream % self.num_tenants
+    }
+}
+
+/// Runtime admission ledger for a [`TenantPolicy`]: counts admissions per
+/// tenant within the current round and enforces the quota.
+#[derive(Debug, Clone)]
+pub struct TenantLedger {
+    policy: TenantPolicy,
+    admitted: Vec<u32>,
+    rejections: u64,
+}
+
+impl TenantLedger {
+    /// Fresh ledger with zero admissions.
+    ///
+    /// # Panics
+    /// Panics if the policy has zero tenants or a zero quota.
+    pub fn new(policy: TenantPolicy) -> Self {
+        assert!(policy.num_tenants > 0, "policy needs at least one tenant");
+        assert!(policy.queries_per_round > 0, "quota must admit at least one query per round");
+        TenantLedger { policy, admitted: vec![0; policy.num_tenants], rejections: 0 }
+    }
+
+    /// The governing policy.
+    pub fn policy(&self) -> TenantPolicy {
+        self.policy
+    }
+
+    /// Tenant tag of a stream.
+    pub fn tenant_of(&self, stream: usize) -> usize {
+        self.policy.tenant_of(stream)
+    }
+
+    /// Attempts to admit one query for `tenant` in the current round.
+    /// Returns `false` (and counts a rejection) once the tenant's quota for
+    /// the round is exhausted.
+    ///
+    /// # Panics
+    /// Panics if `tenant` is out of range.
+    pub fn try_admit(&mut self, tenant: usize) -> bool {
+        if self.admitted[tenant] < self.policy.queries_per_round {
+            self.admitted[tenant] += 1;
+            true
+        } else {
+            self.rejections += 1;
+            false
+        }
+    }
+
+    /// Admissions for `tenant` so far this round.
+    pub fn admitted(&self, tenant: usize) -> u32 {
+        self.admitted[tenant]
+    }
+
+    /// Total rejections across all rounds.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// Starts a new round: admission counters reset, the rejection total
+    /// survives.
+    pub fn reset_round(&mut self) {
+        self.admitted.iter_mut().for_each(|a| *a = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Satellite: at ρ = 0 the correlated population consumes the RNG
+        /// exactly like the independent `Vec<RandomWalk>` path and emits
+        /// bit-identical values.
+        #[test]
+        fn rho_zero_is_bit_identical_to_independent_walks(
+            seed in any::<u64>(),
+            n in 1usize..10,
+            ticks in 1usize..100,
+        ) {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let mut independent: Vec<RandomWalk> =
+                (0..n).map(|_| RandomWalk::sample_spread(&mut rng_a)).collect();
+            let mut correlated = CorrelatedWalks::sample_spread(&mut rng_b, n, 0.0);
+            for _ in 0..ticks {
+                let want: Vec<u64> = independent
+                    .iter_mut()
+                    .map(|w| w.next_value(&mut rng_a).to_bits())
+                    .collect();
+                let got: Vec<u64> = correlated
+                    .next_tick(&mut rng_b)
+                    .into_iter()
+                    .map(f64::to_bits)
+                    .collect();
+                prop_assert_eq!(want, got);
+            }
+        }
+
+        /// Satellite: equal seeds produce equal Zipf rank sequences.
+        #[test]
+        fn zipf_sampling_is_deterministic(
+            seed in any::<u64>(),
+            n in 1usize..64,
+            s in 0.0f64..3.0,
+        ) {
+            let z = ZipfSampler::new(n, s);
+            let draw = |sd| {
+                let mut rng = StdRng::seed_from_u64(sd);
+                (0..200).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+            };
+            let a = draw(seed);
+            prop_assert_eq!(a.clone(), draw(seed));
+            prop_assert!(a.iter().all(|&r| r < n));
+        }
+    }
+
+    /// Satellite: the empirical rank-frequency curve follows the requested
+    /// exponent — `freq(rank 0) / freq(rank 1) ≈ 2^s`.
+    #[test]
+    fn zipf_rank_frequency_matches_exponent() {
+        for &s in &[0.8, 1.2, 2.0] {
+            let z = ZipfSampler::new(50, s);
+            let mut rng = StdRng::seed_from_u64(99);
+            let mut freq = [0u64; 50];
+            for _ in 0..60_000 {
+                freq[z.sample(&mut rng)] += 1;
+            }
+            let ratio = freq[0] as f64 / freq[1] as f64;
+            let want = 2f64.powf(s);
+            assert!(
+                (ratio / want - 1.0).abs() < 0.15,
+                "s={s}: rank0/rank1 = {ratio:.3}, expected ≈ {want:.3}"
+            );
+            assert!(freq[0] > freq[10], "s={s}: head must dominate the tail");
+        }
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        let z = ZipfSampler::new(8, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut freq = [0u64; 8];
+        for _ in 0..16_000 {
+            freq[z.sample(&mut rng)] += 1;
+        }
+        for (r, &f) in freq.iter().enumerate() {
+            let dev = (f as f64 / 2000.0 - 1.0).abs();
+            assert!(dev < 0.15, "rank {r}: {f} draws deviates {dev:.3} from uniform");
+        }
+    }
+
+    #[test]
+    fn rho_one_makes_streams_byte_identical() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = CorrelatedWalks::sample_spread(&mut rng, 6, 1.0);
+        for _ in 0..50 {
+            let vals = c.next_tick(&mut rng);
+            let first = vals[0].to_bits();
+            assert!(vals.iter().all(|v| v.to_bits() == first), "streams diverged: {vals:?}");
+        }
+    }
+
+    #[test]
+    fn higher_rho_raises_cross_stream_correlation() {
+        // Pearson correlation between two streams' tick series must rise
+        // with ρ (the knob is monotone in effect, if not in exact value).
+        let corr_at = |rho: f64| {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut c = CorrelatedWalks::sample_spread(&mut rng, 2, rho);
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for _ in 0..800 {
+                let v = c.next_tick(&mut rng);
+                xs.push(v[0]);
+                ys.push(v[1]);
+            }
+            crate::stocks::pearson(&xs, &ys)
+        };
+        let lo = corr_at(0.0);
+        let hi = corr_at(0.9);
+        assert!(hi > lo + 0.3, "ρ=0.9 correlation {hi:.3} not above ρ=0 correlation {lo:.3}");
+        assert!(hi > 0.8, "ρ=0.9 streams should co-move strongly, got {hi:.3}");
+    }
+
+    #[test]
+    fn burst_values_share_the_tick_factor() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut c = CorrelatedWalks::sample_spread(&mut rng, 3, 1.0);
+        c.advance_latent(&mut rng);
+        // Repeated draws of different streams within one tick all equal the
+        // frozen latent level at ρ = 1.
+        let a = c.next_value(0, &mut rng);
+        let b = c.next_value(1, &mut rng);
+        let d = c.next_value(2, &mut rng);
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(b.to_bits(), d.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "correlation must lie in")]
+    fn out_of_range_rho_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = CorrelatedWalks::sample_spread(&mut rng, 2, 1.5);
+    }
+
+    #[test]
+    fn tenant_quota_admits_then_rejects_then_resets() {
+        let mut t = TenantLedger::new(TenantPolicy { num_tenants: 3, queries_per_round: 2 });
+        assert_eq!(t.tenant_of(4), 1);
+        assert!(t.try_admit(1));
+        assert!(t.try_admit(1));
+        assert!(!t.try_admit(1), "third admission must breach the quota");
+        assert!(t.try_admit(2), "other tenants are unaffected");
+        assert_eq!(t.admitted(1), 2);
+        assert_eq!(t.rejections(), 1);
+        t.reset_round();
+        assert!(t.try_admit(1), "quota resets each round");
+        assert_eq!(t.rejections(), 1, "rejection total survives the reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tenant")]
+    fn zero_tenant_policy_panics() {
+        let _ = TenantLedger::new(TenantPolicy { num_tenants: 0, queries_per_round: 1 });
+    }
+}

@@ -88,6 +88,22 @@ impl QuantileBuffer {
     pub fn max(&mut self) -> Option<u64> {
         self.percentile(1.0)
     }
+
+    /// Sum of all samples (exact, insertion-order independent).
+    pub fn sum(&self) -> u64 {
+        self.sorted.iter().sum()
+    }
+
+    /// Arithmetic mean, `None` when empty. Exposed for max/mean load-balance
+    /// envelopes: `max() / mean()` over per-node round loads is the hotspot
+    /// ratio the load ledger and its oracle track.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sum() as f64 / self.sorted.len() as f64)
+        }
+    }
 }
 
 /// p50/p95/p99/max summary of one distribution. All zeros when `count == 0`.

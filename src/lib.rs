@@ -13,7 +13,7 @@
 //! | [`dsp`] | `dsi-dsp` | DFT/FFT, sliding DFT (Eq. 5), normalization, feature vectors, MBRs |
 //! | [`chord`] | `dsi-chord` | SHA-1, identifier circle, finger tables, lookup, churn, range multicast |
 //! | [`simnet`] | `dsi-simnet` | discrete-event engine, 50 ms/hop cost model, metrics |
-//! | [`streamgen`] | `dsi-streamgen` | random walks, synthetic stocks, host-load traces, query workloads |
+//! | [`streamgen`] | `dsi-streamgen` | random walks, correlated/Zipf skew, synthetic stocks, host-load traces, query workloads |
 //! | [`core`] | `dsi-core` | the middleware: key mapping (Eq. 6), MBR batching, query handling, the §V experiment driver |
 //! | [`hierarchy`] | `dsi-hierarchy` | §VI extensions: leader hierarchy, variable selectivity, adaptive precision |
 //!
@@ -56,14 +56,16 @@ pub mod prelude {
         BuildRouter, ChordId, ContentRouter, IdSpace, PastryNet, RangeStrategy, Ring,
     };
     pub use dsi_core::{
-        run_experiment, AlertCondition, Cluster, ClusterConfig, ExperimentConfig, InnerProductPush,
-        InnerProductQuery, MatchNotification, QueryId, SimilarityKind, SimilarityPush,
-        SimilarityQuery, StreamId, StreamIndex, SystemReport,
+        gini, run_experiment, AlertCondition, Cluster, ClusterConfig, ExperimentConfig,
+        InnerProductPush, InnerProductQuery, LoadBalanceReport, MatchNotification, QueryId,
+        ReweightConfig, SimilarityKind, SimilarityPush, SimilarityQuery, StreamId, StreamIndex,
+        SystemReport,
     };
     pub use dsi_dsp::{FeatureExtractor, FeatureVector, Mbr, Normalization};
     pub use dsi_hierarchy::{AdaptivePrecision, HierarchicalIndex, Hierarchy};
     pub use dsi_simnet::SimTime;
     pub use dsi_streamgen::{
-        HostLoad, Market, MarketConfig, QueryWorkload, RandomWalk, WorkloadConfig,
+        CorrelatedWalks, HostLoad, Market, MarketConfig, QueryWorkload, RandomWalk, TenantLedger,
+        TenantPolicy, WorkloadConfig, ZipfSampler,
     };
 }

@@ -65,6 +65,30 @@ fn skewed_placement_still_spreads_index_load() {
 }
 
 #[test]
+fn hundred_node_experiment_load_stays_balanced() {
+    // §V at 100 nodes: with one independent random-walk stream per node,
+    // content routing must keep the per-node message load flat — no node
+    // hoards a disproportionate share, and the distribution stays far from
+    // the all-on-one-node extreme (Gini → 1).
+    let mut cfg = ExperimentConfig::with_nodes(100);
+    cfg.warmup_ms = 20_000;
+    cfg.measure_ms = 40_000;
+    let r = run_experiment(&cfg);
+    assert_eq!(r.per_node_load.len(), 100);
+    let mean = r.per_node_load.iter().sum::<f64>() / r.per_node_load.len() as f64;
+    assert!(mean > 0.0, "measurement window saw no load at all");
+    let max = r.per_node_load.iter().cloned().fold(0.0f64, f64::max);
+    let ratio = max / mean;
+    assert!(ratio < 8.0, "hottest node carries {ratio:.2}x the mean load");
+    // Same distribution through the exact-histogram Gini used by the
+    // faultsim load oracle (scaled to integer message counts).
+    let counts: Vec<u64> = r.per_node_load.iter().map(|l| (l * 1e3).round() as u64).collect();
+    let g = gini(&counts);
+    assert!(g < 0.6, "per-node load Gini {g:.3} indicates a hotspot");
+    assert!((0.0..1.0).contains(&g), "Gini out of range: {g}");
+}
+
+#[test]
 #[ignore = "stress run: ~1000 nodes, run with cargo test -- --ignored"]
 fn thousand_node_experiment_smoke() {
     let mut cfg = ExperimentConfig::with_nodes(1000);
