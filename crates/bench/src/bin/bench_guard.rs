@@ -1,0 +1,108 @@
+//! Bench-regression guard for CI smoke.
+//!
+//! Compares a freshly generated `BENCH_ingest.json` against the committed
+//! baseline and exits non-zero when a hot path regressed:
+//!
+//! - `local_candidates.speedup` in the fresh run must stay ≥ 8x (the
+//!   indexed candidate scan earning its keep over brute force); quick-mode
+//!   reports (`"quick": true`) are held to a 4x floor instead, since the
+//!   indexed advantage scales with the stored-set size and the smoke
+//!   dataset is 5x smaller;
+//! - fresh ingest items/sec (sequential and parallel) must not regress
+//!   more than 25% against the committed baseline.
+//!
+//! Usage: `bench_guard <fresh.json> [committed.json]` — the committed path
+//! defaults to the repo's `BENCH_ingest.json`. Generate the fresh file
+//! without clobbering the committed one via the `DSI_BENCH_OUT` override:
+//!
+//! ```text
+//! DSI_QUICK=1 DSI_BENCH_OUT=target/BENCH_ingest.fresh.json \
+//!     cargo run --release -p dsi-bench --bin bench_baseline
+//! cargo run --release -p dsi-bench --bin bench_guard -- target/BENCH_ingest.fresh.json
+//! ```
+
+use serde_json::Value;
+use std::process::ExitCode;
+
+/// Minimum acceptable indexed-over-linear candidate-scan speedup.
+const MIN_CANDIDATES_SPEEDUP: f64 = 8.0;
+/// Quick-mode floor: the smoke dataset stores 5x fewer MBRs, and the
+/// indexed scan's advantage over brute force grows with the stored set.
+const MIN_CANDIDATES_SPEEDUP_QUICK: f64 = 4.0;
+/// Maximum tolerated relative ingest-throughput regression.
+const MAX_INGEST_REGRESSION: f64 = 0.25;
+
+fn field<'a>(v: &'a Value, path: &[&str]) -> Option<&'a Value> {
+    let mut cur = v;
+    for key in path {
+        cur = cur.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)?;
+    }
+    Some(cur)
+}
+
+fn num(v: &Value, path: &[&str]) -> f64 {
+    field(v, path)
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| panic!("missing numeric field {}", path.join(".")))
+}
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read bench report {path}: {e}"));
+    serde_json::parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e:?}"))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let fresh_path = args.next().unwrap_or_else(|| {
+        eprintln!("usage: bench_guard <fresh.json> [committed.json]");
+        std::process::exit(2);
+    });
+    let committed_path = args.next().unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json").to_string()
+    });
+
+    let fresh = load(&fresh_path);
+    let committed = load(&committed_path);
+    let mut failures = Vec::new();
+
+    let quick = field(&fresh, &["quick"]).and_then(Value::as_bool).unwrap_or(false);
+    let floor = if quick { MIN_CANDIDATES_SPEEDUP_QUICK } else { MIN_CANDIDATES_SPEEDUP };
+    let speedup = num(&fresh, &["local_candidates", "speedup"]);
+    eprintln!(
+        "[bench_guard] local_candidates.speedup: {speedup:.2}x (floor {floor}x{})",
+        if quick { ", quick mode" } else { "" }
+    );
+    if speedup < floor {
+        failures.push(format!("local_candidates.speedup {speedup:.2}x below the {floor}x floor"));
+    }
+
+    for lane in ["sequential_items_per_sec", "parallel_items_per_sec"] {
+        let was = num(&committed, &["ingest", lane]);
+        let now = num(&fresh, &["ingest", lane]);
+        let floor = was * (1.0 - MAX_INGEST_REGRESSION);
+        eprintln!(
+            "[bench_guard] ingest.{lane}: {:.0} fresh vs {:.0} committed (floor {:.0})",
+            now, was, floor
+        );
+        if now < floor {
+            failures.push(format!(
+                "ingest.{lane} regressed more than {:.0}%: {:.0} < {:.0} (committed {:.0})",
+                MAX_INGEST_REGRESSION * 100.0,
+                now,
+                floor,
+                was
+            ));
+        }
+    }
+
+    if failures.is_empty() {
+        eprintln!("[bench_guard] OK — no hot-path regression");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("[bench_guard] FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -16,11 +16,23 @@ use serde::{Deserialize, Serialize};
 /// across a large slice of the ring. When adding a summary would push the
 /// routing interval past `max_width`, the pending batch is shipped early —
 /// the fixed-ζ ancestor of the §VI-A adaptive-precision scheme.
+///
+/// Internally only the *running corner bounds* of the pending batch are
+/// kept, not the member vectors: each push folds the new point in with the
+/// exact comparison sequence of [`Mbr::extend_point`], so the emitted MBR is
+/// bit-identical to `Mbr::from_features` over the members while the
+/// steady-state (non-emitting) push path performs zero heap allocations —
+/// the ingest hot-path contract of DESIGN.md §14.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MbrBatcher {
     zeta: usize,
     max_width: Option<f64>,
-    pending: Vec<FeatureVector>,
+    /// Running lower corner of the pending batch.
+    low: Vec<f64>,
+    /// Running upper corner of the pending batch.
+    high: Vec<f64>,
+    /// Number of summaries folded into the pending batch.
+    members: usize,
     produced: u64,
     early_shipments: u64,
 }
@@ -36,7 +48,9 @@ impl MbrBatcher {
         MbrBatcher {
             zeta,
             max_width: None,
-            pending: Vec::with_capacity(zeta),
+            low: Vec::new(),
+            high: Vec::new(),
+            members: 0,
             produced: 0,
             early_shipments: 0,
         }
@@ -91,34 +105,58 @@ impl MbrBatcher {
     /// Number of feature vectors waiting for the current batch to fill.
     #[inline]
     pub fn pending(&self) -> usize {
-        self.pending.len()
+        self.members
     }
 
     /// Adds a summary; returns an MBR when ζ summaries accumulated, or
     /// earlier when the width bound would be violated (the pending batch is
     /// shipped and the new summary starts the next one).
     pub fn push(&mut self, fv: FeatureVector) -> Option<Mbr> {
-        if let Some(limit) = self.max_width {
-            if !self.pending.is_empty() {
-                let mut probe = Mbr::from_features(self.pending.iter());
-                probe.extend_point(&fv.to_reals());
-                let (lo, hi) = probe.first_interval();
-                if hi - lo > limit {
-                    let mbr = Mbr::from_features(self.pending.iter());
-                    self.pending.clear();
-                    self.pending.push(fv);
-                    self.produced += 1;
-                    self.early_shipments += 1;
-                    return Some(mbr);
+        self.push_reals(&fv.to_reals())
+    }
+
+    /// [`MbrBatcher::push`] over a summary's flattened real coordinates —
+    /// the allocation-free variant: a push that does not complete a batch
+    /// touches only the running bounds (no heap traffic once the corner
+    /// buffers hold their capacity).
+    ///
+    /// # Panics
+    /// Panics if `reals` has a different dimensionality than the pending
+    /// batch.
+    pub fn push_reals(&mut self, reals: &[f64]) -> Option<Mbr> {
+        if self.members == 0 {
+            self.start_batch(reals);
+        } else {
+            assert_eq!(reals.len(), self.low.len(), "point dimensionality mismatch");
+            if let Some(limit) = self.max_width {
+                if !self.low.is_empty() {
+                    // Per-dimension independence of `extend_point` means the
+                    // probe's routing interval is just the running dim-0
+                    // interval extended by the new first coordinate.
+                    let p0 = reals[0];
+                    let lo = if p0 < self.low[0] { p0 } else { self.low[0] };
+                    let hi = if p0 > self.high[0] { p0 } else { self.high[0] };
+                    if hi - lo > limit {
+                        let mbr = self.take_mbr();
+                        self.start_batch(reals);
+                        self.early_shipments += 1;
+                        return Some(mbr);
+                    }
                 }
             }
+            // The exact comparison sequence of `Mbr::extend_point`.
+            for ((l, h), &v) in self.low.iter_mut().zip(self.high.iter_mut()).zip(reals.iter()) {
+                if v < *l {
+                    *l = v;
+                }
+                if v > *h {
+                    *h = v;
+                }
+            }
+            self.members += 1;
         }
-        self.pending.push(fv);
-        if self.pending.len() == self.zeta {
-            let mbr = Mbr::from_features(self.pending.iter());
-            self.pending.clear();
-            self.produced += 1;
-            Some(mbr)
+        if self.members == self.zeta {
+            Some(self.take_mbr())
         } else {
             None
         }
@@ -126,13 +164,26 @@ impl MbrBatcher {
 
     /// Flushes a partial batch (used at stream shutdown), if any.
     pub fn flush(&mut self) -> Option<Mbr> {
-        if self.pending.is_empty() {
+        if self.members == 0 {
             return None;
         }
-        let mbr = Mbr::from_features(self.pending.iter());
-        self.pending.clear();
+        Some(self.take_mbr())
+    }
+
+    /// Resets the running bounds onto a fresh batch seeded with one point.
+    fn start_batch(&mut self, reals: &[f64]) {
+        self.low.clear();
+        self.low.extend_from_slice(reals);
+        self.high.clear();
+        self.high.extend_from_slice(reals);
+        self.members = 1;
+    }
+
+    /// Emits the pending batch's MBR and resets the member count.
+    fn take_mbr(&mut self) -> Mbr {
         self.produced += 1;
-        Some(mbr)
+        self.members = 0;
+        Mbr::from_corners(self.low.clone(), self.high.clone())
     }
 }
 
@@ -249,5 +300,76 @@ mod tests {
     #[should_panic(expected = "width bound must be positive")]
     fn zero_width_bound_panics() {
         let _ = MbrBatcher::new(5).with_max_width(0.0);
+    }
+
+    /// The pre-SoA batcher, verbatim: kept as the reference model the
+    /// running-bounds rewrite must match bit-for-bit.
+    struct ModelBatcher {
+        zeta: usize,
+        max_width: Option<f64>,
+        pending: Vec<FeatureVector>,
+    }
+
+    impl ModelBatcher {
+        fn push(&mut self, fv: FeatureVector) -> Option<Mbr> {
+            if let Some(limit) = self.max_width {
+                if !self.pending.is_empty() {
+                    let mut probe = Mbr::from_features(self.pending.iter());
+                    probe.extend_point(&fv.to_reals());
+                    let (lo, hi) = probe.first_interval();
+                    if hi - lo > limit {
+                        let mbr = Mbr::from_features(self.pending.iter());
+                        self.pending.clear();
+                        self.pending.push(fv);
+                        return Some(mbr);
+                    }
+                }
+            }
+            self.pending.push(fv);
+            if self.pending.len() == self.zeta {
+                let mbr = Mbr::from_features(self.pending.iter());
+                self.pending.clear();
+                Some(mbr)
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn running_bounds_are_bit_identical_to_member_list_model() {
+        for limit in [None, Some(0.04), Some(0.5)] {
+            let mut b = MbrBatcher::new(6);
+            b.set_max_width(limit);
+            let mut model = ModelBatcher { zeta: 6, max_width: limit, pending: Vec::new() };
+            let mut state = 42u64;
+            for _ in 0..800 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let x = ((state >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * 0.3;
+                let f = fv(x);
+                let (got, want) = (b.push(f.clone()), model.push(f));
+                assert_eq!(got.is_some(), want.is_some());
+                if let (Some(g), Some(w)) = (got, want) {
+                    for (a, c) in g.low().iter().zip(w.low().iter()) {
+                        assert_eq!(a.to_bits(), c.to_bits());
+                    }
+                    for (a, c) in g.high().iter().zip(w.high().iter()) {
+                        assert_eq!(a.to_bits(), c.to_bits());
+                    }
+                }
+                assert_eq!(b.pending(), model.pending.len());
+            }
+        }
+    }
+
+    #[test]
+    fn non_emitting_push_reals_does_not_regrow_buffers() {
+        let mut b = MbrBatcher::new(1000);
+        b.push_reals(&[0.1, 0.2]);
+        let caps = (b.low.capacity(), b.high.capacity());
+        for i in 0..500 {
+            assert!(b.push_reals(&[0.1 + i as f64 * 1e-4, 0.2]).is_none());
+        }
+        assert_eq!((b.low.capacity(), b.high.capacity()), caps);
     }
 }

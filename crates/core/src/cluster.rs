@@ -25,7 +25,7 @@ use dsi_chord::{
     multicast, multicast_with_failover, BuildRouter, ChordId, ContentRouter, FailoverOutcome,
     HopKind, HopOutcome, IdSpace, MulticastPlan, RangeStrategy, Ring,
 };
-use dsi_dsp::{normalized_distance, FeatureExtractor, FeatureVector, Mbr};
+use dsi_dsp::{normalized_distance, FeatureExtractor, FeatureVector, Mbr, SummaryScratch};
 use dsi_simnet::{FaultPlan, InputEvent, Metrics, MsgClass, SimTime};
 use dsi_streamgen::WorkloadConfig;
 use dsi_trace::Tracer;
@@ -84,32 +84,68 @@ const PARALLEL_INGEST_MIN: usize = 32;
 /// Worker count for parallel phases: `DSI_WORKERS` if set (useful under CPU
 /// quotas and for oversubscription experiments), else the host parallelism,
 /// clamped to `[1, cap]`.
+///
+/// The host parallelism is probed once and cached: `available_parallelism`
+/// re-reads the cgroup quota files on every call (tens of microseconds on
+/// Linux), which used to dominate small per-tick batches. The `DSI_WORKERS`
+/// override stays dynamic so harnesses can re-point it between configs.
 pub(crate) fn worker_count(cap: usize) -> usize {
+    static HOST_PARALLELISM: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     std::env::var("DSI_WORKERS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .unwrap_or_else(|| {
+            *HOST_PARALLELISM
+                .get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        })
         .clamp(1, cap.max(1))
 }
 
-/// Worker body for [`Cluster::ingest_batch`]: advances each stream's
-/// summarizer and records the MBR its batcher emitted, if any. Mirrors the
-/// per-stream half of [`Cluster::post_value`] exactly (orphaned streams keep
-/// sliding their window but ship nothing).
+/// Advances one stream's summarizer through the allocation-free scratch
+/// path and records the MBR its batcher emitted, if any. Mirrors the
+/// per-stream half of the historical `post_value` exactly (orphaned streams
+/// keep sliding their window but ship nothing): `update_scratch` and
+/// `push_reals` are bit-identical to their allocating ancestors, so emitted
+/// MBRs — and everything downstream — are unchanged byte for byte.
+#[inline(always)]
+fn summarize_one(
+    nodes: &HashMap<ChordId, DataCenter>,
+    s: &mut StreamRuntime,
+    value: f64,
+    scratch: &mut SummaryScratch,
+) -> Option<Mbr> {
+    let homed = nodes.contains_key(&s.home);
+    if s.extractor.update_scratch(value, scratch) {
+        store_last_feature(s, scratch);
+        if homed {
+            return s.batcher.push_reals(&scratch.reals);
+        }
+    }
+    None
+}
+
+/// Refreshes `last_feature` from the scratch coefficients, reusing the
+/// existing vector's capacity after the first emission.
+#[inline]
+fn store_last_feature(s: &mut StreamRuntime, scratch: &SummaryScratch) {
+    let mode = s.extractor.mode();
+    match &mut s.last_feature {
+        Some(lf) => lf.overwrite(&scratch.coeffs, mode),
+        None => s.last_feature = Some(FeatureVector::new(scratch.coeffs.clone(), mode)),
+    }
+}
+
+/// Worker body for [`Cluster::ingest_batch`]'s parallel path: one private
+/// scratch per worker, then [`summarize_one`] per task.
 fn summarize_chunk(
     nodes: &HashMap<ChordId, DataCenter>,
     tasks: &mut [(&mut StreamRuntime, f64)],
     emitted: &mut [Option<Mbr>],
 ) {
+    let mut scratch = SummaryScratch::default();
     for ((s, v), slot) in tasks.iter_mut().zip(emitted.iter_mut()) {
-        let homed = nodes.contains_key(&s.home);
-        if let Some(fv) = s.extractor.update(*v) {
-            s.last_feature = Some(fv.clone());
-            if homed {
-                *slot = s.batcher.push(fv);
-            }
-        }
+        *slot = summarize_one(nodes, s, *v, &mut scratch);
     }
 }
 
@@ -185,6 +221,20 @@ pub struct Cluster<R: ContentRouter = Ring> {
     reweight: Option<ReweightConfig>,
     /// Re-weighting actions taken, in execution order.
     reweight_actions: Vec<ReweightAction>,
+    /// Reusable summarization scratch for the sequential ingest path: once
+    /// its buffers hold their high-water capacity, steady-state
+    /// `post_value`/`ingest_batch` ticks perform zero heap allocations
+    /// (DESIGN.md §14).
+    ingest_scratch: SummaryScratch,
+    /// Reusable per-batch emission slots for [`Cluster::ingest_batch`].
+    emit_scratch: Vec<Option<Mbr>>,
+    /// Reusable `(stream, MBR)` staging for the sequential batch path.
+    pending_emit: Vec<(StreamId, Mbr)>,
+    /// Worker preference for [`Cluster::ingest_batch`], snapshotted from
+    /// `DSI_WORKERS` / host parallelism at construction: re-reading the
+    /// environment every tick costs a lock-guarded scan (plus an
+    /// allocation when the override is set) on the hot path.
+    ingest_workers: usize,
 }
 
 impl Cluster<Ring> {
@@ -250,13 +300,12 @@ impl<R: BuildRouter> Cluster<R> {
             virtual_of: HashMap::new(),
             reweight: None,
             reweight_actions: Vec::new(),
+            ingest_scratch: SummaryScratch::default(),
+            emit_scratch: Vec::new(),
+            pending_emit: Vec::new(),
+            ingest_workers: worker_count(usize::MAX),
         }
     }
-}
-
-/// A replica record's identity: one batch shipped by one origin.
-fn same_record(a: &StoredMbr, b: &StoredMbr) -> bool {
-    a.stream == b.stream && a.origin == b.origin && a.expires == b.expires && a.mbr == b.mbr
 }
 
 /// Runs a failover range multicast with every hop resolved through the
@@ -616,12 +665,12 @@ impl<R: ContentRouter> Cluster<R> {
         // from.
         let mut records: Vec<(StoredMbr, ChordId)> = Vec::new();
         for &n in &self.node_order {
-            for s in self.nodes[&n].stored_mbrs() {
+            for s in self.nodes[&n].summaries() {
                 if filter.is_some_and(|now| now >= s.expires) {
                     continue;
                 }
-                if !records.iter().any(|(r, _)| same_record(r, s)) {
-                    records.push((s.clone(), n));
+                if !records.iter().any(|(r, _)| s.matches(r)) {
+                    records.push((s.to_stored(), n));
                 }
             }
         }
@@ -635,7 +684,7 @@ impl<R: ContentRouter> Cluster<R> {
                 want.push(rec.origin);
             }
             for &n in &want {
-                if !self.nodes[&n].stored_mbrs().iter().any(|s| same_record(s, rec)) {
+                if !self.nodes[&n].summaries().any(|s| s.matches(rec)) {
                     if let Some(res) = self.resolve_send(MsgClass::MbrInternal) {
                         if res.verdict == DeliveryVerdict::Lost {
                             // Copy lost after retries: the hole persists
@@ -657,7 +706,7 @@ impl<R: ContentRouter> Cluster<R> {
         }
         for n in self.node_order.clone() {
             self.nodes.get_mut(&n).expect("live node").retain_mbrs(|s| {
-                records.iter().zip(&wants).any(|((r, _), w)| same_record(r, s) && w.contains(&n))
+                records.iter().zip(&wants).any(|((r, _), w)| s.matches(r) && w.contains(&n))
             });
         }
 
@@ -955,12 +1004,19 @@ impl<R: ContentRouter> Cluster<R> {
         // An orphaned stream (its home data center crashed) is silent until
         // re-homed; the sensor's own window keeps sliding.
         let homed = self.nodes.contains_key(&s.home);
-        let fv = s.extractor.update(value)?;
-        s.last_feature = Some(fv.clone());
+        // Allocation-free steady state: the cluster-held scratch and the
+        // batcher's running bounds absorb every non-emitting tick without
+        // heap traffic (bit-identical to the allocating path, see
+        // `summarize_one`).
+        let scratch = &mut self.ingest_scratch;
+        if !s.extractor.update_scratch(value, scratch) {
+            return None;
+        }
+        store_last_feature(s, scratch);
         if !homed {
             return None;
         }
-        let mbr = s.batcher.push(fv)?;
+        let mbr = s.batcher.push_reals(&scratch.reals)?;
         Some(self.replicate_mbr(stream, mbr, now))
     }
 
@@ -986,11 +1042,80 @@ impl<R: ContentRouter> Cluster<R> {
         values: &[(StreamId, f64)],
         now: SimTime,
     ) -> Vec<(StreamId, Mbr, MulticastPlan)> {
+        let mut out = Vec::new();
+        self.ingest_batch_into(values, now, &mut out);
+        out
+    }
+
+    /// [`Cluster::ingest_batch`] writing emissions into a caller-owned
+    /// buffer (cleared first). Under emission-heavy workloads the per-tick
+    /// result vector is the batch path's last steady-state allocation;
+    /// reusing its high-water capacity across ticks removes it, which is
+    /// what keeps a 1-core batch from losing to a `post_value` loop.
+    ///
+    /// # Panics
+    /// Panics if `values` is not sorted by strictly increasing stream id or
+    /// names an unregistered stream.
+    pub fn ingest_batch_into(
+        &mut self,
+        values: &[(StreamId, f64)],
+        now: SimTime,
+        out: &mut Vec<(StreamId, Mbr, MulticastPlan)>,
+    ) {
+        out.clear();
+        let workers = if values.len() < PARALLEL_INGEST_MIN {
+            1
+        } else {
+            self.ingest_workers.clamp(1, values.len())
+        };
+        if workers == 1 {
+            // Sequential fallback (one effective worker): summarize and
+            // route each stream inline — no task-list carve, no
+            // thread-spawn, no per-batch emission-slot array and no second
+            // pass — so a 1-core batch never loses to a `post_value` loop.
+            // Emissions are staged in a reused buffer and routed after the
+            // summarize loop, exactly like the parallel path below: the
+            // loop then never takes `&mut self` whole, so field base
+            // pointers stay hoisted across iterations.
+            let mut pending = std::mem::take(&mut self.pending_emit);
+            pending.clear();
+            {
+                let nodes = &self.nodes;
+                let streams = &mut self.streams;
+                let scratch = &mut self.ingest_scratch;
+                // The sortedness contract is checked inline (fused with the
+                // loop instead of a separate pre-pass over the batch).
+                let mut prev: i64 = -1;
+                for &(sid, v) in values {
+                    assert!(
+                        i64::from(sid) > prev,
+                        "ingest_batch requires strictly increasing stream ids"
+                    );
+                    prev = i64::from(sid);
+                    if let Some(mbr) = summarize_one(nodes, &mut streams[sid as usize], v, scratch)
+                    {
+                        pending.push((sid, mbr));
+                    }
+                }
+            }
+            for (sid, mbr) in pending.drain(..) {
+                let (mbr, plan) = self.replicate_mbr_ret(sid, mbr, now);
+                out.push((sid, mbr, plan));
+            }
+            self.pending_emit = pending;
+            return;
+        }
+        // The carve below requires sorted ids, so the parallel path checks
+        // the whole batch up front.
         assert!(
-            values.windows(2).all(|w| w[0].0 < w[1].0),
+            values.len() < 2 || values.iter().zip(&values[1..]).all(|(a, b)| a.0 < b.0),
             "ingest_batch requires strictly increasing stream ids"
         );
-        let mut emitted: Vec<Option<Mbr>> = vec![None; values.len()];
+        // Reused emission slots: `clear` + `resize` keep the high-water
+        // capacity across ticks.
+        let mut emitted = std::mem::take(&mut self.emit_scratch);
+        emitted.clear();
+        emitted.resize(values.len(), None);
         {
             // Carve disjoint `&mut` views of the touched streams, in order.
             let mut tasks: Vec<(&mut StreamRuntime, f64)> = Vec::with_capacity(values.len());
@@ -1004,39 +1129,48 @@ impl<R: ContentRouter> Cluster<R> {
                 tasks.push((s, v));
             }
             let nodes = &self.nodes;
-            let workers =
-                if tasks.len() < PARALLEL_INGEST_MIN { 1 } else { worker_count(tasks.len()) };
-            if workers == 1 {
-                summarize_chunk(nodes, &mut tasks, &mut emitted);
-            } else {
-                let chunk = tasks.len().div_ceil(workers);
-                std::thread::scope(|scope| {
-                    for (t_chunk, e_chunk) in tasks.chunks_mut(chunk).zip(emitted.chunks_mut(chunk))
-                    {
-                        scope.spawn(move || summarize_chunk(nodes, t_chunk, e_chunk));
-                    }
-                });
-            }
+            let chunk = tasks.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (t_chunk, e_chunk) in tasks.chunks_mut(chunk).zip(emitted.chunks_mut(chunk)) {
+                    scope.spawn(move || summarize_chunk(nodes, t_chunk, e_chunk));
+                }
+            });
         }
-        let mut out = Vec::new();
         for (&(sid, _), slot) in values.iter().zip(emitted.iter_mut()) {
             if let Some(mbr) = slot.take() {
-                let plan = self.replicate_mbr(sid, mbr.clone(), now);
+                let (mbr, plan) = self.replicate_mbr_ret(sid, mbr, now);
                 out.push((sid, mbr, plan));
             }
         }
-        out
+        self.emit_scratch = emitted;
     }
 
     /// Content-routes an MBR from the stream's home to every node covering
     /// its key range (§IV-G), storing a replica (with BSPAN expiry) at each.
     pub fn replicate_mbr(&mut self, stream: StreamId, mbr: Mbr, now: SimTime) -> MulticastPlan {
+        self.replicate_mbr_ret(stream, mbr, now).1
+    }
+
+    /// [`Cluster::replicate_mbr`] that also hands the summary back: the
+    /// batch ingest path returns every emitted MBR to its caller, and
+    /// re-using the owned value avoids one clone per emission (the home
+    /// replica usually comes from a delivery clone anyway). Kept out of
+    /// line so the per-item summarization loops stay tight — emissions are
+    /// the rare path.
+    #[inline(never)]
+    fn replicate_mbr_ret(
+        &mut self,
+        stream: StreamId,
+        mbr: Mbr,
+        now: SimTime,
+    ) -> (Mbr, MulticastPlan) {
         let s = &self.streams[stream as usize];
         let home = s.home;
         let (lo_v, hi_v) = mbr.first_interval();
         let (lo, hi) = interval_key_range(self.space, lo_v.clamp(-1.0, 1.0), hi_v.clamp(-1.0, 1.0));
         if self.reliability.is_some() {
-            return self.replicate_mbr_reliable(stream, mbr, now, home, lo, hi);
+            let plan = self.replicate_mbr_reliable(stream, mbr.clone(), now, home, lo, hi);
+            return (mbr, plan);
         }
         let plan = multicast(&self.ring, home, lo, hi, self.cfg.strategy);
 
@@ -1072,11 +1206,17 @@ impl<R: ContentRouter> Cluster<R> {
         for d in &plan.deliveries {
             self.nodes.get_mut(&d.node).expect("delivery node is live").store_mbr(stored.clone());
         }
-        // The summary is also stored locally at the source (§IV-A).
-        if !plan.deliveries.iter().any(|d| d.node == home) {
+        // The summary is also stored locally at the source (§IV-A); when the
+        // multicast already delivered there, the owned value goes back to
+        // the caller unconsumed.
+        let mbr = if plan.deliveries.iter().any(|d| d.node == home) {
+            stored.mbr
+        } else {
+            let mbr = stored.mbr.clone();
             self.nodes.get_mut(&home).expect("home is live").store_mbr(stored);
-        }
-        plan
+            mbr
+        };
+        (mbr, plan)
     }
 
     /// [`Cluster::replicate_mbr`] under an armed fault plan: the multicast
@@ -1793,7 +1933,7 @@ impl<R: ContentRouter> Cluster<R> {
                     // and one the node re-acquired meanwhile is a dedup.
                     if rec.expires > now {
                         let dc = self.nodes.get_mut(&node).expect("live node");
-                        if !dc.stored_mbrs().iter().any(|s| same_record(s, &rec)) {
+                        if !dc.summaries().any(|s| s.matches(&rec)) {
                             dc.store_mbr(rec);
                         }
                     }
@@ -2142,7 +2282,7 @@ mod tests {
         d.repair_coverage(expired_at);
         for &n in d.node_ids() {
             assert_eq!(
-                d.node(n).stored_mbrs().iter().filter(|s| expired_at >= s.expires).count(),
+                d.node(n).summaries().filter(|s| expired_at >= s.expires).count(),
                 0,
                 "expired records must not be re-copied"
             );

@@ -7,6 +7,8 @@
 //! location-service table (`h2(stream) -> source node`).
 
 use crate::query::{InnerProductQuery, QueryId, SimilarityQuery, StreamId};
+use crate::sortable::{sortable_key, SortableSummaryIndex};
+use crate::store::{SummaryRef, SummaryStore};
 use dsi_chord::ChordId;
 use dsi_dsp::Mbr;
 use dsi_simnet::SimTime;
@@ -14,7 +16,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// An MBR stored at a data center, with provenance and expiry (BSPAN).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StoredMbr {
     /// Stream the MBR summarizes.
     pub stream: StreamId,
@@ -181,8 +183,9 @@ impl ExpiryHeap {
 pub struct DataCenter {
     /// This node's Chord identifier.
     pub id: ChordId,
-    /// MBRs content-routed here (the local shard of the distributed index).
-    mbrs: Vec<StoredMbr>,
+    /// MBRs content-routed here (the local shard of the distributed index),
+    /// in struct-of-arrays columns.
+    store: SummaryStore,
     /// Similarity subscriptions replicated over this node's interval.
     subscriptions: HashMap<QueryId, SimilarityQuery>,
     /// Inner-product subscriptions for streams this node sources.
@@ -191,8 +194,8 @@ pub struct DataCenter {
     location: HashMap<StreamId, ChordId>,
     /// Peak number of simultaneously stored MBRs (storage accounting).
     peak_mbrs: usize,
-    /// Dim-0 interval index over `mbrs` (payload = position).
-    mbr_index: IntervalIndex,
+    /// Sortable-key (z-order) index over `store` (payload = position).
+    mbr_index: SortableSummaryIndex,
     /// Dim-0 interval index over `subscriptions` (payload = query id).
     sub_index: IntervalIndex,
     /// Min-heap of pending expiries across all three soft-state tables.
@@ -214,40 +217,44 @@ impl DataCenter {
     pub fn store_mbr(&mut self, stored: StoredMbr) {
         let (low, high) = extent0(&stored.mbr);
         self.expiry.push(stored.expires.as_ms());
-        self.mbrs.push(stored);
-        self.mbr_index.push(low, high, (self.mbrs.len() - 1) as u64);
-        self.peak_mbrs = self.peak_mbrs.max(self.mbrs.len());
+        self.store.push_stored(&stored);
+        self.mbr_index.insert(sortable_key(low, high), (self.store.len() - 1) as u32);
+        self.peak_mbrs = self.peak_mbrs.max(self.store.len());
     }
 
     /// Number of currently stored MBRs (including not-yet-purged expired
     /// ones).
     pub fn mbr_count(&self) -> usize {
-        self.mbrs.len()
+        self.store.len()
     }
 
     /// Every stored MBR replica, including not-yet-purged expired ones —
     /// the raw shard contents an external auditor checks placement and
-    /// expiry invariants against.
-    pub fn stored_mbrs(&self) -> &[StoredMbr] {
-        &self.mbrs
+    /// expiry invariants against. Borrowed column views, in storage order.
+    pub fn summaries(&self) -> impl Iterator<Item = SummaryRef<'_>> {
+        self.store.iter()
+    }
+
+    /// Owned transport copies of every stored replica, in storage order —
+    /// for serialized audits and bit-compare snapshots.
+    pub fn stored_mbrs_snapshot(&self) -> Vec<StoredMbr> {
+        self.store.to_stored_vec()
     }
 
     /// Drops the stored MBRs rejected by `keep` (replica rebalancing after
     /// churn moves records off nodes that no longer cover their range).
-    pub(crate) fn retain_mbrs(&mut self, keep: impl FnMut(&StoredMbr) -> bool) {
-        self.mbrs.retain(keep);
+    pub(crate) fn retain_mbrs(&mut self, keep: impl FnMut(SummaryRef<'_>) -> bool) {
+        self.store.retain(keep);
         self.rebuild_mbr_index();
     }
 
-    /// Rebuilds the dim-0 index after positions in `mbrs` shifted.
+    /// Bulk-loads the sortable-key index after positions in `store` shifted.
     fn rebuild_mbr_index(&mut self) {
-        self.mbr_index.clear();
-        for (pos, s) in self.mbrs.iter().enumerate() {
-            let (low, high) = extent0(&s.mbr);
-            self.mbr_index.staged.push((low, high, pos as u64));
-            self.mbr_index.max_width = self.mbr_index.max_width.max(high - low);
-        }
-        self.mbr_index.compact();
+        let store = &self.store;
+        self.mbr_index.bulk_load((0..store.len()).map(|pos| {
+            let (low, high) = store.get(pos).extent0();
+            (sortable_key(low, high), pos as u32)
+        }));
     }
 
     /// Rebuilds the subscription interval index (after removal/replacement).
@@ -303,9 +310,10 @@ impl DataCenter {
     ///
     /// Dim-0 of the feature space is the routing coefficient's real part, so
     /// any box within `radius` of the query point must overlap
-    /// `[p0 - r, p0 + r]` on that axis; the interval index prunes to those
-    /// boxes before the exact `min_dist` test, which keeps the result set
-    /// identical to the brute-force scan.
+    /// `[p0 - r, p0 + r]` on that axis; the sortable-key index prunes to a
+    /// superset of those boxes (the z-order scan is conservative under the
+    /// 32-bit key quantization) before the exact `min_dist` test, which
+    /// keeps the result set identical to the brute-force scan.
     pub fn collect_candidates(
         &self,
         query: &SimilarityQuery,
@@ -316,8 +324,8 @@ impl DataCenter {
         let r = query.radius + 1e-12;
         if point.is_empty() {
             // Dimension-less query: min_dist is 0 to every box; no pruning.
-            for s in &self.mbrs {
-                if now < s.expires && s.mbr.min_dist(point) <= r {
+            for s in self.store.iter() {
+                if now < s.expires && s.min_dist(point) <= r {
                     out.push(s.stream);
                 }
             }
@@ -326,9 +334,14 @@ impl DataCenter {
         let pad = prune_pad(r);
         let (a, b) = (point[0] - r - pad, point[0] + r + pad);
         self.mbr_index.for_overlapping(a, b, |pos| {
-            let s = &self.mbrs[pos as usize];
-            if now < s.expires && s.mbr.min_dist(point) <= r {
-                out.push(s.stream);
+            let pos = pos as usize;
+            // Expiry lives in its own column: dead records skip the corner
+            // loads entirely.
+            if now < self.store.expires_at(pos) {
+                let s = self.store.get(pos);
+                if s.min_dist(point) <= r {
+                    out.push(s.stream);
+                }
             }
         });
     }
@@ -339,10 +352,10 @@ impl DataCenter {
     pub fn local_candidates_linear(&self, query: &SimilarityQuery, now: SimTime) -> Vec<StreamId> {
         let point = query.feature.to_reals();
         let mut out: Vec<StreamId> = self
-            .mbrs
+            .store
             .iter()
             .filter(|s| now < s.expires)
-            .filter(|s| s.mbr.min_dist(&point) <= query.radius + 1e-12)
+            .filter(|s| s.min_dist(&point) <= query.radius + 1e-12)
             .map(|s| s.stream)
             .collect();
         out.sort_unstable();
@@ -474,14 +487,14 @@ impl DataCenter {
         if self.expiry.next_at().is_none_or(|t| now.as_ms() < t) {
             return 0;
         }
-        let before = self.mbrs.len() + self.subscriptions.len() + self.ip_subscriptions.len();
-        self.mbrs.retain(|s| now < s.expires);
+        let before = self.store.len() + self.subscriptions.len() + self.ip_subscriptions.len();
+        self.store.retain(|s| now < s.expires);
         self.subscriptions.retain(|_, q| !q.expired(now));
         self.ip_subscriptions.retain(|_, q| !q.expired(now));
         self.expiry.pop_through(now.as_ms());
         self.rebuild_mbr_index();
         self.rebuild_sub_index();
-        before - (self.mbrs.len() + self.subscriptions.len() + self.ip_subscriptions.len())
+        before - (self.store.len() + self.subscriptions.len() + self.ip_subscriptions.len())
     }
 }
 

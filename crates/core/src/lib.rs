@@ -32,6 +32,8 @@ pub mod messages;
 pub mod query;
 pub mod reliability;
 pub mod report;
+pub mod sortable;
+pub mod store;
 pub mod system;
 
 pub use api::{InnerProductPush, SimilarityPush, StreamIndex};
@@ -53,6 +55,8 @@ pub use report::{
     EventCounts, HopComponents, LoadBalanceReport, LoadComponents, OverheadComponents,
     ReliabilityReport, SystemReport,
 };
+pub use sortable::{decode_sortable_key, sortable_key, SortableSummaryIndex};
+pub use store::{SummaryRef, SummaryStore};
 pub use system::{
     run_experiment, run_experiment_on, run_experiment_traced, ExperimentConfig, TracedExperiment,
 };

@@ -141,7 +141,7 @@ fn covering_placement_holds(c: &Cluster, now: SimTime) -> bool {
     let space = c.space();
     let mut checked: Vec<(StreamId, SimTime)> = Vec::new();
     for &n in c.node_ids() {
-        for rec in c.node(n).stored_mbrs() {
+        for rec in c.node(n).summaries() {
             if now >= rec.expires || checked.contains(&(rec.stream, rec.expires)) {
                 continue;
             }
@@ -151,12 +151,15 @@ fn covering_placement_holds(c: &Cluster, now: SimTime) -> bool {
                 .iter()
                 .copied()
                 .filter(|&m| {
-                    c.node(m).stored_mbrs().iter().any(|s| {
-                        s.stream == rec.stream && s.expires == rec.expires && s.mbr == rec.mbr
+                    c.node(m).summaries().any(|s| {
+                        s.stream == rec.stream
+                            && s.expires == rec.expires
+                            && s.low == rec.low
+                            && s.high == rec.high
                     })
                 })
                 .collect();
-            let (lo_v, hi_v) = rec.mbr.first_interval();
+            let (lo_v, hi_v) = rec.extent0();
             let (lo, hi) = interval_key_range(space, lo_v.clamp(-1.0, 1.0), hi_v.clamp(-1.0, 1.0));
             let mut want: BTreeSet<_> = covering_nodes(c.ring(), lo, hi).into_iter().collect();
             if c.node_ids().contains(&rec.origin) {

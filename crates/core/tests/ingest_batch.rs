@@ -48,16 +48,17 @@ fn batch_ingest_is_bit_identical_to_sequential_feed() {
             assert_eq!(plan_a, plan_b, "tick {tick}: multicast plan");
             // The batch-returned MBR is the one that was stored.
             let at = plan_b.deliveries[0].node;
-            let stored = par.node(at).stored_mbrs().iter().rev().find(|r| r.stream == *s_b);
-            assert_eq!(stored.map(|r| &r.mbr), Some(mbr_b), "tick {tick}: stored MBR");
+            let stored =
+                par.node(at).stored_mbrs_snapshot().into_iter().rev().find(|r| r.stream == *s_b);
+            assert_eq!(stored.map(|r| r.mbr), Some(mbr_b.clone()), "tick {tick}: stored MBR");
         }
     }
 
     // Full shard state and measurement are identical.
     for &n in seq.node_ids().to_vec().iter() {
         assert_eq!(
-            serde_json::to_string(seq.node(n).stored_mbrs()).unwrap(),
-            serde_json::to_string(par.node(n).stored_mbrs()).unwrap(),
+            serde_json::to_string(&seq.node(n).stored_mbrs_snapshot()).unwrap(),
+            serde_json::to_string(&par.node(n).stored_mbrs_snapshot()).unwrap(),
             "node {n}: shard contents diverged"
         );
     }
@@ -85,8 +86,8 @@ fn small_batches_use_the_inline_path_with_same_results() {
     }
     for &n in seq.node_ids().to_vec().iter() {
         assert_eq!(
-            serde_json::to_string(seq.node(n).stored_mbrs()).unwrap(),
-            serde_json::to_string(par.node(n).stored_mbrs()).unwrap(),
+            serde_json::to_string(&seq.node(n).stored_mbrs_snapshot()).unwrap(),
+            serde_json::to_string(&par.node(n).stored_mbrs_snapshot()).unwrap(),
         );
     }
 }

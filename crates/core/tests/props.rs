@@ -1,9 +1,11 @@
 //! Property-based tests of the middleware's building blocks.
 
 use dsi_chord::IdSpace;
+use dsi_core::sortable::{decode_f64, encode_f64};
 use dsi_core::{
-    feature_to_key, interval_key_range, radius_key_range, summary_key, DataCenter,
-    InnerProductQuery, MbrBatcher, SimilarityKind, SimilarityQuery, StoredMbr,
+    decode_sortable_key, feature_to_key, interval_key_range, radius_key_range, sortable_key,
+    summary_key, DataCenter, InnerProductQuery, MbrBatcher, SimilarityKind, SimilarityQuery,
+    SortableSummaryIndex, StoredMbr, SummaryStore,
 };
 use dsi_dsp::dft::dft;
 use dsi_dsp::{extract_features, Complex64, FeatureVector, Mbr, Normalization};
@@ -194,6 +196,146 @@ proptest! {
             brute.sort_unstable();
             prop_assert_eq!(indexed, brute);
         }
+    }
+
+    // ----- Sortable (Coconut-style) summary keys -----
+
+    #[test]
+    fn sortable_key_is_invertible_key_to_mbr_to_key(
+        lo_sel in 0u8..7,
+        lo_val in -1e6f64..1e6,
+        hi_sel in 0u8..5,
+        w in 0.0f64..1e6,
+    ) {
+        // Mix finite values with the special cases a dimension-less extent
+        // produces: infinities and the two zeros.
+        let lo = match lo_sel {
+            0 => f64::NEG_INFINITY,
+            1 => 0.0,
+            2 => -0.0,
+            _ => lo_val,
+        };
+        let hi = if hi_sel == 0 { f64::INFINITY } else { lo + w };
+        let key = sortable_key(lo, hi);
+        // key → MBR → key: decoding the key to an extent and re-encoding
+        // that extent must reproduce the key exactly (the decoded corner is
+        // the canonical representative of its quantization cell).
+        let (dlo, dhi) = decode_sortable_key(key);
+        prop_assert_eq!(sortable_key(dlo, dhi), key, "re-encoded key diverged");
+        // The canonical representative never exceeds the original corner, so
+        // range scans built from encoded bounds are conservative (no misses).
+        prop_assert!(dlo <= lo || (dlo == 0.0 && lo == 0.0), "decoded low {dlo} above original {lo}");
+        prop_assert!(dhi <= hi || (dhi == 0.0 && hi == 0.0), "decoded high {dhi} above original {hi}");
+    }
+
+    #[test]
+    fn f64_cell_encoding_is_monotone_and_right_invertible(
+        a_sel in 0u8..10,
+        a_val in -1e9f64..1e9,
+        b_sel in 0u8..10,
+        b_val in -1e9f64..1e9,
+    ) {
+        let a = if a_sel == 0 { f64::NEG_INFINITY } else { a_val };
+        let b = if b_sel == 0 { f64::INFINITY } else { b_val };
+        let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(encode_f64(x) <= encode_f64(y), "encoding must be monotone");
+        // decode is a right inverse: encode(decode(u)) == u.
+        for u in [encode_f64(x), encode_f64(y)] {
+            prop_assert_eq!(encode_f64(decode_f64(u)), u);
+        }
+        // ...and decode never rounds up past the original value.
+        prop_assert!(decode_f64(encode_f64(x)) <= x);
+    }
+
+    #[test]
+    fn sortable_index_query_equals_linear_scan(
+        extents in prop::collection::vec((-5.0f64..5.0, 0.0f64..3.0), 0..150),
+        queries in prop::collection::vec((-6.0f64..6.0, 0.0f64..4.0), 1..10),
+        bulk in any::<bool>(),
+    ) {
+        let boxes: Vec<(f64, f64)> =
+            extents.iter().map(|&(lo, w)| (lo, lo + w)).collect();
+        let mut idx = SortableSummaryIndex::default();
+        if bulk {
+            idx.bulk_load(
+                boxes.iter().enumerate().map(|(i, &(lo, hi))| (sortable_key(lo, hi), i as u32)),
+            );
+        } else {
+            for (i, &(lo, hi)) in boxes.iter().enumerate() {
+                idx.insert(sortable_key(lo, hi), i as u32);
+            }
+        }
+        for &(a, w) in &queries {
+            let b = a + w;
+            let mut got: Vec<u32> = Vec::new();
+            idx.for_overlapping(a, b, |pos| got.push(pos));
+            got.sort_unstable();
+            got.dedup();
+            // The index may over-approximate (quantization), but must never
+            // miss a truly overlapping extent.
+            for (i, &(lo, hi)) in boxes.iter().enumerate() {
+                if lo <= b && hi >= a {
+                    prop_assert!(
+                        got.binary_search(&(i as u32)).is_ok(),
+                        "missed overlapping extent [{lo}, {hi}] for query [{a}, {b}]"
+                    );
+                }
+            }
+        }
+    }
+
+    // ----- SoA summary store vs per-entry model -----
+
+    #[test]
+    fn summary_store_equals_per_entry_model(
+        ops in prop::collection::vec(
+            // (selector, corner list for pushes, stream, origin, time/expiry)
+            // selector 0..=5: push; 6..=7: purge at t; 8: retain even streams.
+            (
+                0u8..9,
+                prop::collection::vec((-10.0f64..10.0, 0.0f64..2.0), 0..3),
+                0u32..20,
+                0u64..8,
+                1u64..4000,
+            ),
+            0..60,
+        ),
+    ) {
+        let mut store = SummaryStore::default();
+        let mut model: Vec<StoredMbr> = Vec::new();
+        for (kind, corners, stream, origin, t) in &ops {
+            match kind {
+                0..=5 => {
+                    let low: Vec<f64> = corners.iter().map(|&(l, _)| l).collect();
+                    let high: Vec<f64> = corners.iter().map(|&(l, w)| l + w).collect();
+                    let rec = StoredMbr {
+                        stream: *stream,
+                        mbr: Mbr::from_corners(low, high),
+                        origin: *origin,
+                        expires: SimTime::from_ms(*t),
+                    };
+                    store.push_stored(&rec);
+                    model.push(rec);
+                }
+                6 | 7 => {
+                    let now = SimTime::from_ms(*t);
+                    store.retain(|s| now < s.expires);
+                    model.retain(|r| now < r.expires);
+                }
+                _ => {
+                    store.retain(|s| s.stream % 2 == 0);
+                    model.retain(|r| r.stream % 2 == 0);
+                }
+            }
+            prop_assert_eq!(store.len(), model.len());
+        }
+        // Whole-store equivalence, including order and bit-exact corners.
+        prop_assert_eq!(&store.to_stored_vec(), &model);
+        for (pos, rec) in model.iter().enumerate() {
+            prop_assert!(store.get(pos).matches(rec), "record {pos} diverged");
+            prop_assert_eq!(store.expires_at(pos), rec.expires);
+        }
+        prop_assert_eq!(store.iter().count(), model.len());
     }
 
     // ----- Similarity candidate test -----

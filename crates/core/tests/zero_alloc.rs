@@ -1,0 +1,134 @@
+//! Proof that steady-state ingest allocates nothing on the heap.
+//!
+//! A counting global allocator wraps the system allocator for this whole
+//! test process; after a warm-up phase fills every reusable buffer
+//! (extractor windows, the cluster's `SummaryScratch`, batcher running
+//! bounds, the batch emission slots), a non-emitting tick of `post_value`
+//! or a sub-threshold `ingest_batch` must leave the allocation counter
+//! untouched.
+//!
+//! The zero-alloc contract covers the *sequential* inline path: batches
+//! below `PARALLEL_INGEST_MIN` (32) and the per-value `post_value` loop.
+//! The parallel path spawns scoped threads, which allocate by design.
+//!
+//! Kept as its own integration test so the global allocator and the
+//! single-threaded measurement don't interfere with any other suite.
+
+use dsi_core::{Cluster, ClusterConfig};
+use dsi_simnet::SimTime;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Deterministic pseudo-value for (stream, tick) without any rng.
+fn value(stream: u32, tick: u64) -> f64 {
+    5.0 + ((stream as f64) * 0.37 + (tick as f64) * 0.11).sin() * 2.0
+}
+
+#[test]
+fn steady_state_ingest_is_allocation_free() {
+    const STREAMS: usize = 8; // below PARALLEL_INGEST_MIN: inline path
+    const WINDOW: usize = 16;
+
+    let mut cfg = ClusterConfig::new(6);
+    cfg.workload.window_len = WINDOW;
+    // A batch size no run of this test can reach: every measured tick is a
+    // non-emitting one, which is exactly the steady state the zero-alloc
+    // contract covers.
+    cfg.workload.mbr_batch = 1_000_000;
+    // No width bound: a width-triggered early shipment would emit (and
+    // legitimately allocate) mid-measurement.
+    cfg.workload.mbr_max_width = None;
+    let mut cluster = Cluster::new(cfg);
+    for i in 0..STREAMS {
+        cluster.register_stream(&format!("za-{i}"), i % 6);
+    }
+
+    // Warm-up: fill every window, grow every scratch buffer, exercise both
+    // entry points so `emit_scratch` and the batcher bounds reach their
+    // high-water capacity.
+    let mut values: Vec<(u32, f64)> = (0..STREAMS as u32).map(|s| (s, 0.0)).collect();
+    let mut tick = 0u64;
+    for _ in 0..(WINDOW as u64 * 4) {
+        for slot in values.iter_mut() {
+            slot.1 = value(slot.0, tick);
+        }
+        let now = SimTime::from_ms(tick * 100);
+        if tick.is_multiple_of(2) {
+            let emitted = cluster.ingest_batch(&values, now);
+            assert!(emitted.is_empty(), "warm-up must not emit (huge batch size)");
+        } else {
+            for &(s, v) in &values {
+                assert!(cluster.post_value(s, v, now).is_none());
+            }
+        }
+        tick += 1;
+    }
+
+    // Measured phase: per-value posts.
+    let before = allocation_count();
+    for _ in 0..64 {
+        for slot in values.iter_mut() {
+            slot.1 = value(slot.0, tick);
+        }
+        let now = SimTime::from_ms(tick * 100);
+        for &(s, v) in &values {
+            let plan = cluster.post_value(s, v, now);
+            assert!(plan.is_none(), "measured phase must not emit");
+        }
+        tick += 1;
+    }
+    let post_value_allocs = allocation_count() - before;
+    assert_eq!(
+        post_value_allocs, 0,
+        "post_value steady state must not allocate ({post_value_allocs} allocations in 64 ticks)"
+    );
+
+    // Measured phase: sub-threshold batches on the inline sequential path.
+    let before = allocation_count();
+    for _ in 0..64 {
+        for slot in values.iter_mut() {
+            slot.1 = value(slot.0, tick);
+        }
+        let now = SimTime::from_ms(tick * 100);
+        let emitted = cluster.ingest_batch(&values, now);
+        assert!(emitted.is_empty(), "measured phase must not emit");
+        tick += 1;
+    }
+    let batch_allocs = allocation_count() - before;
+    assert_eq!(
+        batch_allocs, 0,
+        "inline ingest_batch steady state must not allocate ({batch_allocs} allocations in 64 ticks)"
+    );
+}

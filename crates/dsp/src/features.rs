@@ -79,6 +79,16 @@ impl FeatureVector {
         }
     }
 
+    /// Overwrites this vector's contents in place, reusing the coefficient
+    /// buffer's capacity. The zero-allocation ingest path keeps one
+    /// `FeatureVector` per stream (`last_feature`) and refreshes it with
+    /// this instead of allocating a fresh vector every tick.
+    pub fn overwrite(&mut self, coeffs: &[Complex64], mode: Normalization) {
+        self.coeffs.clear();
+        self.coeffs.extend_from_slice(coeffs);
+        self.mode = mode;
+    }
+
     /// Lower-bounding feature-space distance (Eq. 9).
     ///
     /// For a real signal every retained bin `f >= 1` has a conjugate mirror
@@ -103,6 +113,21 @@ impl FeatureVector {
         }
         acc.sqrt()
     }
+}
+
+/// Reusable buffers for the allocation-free summarization path.
+///
+/// One scratch per ingest worker is enough: [`FeatureExtractor::update_scratch`]
+/// writes the normalized coefficient prefix into `coeffs` and its interleaved
+/// re/im flattening into `reals`, reusing both buffers' capacity. After the
+/// first warm tick neither grows again (the coefficient count `k` is fixed
+/// per stream), so steady-state ingest performs no heap allocation per item.
+#[derive(Debug, Clone, Default)]
+pub struct SummaryScratch {
+    /// Normalized coefficient prefix — the [`FeatureVector`] payload.
+    pub coeffs: Vec<Complex64>,
+    /// Interleaved re/im flattening of `coeffs` — the 2k-dimensional point.
+    pub reals: Vec<f64>,
 }
 
 /// Batch feature extraction: normalizes a full window and takes the DFT
@@ -183,6 +208,58 @@ impl FeatureExtractor {
             return None;
         }
         Some(self.current())
+    }
+
+    /// Allocation-free variant of [`FeatureExtractor::update`]: consumes one
+    /// value and, once the window is full, writes the summary into `scratch`
+    /// (returning `true`). Bit-identical to `update` — both derive the
+    /// normalized prefix with the same operations in the same order — but
+    /// reuses the scratch buffers instead of allocating a [`FeatureVector`]
+    /// per tick.
+    pub fn update_scratch(&mut self, value: f64, scratch: &mut SummaryScratch) -> bool {
+        let evicted = self.window.push(value);
+        self.raw.update(value, evicted);
+        self.stats.update(value, evicted);
+        if !self.raw.is_warm() {
+            return false;
+        }
+        self.current_into(scratch);
+        true
+    }
+
+    /// Writes the current (full) window's summary into `scratch`, reusing
+    /// its capacity. Same values as [`FeatureExtractor::current`].
+    ///
+    /// # Panics
+    /// Panics if called before a full window has been consumed.
+    pub fn current_into(&self, scratch: &mut SummaryScratch) {
+        assert!(self.raw.is_warm(), "feature extractor not warm yet");
+        let raw = self.raw.coeffs();
+        scratch.coeffs.clear();
+        match self.mode {
+            Normalization::ZNorm => {
+                let denom = self.stats.std_dev() * (self.window_len() as f64).sqrt();
+                if denom <= f64::EPSILON {
+                    scratch.coeffs.resize(self.k, Complex64::ZERO);
+                } else {
+                    scratch.coeffs.extend(raw[1..=self.k].iter().map(|c| *c / denom));
+                }
+            }
+            Normalization::UnitNorm => {
+                let denom = self.stats.l2_norm();
+                if denom <= f64::EPSILON {
+                    scratch.coeffs.resize(self.k, Complex64::ZERO);
+                } else {
+                    scratch.coeffs.extend(raw[..self.k].iter().map(|c| *c / denom));
+                }
+            }
+        }
+        scratch.reals.clear();
+        scratch.reals.reserve(scratch.coeffs.len() * 2);
+        for c in &scratch.coeffs {
+            scratch.reals.push(c.re);
+            scratch.reals.push(c.im);
+        }
     }
 
     /// The summary of the current (full) window.
@@ -277,6 +354,66 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn scratch_path_is_bit_identical_to_update() {
+        // The zero-alloc contract is only safe because the scratch path is
+        // *bit*-identical to the allocating one — compare via to_bits, not
+        // approx_eq, across both normalizations and a degenerate window.
+        for mode in [Normalization::ZNorm, Normalization::UnitNorm] {
+            let mut a = FeatureExtractor::new(16, 3, mode);
+            let mut b = FeatureExtractor::new(16, 3, mode);
+            let mut scratch = SummaryScratch::default();
+            let xs: Vec<f64> = (0..80)
+                .map(|i| if (20..40).contains(&i) { 7.0 } else { (i as f64 * 0.31).sin() * 3.0 })
+                .collect();
+            for (i, &x) in xs.iter().enumerate() {
+                let fv = a.update(x);
+                let warm = b.update_scratch(x, &mut scratch);
+                assert_eq!(fv.is_some(), warm, "warm-up divergence at step {i}");
+                if let Some(fv) = fv {
+                    assert_eq!(fv.coeffs().len(), scratch.coeffs.len());
+                    for (u, v) in fv.coeffs().iter().zip(scratch.coeffs.iter()) {
+                        assert_eq!(u.re.to_bits(), v.re.to_bits(), "step {i}");
+                        assert_eq!(u.im.to_bits(), v.im.to_bits(), "step {i}");
+                    }
+                    let reals = fv.to_reals();
+                    assert_eq!(reals.len(), scratch.reals.len());
+                    for (u, v) in reals.iter().zip(scratch.reals.iter()) {
+                        assert_eq!(u.to_bits(), v.to_bits(), "step {i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_buffers_stop_growing_once_warm() {
+        let mut ex = FeatureExtractor::new(8, 2, Normalization::ZNorm);
+        let mut scratch = SummaryScratch::default();
+        for i in 0..8 {
+            ex.update_scratch(i as f64, &mut scratch);
+        }
+        let (cc, rc) = (scratch.coeffs.capacity(), scratch.reals.capacity());
+        for i in 8..200 {
+            ex.update_scratch((i as f64 * 0.7).cos(), &mut scratch);
+        }
+        assert_eq!(scratch.coeffs.capacity(), cc, "coeff buffer regrew");
+        assert_eq!(scratch.reals.capacity(), rc, "reals buffer regrew");
+    }
+
+    #[test]
+    fn overwrite_reuses_capacity() {
+        let mut fv = FeatureVector::new(
+            vec![Complex64::new(0.1, 0.2), Complex64::new(0.3, 0.4)],
+            Normalization::ZNorm,
+        );
+        let cap = fv.coeffs.capacity();
+        fv.overwrite(&[Complex64::new(0.9, -0.1)], Normalization::UnitNorm);
+        assert_eq!(fv.coeffs(), &[Complex64::new(0.9, -0.1)]);
+        assert_eq!(fv.mode(), Normalization::UnitNorm);
+        assert_eq!(fv.coeffs.capacity(), cap);
     }
 
     #[test]

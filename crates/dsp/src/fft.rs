@@ -62,17 +62,29 @@ fn fft_in_place(buf: &mut [Complex64], kern: &Kernel, inverse: bool) {
 
 /// Unitary FFT of a real signal. Equals [`dft::dft`] up to rounding.
 pub fn fft(signal: &[f64]) -> Vec<Complex64> {
+    let mut buf = Vec::new();
+    fft_into(signal, &mut buf);
+    buf
+}
+
+/// Unitary FFT of a real signal into a caller-provided buffer.
+///
+/// Bit-identical to [`fft`]; once `buf`'s capacity covers `signal.len()` the
+/// call performs no heap allocation, which is what lets the steady-state
+/// ingest scratch path stay allocation-free.
+pub fn fft_into(signal: &[f64], buf: &mut Vec<Complex64>) {
     let n = signal.len();
+    buf.clear();
     if !is_pow2(n) {
-        return dft::dft(signal);
+        buf.extend_from_slice(&dft::dft(signal));
+        return;
     }
-    let mut buf: Vec<Complex64> = signal.iter().map(|&x| Complex64::from_re(x)).collect();
-    kernel::with_kernel(n, |k| fft_in_place(&mut buf, k, false));
+    buf.extend(signal.iter().map(|&x| Complex64::from_re(x)));
+    kernel::with_kernel(n, |k| fft_in_place(buf, k, false));
     let scale = 1.0 / (n as f64).sqrt();
-    for c in &mut buf {
+    for c in buf.iter_mut() {
         *c = c.scale(scale);
     }
-    buf
 }
 
 /// Unitary FFT of a complex signal.
@@ -156,6 +168,26 @@ mod tests {
         assert!(!is_pow2(0));
         assert!(!is_pow2(3));
         assert!(!is_pow2(12));
+    }
+
+    #[test]
+    fn fft_into_is_bit_identical_and_alloc_free_on_reuse() {
+        let mut buf = Vec::new();
+        for n in [1usize, 2, 8, 12, 64, 256] {
+            let x: Vec<f64> = (0..n).map(|i| ((i * 13 + 5) % 23) as f64 - 11.0).collect();
+            let a = fft(&x);
+            fft_into(&x, &mut buf);
+            assert_eq!(a.len(), buf.len());
+            for (u, v) in a.iter().zip(buf.iter()) {
+                assert_eq!(u.re.to_bits(), v.re.to_bits(), "n={n}");
+                assert_eq!(u.im.to_bits(), v.im.to_bits(), "n={n}");
+            }
+        }
+        // Reuse with a smaller signal must not reallocate.
+        let cap = buf.capacity();
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2).sin()).collect();
+        fft_into(&x, &mut buf);
+        assert_eq!(buf.capacity(), cap);
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub mod wavelet;
 pub mod window;
 
 pub use complex::Complex64;
-pub use features::{extract_features, normalized_distance, FeatureExtractor, FeatureVector};
+pub use features::{
+    extract_features, normalized_distance, FeatureExtractor, FeatureVector, SummaryScratch,
+};
 pub use mbr::Mbr;
 pub use normalize::{normalize, unit_normalize, z_normalize, Normalization, SlidingStats};
 pub use sliding::SlidingDft;

@@ -212,11 +212,6 @@ struct Harness {
     quota_rejections: u64,
 }
 
-/// Replica-record identity: one batch shipped by one origin.
-fn same_record(a: &StoredMbr, b: &StoredMbr) -> bool {
-    a.stream == b.stream && a.origin == b.origin && a.expires == b.expires && a.mbr == b.mbr
-}
-
 /// Brute-force covering set, computed independently of the multicast
 /// planner: every node whose owned arc `(pred, n]` intersects the circular
 /// key range `[lo, hi]`. `sorted` must be the live node ids in ascending
@@ -341,10 +336,10 @@ impl Harness {
             let rec = self
                 .cluster
                 .node(at)
-                .stored_mbrs()
+                .summaries()
                 .last()
                 .expect("delivery node stored the shipment")
-                .clone();
+                .to_stored();
             self.ref_mbrs.push(rec);
         }
     }
@@ -642,7 +637,7 @@ impl Harness {
                 && cluster
                     .node_ids()
                     .iter()
-                    .any(|&n| cluster.node(n).stored_mbrs().iter().any(|s| same_record(s, r)))
+                    .any(|&n| cluster.node(n).summaries().any(|s| s.matches(r)))
         });
         self.ref_queries.retain(|q| !q.expired(now));
     }
@@ -721,21 +716,20 @@ impl Harness {
     fn oracle_replica_placement(&self) -> Option<String> {
         let space = self.cluster.space();
         let ring = self.cluster.ring();
-        let mut seen: Vec<&StoredMbr> = Vec::new();
+        let mut seen: Vec<StoredMbr> = Vec::new();
         for &n in self.cluster.node_ids() {
-            for rec in self.cluster.node(n).stored_mbrs() {
-                if self.now >= rec.expires || seen.iter().any(|r| same_record(r, rec)) {
+            for rec in self.cluster.node(n).summaries() {
+                if self.now >= rec.expires || seen.iter().any(|r| rec.matches(r)) {
                     continue;
                 }
-                seen.push(rec);
+                let rec = rec.to_stored();
+                seen.push(rec.clone());
                 let holders: BTreeSet<ChordId> = self
                     .cluster
                     .node_ids()
                     .iter()
                     .copied()
-                    .filter(|&m| {
-                        self.cluster.node(m).stored_mbrs().iter().any(|s| same_record(s, rec))
-                    })
+                    .filter(|&m| self.cluster.node(m).summaries().any(|s| s.matches(&rec)))
                     .collect();
                 let (lo_v, hi_v) = rec.mbr.first_interval();
                 let (lo, hi) = dsi_core::interval_key_range(
@@ -907,7 +901,7 @@ impl Harness {
     fn oracle_purge(&self) -> Option<String> {
         for &n in &self.notified {
             let dc = self.cluster.node(n);
-            if let Some(s) = dc.stored_mbrs().iter().find(|s| self.now >= s.expires) {
+            if let Some(s) = dc.summaries().find(|s| self.now >= s.expires) {
                 return Some(format!(
                     "node {n} still stores MBR of stream {} expired at {} (now {})",
                     s.stream,

@@ -370,12 +370,14 @@ pub fn metrics_trace_pairing(f: &SourceFile) -> Vec<Violation> {
 // ----------------------------------------------------------------------
 
 /// Files on the per-message hot path.
-const R01_FILES: [&str; 5] = [
+const R01_FILES: [&str; 7] = [
     "chord/src/router.rs",
     "chord/src/multicast.rs",
     "simnet/src/engine.rs",
     "core/src/reliability.rs",
     "core/src/load.rs",
+    "core/src/store.rs",
+    "core/src/sortable.rs",
 ];
 
 /// **R01** — `unwrap()` / `expect(` on the routing / engine hot path:

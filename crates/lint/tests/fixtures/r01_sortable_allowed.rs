@@ -1,0 +1,8 @@
+// R01 allow-marker on the sortable-index path: the panic site names the
+// invariant making it unreachable.
+pub fn merge_last_two(runs: &mut Vec<Vec<u64>>) -> Vec<u64> {
+    // dsilint: allow(hot-path-unwrap, compact() only merges when two runs exist)
+    let a = runs.pop().expect("compact() only merges when two runs exist");
+    let b = runs.last().cloned().unwrap_or_default();
+    a.iter().chain(b.iter()).copied().collect()
+}

@@ -1,0 +1,7 @@
+// R01 positive: bare unwrap/expect on the sortable-index scan path
+// (linted under `crates/core/src/sortable.rs`).
+pub fn merge_last_two(runs: &mut Vec<Vec<u64>>) -> Vec<u64> {
+    let a = runs.pop().unwrap();
+    let b = runs.last().expect("at least one run left");
+    a.iter().chain(b.iter()).copied().collect()
+}

@@ -1,0 +1,7 @@
+// R01 allow-marker on the summary-store path: the panic site names the
+// invariant making it unreachable.
+pub fn corner_span(offsets: &[u32], pos: usize) -> (usize, usize) {
+    // dsilint: allow(hot-path-unwrap, offsets always holds len+1 entries)
+    let end = offsets.get(pos + 1).expect("offsets has len+1 entries");
+    (offsets[pos] as usize, *end as usize)
+}

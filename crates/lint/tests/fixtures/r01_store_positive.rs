@@ -1,0 +1,7 @@
+// R01 positive: bare unwrap/expect on the SoA summary-store candidate path
+// (linted under `crates/core/src/store.rs`).
+pub fn corner_span(offsets: &[u32], pos: usize) -> (usize, usize) {
+    let start = offsets.get(pos).unwrap();
+    let end = offsets.get(pos + 1).expect("offsets has len+1 entries");
+    (*start as usize, *end as usize)
+}

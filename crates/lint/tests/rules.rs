@@ -159,6 +159,34 @@ fn r01_loadledger_allow_marker_suppresses_with_reason() {
 }
 
 #[test]
+fn r01_covers_the_summary_store() {
+    let (vs, _) = lint("r01_store_positive.rs", "crates/core/src/store.rs");
+    let rules: Vec<_> = vs.iter().map(|v| v.0).collect();
+    assert_eq!(rules, vec![R01, R01], "{vs:?}");
+}
+
+#[test]
+fn r01_store_allow_marker_suppresses_with_reason() {
+    let (vs, allowed) = lint("r01_store_allowed.rs", "crates/core/src/store.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+    assert_eq!(allowed, 1);
+}
+
+#[test]
+fn r01_covers_the_sortable_index() {
+    let (vs, _) = lint("r01_sortable_positive.rs", "crates/core/src/sortable.rs");
+    let rules: Vec<_> = vs.iter().map(|v| v.0).collect();
+    assert_eq!(rules, vec![R01, R01], "{vs:?}");
+}
+
+#[test]
+fn r01_sortable_allow_marker_suppresses_with_reason() {
+    let (vs, allowed) = lint("r01_sortable_allowed.rs", "crates/core/src/sortable.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+    assert_eq!(allowed, 1);
+}
+
+#[test]
 fn d01_covers_the_load_ledger_module() {
     // The ledger lives in `crates/core/`, so the determinism rule audits
     // its map iterations too (the shipped module carries an allow marker
