@@ -11,6 +11,10 @@
 //! and latency is charged analytically (50 ms per overlay hop), which is
 //! exactly the cost model of the Chord simulator the paper used.
 
+use crate::aggregate::{
+    quantize, AggregateKind, AggregateNotification, AggregateQuery, AggregateRuntime,
+    AggregateSpec, AggregateValue,
+};
 use crate::batching::MbrBatcher;
 use crate::datacenter::{DataCenter, StoredMbr};
 use crate::load::{LoadLedger, ReweightAction, ReweightConfig};
@@ -27,6 +31,7 @@ use dsi_chord::{
 };
 use dsi_dsp::{normalized_distance, FeatureExtractor, FeatureVector, Mbr, SummaryScratch};
 use dsi_simnet::{FaultPlan, InputEvent, Metrics, MsgClass, SimTime};
+use dsi_sketch::{EcmSketch, SketchDims, SketchParams};
 use dsi_streamgen::WorkloadConfig;
 use dsi_trace::Tracer;
 use std::collections::HashMap;
@@ -178,6 +183,12 @@ pub struct Cluster<R: ContentRouter = Ring> {
     node_order: Vec<ChordId>,
     streams: Vec<StreamRuntime>,
     queries: HashMap<QueryId, QueryRuntime>,
+    /// Live aggregate queries with their per-node replica sketches, in
+    /// posting (= id) order. Empty unless the driver posts aggregate
+    /// queries, so undriven runs stay byte-identical (DESIGN.md §15).
+    aggregates: Vec<AggregateRuntime>,
+    /// Delivered aggregate notifications, per query.
+    aggregate_notifications: HashMap<QueryId, Vec<AggregateNotification>>,
     notifications: HashMap<QueryId, Vec<MatchNotification>>,
     ip_results: HashMap<QueryId, Vec<(SimTime, f64)>>,
     ip_alerts: HashMap<QueryId, Vec<(SimTime, f64)>>,
@@ -280,6 +291,8 @@ impl<R: BuildRouter> Cluster<R> {
             node_order: ids,
             streams: Vec::new(),
             queries: HashMap::new(),
+            aggregates: Vec::new(),
+            aggregate_notifications: HashMap::new(),
             notifications: HashMap::new(),
             ip_results: HashMap::new(),
             ip_alerts: HashMap::new(),
@@ -529,6 +542,31 @@ impl<R: ContentRouter> Cluster<R> {
         self.location_misses
     }
 
+    /// Notifications delivered so far for an aggregate query.
+    pub fn aggregate_notifications(&self, q: QueryId) -> &[AggregateNotification] {
+        self.aggregate_notifications.get(&q).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Total aggregate notifications delivered across all queries.
+    pub fn total_aggregate_notifications(&self) -> u64 {
+        // dsilint: allow(unordered-iter, commutative sum over all queries)
+        self.aggregate_notifications.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// The live (unexpired, unpurged) aggregate query with this id.
+    pub fn aggregate_query(&self, q: QueryId) -> Option<&AggregateQuery> {
+        self.aggregates.iter().find(|a| a.query.id == q).map(|a| &a.query)
+    }
+
+    /// Nodes currently holding a replica sketch for an aggregate query,
+    /// each with the virtual time its replica started counting.
+    pub fn aggregate_replicas(&self, q: QueryId) -> Vec<(ChordId, SimTime)> {
+        self.aggregates
+            .iter()
+            .find(|a| a.query.id == q)
+            .map_or(Vec::new(), |a| a.replicas.iter().map(|&(n, since, _)| (n, since)).collect())
+    }
+
     /// Total match notifications delivered across all queries.
     pub fn total_notifications(&self) -> u64 {
         // dsilint: allow(unordered-iter, commutative sum over all queries)
@@ -542,6 +580,9 @@ impl<R: ContentRouter> Cluster<R> {
             QueryRuntime::Similarity(sq) => !sq.expired(now),
             QueryRuntime::InnerProduct(ip) => !ip.expired(now),
         });
+        // Expired aggregate queries drop their replicas cluster-wide;
+        // delivered notifications stay with the client.
+        self.aggregates.retain(|a| !a.query.expired(now));
     }
 
     /// Whether churn operations automatically rebalance replicas.
@@ -754,6 +795,51 @@ impl<R: ContentRouter> Cluster<R> {
                 }
             }
         }
+
+        // ---- aggregate-query replicas ----
+        // Only the timed repair rounds heal aggregates: a healed replica
+        // needs a `since` timestamp (it missed everything before the
+        // repair), and churn rebalancing carries no clock. The copy is an
+        // empty sketch pushed from the aggregator, charged like any other
+        // internal query copy.
+        if let Some(now) = filter {
+            for i in 0..self.aggregates.len() {
+                if self.aggregates[i].query.expired(now) {
+                    continue;
+                }
+                let aggregator = self.aggregates[i].query.aggregator;
+                let missing: Vec<ChordId> = self
+                    .node_order
+                    .iter()
+                    .copied()
+                    .filter(|&n| self.aggregates[i].slot(n).is_err())
+                    .collect();
+                for n in missing {
+                    if let Some(res) = self.resolve_send(MsgClass::QueryInternal) {
+                        if res.verdict == DeliveryVerdict::Lost {
+                            // Copy lost after retries: the coverage hole
+                            // persists until the next repair round.
+                            continue;
+                        }
+                    }
+                    if self.measuring {
+                        self.metrics.record_message(MsgClass::QueryInternal, aggregator, n);
+                        self.metrics.record_hops(MsgClass::QueryInternal, 1);
+                        if self.tracer.is_enabled() {
+                            self.tracer.single(
+                                MsgClass::QueryInternal.index() as u8,
+                                aggregator,
+                                n,
+                            );
+                        }
+                    }
+                    let sketch = self.aggregates[i].query.fresh_sketch();
+                    if let Err(pos) = self.aggregates[i].slot(n) {
+                        self.aggregates[i].replicas.insert(pos, (n, now, sketch));
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -806,6 +892,18 @@ impl Cluster<Ring> {
         for (qid, agg) in fixes {
             if let Some(QueryRuntime::Similarity(sq)) = self.queries.get_mut(&qid) {
                 sq.aggregator = agg;
+            }
+        }
+        // The victim's aggregate replicas die with it (their window
+        // contribution is simply gone); orphaned aggregate aggregators
+        // move to the new owner of their query key. Iteration is id order.
+        for a in &mut self.aggregates {
+            if let Ok(pos) = a.slot(id) {
+                a.replicas.remove(pos);
+            }
+            if a.query.aggregator == id {
+                let key = self.space.hash_str(&format!("aggregate-query-{}", a.query.id));
+                a.query.aggregator = self.ring.ideal_successor(key).expect("non-empty ring");
             }
         }
         // Re-establish range replication from the surviving replicas.
@@ -1000,6 +1098,9 @@ impl<R: ContentRouter> Cluster<R> {
         value: f64,
         now: SimTime,
     ) -> Option<MulticastPlan> {
+        if !self.aggregates.is_empty() {
+            self.update_aggregates(stream, value, now);
+        }
         let s = &mut self.streams[stream as usize];
         // An orphaned stream (its home data center crashed) is silent until
         // re-homed; the sensor's own window keeps sliding.
@@ -1063,6 +1164,11 @@ impl<R: ContentRouter> Cluster<R> {
         out: &mut Vec<(StreamId, Mbr, MulticastPlan)>,
     ) {
         out.clear();
+        if !self.aggregates.is_empty() {
+            for &(sid, v) in values {
+                self.update_aggregates(sid, v, now);
+            }
+        }
         let workers = if values.len() < PARALLEL_INGEST_MIN {
             1
         } else {
@@ -1143,6 +1249,25 @@ impl<R: ContentRouter> Cluster<R> {
             }
         }
         self.emit_scratch = emitted;
+    }
+
+    /// Feeds one stream value into every aggregate-query replica at the
+    /// stream's home node. Allocation-free in steady state: the replica
+    /// lookup is a binary search and [`dsi_sketch::EcmSketch::update`]
+    /// writes into preallocated bucket storage, so an active aggregate
+    /// query keeps non-emitting ingest ticks off the heap (the
+    /// zero-alloc contract, DESIGN.md §14). Orphaned streams (home not
+    /// in any replica set) contribute nothing, like their silent MBRs.
+    #[inline]
+    fn update_aggregates(&mut self, stream: StreamId, value: f64, now: SimTime) {
+        let home = self.streams[stream as usize].home;
+        let at = now.as_ms();
+        for a in &mut self.aggregates {
+            if let Ok(pos) = a.slot(home) {
+                let bin = quantize(value, a.query.spec.bins);
+                a.replicas[pos].2.update(bin, at);
+            }
+        }
     }
 
     /// Content-routes an MBR from the stream's home to every node covering
@@ -1487,6 +1612,166 @@ impl<R: ContentRouter> Cluster<R> {
         id
     }
 
+    /// Posts a continuous aggregate query from data center `client_idx`
+    /// (DESIGN.md §15): every live node receives an empty ECM-sketch
+    /// replica via a full-ring multicast (the population of an aggregate
+    /// is *all* streams, so its "key range" is the whole identifier
+    /// circle), and the successor of the query key becomes its
+    /// aggregator. Each notify cycle the aggregator collects the
+    /// replicas up the multicast tree — partial sketches merge at the
+    /// middle nodes — and pushes one coverage-tagged
+    /// [`AggregateNotification`] to the client. Returns the query id.
+    pub fn post_aggregate_query(
+        &mut self,
+        client_idx: usize,
+        spec: AggregateSpec,
+        now: SimTime,
+    ) -> QueryId {
+        let client = self.node_order[client_idx];
+        let id = self.next_query;
+        self.next_query += 1;
+        // Replicas must hash identically, so the seed is a pure function
+        // of the query id (SplitMix64 increment as the mixing constant).
+        let seed = (id).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x6A09_E667_F3BC_C908;
+        let params =
+            SketchParams { eps: spec.eps, delta: spec.delta, window_ms: spec.window_ms, seed };
+        let dims = spec.forced_dims.unwrap_or_else(|| SketchDims::for_bound(spec.eps, spec.delta));
+        let key = self.space.hash_str(&format!("aggregate-query-{id}"));
+        let aggregator = self.ring.ideal_successor(key).expect("ring non-empty");
+        let q = AggregateQuery {
+            id,
+            client,
+            aggregator,
+            spec,
+            params,
+            dims,
+            expires: now + spec.lifespan_ms,
+        };
+        // Full-circle range starting just past the client: covers every
+        // live node, and the delivery-set audit's brute-force covering
+        // set of `(client, client]` is exactly the whole ring.
+        let lo = self.space.add(client, 1);
+        let hi = client;
+        if self.reliability.is_some() {
+            return self.post_aggregate_reliable(q, lo, hi, now);
+        }
+        let plan = multicast(&self.ring, client, lo, hi, self.cfg.strategy);
+        if self.measuring {
+            self.metrics.record_event(InputEvent::Query);
+            self.metrics.record_route(MsgClass::Query, MsgClass::QueryTransit, &plan.route_path);
+            self.metrics.record_hops(MsgClass::Query, plan.route_hops);
+            for (from, to) in plan.forward_edges() {
+                self.metrics.record_message(MsgClass::QueryInternal, from, to);
+            }
+            for d in plan.deliveries.iter().filter(|d| d.node != plan.entry) {
+                self.metrics.record_hops(MsgClass::QueryInternal, d.hops);
+            }
+            if self.tracer.is_enabled() {
+                self.tracer.set_now_ms(now.as_ms());
+                plan.trace_into(
+                    &mut self.tracer,
+                    MsgClass::Query.index() as u8,
+                    MsgClass::QueryTransit.index() as u8,
+                    MsgClass::QueryInternal.index() as u8,
+                    lo,
+                    hi,
+                );
+            }
+        }
+        let mut rt = AggregateRuntime { query: q, replicas: Vec::new() };
+        for d in &plan.deliveries {
+            if let Err(pos) = rt.slot(d.node) {
+                rt.replicas.insert(pos, (d.node, now, rt.query.fresh_sketch()));
+            }
+        }
+        self.aggregates.push(rt);
+        id
+    }
+
+    /// [`Cluster::post_aggregate_query`] under an armed fault plan:
+    /// dissemination fails over dropped hops, `Delay`ed replica
+    /// installations are parked for the target's next cycle (their
+    /// sketches then start counting at the drain time), and the achieved
+    /// coverage is recorded so early notifications are tagged partial.
+    fn post_aggregate_reliable(
+        &mut self,
+        q: AggregateQuery,
+        lo: ChordId,
+        hi: ChordId,
+        now: SimTime,
+    ) -> QueryId {
+        let id = q.id;
+        let client = q.client;
+        let (out, log) = reliable_multicast(
+            &self.ring,
+            self.reliability.as_mut().expect("reliable path requires an armed plan"),
+            self.cfg.strategy,
+            client,
+            lo,
+            hi,
+            (MsgClass::Query, MsgClass::QueryInternal),
+        );
+        if self.measuring {
+            self.metrics.record_event(InputEvent::Query);
+        }
+        for (class, res) in &log {
+            self.record_resolution(*class, res);
+        }
+        self.record_query_coverage(id, out.coverage);
+        let Some(plan) = out.plan else {
+            // Retry budget exhausted on every entry candidate: the query
+            // is registered with zero replicas; notifications carry
+            // coverage 0 until repair rounds install sketches.
+            self.aggregates.push(AggregateRuntime { query: q, replicas: Vec::new() });
+            return id;
+        };
+        if self.measuring {
+            self.metrics.record_route(MsgClass::Query, MsgClass::QueryTransit, &plan.route_path);
+            self.metrics.record_hops(MsgClass::Query, plan.route_hops);
+            for (from, to) in plan.forward_edges() {
+                self.metrics.record_message(MsgClass::QueryInternal, from, to);
+            }
+            for d in plan.deliveries.iter().filter(|d| d.node != plan.entry) {
+                self.metrics.record_hops(MsgClass::QueryInternal, d.hops);
+            }
+            if self.tracer.is_enabled() {
+                self.tracer.set_now_ms(now.as_ms());
+                if out.skipped.is_empty() {
+                    plan.trace_into(
+                        &mut self.tracer,
+                        MsgClass::Query.index() as u8,
+                        MsgClass::QueryTransit.index() as u8,
+                        MsgClass::QueryInternal.index() as u8,
+                        lo,
+                        hi,
+                    );
+                } else {
+                    plan.trace_tree_into(
+                        &mut self.tracer,
+                        MsgClass::Query.index() as u8,
+                        MsgClass::QueryTransit.index() as u8,
+                        MsgClass::QueryInternal.index() as u8,
+                    );
+                }
+            }
+        }
+        let due = now + self.cfg.workload.nper_ms;
+        let mut rt = AggregateRuntime { query: q, replicas: Vec::new() };
+        for d in &plan.deliveries {
+            if out.late.contains(&d.node) {
+                self.pending.push(PendingDelivery {
+                    due,
+                    to: d.node,
+                    effect: PendingEffect::SubscribeAggregate { query: id },
+                });
+            } else if let Err(pos) = rt.slot(d.node) {
+                rt.replicas.insert(pos, (d.node, now, rt.query.fresh_sketch()));
+            }
+        }
+        self.aggregates.push(rt);
+        id
+    }
+
     /// Posts a continuous inner-product query (§IV-D): resolve the stream's
     /// source through the location service (`h2`), then subscribe at the
     /// source. Returns the query id.
@@ -1758,6 +2043,11 @@ impl<R: ContentRouter> Cluster<R> {
             }
         }
 
+        // Aggregate-query collection for queries whose aggregator this is.
+        if !self.aggregates.is_empty() {
+            self.collect_aggregates(node, now);
+        }
+
         // Inner-product pushes for streams sourced here.
         let mut pushes: Vec<InnerProductQuery> =
             self.nodes[&node].active_ip_subscriptions(now).cloned().collect();
@@ -1839,6 +2129,175 @@ impl<R: ContentRouter> Cluster<R> {
             .collect();
         self.quality.verified += verified.len() as u64;
         verified
+    }
+
+    /// Collects every aggregate query whose aggregator is `node`: merges
+    /// the per-node replica sketches up the (reversed) multicast tree and
+    /// delivers a coverage-tagged notification to the client.
+    fn collect_aggregates(&mut self, node: ChordId, now: SimTime) {
+        // Index loop in id order: `collect_one_aggregate` needs `&mut self`
+        // for fault resolution and metrics, so no iterator borrow survives.
+        for i in 0..self.aggregates.len() {
+            let is_mine = {
+                let q = &self.aggregates[i].query;
+                q.aggregator == node && !q.expired(now)
+            };
+            if is_mine {
+                self.collect_one_aggregate(i, now);
+            }
+        }
+    }
+
+    /// One collection round for `self.aggregates[idx]` (§IV-F in-network
+    /// aggregation applied to sketches): the dissemination multicast tree
+    /// is walked children-before-parents, each node merges its own
+    /// replica with its children's partials and pushes ONE merged sketch
+    /// to its parent (`AggPush`), so the root receives one sketch per
+    /// subtree rather than one per owner. A push lost after retries drops
+    /// that whole subtree from the round — the notification's coverage
+    /// and effective ε then widen honestly instead of silently lying.
+    fn collect_one_aggregate(&mut self, idx: usize, now: SimTime) {
+        let query = self.aggregates[idx].query.clone();
+        let root = query.aggregator;
+        let at = now.as_ms();
+        // Same full-circle range as dissemination, re-rooted at the
+        // aggregator; with churn the tree tracks the current ring.
+        let lo = self.space.add(root, 1);
+        let plan = multicast(&self.ring, root, lo, root, self.cfg.strategy);
+        let mut children: HashMap<ChordId, Vec<ChordId>> = HashMap::new();
+        for (from, to) in plan.forward_edges() {
+            children.entry(from).or_default().push(to);
+        }
+        // Reverse pre-order visits children before parents.
+        let mut pre = Vec::with_capacity(plan.deliveries.len());
+        let mut stack = vec![plan.entry];
+        while let Some(v) = stack.pop() {
+            pre.push(v);
+            if let Some(cs) = children.get(&v) {
+                stack.extend(cs.iter().copied());
+            }
+        }
+        // Per-node accumulator: merged partial + its contributors. Only
+        // non-empty partials exist (and only those reach the wire).
+        let mut acc: HashMap<ChordId, (EcmSketch, Vec<(ChordId, SimTime)>)> = HashMap::new();
+        for &v in pre.iter().rev() {
+            let mut sk: Option<EcmSketch> = None;
+            let mut contrib: Vec<(ChordId, SimTime)> = Vec::new();
+            if let Ok(pos) = self.aggregates[idx].slot(v) {
+                let (n, since, sketch) = &self.aggregates[idx].replicas[pos];
+                sk = Some(sketch.clone());
+                contrib.push((*n, *since));
+            }
+            if let Some(cs) = children.get(&v) {
+                for &c in cs {
+                    let Some((csk, ccontrib)) = acc.remove(&c) else { continue };
+                    if let Some(res) = self.resolve_send(MsgClass::AggPush) {
+                        if res.verdict == DeliveryVerdict::Lost {
+                            // Subtree lost this round: its contributors
+                            // drop out and the bound widens with them.
+                            continue;
+                        }
+                    }
+                    if self.measuring {
+                        self.metrics.record_message(MsgClass::AggPush, c, v);
+                        self.metrics.record_hops(MsgClass::AggPush, 1);
+                        if self.tracer.is_enabled() {
+                            self.tracer.single(MsgClass::AggPush.index() as u8, c, v);
+                        }
+                    }
+                    match &mut sk {
+                        Some(mine) => mine
+                            .merge_from(&csk, at)
+                            .expect("replicas share params by construction"),
+                        None => sk = Some(csk),
+                    }
+                    contrib.extend(ccontrib);
+                }
+            }
+            if let Some(sk) = sk {
+                acc.insert(v, (sk, contrib));
+            }
+        }
+        // The entry hands the root one merged sketch for the whole tree.
+        let collected = match acc.remove(&plan.entry) {
+            Some(partial) if plan.entry != root => {
+                if let Some(res) = self.resolve_send(MsgClass::AggPush) {
+                    if res.verdict == DeliveryVerdict::Lost {
+                        // The whole round's collection is lost; the next
+                        // NPER cycle re-collects from the live replicas.
+                        return;
+                    }
+                }
+                if self.measuring {
+                    self.metrics.record_message(MsgClass::AggPush, plan.entry, root);
+                    self.metrics.record_hops(MsgClass::AggPush, 1);
+                    if self.tracer.is_enabled() {
+                        self.tracer.single(MsgClass::AggPush.index() as u8, plan.entry, root);
+                    }
+                }
+                Some(partial)
+            }
+            other => other,
+        };
+        let (sketch, mut contributors) = match collected {
+            Some((sk, c)) => (Some(sk), c),
+            None => (None, Vec::new()),
+        };
+        contributors.sort_unstable_by_key(|&(n, _)| n);
+        let live = self.node_order.len().max(1);
+        let coverage = contributors.len() as f64 / live as f64;
+        let bound = query.bound();
+        let value = match query.spec.kind {
+            AggregateKind::WindowCount => {
+                AggregateValue::Scalar(sketch.as_ref().map_or(0.0, |s| s.total_estimate(at)))
+            }
+            AggregateKind::PointCount { bin } => {
+                AggregateValue::Scalar(sketch.as_ref().map_or(0.0, |s| s.point_estimate(bin, at)))
+            }
+            AggregateKind::SelfJoinSize => {
+                AggregateValue::Scalar(sketch.as_ref().map_or(0.0, |s| s.self_join_size(at)))
+            }
+            AggregateKind::HeavyHitters { phi } => {
+                let universe: Vec<u64> = (0..query.spec.bins).collect();
+                AggregateValue::Bins(
+                    sketch.as_ref().map_or(Vec::new(), |s| s.heavy_hitters(&universe, phi, at)),
+                )
+            }
+        };
+        let note = AggregateNotification {
+            query: query.id,
+            kind: query.spec.kind,
+            value,
+            eps_effective: bound.effective_eps(coverage),
+            delta: bound.delta,
+            coverage,
+            components: contributors.len() as u32,
+            contributors,
+            at: now,
+        };
+        // One overlay message carries the answer to the client.
+        let res = self.resolve_send(MsgClass::AggNotify);
+        if res.is_some_and(|r| r.verdict == DeliveryVerdict::Lost) {
+            // Lost after retries: the client misses this period's answer;
+            // the next cycle re-collects and resends.
+            return;
+        }
+        if self.measuring {
+            self.metrics.record_message(MsgClass::AggNotify, root, query.client);
+            self.metrics.record_hops(MsgClass::AggNotify, 1);
+            if self.tracer.is_enabled() {
+                self.tracer.single(MsgClass::AggNotify.index() as u8, root, query.client);
+            }
+        }
+        if res.is_some_and(|r| r.verdict == DeliveryVerdict::Late) {
+            self.pending.push(PendingDelivery {
+                due: now + self.cfg.workload.nper_ms,
+                to: query.client,
+                effect: PendingEffect::AggregateNotify(Box::new(note)),
+            });
+            return;
+        }
+        self.aggregate_notifications.entry(query.id).or_default().push(note);
     }
 
     /// Measurement-gated route accounting: charges `Metrics::record_route`
@@ -1950,6 +2409,23 @@ impl<R: ContentRouter> Cluster<R> {
                 }
                 PendingEffect::LocationPut { stream, source } => {
                     self.nodes.get_mut(&node).expect("live node").location_put(stream, source);
+                }
+                PendingEffect::SubscribeAggregate { query } => {
+                    // A late replica installation starts counting at its
+                    // drain time (it missed everything before); one the
+                    // node re-acquired meanwhile is a dedup.
+                    if let Some(a) = self.aggregates.iter_mut().find(|a| a.query.id == query) {
+                        if !a.query.expired(now) {
+                            if let Err(pos) = a.slot(node) {
+                                let sketch = a.query.fresh_sketch();
+                                a.replicas.insert(pos, (node, now, sketch));
+                            }
+                        }
+                    }
+                }
+                PendingEffect::AggregateNotify(note) => {
+                    let query = note.query;
+                    self.aggregate_notifications.entry(query).or_default().push(*note);
                 }
                 PendingEffect::Notify { query, matches, at } => {
                     let coverage = self.query_coverage.get(&query).copied().unwrap_or(1.0);

@@ -14,6 +14,9 @@
 //!   parked late effects and coverage-tagged degradation (DESIGN.md §12);
 //! * [`load`] — per-node load ledger and virtual-node re-weighting
 //!   mitigation for Fourier-space hotspots (DESIGN.md §13);
+//! * [`aggregate`] — sliding-window aggregate queries answered from
+//!   per-node ECM-sketch replicas with coverage-tagged ε-δ contracts
+//!   (DESIGN.md §15);
 //! * [`api`] — the Fig. 5 application view (`update` / `subscribe` /
 //!   periodic pushes);
 //! * [`system`] — the §V experiment driver (periodic streams, Poisson
@@ -22,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod api;
 pub mod batching;
 pub mod cluster;
@@ -36,10 +40,14 @@ pub mod sortable;
 pub mod store;
 pub mod system;
 
+pub use aggregate::{
+    quantize, AggregateKind, AggregateNotification, AggregateQuery, AggregateSpec, AggregateValue,
+};
 pub use api::{InnerProductPush, SimilarityPush, StreamIndex};
 pub use batching::MbrBatcher;
 pub use cluster::{Cluster, ClusterConfig, QualityStats, StreamRuntime};
 pub use datacenter::{DataCenter, StoredMbr};
+pub use dsi_sketch::{ErrorBound, SketchDims};
 pub use load::{gini, LoadLedger, NodeLoad, ReweightAction, ReweightConfig, RoundLoad};
 pub use mapping::{feature_to_key, interval_key_range, radius_key_range, stream_key, summary_key};
 pub use messages::{batching_saving, Message, HEADER_BYTES};

@@ -264,6 +264,14 @@ pub enum PendingEffect {
         /// Virtual time the aggregator emitted the response.
         at: SimTime,
     },
+    /// A late aggregate-query subscription activates on the target node,
+    /// which starts a fresh replica sketch counting from the drain time.
+    SubscribeAggregate {
+        /// The aggregate query being subscribed to.
+        query: QueryId,
+    },
+    /// A late aggregate notification reaches the client.
+    AggregateNotify(Box<crate::aggregate::AggregateNotification>),
     /// A late periodic inner-product push reaches the client.
     IpResult {
         /// Query the push answers.

@@ -1,0 +1,214 @@
+//! End-to-end aggregate queries on a lossless cluster: notifications
+//! track a brute-force sliding-window reference within the advertised
+//! ε-δ bound, coverage honestly reflects churn, and repair rounds heal
+//! replica holes (DESIGN.md §15).
+
+use dsi_core::aggregate::{AggregateKind, AggregateSpec};
+use dsi_core::{quantize, AggregateValue, Cluster, ClusterConfig};
+use dsi_simnet::SimTime;
+
+const WINDOW_MS: u64 = 4_000;
+const EPS: f64 = 0.2;
+const DELTA: f64 = 0.1;
+const BINS: u64 = 64;
+
+fn small_cluster(n: usize, streams: usize) -> Cluster {
+    let mut cfg = ClusterConfig::new(n);
+    cfg.workload.window_len = 16;
+    cfg.workload.num_coeffs = 2;
+    cfg.workload.mbr_batch = 4;
+    cfg.workload.mbr_max_width = None;
+    let mut c = Cluster::new(cfg);
+    for i in 0..streams {
+        c.register_stream(&format!("agg-{i}"), i % n);
+    }
+    c
+}
+
+fn spec(kind: AggregateKind) -> AggregateSpec {
+    AggregateSpec {
+        kind,
+        eps: EPS,
+        delta: DELTA,
+        window_ms: WINDOW_MS,
+        lifespan_ms: 600_000,
+        bins: BINS,
+        forced_dims: None,
+    }
+}
+
+/// Deterministic pseudo-value for (stream, tick).
+fn value(stream: u32, tick: u64) -> f64 {
+    5.0 + ((stream as f64) * 0.37 + (tick as f64) * 0.11).sin() * 2.0
+}
+
+/// Feeds `ticks` rounds of one value per stream, 100 ms apart, returning
+/// the `(value, at_ms)` log.
+fn feed(c: &mut Cluster, streams: u32, ticks: u64, t0: u64) -> Vec<(f64, u64)> {
+    let mut log = Vec::new();
+    for tick in 0..ticks {
+        let at = t0 + tick * 100;
+        for s in 0..streams {
+            let v = value(s, tick);
+            c.post_value(s, v, SimTime::from_ms(at));
+            log.push((v, at));
+        }
+    }
+    log
+}
+
+/// Brute-force count of logged events inside `(now - W, now]`.
+fn exact_window(log: &[(f64, u64)], now: u64) -> f64 {
+    log.iter().filter(|&&(_, t)| (t as i64) > now as i64 - WINDOW_MS as i64 && t <= now).count()
+        as f64
+}
+
+fn scalar(v: &AggregateValue) -> f64 {
+    match v {
+        AggregateValue::Scalar(x) => *x,
+        AggregateValue::Bins(_) => panic!("expected a scalar value"),
+    }
+}
+
+#[test]
+fn window_count_tracks_brute_force_within_bound() {
+    let mut c = small_cluster(6, 4);
+    let qid = c.post_aggregate_query(0, spec(AggregateKind::WindowCount), SimTime::ZERO);
+    // Notify rounds interleave with feeding: sliding-window sketches
+    // answer "now", never the past.
+    let mut log = feed(&mut c, 4, 40, 0);
+    c.notify_all(SimTime::from_ms(4_000));
+    log.extend(feed(&mut c, 4, 30, 4_000));
+    c.notify_all(SimTime::from_ms(7_000));
+    log.extend(feed(&mut c, 4, 29, 7_000));
+    c.notify_all(SimTime::from_ms(9_900));
+    let notes = c.aggregate_notifications(qid);
+    assert_eq!(notes.len(), 3, "one notification per notify round");
+    for n in notes {
+        assert_eq!(n.coverage, 1.0, "lossless run must reach every node");
+        assert!((n.eps_effective - EPS).abs() < 1e-12, "full coverage keeps the base eps");
+        let truth = exact_window(&log, n.at.as_ms());
+        let slack = n.eps_effective * truth + n.components as f64 + 1e-9;
+        let est = scalar(&n.value);
+        assert!(
+            (est - truth).abs() <= slack,
+            "at {}: estimate {est} vs exact {truth} (slack {slack})",
+            n.at.as_ms()
+        );
+    }
+}
+
+#[test]
+fn point_count_and_heavy_hitters_agree_on_a_constant_stream() {
+    let mut c = small_cluster(5, 2);
+    let bin = quantize(5.0, BINS);
+    let q_point = c.post_aggregate_query(0, spec(AggregateKind::PointCount { bin }), SimTime::ZERO);
+    let q_hh =
+        c.post_aggregate_query(1, spec(AggregateKind::HeavyHitters { phi: 0.5 }), SimTime::ZERO);
+    // A constant stream: every event lands in `bin`.
+    let mut n_events = 0u64;
+    for tick in 0..60u64 {
+        let at = SimTime::from_ms(tick * 100);
+        for s in 0..2u32 {
+            c.post_value(s, 5.0, at);
+            n_events += 1;
+        }
+    }
+    let now = SimTime::from_ms(5_900);
+    c.notify_all(now);
+    let truth = (n_events.min(2 * WINDOW_MS / 100)) as f64;
+    let pn = c.aggregate_notifications(q_point).last().expect("point notification");
+    let slack = EPS * truth + pn.components as f64 + 1e-9;
+    assert!((scalar(&pn.value) - truth).abs() <= slack);
+    let hh = c.aggregate_notifications(q_hh).last().expect("hh notification");
+    match &hh.value {
+        AggregateValue::Bins(bins) => {
+            assert!(
+                bins.iter().any(|&(b, _)| b == bin),
+                "the constant stream's bin must be a heavy hitter"
+            );
+        }
+        AggregateValue::Scalar(_) => panic!("heavy hitters must report bins"),
+    }
+}
+
+#[test]
+fn self_join_size_tracks_brute_force() {
+    let mut c = small_cluster(4, 3);
+    let qid = c.post_aggregate_query(2, spec(AggregateKind::SelfJoinSize), SimTime::ZERO);
+    let mut per_bin = std::collections::BTreeMap::<u64, f64>::new();
+    let mut log = Vec::new();
+    for tick in 0..80u64 {
+        let at = tick * 100;
+        for s in 0..3u32 {
+            let v = value(s, tick);
+            c.post_value(s, v, SimTime::from_ms(at));
+            log.push((v, at));
+        }
+    }
+    let now = 7_900u64;
+    c.notify_all(SimTime::from_ms(now));
+    for &(v, t) in &log {
+        if (t as i64) > now as i64 - WINDOW_MS as i64 && t <= now {
+            *per_bin.entry(quantize(v, BINS)).or_default() += 1.0;
+        }
+    }
+    let truth: f64 = per_bin.values().map(|f| f * f).sum();
+    let n = exact_window(&log, now);
+    let note = c.aggregate_notifications(qid).last().expect("self-join notification");
+    // Mirror EcmSketch::self_join_error_bound with the merged components.
+    let w = (2.0 * std::f64::consts::E / EPS).ceil();
+    let slack = 2.0 * EPS * n * n + 3.0 * n + 3.0 * note.components as f64 * w + 1e-9;
+    assert!(
+        (scalar(&note.value) - truth).abs() <= slack,
+        "self-join {} vs exact {truth} (n={n}, slack {slack})",
+        scalar(&note.value)
+    );
+}
+
+#[test]
+fn crash_widens_the_bound_and_repair_restores_it() {
+    let mut c = small_cluster(6, 4);
+    let qid = c.post_aggregate_query(0, spec(AggregateKind::WindowCount), SimTime::ZERO);
+    feed(&mut c, 4, 30, 0);
+    assert_eq!(c.aggregate_replicas(qid).len(), 6);
+
+    // Crash a non-aggregator node: its replica (and window contribution)
+    // is gone, so the next round's coverage and bound widen honestly.
+    let agg = c.aggregate_query(qid).expect("live query").aggregator;
+    let victim = c.node_ids().iter().copied().find(|&n| n != agg).expect("a non-aggregator");
+    c.crash_node(victim);
+    assert_eq!(c.aggregate_replicas(qid).len(), 5);
+
+    c.notify_all(SimTime::from_ms(3_000));
+    let note = c.aggregate_notifications(qid).last().expect("post-crash notification").clone();
+    assert!(note.coverage < 1.0 + 1e-12, "coverage cannot exceed 1");
+    assert_eq!(note.contributors.len(), 5);
+    assert_eq!(note.coverage, 1.0, "all five live nodes contributed");
+    assert!((note.eps_effective - EPS).abs() < 1e-12);
+
+    // A joining node is a replica hole until a repair round heals it.
+    let joined = c.join_node("late-joiner");
+    assert_eq!(c.aggregate_replicas(qid).len(), 5, "churn rebalance must not heal aggregates");
+    c.repair_coverage(SimTime::from_ms(3_500));
+    let replicas = c.aggregate_replicas(qid);
+    assert_eq!(replicas.len(), 6);
+    let (_, since) = replicas.iter().find(|&&(n, _)| n == joined).expect("healed replica");
+    assert_eq!(since.as_ms(), 3_500, "healed replica counts from the repair time");
+}
+
+#[test]
+fn expired_aggregate_is_purged_and_stops_notifying() {
+    let mut c = small_cluster(4, 2);
+    let mut s = spec(AggregateKind::WindowCount);
+    s.lifespan_ms = 1_000;
+    let qid = c.post_aggregate_query(0, s, SimTime::ZERO);
+    feed(&mut c, 2, 8, 0);
+    c.notify_all(SimTime::from_ms(900));
+    let before = c.aggregate_notifications(qid).len();
+    assert!(before > 0, "a live query notifies");
+    c.purge_queries(SimTime::from_ms(1_500));
+    assert!(c.aggregate_query(qid).is_none(), "expired query is purged");
+    c.notify_all(SimTime::from_ms(1_600));
+    assert_eq!(c.aggregate_notifications(qid).len(), before, "no notifications after expiry");
+}

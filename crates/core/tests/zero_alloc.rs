@@ -14,6 +14,7 @@
 //! Kept as its own integration test so the global allocator and the
 //! single-threaded measurement don't interfere with any other suite.
 
+use dsi_core::aggregate::{AggregateKind, AggregateSpec};
 use dsi_core::{Cluster, ClusterConfig};
 use dsi_simnet::SimTime;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -74,6 +75,24 @@ fn steady_state_ingest_is_allocation_free() {
     for i in 0..STREAMS {
         cluster.register_stream(&format!("za-{i}"), i % 6);
     }
+    // An active aggregate query rides the same contract: per-value sketch
+    // updates go through preallocated exponential-histogram storage, so
+    // warm non-emitting ticks stay allocation-free with it enabled
+    // (notify cycles, which merge and allocate, are not part of the
+    // measured steady state).
+    cluster.post_aggregate_query(
+        0,
+        AggregateSpec {
+            kind: AggregateKind::WindowCount,
+            eps: 0.2,
+            delta: 0.1,
+            window_ms: 5_000,
+            lifespan_ms: u64::MAX / 2,
+            bins: 64,
+            forced_dims: None,
+        },
+        SimTime::ZERO,
+    );
 
     // Warm-up: fill every window, grow every scratch buffer, exercise both
     // entry points so `emit_scratch` and the batcher bounds reach their

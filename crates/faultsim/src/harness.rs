@@ -1,7 +1,7 @@
 //! Scenario execution against a full [`Cluster`], with an invariant audit
 //! after every event.
 //!
-//! Seven oracles run after each scheduled event:
+//! Nine oracles run after each scheduled event:
 //!
 //! 1. **No false dismissals** — every match a brute-force reference index
 //!    (a flat list of all surviving MBR records) produces must also be a
@@ -29,6 +29,16 @@
 //!    `grace_rounds` consecutive hot rounds are tolerated, plus
 //!    `recovery_rounds` more when virtual-node re-weighting is armed —
 //!    after which a still-hot ring means the mitigation was ineffective.
+//! 9. **Sketch accuracy** — when an [`AggregatesConfig`] is armed, every
+//!    [`AggregateNotification`] is audited against a brute-force exact
+//!    sliding-window reference computed from the run's own feed log,
+//!    scoped to the notification's contributor set (a replica healed at
+//!    time `s` only ever saw events at `t ≥ s`, and a node that never
+//!    contributed contributes nothing to the reference either). The
+//!    estimate must sit within `ε_eff·N + C` of the reference (`C` =
+//!    merged components), with a miss budget proportional to δ; and the
+//!    advertised `ε_eff` must equal `ε + (1 − coverage)` exactly —
+//!    degraded rounds widen the contract, they never silently lie.
 //!
 //! [`Metrics`]: dsi_simnet::Metrics
 //!
@@ -41,11 +51,12 @@
 //! failover and degradation bound the damage, and oracle 7 verifies the
 //! repair loop erases it.
 
-use crate::scenario::{FaultEvent, LoadBound, Scenario, ScenarioConfig};
+use crate::scenario::{AggregatesConfig, FaultEvent, LoadBound, Scenario, ScenarioConfig};
 use dsi_chord::{covering_nodes, multicast, ChordId, Ring};
 use dsi_core::{
-    radius_key_range, Cluster, ClusterConfig, LoadBalanceReport, ReliabilityReport,
-    SimilarityQuery, StoredMbr, StreamId,
+    quantize, radius_key_range, AggregateKind, AggregateNotification, AggregateSpec,
+    AggregateValue, Cluster, ClusterConfig, LoadBalanceReport, QueryId, ReliabilityReport,
+    SimilarityQuery, SketchDims, StoredMbr, StreamId,
 };
 use dsi_simnet::{DelayQueue, FaultOutcome, MsgClass, SimTime, NUM_CLASSES};
 use dsi_streamgen::{CorrelatedWalks, TenantLedger, ZipfSampler};
@@ -60,7 +71,8 @@ use std::collections::BTreeSet;
 pub struct Violation {
     /// Which oracle fired (`no-false-dismissal`, `routing-termination`,
     /// `replica-placement`, `metrics-conservation`, `purge`,
-    /// `trace-conformance`, `eventual-completeness`, `load-balance`).
+    /// `trace-conformance`, `eventual-completeness`, `load-balance`,
+    /// `sketch-accuracy`).
     pub oracle: String,
     /// Human-readable description of the violated invariant.
     pub detail: String,
@@ -100,6 +112,11 @@ pub struct RunReport {
     /// Per-round load-distribution summary from the cluster's load ledger
     /// (DESIGN.md §13), including any re-weighting actions taken.
     pub load: LoadBalanceReport,
+    /// Aggregate queries posted (always zero without an armed
+    /// [`AggregatesConfig`]).
+    pub aggregates_posted: u64,
+    /// Aggregate notifications delivered across all aggregate queries.
+    pub aggregate_notifications: u64,
 }
 
 /// Replays a scenario's schedule against a fresh cluster, auditing every
@@ -130,6 +147,8 @@ pub fn run_scenario(scenario: &Scenario) -> RunReport {
                 reliability: ReliabilityReport::from_metrics(h.cluster.metrics()),
                 quota_rejections: h.quota_rejections,
                 load: h.load_report(),
+                aggregates_posted: h.aggregates_posted,
+                aggregate_notifications: h.cluster.total_aggregate_notifications(),
             };
         }
     }
@@ -145,6 +164,8 @@ pub fn run_scenario(scenario: &Scenario) -> RunReport {
         reliability: ReliabilityReport::from_metrics(h.cluster.metrics()),
         quota_rejections: h.quota_rejections,
         load: h.load_report(),
+        aggregates_posted: h.aggregates_posted,
+        aggregate_notifications: h.cluster.total_aggregate_notifications(),
     }
 }
 
@@ -210,6 +231,64 @@ struct Harness {
     hot_rounds: u32,
     /// Queries rejected by the tenant quota.
     quota_rejections: u64,
+    /// Exact feed log for the sketch-accuracy oracle: `(home node, value,
+    /// at_ms)` for every value posted while an [`AggregatesConfig`] is
+    /// armed (empty otherwise). A value counts toward a notification's
+    /// reference exactly when its home is in the contributor set and its
+    /// timestamp is at or after that replica's `since` — the same
+    /// condition under which the cluster's ingest path sketched it.
+    agg_log: Vec<(ChordId, f64, u64)>,
+    /// Posted aggregate queries with their audit cursors and δ budgets.
+    agg_audits: Vec<AggAudit>,
+    /// Aggregate queries posted so far.
+    aggregates_posted: u64,
+}
+
+/// Deliberately under-sized sketch shape for the negative control: one
+/// row of two counters with `k = 1` cannot honor any realistic ε.
+const UNDERSIZED_DIMS: SketchDims = SketchDims { width: 2, depth: 1, k: 1 };
+
+/// Audit state for one posted aggregate query: which notifications were
+/// already checked, and the running ε-δ miss budget.
+struct AggAudit {
+    id: QueryId,
+    kind: AggregateKind,
+    /// Notifications already audited (delta cursor).
+    cursor: usize,
+    /// Bound checks performed across all audited notifications.
+    checks: u64,
+    /// Bound checks that missed. The δ contract makes occasional misses
+    /// legitimate; the oracle fires when misses exceed
+    /// `max(1, ⌈δ·checks⌉)`.
+    failures: u64,
+    /// Detail of the most recent miss, for the eventual violation.
+    last_miss: String,
+}
+
+/// Structural lies in one aggregate notification — checked before the
+/// estimate itself, and never δ-budgeted: a contract that *tightens* under
+/// degradation, or a coverage/ε_eff pair that disagrees with the
+/// `ε_eff = ε + (1 − coverage)` composition rule, is wrong regardless of
+/// how accurate the estimate happens to be.
+fn structural_violation(agg: &AggregatesConfig, note: &AggregateNotification) -> Option<String> {
+    if !note.coverage.is_finite() || !(-1e-9..=1.0 + 1e-9).contains(&note.coverage) {
+        return Some(format!("query {}: coverage {} outside [0, 1]", note.query, note.coverage));
+    }
+    if note.eps_effective < agg.eps - 1e-9 {
+        return Some(format!(
+            "query {}: advertised eps {} tighter than the posted contract ε = {} — bounds may \
+             widen, never tighten",
+            note.query, note.eps_effective, agg.eps
+        ));
+    }
+    let want = agg.eps + (1.0 - note.coverage.clamp(0.0, 1.0));
+    if (note.eps_effective - want).abs() > 1e-9 {
+        return Some(format!(
+            "query {}: eps_effective {} disagrees with ε + (1 − coverage) = {want} at coverage {}",
+            note.query, note.eps_effective, note.coverage
+        ));
+    }
+    None
 }
 
 /// Brute-force covering set, computed independently of the multicast
@@ -291,6 +370,9 @@ impl Harness {
             incomplete_rounds: 0,
             hot_rounds: 0,
             quota_rejections: 0,
+            agg_log: Vec::new(),
+            agg_audits: Vec::new(),
+            aggregates_posted: 0,
         }
     }
 
@@ -328,6 +410,10 @@ impl Harness {
 
     fn feed_one(&mut self, stream: usize) {
         let v = self.walks.next_value(stream, &mut self.rng);
+        if self.cfg.aggregates.is_some() {
+            let home = self.cluster.streams()[stream].home;
+            self.agg_log.push((home, v, self.now.as_ms()));
+        }
         if let Some(plan) = self.cluster.post_value(stream as StreamId, v, self.now) {
             self.mbr_ships += 1;
             // Capture the shipped record for the reference index: the entry
@@ -362,6 +448,13 @@ impl Harness {
             .enumerate()
             .map(|(s, v)| (s as StreamId, v))
             .collect();
+        if self.cfg.aggregates.is_some() {
+            let at = self.now.as_ms();
+            for &(s, v) in &values {
+                let home = self.cluster.streams()[s as usize].home;
+                self.agg_log.push((home, v, at));
+            }
+        }
         let bspan = self.cluster.config().workload.bspan_ms;
         for (stream, mbr, _plan) in self.cluster.ingest_batch(&values, self.now) {
             self.mbr_ships += 1;
@@ -483,6 +576,33 @@ impl Harness {
                     self.cluster.rehome_stream(sid, to_idx, self.now);
                 }
             }
+            FaultEvent::PostAggregate { client, kind } => {
+                // Sketch shape comes from the config; the schedule only
+                // carries the kind. A schedule with aggregate events but
+                // no armed config (hand-edited reproducer) no-ops safely.
+                if let Some(agg) = self.cfg.aggregates.clone() {
+                    let spec = AggregateSpec {
+                        kind,
+                        eps: agg.eps,
+                        delta: agg.delta,
+                        window_ms: agg.window_ms,
+                        lifespan_ms: agg.lifespan_ms,
+                        bins: agg.bins,
+                        forced_dims: agg.undersized.then_some(UNDERSIZED_DIMS),
+                    };
+                    let client_idx = client as usize % self.cluster.num_nodes();
+                    let id = self.cluster.post_aggregate_query(client_idx, spec, self.now);
+                    self.aggregates_posted += 1;
+                    self.agg_audits.push(AggAudit {
+                        id,
+                        kind,
+                        cursor: 0,
+                        checks: 0,
+                        failures: 0,
+                        last_miss: String::new(),
+                    });
+                }
+            }
             FaultEvent::Notify => {
                 self.now += self.cfg.workload.nper_ms;
                 self.notified.clear();
@@ -513,10 +633,15 @@ impl Harness {
                 self.cluster.purge_queries(self.now);
                 // Under per-class faults, each NPER round ends with one
                 // repair sweep re-sending the copies loss left missing —
-                // the convergence loop oracle 7 audits. Skipped when the
-                // injected churn-repair bug is armed: the self-test wants
-                // holes to persist.
-                if self.cluster.fault_plan_active() && !self.cfg.disable_churn_repair {
+                // the convergence loop oracle 7 audits. Aggregate runs
+                // sweep too: churn rebalance has no clock for replica
+                // `since` stamps, so joined nodes stay replica holes until
+                // a timed repair heals them. Skipped when the injected
+                // churn-repair bug is armed: the self-test wants holes to
+                // persist.
+                if (self.cluster.fault_plan_active() || self.cfg.aggregates.is_some())
+                    && !self.cfg.disable_churn_repair
+                {
                     self.cluster.set_trace_time(self.now);
                     self.cluster.repair_coverage(self.now);
                 }
@@ -582,10 +707,153 @@ impl Harness {
                 return Some(("load-balance".into(), d));
             }
         }
+        if let Some(d) = self.oracle_sketch_accuracy() {
+            return Some(("sketch-accuracy".into(), d));
+        }
         if let Some(d) = self.oracle_trace_conformance() {
             return Some(("trace-conformance".into(), d));
         }
         None
+    }
+
+    /// Oracle 9: every aggregate notification honors its advertised ε-δ
+    /// contract. Structural lies — a bound tighter than the posted
+    /// contract, an `ε_eff` that is not exactly `ε + (1 − coverage)`, a
+    /// coverage outside `[0, 1]` — are immediate violations. Estimate
+    /// misses against the contributor-scoped exact reference consume the
+    /// δ budget instead: the contract promises each bound *with
+    /// probability 1 − δ*, so the oracle fires only when misses exceed
+    /// `max(1, ⌈δ·checks⌉)` for one query. Disarmed without an
+    /// [`AggregatesConfig`].
+    fn oracle_sketch_accuracy(&mut self) -> Option<String> {
+        let agg = self.cfg.aggregates.clone()?;
+        for qi in 0..self.agg_audits.len() {
+            let (id, kind, cursor) = {
+                let a = &self.agg_audits[qi];
+                (a.id, a.kind, a.cursor)
+            };
+            let fresh: Vec<AggregateNotification> =
+                self.cluster.aggregate_notifications(id)[cursor..].to_vec();
+            for note in &fresh {
+                if let Some(d) = structural_violation(&agg, note) {
+                    return Some(d);
+                }
+                let miss = self.check_note_bound(&agg, kind, note);
+                let audit = &mut self.agg_audits[qi];
+                audit.checks += 1;
+                if let Some(m) = miss {
+                    audit.failures += 1;
+                    audit.last_miss = m;
+                    let budget = ((agg.delta * audit.checks as f64).ceil() as u64).max(1);
+                    if audit.failures > budget {
+                        return Some(format!(
+                            "query {id} ({kind:?}): {} of {} bound checks missed the advertised \
+                             ε-δ contract (δ budget {budget}); latest: {}",
+                            audit.failures, audit.checks, audit.last_miss
+                        ));
+                    }
+                }
+            }
+            self.agg_audits[qi].cursor += fresh.len();
+        }
+        None
+    }
+
+    /// One notification's estimate checked against the brute-force exact
+    /// sliding window over the run's own feed log, scoped to the
+    /// notification's contributors: a value counts exactly when its home
+    /// node contributed this round and its timestamp is at or after that
+    /// replica's `since` — the same condition under which the ingest path
+    /// sketched it. Returns a miss description, or `None` when the
+    /// estimate sits inside the advertised bound.
+    fn check_note_bound(
+        &self,
+        agg: &AggregatesConfig,
+        kind: AggregateKind,
+        note: &AggregateNotification,
+    ) -> Option<String> {
+        let at = note.at.as_ms() as i64;
+        let lo = at - agg.window_ms as i64;
+        let mut covered: Vec<f64> = Vec::new();
+        for &(home, v, t) in &self.agg_log {
+            let ti = t as i64;
+            if ti <= lo || ti > at {
+                continue;
+            }
+            if note.contributors.iter().any(|&(n, since)| n == home && t >= since.as_ms()) {
+                covered.push(v);
+            }
+        }
+        let n_cov = covered.len() as f64;
+        let comp = note.components as f64;
+        let eps_eff = note.eps_effective;
+        // Count-Min + merged-EH absolute error at the advertised contract:
+        // ε_eff·N over the covered population plus one straddling bucket
+        // per merged component.
+        let e_abs = eps_eff * n_cov + comp;
+        let t_ms = note.at.as_ms();
+        match (kind, &note.value) {
+            (AggregateKind::WindowCount, AggregateValue::Scalar(est)) => ((est - n_cov).abs()
+                > e_abs + 1e-6)
+                .then(|| format!("window count {est} vs exact {n_cov} (±{e_abs:.3}) at t={t_ms}")),
+            (AggregateKind::PointCount { bin }, AggregateValue::Scalar(est)) => {
+                let truth =
+                    covered.iter().filter(|&&v| quantize(v, agg.bins) == bin).count() as f64;
+                ((est - truth).abs() > e_abs + 1e-6).then(|| {
+                    format!(
+                        "point count of bin {bin} {est} vs exact {truth} (±{e_abs:.3}) at t={t_ms}"
+                    )
+                })
+            }
+            (AggregateKind::SelfJoinSize, AggregateValue::Scalar(est)) => {
+                let mut freq = std::collections::BTreeMap::<u64, f64>::new();
+                for &v in &covered {
+                    *freq.entry(quantize(v, agg.bins)).or_default() += 1.0;
+                }
+                let truth: f64 = freq.values().map(|f| f * f).sum();
+                // Mirrors `EcmSketch::self_join_error_bound`, widened to
+                // the advertised ε_eff; `w` is the row width the posted
+                // (ε, δ) contract derives.
+                let w = (2.0 * std::f64::consts::E / agg.eps).ceil();
+                let slack = 2.0 * eps_eff * n_cov * n_cov + 3.0 * n_cov + 3.0 * comp * w;
+                ((est - truth).abs() > slack + 1e-6).then(|| {
+                    format!("self-join size {est} vs exact {truth} (±{slack:.3}) at t={t_ms}")
+                })
+            }
+            (AggregateKind::HeavyHitters { phi }, AggregateValue::Bins(bins)) => {
+                let mut freq = std::collections::BTreeMap::<u64, f64>::new();
+                for &v in &covered {
+                    *freq.entry(quantize(v, agg.bins)).or_default() += 1.0;
+                }
+                // Both the per-bin estimate and the φ·total threshold are
+                // sketch estimates, so the separation margin is (1 + φ)
+                // times the absolute error.
+                let margin = (1.0 + phi) * e_abs + 1e-6;
+                for &(b, _) in bins {
+                    let f = freq.get(&b).copied().unwrap_or(0.0);
+                    if f + margin < phi * n_cov {
+                        return Some(format!(
+                            "reported heavy hitter bin {b} has exact frequency {f}, below \
+                             φ·N = {:.3} − margin {margin:.3} at t={t_ms}",
+                            phi * n_cov
+                        ));
+                    }
+                }
+                for (&b, &f) in &freq {
+                    if f > phi * n_cov + margin && !bins.iter().any(|&(rb, _)| rb == b) {
+                        return Some(format!(
+                            "bin {b} with exact frequency {f} above φ·N = {:.3} + margin \
+                             {margin:.3} missing from heavy hitters at t={t_ms}",
+                            phi * n_cov
+                        ));
+                    }
+                }
+                None
+            }
+            (k, v) => {
+                Some(format!("query {}: value shape {v:?} does not match kind {k:?}", note.query))
+            }
+        }
     }
 
     /// Oracle 8: per-host message load stays inside the armed

@@ -4,7 +4,7 @@
 //! the style of FoundationDB's simulator: a seed fully determines a
 //! scenario — node churn, message faults, stream bursts, query storms —
 //! which is replayed against a complete [`dsi_core::Cluster`] over
-//! simulated time. After every scheduled event the harness audits eight
+//! simulated time. After every scheduled event the harness audits nine
 //! invariants end to end:
 //!
 //! 1. **No false dismissals** — the distributed index never misses a match
@@ -34,6 +34,13 @@
 //!    (`ScenarioConfig::mitigation`, DESIGN.md §13) the ratio must drop
 //!    back under the bound within the recovery budget after the cluster
 //!    splits the hot arc.
+//! 9. **Sketch accuracy** — under an armed [`AggregatesConfig`], every
+//!    aggregate notification's estimate stays inside its *advertised*
+//!    ε-δ contract against a brute-force sliding-window reference scoped
+//!    to the notification's own contributor set (DESIGN.md §15), with a
+//!    δ-proportional miss budget; the advertised bound must widen —
+//!    never tighten — exactly by the uncovered population fraction when
+//!    faults or churn keep replicas out of a collection round.
 //!
 //! Adversarial workloads are first-class: [`SkewConfig`] injects
 //! cross-stream correlation (flash crowds collapsing onto one Fourier
@@ -61,4 +68,4 @@ pub mod scenario;
 
 pub use harness::{run_scenario, RunReport, Violation};
 pub use repro::{load_reproducer, results_dir, write_reproducer, Reproducer};
-pub use scenario::{FaultEvent, LoadBound, Scenario, ScenarioConfig, SkewConfig};
+pub use scenario::{AggregatesConfig, FaultEvent, LoadBound, Scenario, ScenarioConfig, SkewConfig};

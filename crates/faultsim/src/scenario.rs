@@ -9,6 +9,7 @@
 
 use dsi_chord::RangeStrategy;
 use dsi_core::load::ReweightConfig;
+use dsi_core::AggregateKind;
 use dsi_simnet::{FaultPlan, FaultSpec};
 use dsi_streamgen::{TenantPolicy, WorkloadConfig, ZipfSampler};
 use rand::rngs::StdRng;
@@ -48,6 +49,68 @@ impl SkewConfig {
         if let Some(s) = self.zipf_exponent {
             assert!(s.is_finite() && s >= 0.0, "zipf exponent must be finite and >= 0, got {s}");
         }
+    }
+}
+
+/// Aggregate-query workload for the sketch-accuracy oracle (oracle 9).
+/// When set, the schedule posts one continuous aggregate query per entry
+/// in `kinds` right after warm-up, and every notification the run
+/// produces is audited against a brute-force sliding-window reference
+/// scoped to the notification's own contributor set (DESIGN.md §15).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregatesConfig {
+    /// Target relative error ε at full coverage.
+    pub eps: f64,
+    /// Failure probability δ — also the oracle's miss budget.
+    pub delta: f64,
+    /// Sliding-window width in milliseconds.
+    pub window_ms: u64,
+    /// Query lifespan in milliseconds.
+    pub lifespan_ms: u64,
+    /// Quantization universe size (see [`dsi_core::quantize`]).
+    pub bins: u64,
+    /// One query is posted per kind, in order, right after warm-up.
+    pub kinds: Vec<AggregateKind>,
+    /// Negative-control switch: force a deliberately under-sized sketch
+    /// (one row, two counters, `k = 1`) whose advertised ε-δ contract is
+    /// a lie the accuracy oracle must catch.
+    pub undersized: bool,
+}
+
+impl Default for AggregatesConfig {
+    fn default() -> Self {
+        AggregatesConfig {
+            eps: 0.2,
+            delta: 0.1,
+            window_ms: 4_000,
+            lifespan_ms: 600_000,
+            bins: 64,
+            kinds: vec![AggregateKind::WindowCount],
+            undersized: false,
+        }
+    }
+}
+
+impl AggregatesConfig {
+    /// Validates the knobs.
+    ///
+    /// # Panics
+    /// Panics on out-of-range ε/δ, a zero-width window, or an empty kinds
+    /// list.
+    pub fn validate(&self) {
+        assert!(
+            self.eps.is_finite() && self.eps > 0.0 && self.eps <= 1.0,
+            "aggregate eps must lie in (0, 1], got {}",
+            self.eps
+        );
+        assert!(
+            self.delta.is_finite() && self.delta > 0.0 && self.delta <= 0.5,
+            "aggregate delta must lie in (0, 0.5], got {}",
+            self.delta
+        );
+        assert!(self.window_ms > 0, "aggregate window must be positive");
+        assert!(self.bins >= 1, "aggregate universe needs at least one bin");
+        assert!(!self.kinds.is_empty(), "aggregate config must post at least one query");
     }
 }
 
@@ -115,6 +178,10 @@ pub struct ScenarioConfig {
     /// Arms virtual-node re-weighting as the hotspot mitigation. `None`
     /// (default) leaves the cluster's ring membership untouched.
     pub mitigation: Option<ReweightConfig>,
+    /// Arms continuous aggregate queries and the sketch-accuracy oracle
+    /// (oracle 9). `None` (default) leaves both disarmed and the run
+    /// byte-identical to the historical behavior.
+    pub aggregates: Option<AggregatesConfig>,
 }
 
 impl Serialize for ScenarioConfig {
@@ -131,6 +198,7 @@ impl Serialize for ScenarioConfig {
             ("skew".into(), self.skew.to_value()),
             ("load_bound".into(), self.load_bound.to_value()),
             ("mitigation".into(), self.mitigation.to_value()),
+            ("aggregates".into(), self.aggregates.to_value()),
         ])
     }
 }
@@ -158,6 +226,10 @@ impl Deserialize for ScenarioConfig {
                 None => None,
             },
             mitigation: match v.get("mitigation") {
+                Some(x) => Deserialize::from_value(x)?,
+                None => None,
+            },
+            aggregates: match v.get("aggregates") {
                 Some(x) => Deserialize::from_value(x)?,
                 None => None,
             },
@@ -190,6 +262,7 @@ impl Default for ScenarioConfig {
             skew: SkewConfig::default(),
             load_bound: None,
             mitigation: None,
+            aggregates: None,
         }
     }
 }
@@ -248,6 +321,13 @@ impl ScenarioConfig {
     /// A variant arming virtual-node re-weighting as the mitigation.
     pub fn with_mitigation(mut self, cfg: ReweightConfig) -> Self {
         self.mitigation = Some(cfg);
+        self
+    }
+
+    /// A variant posting continuous aggregate queries and arming the
+    /// sketch-accuracy oracle.
+    pub fn with_aggregates(mut self, cfg: AggregatesConfig) -> Self {
+        self.aggregates = Some(cfg);
         self
     }
 }
@@ -312,6 +392,16 @@ pub enum FaultEvent {
         /// Destination (modulo the live node count).
         to: u32,
     },
+    /// Post one continuous aggregate query (only meaningful when
+    /// [`ScenarioConfig::aggregates`] is armed; a no-op otherwise). The
+    /// sketch shape comes from the config, so the event itself stays
+    /// small and schedule generation consumes no extra RNG draws.
+    PostAggregate {
+        /// Posting client (modulo the live node count).
+        client: u32,
+        /// The aggregate function to compute.
+        kind: AggregateKind,
+    },
     /// One NPER round on every node (with injected message faults),
     /// followed by the global query purge.
     Notify,
@@ -342,6 +432,9 @@ impl Scenario {
         }
         if let Some(m) = &config.mitigation {
             m.validate();
+        }
+        if let Some(a) = &config.aggregates {
+            a.validate();
         }
         assert!(config.num_nodes >= 3, "scenarios need at least three data centers");
         assert!(config.num_streams >= 1, "scenarios need at least one stream");
@@ -406,6 +499,16 @@ impl Scenario {
         }
         // Settle: a final NPER round exercises the purge oracle once more.
         events.push(FaultEvent::Notify);
+        // Aggregate queries go in at fixed post-warm-up positions and
+        // consume no generation-RNG draws, so arming them never shifts the
+        // rest of the schedule — aggregate and plain variants of one seed
+        // replay the identical churn/fault history.
+        if let Some(agg) = &config.aggregates {
+            for (i, &kind) in agg.kinds.iter().enumerate() {
+                let client = (i as u32).wrapping_mul(5).wrapping_add(1);
+                events.insert(2 + i, FaultEvent::PostAggregate { client, kind });
+            }
+        }
         Scenario { seed, config, events }
     }
 }

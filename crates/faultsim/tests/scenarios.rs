@@ -1,10 +1,11 @@
 //! Tier-1 fault-injection campaigns: ≥25 seeded scenarios — each also run
 //! with all-class message faults through the reliability layer — replaying
 //! a full churn/fault/burst/storm schedule against a live cluster with all
-//! eight invariant oracles armed after every event, plus an adversarial
+//! nine invariant oracles armed after every event, plus an adversarial
 //! pack (correlated flash crowds, Zipf query skew, thundering herds,
 //! tenant quotas) exercising the load-balance oracle and the virtual-node
-//! re-weighting mitigation.
+//! re-weighting mitigation, and an ECM-sketch aggregate pack exercising
+//! the sketch-accuracy oracle across loss, churn and degraded coverage.
 //!
 //! A violation writes `results/repro-<seed>.json` and fails the test with
 //! the path, so the failure is replayable offline:
@@ -14,10 +15,10 @@
 //! ```
 
 use dsi_chord::RangeStrategy;
-use dsi_core::ReweightConfig;
+use dsi_core::{AggregateKind, ReweightConfig};
 use dsi_faultsim::{
-    load_reproducer, run_scenario, write_reproducer, LoadBound, Reproducer, RunReport, Scenario,
-    ScenarioConfig,
+    load_reproducer, run_scenario, write_reproducer, AggregatesConfig, LoadBound, Reproducer,
+    RunReport, Scenario, ScenarioConfig,
 };
 use dsi_simnet::{FaultPlan, FaultSpec, MsgClass};
 use dsi_streamgen::TenantPolicy;
@@ -56,6 +57,20 @@ fn allclass(drop: f64) -> FaultPlan {
 /// flash crowd's key collapse visibly tilts per-host load.
 fn hot_shape() -> ScenarioConfig {
     ScenarioConfig { num_nodes: 10, num_streams: 16, num_events: 60, ..ScenarioConfig::default() }
+}
+
+/// Aggregate workload posting one query of every kind right after
+/// warm-up, at the default (ε = 0.2, δ = 0.1) contract.
+fn agg_all() -> AggregatesConfig {
+    AggregatesConfig {
+        kinds: vec![
+            AggregateKind::WindowCount,
+            AggregateKind::PointCount { bin: 42 },
+            AggregateKind::HeavyHitters { phi: 0.2 },
+            AggregateKind::SelfJoinSize,
+        ],
+        ..AggregatesConfig::default()
+    }
 }
 
 /// Load-balance envelope used by the mitigation scenarios: trip past
@@ -233,6 +248,141 @@ scenario_tests! {
     long_skew_54:              seed 41, ScenarioConfig {
         num_events: 80, num_streams: 16, ..ScenarioConfig::default()
     }.correlated(0.9).zipfian(1.5);
+}
+
+// ECM-sketch aggregate pack (ISSUE 8 acceptance): ≥ 20 seeded tier-1
+// scenarios with continuous aggregate queries of every kind riding the
+// full churn/fault/burst/storm schedule, and the sketch-accuracy oracle
+// auditing every notification against a contributor-scoped brute-force
+// reference. The all-class variants degrade dissemination and collection,
+// so coverage drops and the advertised bound must provably widen (the
+// oracle's structural ε_eff = ε + (1 − coverage) rule) — never lie.
+scenario_tests! {
+    agg_seq_61:            seed 61, ScenarioConfig::default().with_aggregates(agg_all());
+    agg_seq_62:            seed 62, ScenarioConfig::default().with_aggregates(agg_all());
+    agg_seq_63:            seed 63, ScenarioConfig::default().with_aggregates(agg_all());
+    agg_seq_64:            seed 64, ScenarioConfig::default().with_aggregates(agg_all());
+    agg_seq_65:            seed 65, ScenarioConfig::default().with_aggregates(agg_all());
+    agg_seq_66:            seed 66, ScenarioConfig::default().with_aggregates(agg_all());
+
+    agg_bidi_67:           seed 67, ScenarioConfig::default().bidirectional()
+        .with_aggregates(agg_all());
+    agg_bidi_68:           seed 68, ScenarioConfig::default().bidirectional()
+        .with_aggregates(agg_all());
+
+    agg_nper_lossy_69:     seed 69, ScenarioConfig::default().with_faults(lossy())
+        .with_aggregates(agg_all());
+    agg_nper_lossy_70:     seed 70, ScenarioConfig::default().with_faults(lossy())
+        .with_aggregates(agg_all());
+    agg_nper_lossy_71:     seed 71, ScenarioConfig::default().with_faults(lossy())
+        .with_aggregates(agg_all());
+
+    agg_allclass_72:       seed 72, ScenarioConfig::default()
+        .with_class_faults(allclass(0.2)).with_aggregates(agg_all());
+    agg_allclass_73:       seed 73, ScenarioConfig::default()
+        .with_class_faults(allclass(0.2)).with_aggregates(agg_all());
+    agg_allclass_74:       seed 74, ScenarioConfig::default()
+        .with_class_faults(allclass(0.2)).with_aggregates(agg_all());
+    agg_allclass_75:       seed 75, ScenarioConfig::default()
+        .with_class_faults(allclass(0.2)).with_aggregates(agg_all());
+    agg_allclass_drop3_76: seed 76, ScenarioConfig::default()
+        .with_class_faults(allclass(0.3)).with_aggregates(agg_all());
+    agg_allclass_bidi_77:  seed 77, ScenarioConfig::default().bidirectional()
+        .with_class_faults(allclass(0.2)).with_aggregates(agg_all());
+
+    agg_large_78:          seed 78, ScenarioConfig {
+        num_nodes: 20, num_streams: 12, ..ScenarioConfig::default()
+    }.with_aggregates(agg_all());
+    agg_small_79:          seed 79, ScenarioConfig {
+        num_nodes: 4, num_streams: 3, ..ScenarioConfig::default()
+    }.with_aggregates(agg_all());
+    agg_long_80:           seed 80, ScenarioConfig {
+        num_events: 80, ..ScenarioConfig::default()
+    }.with_aggregates(agg_all());
+
+    agg_tight_eps_81:      seed 81, ScenarioConfig::default().with_aggregates(
+        AggregatesConfig { eps: 0.1, ..agg_all() });
+    agg_loose_eps_82:      seed 82, ScenarioConfig::default().with_aggregates(
+        AggregatesConfig { eps: 0.4, ..agg_all() });
+    agg_long_window_83:    seed 83, ScenarioConfig::default().with_aggregates(
+        AggregatesConfig { window_ms: 10_000, ..agg_all() });
+    agg_skew_84:           seed 84, hot_shape().correlated(0.9).with_aggregates(agg_all());
+}
+
+/// The aggregate pack actually exercises its machinery: queries post,
+/// notifications flow, and a lossless run stays violation-free.
+#[test]
+fn aggregate_scenarios_actually_notify() {
+    let report = assert_clean(
+        85,
+        ScenarioConfig { num_events: 60, ..ScenarioConfig::default() }.with_aggregates(agg_all()),
+    );
+    assert_eq!(report.aggregates_posted, 4, "one query per configured kind");
+    assert!(report.aggregate_notifications > 0, "no aggregate notifications delivered");
+}
+
+/// Under all-class loss the degraded collection rounds still notify, and
+/// the sketch-accuracy oracle stays green — the advertised bound widened
+/// with coverage instead of lying (the oracle's structural rule checks
+/// every notification for ε_eff = ε + (1 − coverage) exactly).
+#[test]
+fn degraded_aggregate_rounds_widen_bounds_honestly() {
+    let report = assert_clean(
+        86,
+        ScenarioConfig { num_events: 60, ..ScenarioConfig::default() }
+            .with_class_faults(allclass(0.3))
+            .with_aggregates(agg_all()),
+    );
+    assert_eq!(report.aggregates_posted, 4);
+    assert!(report.aggregate_notifications > 0, "lossy run never notified");
+    assert!(report.reliability.retries > 0, "30% drop must force retries");
+}
+
+/// Oracle 9's negative control (the issue's acceptance criterion): a
+/// deliberately under-sized sketch — one row, two counters, k = 1 —
+/// advertising a tight ε = 0.05 contract must trip the sketch-accuracy
+/// oracle on a pinned seed, and the failing run must serialize a
+/// replayable reproducer like any other violation.
+#[test]
+fn undersized_sketch_trips_the_accuracy_oracle() {
+    let cfg = negctrl_config(true);
+    let scenario = Scenario::generate(208, cfg);
+    let report = run_scenario(&scenario);
+    let v = report.violation.expect("an undersized sketch must miss its advertised bound");
+    assert_eq!(
+        v.oracle, "sketch-accuracy",
+        "expected the sketch-accuracy oracle, got `{}`: {}",
+        v.oracle, v.detail
+    );
+    let repro = Reproducer::from_failure(&scenario, v.clone()).with_trace(report.trace);
+    let path = write_reproducer(&repro);
+    let replayed = load_reproducer(&path).replay().expect("reproducer must replay the violation");
+    assert_eq!(replayed, v, "replay must reproduce the identical accuracy violation");
+}
+
+/// The same pinned seed with correctly (ε, δ)-derived dimensions passes:
+/// the oracle's trip above is the sketch's fault, not the harness's.
+#[test]
+fn correctly_sized_sketch_passes_the_same_seed() {
+    let report = assert_clean(208, negctrl_config(false));
+    assert!(report.aggregate_notifications > 0, "control run never notified");
+}
+
+/// Negative-control scenario shape: a PointCount query advertising an
+/// ε = 0.05 contract. With `undersized` the sketch is forced to one row
+/// of two counters with k = 1, so all 64 value bins collide into two
+/// counters and the point estimate carries roughly half the whole window
+/// population — a miss on nearly every notification (40/40 probed seeds
+/// trip; 0/40 with the honest (ε, δ)-derived shape).
+fn negctrl_config(undersized: bool) -> ScenarioConfig {
+    ScenarioConfig { num_events: 60, ..ScenarioConfig::default() }.with_aggregates(
+        AggregatesConfig {
+            eps: 0.05,
+            undersized,
+            kinds: vec![AggregateKind::PointCount { bin: 42 }],
+            ..AggregatesConfig::default()
+        },
+    )
 }
 
 /// Multi-tenant quota breach: four tenants capped at two query admissions
@@ -496,5 +646,46 @@ fn soak_skew_campaign() {
         let report = assert_clean(seed, cfg);
         assert!(report.mbr_ships > 0);
         assert!(report.queries_posted > 0, "seed {seed}: skew soak posted no queries");
+    }
+}
+
+/// Sketch-accuracy soak for the scheduled CI matrix: 20 fresh seeds ×
+/// 200-event schedules with all four aggregate kinds riding churn and
+/// all-class loss, the ninth oracle auditing every notification. The
+/// contract comes from `DSI_AGG_EPS` (default 0.2) and the loss from
+/// `DSI_LOSSY_DROP` (default 0.2); the CI matrix sweeps ε × drop over
+/// 0.1/0.2/0.3. Run with:
+/// `DSI_AGG_EPS=0.1 DSI_LOSSY_DROP=0.3 cargo test -p dsi-faultsim soak_accuracy -- --ignored`
+#[test]
+#[ignore = "long soak; run explicitly or from the scheduled CI matrix"]
+fn soak_accuracy_campaign() {
+    let eps: f64 = std::env::var("DSI_AGG_EPS")
+        .ok()
+        .map(|v| v.parse().expect("DSI_AGG_EPS must be a relative error in (0, 1]"))
+        .unwrap_or(0.2);
+    let drop: f64 = std::env::var("DSI_LOSSY_DROP")
+        .ok()
+        .map(|v| v.parse().expect("DSI_LOSSY_DROP must be a probability"))
+        .unwrap_or(0.2);
+    assert!((0.0..=0.3).contains(&drop), "soak drop rates above 0.3 are not a supported regime");
+    for seed in 5000..5020u64 {
+        let mut cfg = ScenarioConfig {
+            num_events: 200,
+            num_nodes: 12,
+            num_streams: 10,
+            ..ScenarioConfig::default()
+        }
+        .with_aggregates(AggregatesConfig { eps, ..agg_all() })
+        .with_class_faults(allclass(drop));
+        if seed % 2 == 1 {
+            cfg = cfg.bidirectional();
+        }
+        let report = assert_clean(seed, cfg);
+        assert!(report.mbr_ships > 0);
+        assert_eq!(report.aggregates_posted, 4, "seed {seed}: aggregate posting went missing");
+        assert!(
+            report.aggregate_notifications > 0,
+            "seed {seed}: accuracy soak never delivered an aggregate notification"
+        );
     }
 }

@@ -370,7 +370,7 @@ pub fn metrics_trace_pairing(f: &SourceFile) -> Vec<Violation> {
 // ----------------------------------------------------------------------
 
 /// Files on the per-message hot path.
-const R01_FILES: [&str; 7] = [
+const R01_FILES: [&str; 10] = [
     "chord/src/router.rs",
     "chord/src/multicast.rs",
     "simnet/src/engine.rs",
@@ -378,6 +378,9 @@ const R01_FILES: [&str; 7] = [
     "core/src/load.rs",
     "core/src/store.rs",
     "core/src/sortable.rs",
+    "core/src/aggregate.rs",
+    "sketch/src/eh.rs",
+    "sketch/src/ecm.rs",
 ];
 
 /// **R01** — `unwrap()` / `expect(` on the routing / engine hot path:

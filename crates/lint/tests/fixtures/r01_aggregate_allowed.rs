@@ -1,0 +1,7 @@
+// R01 allow-marker on the aggregate maintenance path: the panic site
+// names the invariant making it unreachable.
+pub fn latest_notification(rounds: &[(u64, f64)]) -> (u64, f64) {
+    // dsilint: allow(hot-path-unwrap, post_aggregate emits the first round synchronously)
+    let newest = rounds.last().expect("a posted query notifies at least once");
+    (newest.0, newest.1)
+}

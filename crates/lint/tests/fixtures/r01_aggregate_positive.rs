@@ -1,0 +1,7 @@
+// R01 positive: bare unwrap/expect on the per-window aggregate
+// maintenance path (linted under `crates/core/src/aggregate.rs`).
+pub fn latest_notification(rounds: &[(u64, f64)]) -> (u64, f64) {
+    let newest = rounds.last().unwrap();
+    let oldest = rounds.first().expect("a posted query notifies at least once");
+    (newest.0, oldest.1)
+}

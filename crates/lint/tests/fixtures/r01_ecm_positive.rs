@@ -1,0 +1,7 @@
+// R01 positive: bare unwrap/expect on the ECM-sketch row-min estimate
+// path (linted under `crates/sketch/src/ecm.rs`).
+pub fn row_min(estimates: &[u64], depth: usize) -> u64 {
+    let first = estimates.get(0).unwrap();
+    let min = estimates.iter().take(depth).min().expect("depth rows exist");
+    first.min(*min)
+}

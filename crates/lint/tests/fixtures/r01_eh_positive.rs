@@ -1,0 +1,7 @@
+// R01 positive: bare unwrap/expect on the exponential-histogram insert
+// path (linted under `crates/sketch/src/eh.rs`).
+pub fn newest_bucket(buckets: &[(u64, u64)]) -> (u64, u64) {
+    let first = buckets.first().unwrap();
+    let last = buckets.last().expect("histogram holds at least one bucket");
+    (first.0, last.1)
+}

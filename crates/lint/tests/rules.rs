@@ -187,6 +187,48 @@ fn r01_sortable_allow_marker_suppresses_with_reason() {
 }
 
 #[test]
+fn r01_covers_the_exponential_histogram() {
+    let (vs, _) = lint("r01_eh_positive.rs", "crates/sketch/src/eh.rs");
+    let rules: Vec<_> = vs.iter().map(|v| v.0).collect();
+    assert_eq!(rules, vec![R01, R01], "{vs:?}");
+}
+
+#[test]
+fn r01_eh_allow_marker_suppresses_with_reason() {
+    let (vs, allowed) = lint("r01_eh_allowed.rs", "crates/sketch/src/eh.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+    assert_eq!(allowed, 1);
+}
+
+#[test]
+fn r01_covers_the_ecm_sketch() {
+    let (vs, _) = lint("r01_ecm_positive.rs", "crates/sketch/src/ecm.rs");
+    let rules: Vec<_> = vs.iter().map(|v| v.0).collect();
+    assert_eq!(rules, vec![R01, R01], "{vs:?}");
+}
+
+#[test]
+fn r01_ecm_allow_marker_suppresses_with_reason() {
+    let (vs, allowed) = lint("r01_ecm_allowed.rs", "crates/sketch/src/ecm.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+    assert_eq!(allowed, 1);
+}
+
+#[test]
+fn r01_covers_the_aggregate_module() {
+    let (vs, _) = lint("r01_aggregate_positive.rs", "crates/core/src/aggregate.rs");
+    let rules: Vec<_> = vs.iter().map(|v| v.0).collect();
+    assert_eq!(rules, vec![R01, R01], "{vs:?}");
+}
+
+#[test]
+fn r01_aggregate_allow_marker_suppresses_with_reason() {
+    let (vs, allowed) = lint("r01_aggregate_allowed.rs", "crates/core/src/aggregate.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+    assert_eq!(allowed, 1);
+}
+
+#[test]
 fn d01_covers_the_load_ledger_module() {
     // The ledger lives in `crates/core/`, so the determinism rule audits
     // its map iterations too (the shipped module carries an allow marker

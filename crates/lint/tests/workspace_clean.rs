@@ -39,8 +39,13 @@ fn msg_class_context_is_discovered() {
         Some("crates/simnet/src/metrics.rs"),
         "MsgClass enum not found where expected"
     );
-    assert!(
-        outcome.context.msg_class_variants.len() >= 9,
+    // The class table grew to 11 with the aggregate AggPush / AggNotify
+    // classes; X01 audits every `[MsgClass; N]` and NUM_CLASSES against
+    // exactly this count, so pin it — a variant added without updating the
+    // table must fail here, not drift.
+    assert_eq!(
+        outcome.context.msg_class_variants.len(),
+        11,
         "MsgClass variants: {:?}",
         outcome.context.msg_class_variants
     );

@@ -120,12 +120,48 @@ pub enum FaultOutcome {
 /// `FaultPlan::NONE` (also the `Default`) is the lossless network; the
 /// reliability layer treats it as "disabled" and takes the exact historical
 /// code paths, consuming no extra RNG draws.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Serde is hand-written instead of derived: the message taxonomy grows
+/// over time (new [`MsgClass`] variants are appended), and reproducers
+/// recorded before a growth carry an `overrides` array shorter than the
+/// current [`NUM_CLASSES`]. Deserialization pads missing trailing
+/// overrides with `None` — new classes take the default spec — rather
+/// than rejecting the file on an exact-length array match.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultPlan {
     /// Spec applied to any class without an override.
     pub default: FaultSpec,
     /// Per-class overrides, indexed by [`MsgClass::index`].
     pub overrides: [Option<FaultSpec>; NUM_CLASSES],
+}
+
+impl Serialize for FaultPlan {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("default".to_string(), self.default.to_value()),
+            ("overrides".to_string(), self.overrides.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for FaultPlan {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let default = FaultSpec::from_value(serde::field(v, "default", "FaultPlan")?)?;
+        let raw = serde::field(v, "overrides", "FaultPlan")?
+            .as_array()
+            .ok_or_else(|| serde::Error::expected("array", v))?;
+        if raw.len() > NUM_CLASSES {
+            return Err(serde::Error::msg(format!(
+                "FaultPlan overrides has {} entries but only {NUM_CLASSES} classes exist",
+                raw.len()
+            )));
+        }
+        let mut overrides = [None; NUM_CLASSES];
+        for (slot, val) in overrides.iter_mut().zip(raw.iter()) {
+            *slot = <Option<FaultSpec>>::from_value(val)?;
+        }
+        Ok(FaultPlan { default, overrides })
+    }
 }
 
 impl FaultPlan {
@@ -308,6 +344,33 @@ mod tests {
         let json = serde_json::to_string(&plan).expect("serialize");
         let back: FaultPlan = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn plan_accepts_reproducers_from_before_the_class_table_grew() {
+        // A reproducer recorded at NUM_CLASSES == 9 carries a 9-slot
+        // overrides array; the trailing (newer) classes must pad to None
+        // and fall back to the default spec.
+        let json = r#"{
+            "default": {"drop_prob": 0.2, "dup_prob": 0.0, "delay_prob": 0.0},
+            "overrides": [
+                null, null, null,
+                {"drop_prob": 1.0, "dup_prob": 0.0, "delay_prob": 0.0},
+                null, null, null, null, null
+            ]
+        }"#;
+        let plan: FaultPlan = serde_json::from_str(json).expect("legacy plan must parse");
+        assert_eq!(plan.spec_for(MsgClass::Query).drop_prob, 1.0);
+        assert_eq!(plan.spec_for(MsgClass::AggPush), plan.default);
+        assert_eq!(plan.spec_for(MsgClass::AggNotify), plan.default);
+
+        // An array longer than the taxonomy is a real error, not padding.
+        let overlong = format!(
+            r#"{{"default": {{"drop_prob": 0.0, "dup_prob": 0.0, "delay_prob": 0.0}},
+                "overrides": [{}]}}"#,
+            ["null"; NUM_CLASSES + 1].join(", ")
+        );
+        assert!(serde_json::from_str::<FaultPlan>(&overlong).is_err());
     }
 
     proptest! {

@@ -31,11 +31,17 @@ pub enum MsgClass {
     ResponseInternal,
     /// Response messages relayed in transit (Fig. 6a-g).
     ResponseTransit,
+    /// Partial aggregate sketches pushed one tree edge toward the
+    /// aggregator during an NPER collection round (DESIGN.md §15).
+    AggPush,
+    /// Aggregate notifications routed from the aggregator to the client.
+    AggNotify,
 }
 
 impl MsgClass {
-    /// All classes, in legend order.
-    pub const ALL: [MsgClass; 9] = [
+    /// All classes, in legend order (aggregate classes appended after the
+    /// Fig. 6(a) legends so historical indices stay stable).
+    pub const ALL: [MsgClass; 11] = [
         MsgClass::MbrOriginated,
         MsgClass::MbrInternal,
         MsgClass::MbrTransit,
@@ -45,6 +51,8 @@ impl MsgClass {
         MsgClass::Response,
         MsgClass::ResponseInternal,
         MsgClass::ResponseTransit,
+        MsgClass::AggPush,
+        MsgClass::AggNotify,
     ];
 
     /// Dense index for array-backed counters. Constant-time (and usable in
@@ -62,6 +70,8 @@ impl MsgClass {
             MsgClass::Response => 6,
             MsgClass::ResponseInternal => 7,
             MsgClass::ResponseTransit => 8,
+            MsgClass::AggPush => 9,
+            MsgClass::AggNotify => 10,
         }
     }
 
@@ -89,12 +99,14 @@ impl MsgClass {
             MsgClass::Response => "Responses",
             MsgClass::ResponseInternal => "Responses internal",
             MsgClass::ResponseTransit => "Responses in transit",
+            MsgClass::AggPush => "Aggregate pushes",
+            MsgClass::AggNotify => "Aggregate notifications",
         }
     }
 }
 
 /// Number of message classes.
-pub const NUM_CLASSES: usize = 9;
+pub const NUM_CLASSES: usize = 11;
 
 /// The input-event kinds whose per-event message overhead Fig. 7 reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]

@@ -1,0 +1,24 @@
+//! # dsi-sketch — mergeable sliding-window sketches
+//!
+//! ECM-sketches (Count-Min over exponential histograms) for the
+//! middleware's third query family: distributed windowed aggregates.
+//! Every per-node sketch built from the same [`SketchParams`] hashes
+//! items identically, so partial sketches merge algebraically up the
+//! multicast tree and the root pays one small message per subtree
+//! instead of one per owner.
+//!
+//! * [`hash`] — deterministic seeded row hashing (no process entropy);
+//! * [`eh`] — bounded-memory exponential-histogram window counters;
+//! * [`ecm`] — the `d × w` sketch grid, its ε-δ [`ErrorBound`], and the
+//!   coverage→bound widening used by degraded notifications.
+//!
+//! See DESIGN.md §15 for the bound math and the merge error analysis.
+
+#![warn(missing_docs)]
+
+pub mod ecm;
+pub mod eh;
+pub mod hash;
+
+pub use ecm::{EcmSketch, ErrorBound, SketchDims, SketchParams};
+pub use eh::ExpHistogram;

@@ -1,0 +1,193 @@
+//! Property-based tests of the sketch algebra (mirrors the
+//! `SummaryStore`↔model pattern in `crates/core/tests/props.rs`): merging
+//! is query-equivalent to sketching the concatenated stream, exactly
+//! commutative and associative, and window expiry agrees with a
+//! brute-force sliding-window model within the advertised bound.
+
+use dsi_sketch::{EcmSketch, ExpHistogram};
+use proptest::prelude::*;
+
+const WINDOW_MS: u64 = 2_000;
+const EPS: f64 = 0.2;
+const DELTA: f64 = 0.1;
+const SEED: u64 = 42;
+
+/// Random event stream: (item, inter-arrival gap ms) pairs, materialized
+/// into monotone timestamps starting at `t0`.
+fn events(len: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..8, 0u64..120), 0..len)
+}
+
+fn materialize(evs: &[(u64, u64)], t0: u64) -> Vec<(u64, u64)> {
+    let mut t = t0;
+    evs.iter()
+        .map(|&(item, gap)| {
+            t += gap;
+            (item, t)
+        })
+        .collect()
+}
+
+fn sketch_of(evs: &[(u64, u64)]) -> EcmSketch {
+    let mut sk = EcmSketch::from_bound(EPS, DELTA, WINDOW_MS, SEED);
+    for &(item, t) in evs {
+        sk.update(item, t);
+    }
+    sk
+}
+
+/// Brute-force exact window count of `item` (`u64::MAX` = any item).
+fn exact(evs: &[(u64, u64)], item: u64, now: u64) -> f64 {
+    evs.iter()
+        .filter(|&&(i, t)| {
+            (item == u64::MAX || i == item)
+                && (t as i64) > now as i64 - WINDOW_MS as i64
+                && t <= now
+        })
+        .count() as f64
+}
+
+/// Time-sorted union of two event streams (stable on ties).
+fn union(a: &[(u64, u64)], b: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut all: Vec<(u64, u64)> = a.iter().chain(b.iter()).copied().collect();
+    all.sort_by_key(|&(_, t)| t);
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `merge(sk(A), sk(B))` answers like `sk(A ++ B)` within the merged
+    /// bound: both are within `ε·N + C` of exact, so they are within
+    /// `2·(ε·N + C)` of each other — asserted against exact directly,
+    /// which is the stronger statement.
+    #[test]
+    fn merge_is_query_equivalent_to_concatenation(
+        a in events(120),
+        b in events(120),
+        probe in 0u64..8,
+    ) {
+        let a = materialize(&a, 0);
+        let b = materialize(&b, 0);
+        let all = union(&a, &b);
+        let now = all.iter().map(|&(_, t)| t).max().unwrap_or(0) + 1;
+
+        let mut merged = sketch_of(&a);
+        merged.merge_from(&sketch_of(&b), now).expect("same params must merge");
+        let direct = sketch_of(&all);
+
+        let n = exact(&all, u64::MAX, now);
+        let slack = EPS * n + merged.components() as f64 + 1e-9;
+        for (label, est) in [
+            ("merged point", merged.point_estimate(probe, now)),
+            ("direct point", direct.point_estimate(probe, now)),
+        ] {
+            let truth = exact(&all, probe, now);
+            prop_assert!(
+                (est - truth).abs() <= slack,
+                "{label}: |{est} - {truth}| > {slack} (n={n})"
+            );
+        }
+        let total_truth = n;
+        prop_assert!((merged.total_estimate(now) - total_truth).abs() <= slack);
+        prop_assert!((direct.total_estimate(now) - total_truth).abs() <= slack);
+    }
+
+    /// Merging is exactly commutative: the merged bucket lists depend
+    /// only on the multiset of input buckets.
+    #[test]
+    fn merge_commutes(a in events(100), b in events(100), probe in 0u64..8) {
+        let a = materialize(&a, 0);
+        let b = materialize(&b, 50);
+        let now = 20_000u64;
+
+        let mut ab = sketch_of(&a);
+        ab.merge_from(&sketch_of(&b), now).expect("compatible");
+        let mut ba = sketch_of(&b);
+        ba.merge_from(&sketch_of(&a), now).expect("compatible");
+
+        prop_assert_eq!(ab.components(), ba.components());
+        for q in [0, now / 2, now] {
+            prop_assert_eq!(ab.total_estimate(q), ba.total_estimate(q), "total at {}", q);
+            prop_assert_eq!(
+                ab.point_estimate(probe, q), ba.point_estimate(probe, q), "point at {}", q
+            );
+        }
+    }
+
+    /// Merging is exactly associative for the same reason.
+    #[test]
+    fn merge_associates(a in events(80), b in events(80), c in events(80), probe in 0u64..8) {
+        let a = materialize(&a, 0);
+        let b = materialize(&b, 33);
+        let c = materialize(&c, 67);
+        let now = 20_000u64;
+
+        let mut left = sketch_of(&a);
+        left.merge_from(&sketch_of(&b), now).expect("compatible");
+        left.merge_from(&sketch_of(&c), now).expect("compatible");
+
+        let mut right_tail = sketch_of(&b);
+        right_tail.merge_from(&sketch_of(&c), now).expect("compatible");
+        let mut right = sketch_of(&a);
+        right.merge_from(&right_tail, now).expect("compatible");
+
+        prop_assert_eq!(left.components(), 3);
+        prop_assert_eq!(right.components(), 3);
+        prop_assert_eq!(left.total_estimate(now), right.total_estimate(now));
+        prop_assert_eq!(left.point_estimate(probe, now), right.point_estimate(probe, now));
+        prop_assert_eq!(left.self_join_size(now), right.self_join_size(now));
+    }
+
+    /// Window expiry agrees with the brute-force sliding-window model at
+    /// every probe time, within the advertised bound.
+    #[test]
+    fn expiry_matches_brute_force_model(
+        evs in events(250),
+        probes in prop::collection::vec(0u64..40_000, 1..12),
+    ) {
+        let evs = materialize(&evs, 0);
+        let sk = sketch_of(&evs);
+        let horizon = evs.iter().map(|&(_, t)| t).max().unwrap_or(0);
+        for &p in &probes {
+            // Only probe at or after the last insert: the sketch clamps
+            // late timestamps forward, the model does not.
+            let now = horizon + p;
+            let n = exact(&evs, u64::MAX, now);
+            let slack = EPS * n + 1.0 + 1e-9;
+            prop_assert!(
+                (sk.total_estimate(now) - n).abs() <= slack,
+                "total at now={now}: {} vs exact {n}", sk.total_estimate(now)
+            );
+            for item in 0..8u64 {
+                let truth = exact(&evs, item, now);
+                let est = sk.point_estimate(item, now);
+                prop_assert!(
+                    (est - truth).abs() <= slack,
+                    "item {item} at now={now}: {est} vs exact {truth} (n={n})"
+                );
+            }
+        }
+    }
+
+    /// The raw histogram also tracks the model: insert-only, no sketch
+    /// hashing in the way.
+    #[test]
+    fn histogram_tracks_sliding_count(gaps in prop::collection::vec(0u64..90, 0..300)) {
+        let mut eh = ExpHistogram::new(8, WINDOW_MS);
+        let mut times = Vec::new();
+        let mut t = 0u64;
+        for &g in &gaps {
+            t += g;
+            eh.insert(t);
+            times.push(t);
+        }
+        for now in [t, t + WINDOW_MS / 2, t + 2 * WINDOW_MS] {
+            let n = times
+                .iter()
+                .filter(|&&x| (x as i64) > now as i64 - WINDOW_MS as i64 && x <= now)
+                .count() as f64;
+            prop_assert!((eh.estimate(now) - n).abs() <= eh.error_bound(n) + 1e-9);
+        }
+    }
+}

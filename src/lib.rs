@@ -56,9 +56,10 @@ pub mod prelude {
         BuildRouter, ChordId, ContentRouter, IdSpace, PastryNet, RangeStrategy, Ring,
     };
     pub use dsi_core::{
-        gini, run_experiment, AlertCondition, Cluster, ClusterConfig, ExperimentConfig,
-        InnerProductPush, InnerProductQuery, LoadBalanceReport, MatchNotification, QueryId,
-        ReweightConfig, SimilarityKind, SimilarityPush, SimilarityQuery, StreamId, StreamIndex,
+        gini, run_experiment, AggregateKind, AggregateNotification, AggregateSpec, AggregateValue,
+        AlertCondition, Cluster, ClusterConfig, ErrorBound, ExperimentConfig, InnerProductPush,
+        InnerProductQuery, LoadBalanceReport, MatchNotification, QueryId, ReweightConfig,
+        SimilarityKind, SimilarityPush, SimilarityQuery, SketchDims, StreamId, StreamIndex,
         SystemReport,
     };
     pub use dsi_dsp::{FeatureExtractor, FeatureVector, Mbr, Normalization};
