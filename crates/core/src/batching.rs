@@ -111,6 +111,7 @@ impl MbrBatcher {
     /// Adds a summary; returns an MBR when ζ summaries accumulated, or
     /// earlier when the width bound would be violated (the pending batch is
     /// shipped and the new summary starts the next one).
+    // dsilint: allow(hot-path-alloc, legacy per-FeatureVector entry that allocates via to_reals; the ingest path feeds push_reals with scratch coordinates directly)
     pub fn push(&mut self, fv: FeatureVector) -> Option<Mbr> {
         self.push_reals(&fv.to_reals())
     }
@@ -180,6 +181,7 @@ impl MbrBatcher {
     }
 
     /// Emits the pending batch's MBR and resets the member count.
+    // dsilint: allow(hot-path-alloc, cold boundary: called only when a batch closes — the emission path; non-emitting pushes return before reaching it)
     fn take_mbr(&mut self) -> Mbr {
         self.produced += 1;
         self.members = 0;

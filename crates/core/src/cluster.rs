@@ -137,6 +137,7 @@ fn store_last_feature(s: &mut StreamRuntime, scratch: &SummaryScratch) {
     let mode = s.extractor.mode();
     match &mut s.last_feature {
         Some(lf) => lf.overwrite(&scratch.coeffs, mode),
+        // dsilint: allow(hot-path-alloc, first emission of a stream only: every later tick takes the overwrite arm and reuses this capacity)
         None => s.last_feature = Some(FeatureVector::new(scratch.coeffs.clone(), mode)),
     }
 }
@@ -1143,6 +1144,7 @@ impl<R: ContentRouter> Cluster<R> {
         values: &[(StreamId, f64)],
         now: SimTime,
     ) -> Vec<(StreamId, Mbr, MulticastPlan)> {
+        // dsilint: allow(hot-path-alloc, capacity-0 Vec is heap-free; only emissions grow it, and callers on the steady path use ingest_batch_into)
         let mut out = Vec::new();
         self.ingest_batch_into(values, now, &mut out);
         out
@@ -1224,6 +1226,7 @@ impl<R: ContentRouter> Cluster<R> {
         emitted.resize(values.len(), None);
         {
             // Carve disjoint `&mut` views of the touched streams, in order.
+            // dsilint: allow(hot-path-alloc, parallel lane only — batches under PARALLEL_INGEST_MIN never get here, and the §14 contract covers the sequential path; scoped threads allocate by design)
             let mut tasks: Vec<(&mut StreamRuntime, f64)> = Vec::with_capacity(values.len());
             let mut rest: &mut [StreamRuntime] = &mut self.streams;
             let mut offset = 0usize;
@@ -1283,6 +1286,7 @@ impl<R: ContentRouter> Cluster<R> {
     /// line so the per-item summarization loops stay tight — emissions are
     /// the rare path.
     #[inline(never)]
+    // dsilint: allow(hot-path-alloc, cold boundary: MBR emission is the rare path — §14 pins non-emitting steady-state ticks, and emission owns its plan buffers and replica clones)
     fn replicate_mbr_ret(
         &mut self,
         stream: StreamId,

@@ -263,6 +263,7 @@ impl SortableSummaryIndex {
     }
 
     /// Sorts the staged tail into a run and merges runs of similar size.
+    // dsilint: allow(hot-path-alloc, cold boundary: compaction runs when a shipped summary is indexed — the delivery side of an emission; §14 pins non-emitting ticks, and run merges amortize to O of log n reallocations per insert)
     pub fn compact(&mut self) {
         if self.staged.is_empty() {
             return;

@@ -200,6 +200,7 @@ impl FeatureExtractor {
 
     /// Consumes one stream value; returns the current summary once the
     /// window is full.
+    // dsilint: allow(hot-path-alloc, legacy whole-vector API: the ingest path uses update_scratch + current_into; nominal .update resolution aliases this with the sketch updates)
     pub fn update(&mut self, value: f64) -> Option<FeatureVector> {
         let evicted = self.window.push(value);
         self.raw.update(value, evicted);

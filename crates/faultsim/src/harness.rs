@@ -51,6 +51,7 @@
 //! failover and degradation bound the damage, and oracle 7 verifies the
 //! repair loop erases it.
 
+use crate::oracle::OracleId;
 use crate::scenario::{AggregatesConfig, FaultEvent, LoadBound, Scenario, ScenarioConfig};
 use dsi_chord::{covering_nodes, multicast, ChordId, Ring};
 use dsi_core::{
@@ -69,10 +70,9 @@ use std::collections::BTreeSet;
 /// One invariant violation, pinned to the event that exposed it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Violation {
-    /// Which oracle fired (`no-false-dismissal`, `routing-termination`,
-    /// `replica-placement`, `metrics-conservation`, `purge`,
-    /// `trace-conformance`, `eventual-completeness`, `load-balance`,
-    /// `sketch-accuracy`).
+    /// Which oracle fired: the stable [`OracleId::slug`] of one of the
+    /// [`crate::oracle::ORACLES`] (kept as a string so reproducer JSON
+    /// stays self-describing and rename-proof).
     pub oracle: String,
     /// Human-readable description of the violated invariant.
     pub detail: String,
@@ -132,7 +132,7 @@ pub fn run_scenario(scenario: &Scenario) -> RunReport {
             h.export_timeline(scenario.seed);
             return RunReport {
                 violation: Some(Violation {
-                    oracle,
+                    oracle: oracle.slug().into(),
                     detail,
                     event_index: i,
                     time_ms: h.now.as_ms(),
@@ -662,7 +662,7 @@ impl Harness {
     // Oracles
     // ------------------------------------------------------------------
 
-    fn check_oracles(&mut self, last: &FaultEvent) -> Option<(String, String)> {
+    fn check_oracles(&mut self, last: &FaultEvent) -> Option<(OracleId, String)> {
         self.prune_reference();
         // Coverage oracles (1 and 3). Instant on a reliable network; under
         // per-class faults they switch to eventual mode — oracle 7: a hole
@@ -671,21 +671,22 @@ impl Harness {
         // retry/failover/repair loop failed to restore completeness.
         let coverage = self
             .oracle_no_false_dismissal()
-            .map(|d| ("no-false-dismissal", d))
-            .or_else(|| self.oracle_replica_placement().map(|d| ("replica-placement", d)));
+            .map(|d| (OracleId::NoFalseDismissal, d))
+            .or_else(|| self.oracle_replica_placement().map(|d| (OracleId::ReplicaPlacement, d)));
         match coverage {
             Some((oracle, d)) if !self.cluster.fault_plan_active() => {
-                return Some((oracle.into(), d));
+                return Some((oracle, d));
             }
             Some((oracle, d)) => {
                 if matches!(last, FaultEvent::Notify) {
                     self.incomplete_rounds += 1;
                     if self.incomplete_rounds > K_REFRESH_ROUNDS {
                         return Some((
-                            "eventual-completeness".into(),
+                            OracleId::EventualCompleteness,
                             format!(
                                 "coverage hole not repaired within {K_REFRESH_ROUNDS} refresh \
-                                 rounds ({oracle}: {d})"
+                                 rounds ({}: {d})",
+                                oracle.slug()
                             ),
                         ));
                     }
@@ -694,24 +695,24 @@ impl Harness {
             None => self.incomplete_rounds = 0,
         }
         if let Some(d) = self.oracle_routing_termination() {
-            return Some(("routing-termination".into(), d));
+            return Some((OracleId::RoutingTermination, d));
         }
         if let Some(d) = self.oracle_metrics_conservation() {
-            return Some(("metrics-conservation".into(), d));
+            return Some((OracleId::MetricsConservation, d));
         }
         if matches!(last, FaultEvent::Notify) {
             if let Some(d) = self.oracle_purge() {
-                return Some(("purge".into(), d));
+                return Some((OracleId::Purge, d));
             }
             if let Some(d) = self.oracle_load_balance() {
-                return Some(("load-balance".into(), d));
+                return Some((OracleId::LoadBalance, d));
             }
         }
         if let Some(d) = self.oracle_sketch_accuracy() {
-            return Some(("sketch-accuracy".into(), d));
+            return Some((OracleId::SketchAccuracy, d));
         }
         if let Some(d) = self.oracle_trace_conformance() {
-            return Some(("trace-conformance".into(), d));
+            return Some((OracleId::TraceConformance, d));
         }
         None
     }

@@ -63,9 +63,11 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod oracle;
 pub mod repro;
 pub mod scenario;
 
 pub use harness::{run_scenario, RunReport, Violation};
+pub use oracle::{OracleId, NUM_ORACLES, ORACLES};
 pub use repro::{load_reproducer, results_dir, write_reproducer, Reproducer};
 pub use scenario::{AggregatesConfig, FaultEvent, LoadBound, Scenario, ScenarioConfig, SkewConfig};

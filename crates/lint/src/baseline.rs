@@ -58,6 +58,21 @@ impl Baseline {
             .collect()
     }
 
+    /// Entries that covered no violation this run: their source line no
+    /// longer exists (fixed, or drifted past excerpt identity). Dead
+    /// entries mask future regressions at the same `(rule, file, excerpt)`,
+    /// so `--check` fails until they are pruned with `--write-baseline`.
+    pub fn dead(&self, baselined: &[Violation]) -> Vec<&Entry> {
+        self.entries
+            .iter()
+            .filter(|e| {
+                !baselined
+                    .iter()
+                    .any(|v| v.rule == e.rule && v.file == e.file && v.excerpt == e.excerpt)
+            })
+            .collect()
+    }
+
     /// Parse the baseline JSON. Returns `Err` with a short message on
     /// malformed input (a broken baseline must fail loudly, not pass).
     pub fn parse(src: &str) -> Result<Baseline, String> {
@@ -444,6 +459,26 @@ mod tests {
         let stale = b.stale(today, 14);
         assert_eq!(stale.len(), 1);
         assert_eq!(stale[0].file, "a.rs");
+    }
+
+    #[test]
+    fn dead_entries_are_the_uncovered_ones() {
+        let mut b = from_violations(&[v(D01, "a.rs", 1, "x")], "2026-08-06");
+        b.entries.push(Entry {
+            rule: D01.into(),
+            file: "gone.rs".into(),
+            line: 7,
+            excerpt: "deleted long ago".into(),
+            introduced: "2026-07-01".into(),
+        });
+        // This run only re-confirmed the a.rs violation.
+        let dead = b.dead(&[v(D01, "a.rs", 5, "x")]);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].file, "gone.rs");
+        // A fully covered baseline has no dead entries.
+        assert!(b
+            .dead(&[v(D01, "a.rs", 5, "x"), v(D01, "gone.rs", 7, "deleted long ago")])
+            .is_empty());
     }
 
     #[test]

@@ -74,15 +74,37 @@ pub fn parse_workspace(root: &Path) -> Vec<SourceFile> {
         .collect()
 }
 
-/// Run the full lint over `root` with an optional baseline.
+/// Run the full lint over `root` with an optional baseline. Also reads
+/// the machine-readable oracle-count marker out of the workspace's
+/// DESIGN.md for the X02 doc-sync check.
 pub fn run(root: &Path, baseline: &Baseline) -> Outcome {
     let files = parse_workspace(root);
-    lint_files(&files, baseline)
+    let design_count =
+        fs::read_to_string(root.join("DESIGN.md")).ok().as_deref().and_then(parse_oracle_count);
+    lint_files_with(&files, baseline, design_count)
+}
+
+/// The count in a `dsilint: oracle-count = N` marker, if present.
+pub fn parse_oracle_count(design: &str) -> Option<usize> {
+    let p = design.find("dsilint: oracle-count")?;
+    let rest = design[p + "dsilint: oracle-count".len()..].trim_start().strip_prefix('=')?;
+    let digits: String = rest.trim_start().chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
 }
 
 /// Core two-pass lint over already-parsed files (fixture tests enter here).
 pub fn lint_files(files: &[SourceFile], baseline: &Baseline) -> Outcome {
-    let context = Context::build(files);
+    lint_files_with(files, baseline, None)
+}
+
+/// [`lint_files`] with the DESIGN.md oracle count threaded into pass 1.
+pub fn lint_files_with(
+    files: &[SourceFile],
+    baseline: &Baseline,
+    design_oracle_count: Option<usize>,
+) -> Outcome {
+    let mut context = Context::build(files);
+    context.design_oracle_count = design_oracle_count;
     let mut out =
         Outcome { files_scanned: files.len(), context: context.clone(), ..Default::default() };
     for f in files {
@@ -104,11 +126,24 @@ pub fn lint_files(files: &[SourceFile], baseline: &Baseline) -> Outcome {
     out
 }
 
-/// Human-readable report, one line per violation.
+/// Per-rule violation counts in fixed rule-id order (A01 … X02), so two
+/// runs over the same tree render byte-identical reports — the map-order
+/// nondeterminism D01 polices elsewhere must not live in our own output.
+fn rule_counts(outcome: &Outcome) -> Vec<(&'static str, &'static str, usize)> {
+    rules::RULE_IDS
+        .iter()
+        .map(|&(id, slug)| (id, slug, outcome.violations.iter().filter(|v| v.rule == slug).count()))
+        .collect()
+}
+
+/// Human-readable report, one line per violation, then per-rule counts.
 pub fn render_text(outcome: &Outcome) -> String {
     let mut out = String::new();
     for v in &outcome.violations {
         out.push_str(&format!("{}:{}: [{}] {}\n", v.file, v.line, v.rule, v.message));
+    }
+    for (id, slug, count) in rule_counts(outcome) {
+        out.push_str(&format!("  {id} {slug}: {count}\n"));
     }
     out.push_str(&format!(
         "dsilint: {} file(s), {} violation(s), {} allowed, {} baselined\n",
@@ -139,8 +174,15 @@ pub fn render_json(outcome: &Outcome) -> String {
     if !outcome.violations.is_empty() {
         out.push_str("\n  ");
     }
+    out.push_str("],\n  \"by_rule\": {");
+    for (i, (id, slug, count)) in rule_counts(outcome).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    {}: {count}", json_str(&format!("{id} {slug}"))));
+    }
     out.push_str(&format!(
-        "],\n  \"files_scanned\": {},\n  \"allowed\": {},\n  \"baselined\": {}\n}}\n",
+        "\n  }},\n  \"files_scanned\": {},\n  \"allowed\": {},\n  \"baselined\": {}\n}}\n",
         outcome.files_scanned,
         outcome.allowed.len(),
         outcome.baselined.len()
@@ -229,6 +271,28 @@ mod tests {
         let out2 = lint_files(&[bad2], &b);
         assert!(out2.violations.is_empty());
         assert_eq!(out2.baselined.len(), 1);
+    }
+
+    #[test]
+    fn report_counts_per_rule_in_id_order() {
+        let f = SourceFile::parse(
+            "crates/core/src/x.rs",
+            "fn f() { thread_rng(); }\nfn g() { Instant::now(); }\n",
+        );
+        let out = lint_files(&[f], &Baseline::default());
+        let text = render_text(&out);
+        assert!(text.contains("  D02 wall-clock-and-entropy: 2"), "{text}");
+        assert!(text.contains("  A01 hot-path-alloc: 0"), "{text}");
+        // Fixed A01..X02 ordering, no map nondeterminism.
+        let a01 = text.find("A01 ").unwrap();
+        let d02 = text.find("D02 ").unwrap();
+        let x02 = text.find("X02 ").unwrap();
+        assert!(a01 < d02 && d02 < x02, "{text}");
+        let json = render_json(&out);
+        assert!(json.contains("\"D02 wall-clock-and-entropy\": 2"), "{json}");
+        assert!(json.contains("\"X02 oracle-table-sync\": 0"), "{json}");
+        // The JSON report parses with our own baseline-grade parser.
+        assert!(crate::baseline::Json::parse(&json).is_ok());
     }
 
     #[test]

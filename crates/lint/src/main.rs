@@ -192,6 +192,18 @@ fn main() -> ExitCode {
             eprintln!("dsi-lint: FAILED — {} unannotated violation(s)", outcome.violations.len());
             failed = true;
         }
+        let dead = baseline.dead(&outcome.baselined);
+        if !dead.is_empty() {
+            eprintln!(
+                "dsi-lint: FAILED — {} stale baseline entr(ies) match no current source line \
+                 (re-run --write-baseline to prune):",
+                dead.len()
+            );
+            for e in dead {
+                eprintln!("  {}:{} [{}] introduced {}", e.file, e.line, e.rule, e.introduced);
+            }
+            failed = true;
+        }
         if let Some(max_age) = opts.max_baseline_age_days {
             let stale = baseline.stale(today_days(), max_age);
             if !stale.is_empty() {

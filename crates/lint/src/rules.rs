@@ -1,22 +1,40 @@
-//! The five determinism / invariant rules.
+//! The eight determinism / invariant rules.
 //!
 //! Every rule is a pure function from a [`SourceFile`] (plus the shared
 //! [`Context`]) to violations. Rules are deliberately *textual* — this is a
 //! tidy-style gate, not a type checker — so each one documents its
 //! heuristics and every rule honors `// dsilint: allow(<rule>, <reason>)`
 //! markers (applied later by the engine, so fixtures can test raw hits).
+//! The v2 rules (A01, S01) additionally consult the workspace call graph
+//! built in pass 1 (see [`crate::callgraph`]).
 
+use crate::callgraph::Graph;
 use crate::source::SourceFile;
 
 /// Slugs, used in allow markers and baseline entries.
+pub const A01: &str = "hot-path-alloc";
 pub const D01: &str = "unordered-iter";
 pub const D02: &str = "wall-clock-and-entropy";
 pub const D03: &str = "metrics-trace-pairing";
 pub const R01: &str = "hot-path-unwrap";
+pub const S01: &str = "charge-once-at-send";
 pub const X01: &str = "class-table";
+pub const X02: &str = "oracle-table-sync";
 
-/// All rule slugs, in report order.
-pub const ALL_RULES: [&str; 5] = [D01, D02, D03, R01, X01];
+/// All rule slugs, in report order (sorted by rule id).
+pub const ALL_RULES: [&str; 8] = [A01, D01, D02, D03, R01, S01, X01, X02];
+
+/// `(rule id, slug)` pairs in report order.
+pub const RULE_IDS: [(&str, &str); 8] = [
+    ("A01", A01),
+    ("D01", D01),
+    ("D02", D02),
+    ("D03", D03),
+    ("R01", R01),
+    ("S01", S01),
+    ("X01", X01),
+    ("X02", X02),
+];
 
 /// One rule hit (before allow-marker / baseline filtering).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,26 +51,97 @@ pub struct Violation {
     pub excerpt: String,
 }
 
-/// Workspace-level facts shared by rules (today: the `MsgClass` table).
+/// One function in the A01 hot set: reachable from a zero-alloc entry
+/// point, with the witness call chain that got it there.
+#[derive(Debug, Clone)]
+pub struct HotFn {
+    /// Defining file (workspace-relative).
+    pub file: String,
+    /// `Type::name` label for messages.
+    pub label: String,
+    /// 1-based line of the `fn` keyword.
+    pub sig_line: usize,
+    /// 1-based line of the body's closing `}`.
+    pub body_end: usize,
+    /// Witness chain from an entry point (`a::b → c::d → …`).
+    pub via: String,
+}
+
+/// Workspace-level facts shared by rules: the `MsgClass` and `OracleId`
+/// tables, the call graph, and the A01 hot set.
 #[derive(Debug, Clone, Default)]
 pub struct Context {
     /// Variant names of `pub enum MsgClass`, in declaration order.
     pub msg_class_variants: Vec<String>,
     /// File the enum was found in.
     pub msg_class_file: Option<String>,
+    /// Variant names of `pub enum OracleId`, in declaration order.
+    pub oracle_variants: Vec<String>,
+    /// File the oracle enum was found in.
+    pub oracle_file: Option<String>,
+    /// Oracle count advertised by DESIGN.md's machine-readable marker
+    /// (`<!-- dsilint: oracle-count = N -->`), when the engine found one.
+    pub design_oracle_count: Option<usize>,
+    /// Workspace call graph over the runtime crates.
+    pub graph: Graph,
+    /// Functions reachable from the zero-alloc entry points, cold
+    /// boundaries already excluded.
+    pub hot_fns: Vec<HotFn>,
 }
 
+/// A01 reachability roots: the zero-alloc contract's entry points
+/// (DESIGN.md §14) — the per-value ingest call, the batch wrappers, and
+/// the inline aggregate replica update.
+const A01_ENTRIES: [(&str, &str); 4] = [
+    ("Cluster", "post_value"),
+    ("Cluster", "ingest_batch"),
+    ("Cluster", "ingest_batch_into"),
+    ("Cluster", "update_aggregates"),
+];
+
 impl Context {
-    /// Scan `files` for the `MsgClass` enum definition.
+    /// Pass 1: scan `files` for the enum tables and build the call graph
+    /// plus the A01 hot set.
     pub fn build(files: &[SourceFile]) -> Context {
         let mut ctx = Context::default();
         for f in files {
-            if let Some(vars) = parse_enum_variants(f, "MsgClass") {
-                ctx.msg_class_variants = vars;
-                ctx.msg_class_file = Some(f.path.clone());
-                break;
+            if ctx.msg_class_file.is_none() {
+                if let Some(vars) = parse_enum_variants(f, "MsgClass") {
+                    ctx.msg_class_variants = vars;
+                    ctx.msg_class_file = Some(f.path.clone());
+                }
+            }
+            if ctx.oracle_file.is_none() {
+                if let Some(vars) = parse_enum_variants(f, "OracleId") {
+                    ctx.oracle_variants = vars;
+                    ctx.oracle_file = Some(f.path.clone());
+                }
             }
         }
+        ctx.graph = Graph::build(files);
+        // A function-level allow(A01) marker on the `fn` line is a cold
+        // boundary: not scanned, not traversed through.
+        let cold = |fd: &crate::callgraph::FnDef| {
+            files
+                .iter()
+                .find(|f| f.path == fd.file)
+                .is_some_and(|f| f.allow_reason(A01, fd.sig_line).is_some())
+        };
+        ctx.hot_fns = ctx
+            .graph
+            .reachable(&A01_ENTRIES, &cold)
+            .into_iter()
+            .map(|r| {
+                let fd = &ctx.graph.fns[r.fn_idx];
+                HotFn {
+                    file: fd.file.clone(),
+                    label: fd.label(),
+                    sig_line: fd.sig_line,
+                    body_end: fd.body_end,
+                    via: r.via,
+                }
+            })
+            .collect();
         ctx
     }
 }
@@ -60,11 +149,14 @@ impl Context {
 /// Run every rule on one file.
 pub fn run_all(ctx: &Context, f: &SourceFile) -> Vec<Violation> {
     let mut out = Vec::new();
+    out.extend(hot_path_alloc(ctx, f));
     out.extend(unordered_iter(f));
     out.extend(wall_clock_and_entropy(f));
     out.extend(metrics_trace_pairing(f));
     out.extend(hot_path_unwrap(f));
+    out.extend(charge_once_at_send(ctx, f));
     out.extend(class_table(ctx, f));
+    out.extend(oracle_table_sync(ctx, f));
     out
 }
 
@@ -110,6 +202,74 @@ fn receiver_base(line: &str, dot: usize) -> Option<&str> {
         return None; // method-call result: receiver type unknown
     }
     ident_ending_at(line, i)
+}
+
+// ----------------------------------------------------------------------
+// A01 — hot-path-alloc
+// ----------------------------------------------------------------------
+
+/// Allocating constructs forbidden in the hot set. Tokens that start with
+/// an identifier character are matched at word boundaries.
+const A01_TOKENS: [&str; 9] = [
+    "Vec::new(",
+    "vec![",
+    "with_capacity(",
+    ".collect",
+    ".clone()",
+    ".to_vec()",
+    ".to_string()",
+    "format!(",
+    "Box::new(",
+];
+
+/// **A01** — allocating constructs in any function reachable from the
+/// zero-alloc entry points (`Cluster::post_value`, `Cluster::ingest_batch`
+/// and friends, `Cluster::update_aggregates`): the static mirror of
+/// `core/tests/zero_alloc.rs`, which would have caught the derived-`Clone`
+/// `ExpHistogram` capacity bug before the counting allocator did.
+/// Reachability is nominal and over-approximate ([`crate::callgraph`]);
+/// setup/cold branches escape with a statement-level
+/// `// dsilint: allow(hot-path-alloc, <reason>)`, and a whole function is
+/// excluded (a *cold boundary*) when the marker sits on its `fn` line.
+pub fn hot_path_alloc(ctx: &Context, f: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut seen: Vec<(usize, usize)> = Vec::new(); // (line idx, token offset)
+    for h in ctx.hot_fns.iter().filter(|h| h.file == f.path) {
+        for idx in (h.sig_line - 1)..h.body_end.min(f.code.len()) {
+            let line = &f.code[idx];
+            for t in A01_TOKENS {
+                let mut from = 0usize;
+                while let Some(p) = line[from..].find(t) {
+                    let pos = from + p;
+                    from = pos + t.len();
+                    let bounded = !t.starts_with(is_ident_char)
+                        || pos == 0
+                        || !is_ident_char(line.as_bytes()[pos - 1] as char);
+                    if !bounded || seen.contains(&(idx, pos)) {
+                        continue;
+                    }
+                    seen.push((idx, pos));
+                    out.push(Violation {
+                        rule: A01,
+                        file: f.path.clone(),
+                        line: idx + 1,
+                        message: format!(
+                            "allocating `{}` in `{}` (hot via {}); the zero-alloc ingest \
+                             contract (DESIGN §14) forbids steady-state allocation — reuse a \
+                             scratch buffer, hoist to setup, or justify with \
+                             `// dsilint: allow({A01}, <reason>)` (on the `fn` line to mark a \
+                             cold boundary)",
+                            t.trim_end_matches(['(', '[']),
+                            h.label,
+                            h.via
+                        ),
+                        excerpt: f.raw.get(idx).map(|l| l.trim().to_string()).unwrap_or_default(),
+                    });
+                }
+            }
+        }
+    }
+    out
 }
 
 // ----------------------------------------------------------------------
@@ -418,6 +578,109 @@ pub fn hot_path_unwrap(f: &SourceFile) -> Vec<Violation> {
 }
 
 // ----------------------------------------------------------------------
+// S01 — charge-once-at-send
+// ----------------------------------------------------------------------
+
+/// Call shapes that resolve a send through [`ReliabilityState`]: the
+/// judge itself, the reliable-multicast wrapper, the pre-resolved
+/// bookkeeping entry, and the lossless-path dispatch guards.
+const S01_ANCHORS: [&str; 5] = [
+    "resolve_send(",
+    "reliable_multicast(",
+    "record_resolution(",
+    "reliability.is_some(",
+    "reliability.is_none(",
+];
+
+/// **S01** — every overlay send site in `crates/core` (a
+/// `metrics.record_message(` bookkeeping line) must resolve through
+/// `ReliabilityState` exactly once: the static mirror of the
+/// charge-once-at-send invariant (DESIGN §12). Two checks, both scoped by
+/// the call graph's function spans:
+///
+/// * a send site whose enclosing function shows none of the resolution
+///   shapes *before* the site is an unresolved send — a message the
+///   fault plan never saw;
+/// * two `resolve_send(` calls inside one statement charge the fault
+///   plan twice for a single wire message.
+pub fn charge_once_at_send(ctx: &Context, f: &SourceFile) -> Vec<Violation> {
+    if !f.path.starts_with("crates/core/") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, line) in f.code.iter().enumerate() {
+        if f.in_test_region(idx + 1) {
+            continue;
+        }
+        // Double charge: two resolutions in a single statement. Checked at
+        // the statement's first resolving line only.
+        if line.contains("resolve_send(") {
+            let start = f.statement_start(idx);
+            let earlier = f.code[start..idx].iter().any(|l| l.contains("resolve_send("));
+            if !earlier && single_statement(f, idx).matches("resolve_send(").count() >= 2 {
+                out.push(Violation {
+                    rule: S01,
+                    file: f.path.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "statement resolves through ReliabilityState twice — one wire message \
+                         must be charged exactly once (DESIGN §12); split the sends or justify \
+                         with `// dsilint: allow({S01}, <reason>)`"
+                    ),
+                    excerpt: f.raw.get(idx).map(|l| l.trim().to_string()).unwrap_or_default(),
+                });
+            }
+        }
+        if !line.contains("metrics.record_message(") {
+            continue;
+        }
+        // Unresolved send: no resolution shape between the enclosing
+        // function's signature and the site.
+        let encl = ctx
+            .graph
+            .fns
+            .iter()
+            .filter(|d| d.file == f.path && d.sig_line <= idx + 1 && idx < d.body_end)
+            .max_by_key(|d| d.sig_line);
+        let Some(encl) = encl else { continue };
+        let before = f.code[encl.sig_line - 1..=idx].join("\n");
+        if S01_ANCHORS.iter().any(|a| before.contains(a)) {
+            continue;
+        }
+        out.push(Violation {
+            rule: S01,
+            file: f.path.clone(),
+            line: idx + 1,
+            message: format!(
+                "send site in `{}` without a ReliabilityState resolution earlier in the \
+                 function — the fault plan never judged this message (DESIGN §12); route it \
+                 through resolve_send/reliable_multicast, record a pre-resolved delivery with \
+                 record_resolution, or justify with `// dsilint: allow({S01}, <reason>)`",
+                encl.label()
+            ),
+            excerpt: f.raw.get(idx).map(|l| l.trim().to_string()).unwrap_or_default(),
+        });
+    }
+    out
+}
+
+/// The scrubbed text of just the statement containing 0-based `idx` (the
+/// statement window truncated at its first top-level `;`).
+fn single_statement(f: &SourceFile, idx: usize) -> String {
+    let w = f.statement_window(idx);
+    let mut depth = 0i32;
+    for (off, c) in w.char_indices() {
+        match c {
+            '(' | '[' | '{' => depth += 1,
+            ')' | ']' | '}' => depth -= 1,
+            ';' if depth <= 0 => return w[..off].to_string(),
+            _ => {}
+        }
+    }
+    w
+}
+
+// ----------------------------------------------------------------------
 // X01 — class-table
 // ----------------------------------------------------------------------
 
@@ -429,9 +692,31 @@ pub fn hot_path_unwrap(f: &SourceFile) -> Vec<Violation> {
 pub fn class_table(ctx: &Context, f: &SourceFile) -> Vec<Violation> {
     // Fixture files carry their own enum; the live workspace shares the one
     // from crates/simnet.
-    let (variants, local) = match parse_enum_variants(f, "MsgClass") {
+    enum_table_sync(
+        f,
+        X01,
+        "MsgClass",
+        "NUM_CLASSES",
+        &ctx.msg_class_variants,
+        ctx.msg_class_file.as_deref(),
+    )
+}
+
+/// Shared X01/X02 machinery: audit a `NUM_*` constant, `[Enum; N]` array
+/// lengths, and `match` exhaustiveness (wildcard arms rejected) against
+/// the variant count of `enum_name`. A local enum definition in `f` takes
+/// precedence over the workspace one (fixtures carry their own).
+fn enum_table_sync(
+    f: &SourceFile,
+    rule: &'static str,
+    enum_name: &str,
+    const_name: &str,
+    ctx_variants: &[String],
+    ctx_file: Option<&str>,
+) -> Vec<Violation> {
+    let (variants, local) = match parse_enum_variants(f, enum_name) {
         Some(v) => (v, true),
-        None => (ctx.msg_class_variants.clone(), false),
+        None => (ctx_variants.to_vec(), false),
     };
     if variants.is_empty() {
         return Vec::new();
@@ -440,7 +725,7 @@ pub fn class_table(ctx: &Context, f: &SourceFile) -> Vec<Violation> {
     let mut out = Vec::new();
     let mut push = |line: usize, message: String| {
         out.push(Violation {
-            rule: X01,
+            rule,
             file: f.path.clone(),
             line,
             message,
@@ -448,11 +733,14 @@ pub fn class_table(ctx: &Context, f: &SourceFile) -> Vec<Violation> {
         });
     };
 
+    let const_needle = format!("{const_name}: usize =");
+    let array_needle = format!("[{enum_name};");
+    let pat_needle = format!("{enum_name}::");
     for (idx, line) in f.code.iter().enumerate() {
-        // `NUM_CLASSES: usize = k` (only meaningful next to the enum).
-        if local || ctx.msg_class_file.as_deref() == Some(f.path.as_str()) {
-            if let Some(p) = line.find("NUM_CLASSES: usize =") {
-                let val = line[p + "NUM_CLASSES: usize =".len()..]
+        // `NUM_*: usize = k` (only meaningful next to the enum).
+        if local || ctx_file == Some(f.path.as_str()) {
+            if let Some(p) = line.find(&const_needle) {
+                let val = line[p + const_needle.len()..]
                     .trim()
                     .trim_end_matches(';')
                     .parse::<usize>()
@@ -461,27 +749,32 @@ pub fn class_table(ctx: &Context, f: &SourceFile) -> Vec<Violation> {
                     push(
                         idx + 1,
                         format!(
-                            "NUM_CLASSES is {} but `enum MsgClass` has {n} variants",
+                            "{const_name} is {} but `enum {enum_name}` has {n} variants",
                             val.map_or("unparsable".to_string(), |v| v.to_string())
                         ),
                     );
                 }
             }
         }
-        // `[MsgClass; k]` array lengths.
+        // `[Enum; k]` array lengths. Spelling the length as the audited
+        // `NUM_*` const is always in sync by construction and preferred.
         let mut from = 0usize;
-        while let Some(p) = line[from..].find("[MsgClass;") {
-            let start = from + p + "[MsgClass;".len();
-            let len: String =
-                line[start..].trim_start().chars().take_while(|c| c.is_ascii_digit()).collect();
+        while let Some(p) = line[from..].find(&array_needle) {
+            let start = from + p + array_needle.len();
+            let rest = line[start..].trim_start();
+            if rest.starts_with(const_name) {
+                from = start;
+                continue;
+            }
+            let len: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
             if len.parse::<usize>().ok() != Some(n) {
-                push(idx + 1, format!("`[MsgClass; {len}]` out of sync with {n} variants"));
+                push(idx + 1, format!("`[{enum_name}; {len}]` out of sync with {n} variants"));
             }
             from = start;
         }
     }
 
-    // Matches with MsgClass:: patterns.
+    // Matches with Enum:: patterns.
     for m in find_matches(f) {
         let mut named: Vec<String> = Vec::new();
         let mut wildcard: Option<usize> = None;
@@ -489,15 +782,15 @@ pub fn class_table(ctx: &Context, f: &SourceFile) -> Vec<Violation> {
         for line_no in m.0..=m.1 {
             let line = &f.code[line_no - 1];
             let t = line.trim_start();
-            if t.starts_with("MsgClass::") && line.contains("=>") {
+            if t.starts_with(&pat_needle) && line.contains("=>") {
                 relevant = true;
                 // Collect every variant named in the pattern part of the
                 // arm (left of `=>`; covers `A | B =>`).
                 let pat_end = line.find("=>").unwrap_or(line.len());
                 let pat = &line[..pat_end];
                 let mut from = 0usize;
-                while let Some(p) = pat[from..].find("MsgClass::") {
-                    let vstart = from + p + "MsgClass::".len();
+                while let Some(p) = pat[from..].find(&pat_needle) {
+                    let vstart = from + p + pat_needle.len();
                     let name: String =
                         pat[vstart..].chars().take_while(|&c| is_ident_char(c)).collect();
                     // Unknown names are the compiler's problem, not ours.
@@ -517,18 +810,62 @@ pub fn class_table(ctx: &Context, f: &SourceFile) -> Vec<Violation> {
         if let Some(w) = wildcard {
             push(
                 w,
-                "wildcard `_` arm in a `MsgClass` match silently swallows future variants; \
-                 name every class instead"
-                    .to_string(),
+                format!(
+                    "wildcard `_` arm in a `{enum_name}` match silently swallows future \
+                     variants; name every one instead"
+                ),
             );
         } else if named.len() != n {
             push(
                 m.0,
                 format!(
-                    "`MsgClass` match covers {} of {n} variants; the class table drifted",
+                    "`{enum_name}` match covers {} of {n} variants; the table drifted",
                     named.len()
                 ),
             );
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// X02 — oracle-table-sync
+// ----------------------------------------------------------------------
+
+/// **X02** — the faultsim oracle registry must stay in sync everywhere:
+/// `NUM_ORACLES`, every `[OracleId; N]` array length and every `match`
+/// with `OracleId::` patterns must agree with the enum's variant count
+/// (wildcard arms rejected, same shape as X01) — and the oracle count
+/// DESIGN.md advertises via its machine-readable marker
+/// (`<!-- dsilint: oracle-count = N -->`) must match too, so the docs
+/// cannot drift from the harness.
+pub fn oracle_table_sync(ctx: &Context, f: &SourceFile) -> Vec<Violation> {
+    let mut out = enum_table_sync(
+        f,
+        X02,
+        "OracleId",
+        "NUM_ORACLES",
+        &ctx.oracle_variants,
+        ctx.oracle_file.as_deref(),
+    );
+    // The DESIGN.md count is checked once, anchored at the enum definition.
+    if let (Some(design), Some(vars)) =
+        (ctx.design_oracle_count, parse_enum_variants(f, "OracleId").filter(|v| !v.is_empty()))
+    {
+        if design != vars.len() {
+            let line =
+                f.code.iter().position(|l| l.contains("enum OracleId")).map(|i| i + 1).unwrap_or(1);
+            out.push(Violation {
+                rule: X02,
+                file: f.path.clone(),
+                line,
+                message: format!(
+                    "DESIGN.md advertises {design} oracles (`dsilint: oracle-count`) but \
+                     `enum OracleId` has {} variants; update the doc marker or the registry",
+                    vars.len()
+                ),
+                excerpt: f.raw.get(line - 1).map(|l| l.trim().to_string()).unwrap_or_default(),
+            });
         }
     }
     out

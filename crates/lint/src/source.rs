@@ -98,7 +98,7 @@ impl SourceFile {
     /// line after the nearest earlier line whose code ends in `;`, `{`, `}`
     /// or `,` (attribute lines and blank/comment-only lines are skipped
     /// over when they trail such a boundary).
-    fn statement_start(&self, idx: usize) -> usize {
+    pub fn statement_start(&self, idx: usize) -> usize {
         let mut start = idx;
         while start > 0 {
             let prev = self.code[start - 1].trim_end();

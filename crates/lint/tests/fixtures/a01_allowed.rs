@@ -1,0 +1,24 @@
+//! A01 allow-marker fixture: one statement-level marker inside a hot
+//! function (counted as allowed), and one fn-level cold boundary on the
+//! emission helper (excluded from the hot set entirely — its allocation
+//! produces neither a violation nor an allowed record).
+
+pub struct Cluster {
+    out: Vec<u64>,
+}
+
+impl Cluster {
+    pub fn ingest_batch(&mut self, vs: &[u64]) {
+        // dsilint: allow(hot-path-alloc, capacity-0 Vec is heap-free; only emissions grow it)
+        let mut emitted = Vec::new();
+        for v in vs {
+            emitted.push(*v);
+        }
+        self.emit(&emitted);
+    }
+
+    // dsilint: allow(hot-path-alloc, cold boundary: emission is the rare path and owns its buffers)
+    fn emit(&mut self, vs: &[u64]) {
+        self.out = vs.to_vec();
+    }
+}

@@ -1,0 +1,43 @@
+//! A01 negative fixture: the capacity-preserving counterpart to
+//! `a01_positive.rs`. The hand-written `Clone` impl allocates with the
+//! source's capacity, but nothing on the hot path calls it: the tick
+//! reuses the replica's storage via `clone_from`, and the allocating
+//! constructor and snapshot API are unreachable from the entry points.
+
+pub struct ExpHistogram {
+    buckets: Vec<u64>,
+}
+
+impl ExpHistogram {
+    pub fn with_dims(cap: usize) -> Self {
+        Self { buckets: Vec::with_capacity(cap) }
+    }
+}
+
+impl Clone for ExpHistogram {
+    fn clone(&self) -> Self {
+        let mut buckets = Vec::with_capacity(self.buckets.capacity());
+        buckets.extend_from_slice(&self.buckets);
+        Self { buckets }
+    }
+}
+
+pub struct Cluster {
+    last: ExpHistogram,
+    scratch: ExpHistogram,
+}
+
+impl Cluster {
+    pub fn post_value(&mut self, v: f64) {
+        self.scratch.buckets[0] = v as u64;
+        self.store_replica();
+    }
+
+    fn store_replica(&mut self) {
+        self.last.buckets.clone_from(&self.scratch.buckets);
+    }
+
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.scratch.buckets.to_vec()
+    }
+}

@@ -1,0 +1,26 @@
+//! A01 positive fixture: the PR-9 bug shape. `ExpHistogram` derives
+//! `Clone`, and the steady-state tick clones it into the replica slot —
+//! the derived impl rebuilds `buckets` with whatever capacity `Vec`'s
+//! own clone picks, so every tick allocates. The static pass must flag
+//! the clone in `store_replica` as hot via `Cluster::post_value`.
+
+#[derive(Clone)]
+pub struct ExpHistogram {
+    buckets: Vec<u64>,
+}
+
+pub struct Cluster {
+    last: Option<ExpHistogram>,
+    scratch: ExpHistogram,
+}
+
+impl Cluster {
+    pub fn post_value(&mut self, v: f64) {
+        self.scratch.buckets[0] = v as u64;
+        self.store_replica();
+    }
+
+    fn store_replica(&mut self) {
+        self.last = Some(self.scratch.clone());
+    }
+}

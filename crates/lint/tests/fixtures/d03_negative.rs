@@ -9,10 +9,13 @@ impl Cluster {
     }
 
     fn on_response(&mut self, path: &[u64]) {
-        // Routing through the helper pairs metrics and trace internally.
-        self.record_route(MsgClass::Response, MsgClass::ResponseTransit, path, true);
-        if self.measuring {
-            self.metrics.record_message(MsgClass::Response, path[0]);
+        // Routing through the helper pairs metrics and trace internally,
+        // and the send is charged once through the reliability judge.
+        if self.resolve_send(MsgClass::Response, path[0], path[1]) {
+            self.record_route(MsgClass::Response, MsgClass::ResponseTransit, path, true);
+            if self.measuring {
+                self.metrics.record_message(MsgClass::Response, path[0]);
+            }
         }
     }
 }

@@ -1,0 +1,20 @@
+//! S01 allow-marker fixture: an unresolved send justified with a reason —
+//! a bootstrap-time probe that runs before the fault plan is armed.
+
+pub struct Metrics;
+
+impl Metrics {
+    pub fn record_message(&mut self, _class: u8, _hops: u32) {}
+}
+
+pub struct Cluster {
+    metrics: Metrics,
+}
+
+impl Cluster {
+    fn bootstrap_probe(&mut self) {
+        // dsilint: allow(charge-once-at-send, join-time probe runs before the fault plan is armed and is never on the faulted path)
+        self.metrics.record_message(3, 1);
+        self.tracer.single(3, 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! S01 negative fixture: every send resolves through ReliabilityState
+//! exactly once before its bookkeeping line — via the judge itself, or
+//! via the lossless-path dispatch guard.
+
+pub struct Metrics;
+
+impl Metrics {
+    pub fn record_message(&mut self, _class: u8, _hops: u32) {}
+}
+
+pub struct Cluster {
+    metrics: Metrics,
+    reliability: Option<u8>,
+}
+
+impl Cluster {
+    fn send_notify(&mut self, to: u64) {
+        if self.resolve_send(2, 0, to) {
+            self.metrics.record_message(2, 1);
+            self.tracer.single(2, to);
+        }
+    }
+
+    fn local_delivery(&mut self) {
+        if self.reliability.is_none() {
+            self.metrics.record_message(1, 0);
+            self.tracer.single(1, 0);
+        }
+    }
+
+    fn resolve_send(&mut self, _class: u8, _from: u64, _to: u64) -> bool {
+        true
+    }
+}

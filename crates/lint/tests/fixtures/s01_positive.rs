@@ -1,0 +1,33 @@
+//! S01 positive fixture: one send site with no ReliabilityState
+//! resolution anywhere before it in its function (the fault plan never
+//! judged the message), and one statement that resolves twice for a
+//! single wire message (double charge).
+
+pub struct Metrics;
+
+impl Metrics {
+    pub fn record_message(&mut self, _class: u8, _hops: u32) {}
+}
+
+pub struct Cluster {
+    metrics: Metrics,
+}
+
+impl Cluster {
+    fn unresolved_send(&mut self, hops: u32) {
+        self.metrics.record_message(0, hops);
+        self.tracer.single(0, hops);
+    }
+
+    fn double_charge(&mut self, a: u8, b: u8) {
+        let ok = self.resolve_send(a, 0, 1) && self.resolve_send(b, 1, 0);
+        if ok {
+            self.metrics.record_message(0, 1);
+            self.tracer.single(0, 1);
+        }
+    }
+
+    fn resolve_send(&mut self, _class: u8, _from: u64, _to: u64) -> bool {
+        true
+    }
+}

@@ -1,0 +1,19 @@
+//! X02 allow-marker fixture: an intentionally sparse predicate match
+//! over the registry, justified — new oracles default to the `false`
+//! arm by design.
+
+pub enum OracleId {
+    NoFalseDismissal,
+    RoutingTermination,
+    Purge,
+}
+
+pub const NUM_ORACLES: usize = 3;
+
+pub fn is_coverage(o: OracleId) -> bool {
+    match o {
+        OracleId::NoFalseDismissal => true,
+        // dsilint: allow(oracle-table-sync, coverage predicate is intentionally sparse; new oracles default to non-coverage)
+        _ => false,
+    }
+}

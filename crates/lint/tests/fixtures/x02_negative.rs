@@ -1,0 +1,25 @@
+//! X02 negative fixture: a consistent oracle registry — the constant,
+//! a literal-length table, a const-length table and the dispatch match
+//! all agree with the enum's variant count.
+
+pub enum OracleId {
+    NoFalseDismissal,
+    RoutingTermination,
+    Purge,
+}
+
+pub const NUM_ORACLES: usize = 3;
+
+pub const ORACLES: [OracleId; NUM_ORACLES] =
+    [OracleId::NoFalseDismissal, OracleId::RoutingTermination, OracleId::Purge];
+
+pub const WEIGHTS: [OracleId; 3] =
+    [OracleId::NoFalseDismissal, OracleId::RoutingTermination, OracleId::Purge];
+
+pub fn slug(o: OracleId) -> &'static str {
+    match o {
+        OracleId::NoFalseDismissal => "no-false-dismissal",
+        OracleId::RoutingTermination => "routing-termination",
+        OracleId::Purge => "purge",
+    }
+}

@@ -1,0 +1,17 @@
+//! X02 positive fixture: a stale `NUM_ORACLES` and a wildcard arm in an
+//! `OracleId` dispatch match (swallows future oracles silently).
+
+pub enum OracleId {
+    NoFalseDismissal,
+    RoutingTermination,
+    Purge,
+}
+
+pub const NUM_ORACLES: usize = 2;
+
+pub fn slug(o: OracleId) -> &'static str {
+    match o {
+        OracleId::NoFalseDismissal => "no-false-dismissal",
+        _ => "other",
+    }
+}

@@ -5,8 +5,8 @@
 //! path-scoped.
 
 use dsi_lint::baseline::Baseline;
-use dsi_lint::engine::lint_files;
-use dsi_lint::rules::{D01, D02, D03, R01, X01};
+use dsi_lint::engine::{lint_files, lint_files_with};
+use dsi_lint::rules::{A01, D01, D02, D03, R01, S01, X01, X02};
 use dsi_lint::SourceFile;
 
 /// Parse `tests/fixtures/<name>` as if it lived at `path` in the workspace.
@@ -258,6 +258,120 @@ fn x01_allow_marker_suppresses_with_reason() {
     let (vs, allowed) = lint("x01_allowed.rs", "crates/simnet/src/metrics.rs");
     assert!(vs.is_empty(), "{vs:?}");
     assert_eq!(allowed, 1);
+}
+
+// ---------------------------------------------------------------- A01
+
+#[test]
+fn a01_positive_flags_derived_clone_reached_from_post_value() {
+    // The PR-9 negative control: a derived-Clone ExpHistogram cloned on
+    // the tick, two call-graph hops below the entry point.
+    let (vs, _) = lint("a01_positive.rs", "crates/core/src/cluster.rs");
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert_eq!(vs[0].0, A01);
+}
+
+#[test]
+fn a01_positive_witness_chain_names_the_entry_point() {
+    let out = lint_files(
+        &[fixture("a01_positive.rs", "crates/core/src/cluster.rs")],
+        &Baseline::default(),
+    );
+    assert_eq!(out.violations.len(), 1);
+    let msg = &out.violations[0].message;
+    assert!(msg.contains("Cluster::post_value"), "witness chain missing from: {msg}");
+    assert!(msg.contains("`.clone()`"), "token missing from: {msg}");
+}
+
+#[test]
+fn a01_negative_capacity_preserving_counterpart_passes() {
+    // Hand-written capacity-preserving Clone plus clone_from on the hot
+    // path: the allocating fns exist but are unreachable from the
+    // entries, so the static pass stays quiet.
+    let (vs, allowed) = lint("a01_negative.rs", "crates/core/src/cluster.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+    assert_eq!(allowed, 0);
+}
+
+#[test]
+fn a01_allow_marker_and_cold_boundary_suppress() {
+    // The statement marker is counted as allowed; the fn-level cold
+    // boundary excludes the emission helper without an allowed record.
+    let (vs, allowed) = lint("a01_allowed.rs", "crates/core/src/cluster.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+    assert_eq!(allowed, 1);
+}
+
+#[test]
+fn a01_outside_graph_crates_is_ignored() {
+    // bench is not a runtime crate: no call-graph nodes, no hot set.
+    let (vs, _) = lint("a01_positive.rs", "crates/bench/src/fixture.rs");
+    assert!(vs.is_empty(), "A01 covers the runtime graph crates only: {vs:?}");
+}
+
+// ---------------------------------------------------------------- S01
+
+#[test]
+fn s01_positive_flags_unresolved_send_and_double_charge() {
+    let (vs, _) = lint("s01_positive.rs", "crates/core/src/cluster.rs");
+    let rules: Vec<_> = vs.iter().map(|v| v.0).collect();
+    assert_eq!(rules, vec![S01, S01], "{vs:?}");
+}
+
+#[test]
+fn s01_negative_resolved_sends_pass() {
+    let (vs, _) = lint("s01_negative.rs", "crates/core/src/cluster.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn s01_outside_core_is_ignored() {
+    let (vs, _) = lint("s01_positive.rs", "crates/simnet/src/engine.rs");
+    assert!(vs.is_empty(), "S01 is scoped to crates/core: {vs:?}");
+}
+
+#[test]
+fn s01_allow_marker_suppresses_with_reason() {
+    let (vs, allowed) = lint("s01_allowed.rs", "crates/core/src/cluster.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+    assert_eq!(allowed, 1);
+}
+
+// ---------------------------------------------------------------- X02
+
+#[test]
+fn x02_positive_flags_stale_constant_and_wildcard() {
+    let (vs, _) = lint("x02_positive.rs", "crates/faultsim/src/oracle.rs");
+    let rules: Vec<_> = vs.iter().map(|v| v.0).collect();
+    assert_eq!(rules, vec![X02, X02], "{vs:?}");
+}
+
+#[test]
+fn x02_negative_consistent_registry_passes() {
+    // Includes a `[OracleId; NUM_ORACLES]` table: spelling the length as
+    // the audited constant is in sync by construction.
+    let (vs, _) = lint("x02_negative.rs", "crates/faultsim/src/oracle.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn x02_allow_marker_suppresses_with_reason() {
+    let (vs, allowed) = lint("x02_allowed.rs", "crates/faultsim/src/oracle.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+    assert_eq!(allowed, 1);
+}
+
+#[test]
+fn x02_design_marker_drift_is_flagged_at_the_enum() {
+    let f = fixture("x02_negative.rs", "crates/faultsim/src/oracle.rs");
+    let out = lint_files_with(&[f], &Baseline::default(), Some(4));
+    assert_eq!(out.violations.len(), 1, "{:?}", out.violations);
+    assert_eq!(out.violations[0].rule, X02);
+    assert!(out.violations[0].message.contains("DESIGN.md advertises 4 oracles"));
+
+    let f = fixture("x02_negative.rs", "crates/faultsim/src/oracle.rs");
+    let out = lint_files_with(&[f], &Baseline::default(), Some(3));
+    assert!(out.violations.is_empty(), "{:?}", out.violations);
 }
 
 // ------------------------------------------------------ marker pressure

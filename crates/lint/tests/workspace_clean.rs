@@ -52,6 +52,49 @@ fn msg_class_context_is_discovered() {
 }
 
 #[test]
+fn oracle_context_is_discovered() {
+    // Same guard for X02: pass 1 must find the oracle registry, and the
+    // DESIGN.md machine-readable marker must be parsed — otherwise the
+    // doc-vs-registry drift check silently disarms.
+    let outcome = engine::run(workspace_root(), &Baseline::default());
+    assert_eq!(
+        outcome.context.oracle_file.as_deref(),
+        Some("crates/faultsim/src/oracle.rs"),
+        "OracleId enum not found where expected"
+    );
+    assert_eq!(
+        outcome.context.oracle_variants.len(),
+        9,
+        "OracleId variants: {:?}",
+        outcome.context.oracle_variants
+    );
+    assert_eq!(
+        outcome.context.design_oracle_count,
+        Some(9),
+        "DESIGN.md `dsilint: oracle-count` marker not parsed"
+    );
+}
+
+#[test]
+fn hot_set_reaches_beyond_the_entry_file() {
+    // A01 is only meaningful if the call graph actually traverses out of
+    // cluster.rs: the inline aggregate replica update pulls the sketch
+    // and dsp crates into the hot set. A refactor that breaks edge
+    // extraction would empty this and silently disable the rule.
+    let outcome = engine::run(workspace_root(), &Baseline::default());
+    let hot = &outcome.context.hot_fns;
+    assert!(
+        hot.iter().any(|h| h.file == "crates/core/src/cluster.rs"),
+        "no hot functions in cluster.rs"
+    );
+    assert!(
+        hot.iter().any(|h| !h.file.starts_with("crates/core/")),
+        "hot set never left crates/core — call-graph traversal broke: {:?}",
+        hot.iter().map(|h| h.label.as_str()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
 fn fixtures_and_vendor_are_excluded_from_the_walk() {
     let files = engine::parse_workspace(workspace_root());
     assert!(files.iter().all(|f| !f.path.contains("fixtures")
