@@ -30,8 +30,8 @@ pub mod sha1;
 
 pub use id::{ChordId, IdSpace};
 pub use multicast::{
-    covering_nodes, multicast, multicast_with_failover, Delivery, FailoverOutcome, HopKind,
-    HopOutcome, MulticastPlan, RangeStrategy,
+    covering_nodes, covering_nodes_from, multicast, multicast_with_failover, reachable_fraction,
+    Delivery, FailoverOutcome, HopKind, HopOutcome, MulticastPlan, RangeStrategy,
 };
 pub use pastry::PastryNet;
 pub use ring::{Lookup, NodeState, Ring, DEFAULT_SUCCESSOR_LIST_LEN};

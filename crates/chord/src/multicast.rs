@@ -200,8 +200,47 @@ pub fn covering_nodes<R: ContentRouter>(ring: &R, lo: ChordId, hi: ChordId) -> V
     out
 }
 
+/// [`covering_nodes`] restricted to what `origin` can currently reach: the
+/// covering set computed over `origin`'s side of a partition via
+/// [`ContentRouter::ideal_successor_from`]. On a whole network this returns
+/// exactly `covering_nodes(ring, lo, hi)` (the wrap guard `cur == first`
+/// fires at the same walk step the global length guard would).
+pub fn covering_nodes_from<R: ContentRouter>(
+    ring: &R,
+    origin: ChordId,
+    lo: ChordId,
+    hi: ChordId,
+) -> Vec<ChordId> {
+    if ring.is_empty() {
+        return Vec::new();
+    }
+    let space = ring.space();
+    // dsilint: allow(hot-path-unwrap, origin is live, so its side is non-empty)
+    let first = ring.ideal_successor_from(origin, lo).expect("origin's side is non-empty");
+    let width = space.distance_cw(lo, hi);
+    let mut out = vec![first];
+    let mut cur = first;
+    while space.distance_cw(lo, cur) < width {
+        let next = ring.ideal_successor_from(origin, space.add(cur, 1));
+        // dsilint: allow(hot-path-unwrap, origin is live, so its side is non-empty)
+        cur = next.expect("origin's side is non-empty");
+        if cur == first {
+            // Wrapped: every node origin can reach already covers the range.
+            break;
+        }
+        out.push(cur);
+    }
+    out
+}
+
 /// Plans a multicast of one message from `origin` to every node covering a
 /// key in `[lo, hi]`.
+///
+/// During a network partition the member set is `origin`-side only
+/// ([`covering_nodes_from`]): a multicast can only place payloads on nodes
+/// its origin can reach, so cross-side members are simply absent from the
+/// plan. On a whole network this is byte-identical to the global covering
+/// set.
 ///
 /// # Panics
 /// Panics if the ring is empty or `origin` is not a live node.
@@ -213,12 +252,16 @@ pub fn multicast<R: ContentRouter>(
     strategy: RangeStrategy,
 ) -> MulticastPlan {
     assert!(!ring.is_empty(), "cannot multicast over an empty ring");
-    let members = covering_nodes(ring, lo, hi);
+    let members = covering_nodes_from(ring, origin, lo, hi);
     match strategy {
         RangeStrategy::Sequential => {
             let route = ring.route(origin, lo);
             let route_hops = route.hops();
             let entry = route.owner;
+            // Requires a side-consistent ring: whole, or split with each
+            // side locally stabilized. (A ring healed without re-probing —
+            // the negative-control fork — routes elsewhere and must use
+            // the failover path instead.)
             debug_assert_eq!(entry, members[0]);
             let deliveries = members
                 .iter()
@@ -337,6 +380,23 @@ fn covered_fraction<R: ContentRouter>(
     (covered / total).min(1.0)
 }
 
+/// Fraction of the clockwise key range `[lo, hi]` owned by covering members
+/// that `origin` can currently reach — the honest dissemination coverage of
+/// a partition-degraded multicast. Always 1.0 on a whole network.
+pub fn reachable_fraction<R: ContentRouter>(
+    ring: &R,
+    origin: ChordId,
+    lo: ChordId,
+    hi: ChordId,
+) -> f64 {
+    let members = covering_nodes(ring, lo, hi);
+    if members.is_empty() {
+        return 0.0;
+    }
+    let reached: Vec<bool> = members.iter().map(|&n| ring.reachable(origin, n)).collect();
+    covered_fraction(ring, &members, &reached, lo, hi)
+}
+
 /// Plans a multicast from `origin` to every node covering a key in
 /// `[lo, hi]`, routing around unreachable members via the ring's successor
 /// order: when `judge` fails a hop, the sender skips the dead member and
@@ -373,30 +433,41 @@ pub fn multicast_with_failover<R: ContentRouter>(
         RangeStrategy::Bidirectional => ring.space().midpoint(lo, hi),
     };
     let preferred = ring.route(origin, preferred_key);
-    let e0 = members
-        .iter()
-        .position(|&n| n == preferred.owner)
-        // dsilint: allow(hot-path-unwrap, successor of a key inside [lo, hi] is a covering member)
-        .expect("route owner of a key inside the range covers the range");
+    // On a whole, converged ring the route owner of a key inside `[lo, hi]`
+    // is always a covering member. Under a partition (or on a fork healed
+    // without re-probing) the side-filtered route can overshoot the range;
+    // entry failover then simply starts from the first covering member —
+    // with a fresh point routing, because the overshot preferred route ends
+    // at a node that is not that member (reusing it would yield a plan whose
+    // route tail disagrees with `entry`, breaking the causal trace).
+    let e0 = members.iter().position(|&n| n == preferred.owner);
+    let start = e0.unwrap_or(0);
 
     // Entry failover: try the preferred member, then the rest ring-ascending
     // from it, then ring-descending below it. Each candidate is a fresh
     // point routing.
     let mut entry_choice: Option<(usize, crate::ring::Lookup)> = None;
-    let candidates = (e0..members.len()).chain((0..e0).rev());
+    let candidates = (start..members.len()).chain((0..start).rev());
     for i in candidates {
-        let route = if i == e0 { preferred.clone() } else { ring.route(origin, members[i]) };
+        let route = if Some(i) == e0 { preferred.clone() } else { ring.route(origin, members[i]) };
+        // Even a hop the judge delivers cannot enter through a member the
+        // overlay's routing state does not terminate at (a fork left by a
+        // heal without re-probe misroutes the message to `route.owner`
+        // instead). The judge is still consulted — the message was sent and
+        // its loss randomness spent — but the candidacy fails. On a whole
+        // ring a member always owns its own identifier, so this never fires.
+        let terminates = route.owner == members[i];
         match judge(origin, members[i], HopKind::Route) {
-            HopOutcome::Deliver => {
+            HopOutcome::Deliver if terminates => {
                 entry_choice = Some((i, route));
                 break;
             }
-            HopOutcome::DeliverLate => {
+            HopOutcome::DeliverLate if terminates => {
                 late.push(members[i]);
                 entry_choice = Some((i, route));
                 break;
             }
-            HopOutcome::Fail => {}
+            _ => {}
         }
     }
 
@@ -825,6 +896,76 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn partition_overshoot_entry_route_terminates_at_the_entry() {
+        // Side 0 = {1, 8}, side 1 = {11, 14, 20, 23}. From N1 the
+        // side-filtered route of the bidirectional midpoint of [2, 21]
+        // (key 11) overshoots every covering member and lands back on N1
+        // itself — entry failover must then route the first member (N8)
+        // afresh, so the plan's route tail agrees with its entry (the
+        // causal-trace audit asserts forwards depart from the route tail).
+        let mut ring = figure_ring();
+        ring.split([(11, 1), (14, 1), (20, 1), (23, 1)]);
+        for _ in 0..4 {
+            ring.stabilize_round();
+            ring.fix_fingers_round();
+        }
+        let out = multicast_with_failover(
+            &ring,
+            1,
+            2,
+            21,
+            RangeStrategy::Bidirectional,
+            &mut |from, to, _| {
+                if ring.reachable(from, to) {
+                    HopOutcome::Deliver
+                } else {
+                    HopOutcome::Fail
+                }
+            },
+        );
+        let plan = out.plan.expect("a same-side member is reachable");
+        assert_eq!(plan.entry, 8);
+        assert_eq!(plan.route_path.last(), Some(&plan.entry));
+        assert_eq!(plan.nodes(), vec![8]);
+        assert_eq!(out.skipped, vec![11, 14, 20, 23]);
+        assert!(out.coverage < 1.0);
+    }
+
+    #[test]
+    fn fork_misrouted_entry_candidate_is_not_reached() {
+        // Heal without re-probe leaves a persistent fork: from N23, key 0
+        // still routes to the forked island successor N8 even though N1 owns
+        // it globally. A judge-delivered hop into N1 must not count — the
+        // message physically lands on N8 — so the multicast degrades to
+        // total loss rather than claiming an entry its route never reached.
+        let mut ring = figure_ring();
+        ring.split([(8, 1), (14, 1), (23, 1)]);
+        for _ in 0..4 {
+            ring.stabilize_round();
+            ring.fix_fingers_round();
+        }
+        ring.heal(false);
+        for _ in 0..6 {
+            ring.stabilize_round();
+            ring.fix_fingers_round();
+        }
+        assert!(!ring.is_fully_consistent(), "the fork must persist");
+        assert_eq!(ring.route(23, 0).owner, 8);
+        let mut judged = 0;
+        let out =
+            multicast_with_failover(&ring, 23, 0, 0, RangeStrategy::Sequential, &mut |_, _, _| {
+                judged += 1;
+                HopOutcome::Deliver
+            });
+        // The message was sent (loss randomness spent) but the candidacy
+        // failed, and no plan pretends otherwise.
+        assert_eq!(judged, 1);
+        assert!(out.plan.is_none());
+        assert_eq!(out.skipped, vec![1]);
+        assert_eq!(out.coverage, 0.0);
     }
 
     #[test]

@@ -25,6 +25,11 @@ pub struct NodeState {
     pub successors: Vec<ChordId>,
     /// Believed predecessor.
     pub predecessor: Option<ChordId>,
+    /// Suspicion list: peers that stopped answering when a partition cut
+    /// them off. Stabilization timed them out of the live tables, but they
+    /// are remembered (not forgotten) so [`Ring::heal`] can re-probe them
+    /// and re-knit the full ring instead of serving a fork forever.
+    pub suspects: Vec<ChordId>,
 }
 
 /// Result of an iterative lookup.
@@ -50,12 +55,22 @@ pub struct Ring {
     space: IdSpace,
     nodes: BTreeMap<ChordId, NodeState>,
     succ_list_len: usize,
+    /// Active network partition: node id → side index. Empty when the
+    /// network is whole (the common case); unlisted nodes are side 0.
+    /// While non-empty, protocol traffic (lookups, stabilization, joins)
+    /// only flows between nodes on the same side.
+    sides: BTreeMap<ChordId, u8>,
 }
 
 impl Ring {
     /// Creates an empty ring over the given identifier space.
     pub fn new(space: IdSpace) -> Self {
-        Ring { space, nodes: BTreeMap::new(), succ_list_len: DEFAULT_SUCCESSOR_LIST_LEN }
+        Ring {
+            space,
+            nodes: BTreeMap::new(),
+            succ_list_len: DEFAULT_SUCCESSOR_LIST_LEN,
+            sides: BTreeMap::new(),
+        }
     }
 
     /// Creates a ring from explicit node identifiers and builds exact
@@ -117,9 +132,157 @@ impl Ring {
         self.nodes
             .insert(
                 id,
-                NodeState { id, fingers: Vec::new(), successors: Vec::new(), predecessor: None },
+                NodeState {
+                    id,
+                    fingers: Vec::new(),
+                    successors: Vec::new(),
+                    predecessor: None,
+                    suspects: Vec::new(),
+                },
             )
             .is_none()
+    }
+
+    // ------------------------------------------------------------------
+    // Network partitions (§VII robustness extension)
+    // ------------------------------------------------------------------
+
+    /// True while a network partition is in force.
+    #[inline]
+    pub fn partitioned(&self) -> bool {
+        !self.sides.is_empty()
+    }
+
+    /// The partition side `id` sits on (0 when unlisted or un-partitioned).
+    #[inline]
+    pub fn side(&self, id: ChordId) -> u8 {
+        self.sides.get(&id).copied().unwrap_or(0)
+    }
+
+    /// True when a message from `a` can reach `b` under the current
+    /// partition (always true when the network is whole).
+    #[inline]
+    pub fn reachable(&self, a: ChordId, b: ChordId) -> bool {
+        self.sides.is_empty() || self.side(a) == self.side(b)
+    }
+
+    /// The true successor of `key` *as seen from `origin`'s side*: the
+    /// first node at or after `key` (clockwise) that `origin` can reach.
+    /// Equals [`Ring::ideal_successor`] when the network is whole.
+    pub fn ideal_successor_from(&self, origin: ChordId, key: ChordId) -> Option<ChordId> {
+        if self.sides.is_empty() {
+            return self.ideal_successor(key);
+        }
+        let side = self.side(origin);
+        self.nodes
+            .range(key..)
+            .chain(self.nodes.range(..key))
+            .map(|(id, _)| *id)
+            .find(|&id| self.side(id) == side)
+    }
+
+    /// The true predecessor of `key` as seen from `origin`'s side.
+    pub fn ideal_predecessor_from(&self, origin: ChordId, key: ChordId) -> Option<ChordId> {
+        if self.sides.is_empty() {
+            return self.ideal_predecessor(key);
+        }
+        let side = self.side(origin);
+        self.nodes
+            .range(..key)
+            .rev()
+            .chain(self.nodes.range(key..).rev())
+            .map(|(id, _)| *id)
+            .find(|&id| self.side(id) == side)
+    }
+
+    /// Splits the network into islands. `assignment` maps node ids to side
+    /// indices; live nodes not listed fall on side 0.
+    ///
+    /// Models the first suspicion round after the cut: every node's
+    /// cross-side pointers time out, are parked on its suspicion list, and
+    /// are dropped from the live tables (fingers are left in place — they
+    /// are filtered at use and rewritten by `fix_fingers_round`). Callers
+    /// run stabilization afterwards so each island converges to a
+    /// consistent sub-ring.
+    pub fn split<I: IntoIterator<Item = (ChordId, u8)>>(&mut self, assignment: I) {
+        self.sides = assignment.into_iter().collect();
+        let ids = self.node_ids();
+        for &id in &ids {
+            let state = self.nodes.get_mut(&id).expect("listed id");
+            // Borrow-friendly: decide reachability from the sides map only.
+            let sides = &self.sides;
+            let my_side = sides.get(&id).copied().unwrap_or(0);
+            let cut = |peer: ChordId| sides.get(&peer).copied().unwrap_or(0) != my_side;
+
+            let mut suspects: Vec<ChordId> = Vec::new();
+            for &f in state.fingers.iter().filter(|&&f| cut(f)) {
+                suspects.push(f);
+            }
+            suspects.extend(state.successors.iter().copied().filter(|&s| cut(s)));
+            if let Some(p) = state.predecessor {
+                if cut(p) {
+                    suspects.push(p);
+                    state.predecessor = None;
+                }
+            }
+            suspects.sort_unstable();
+            suspects.dedup();
+            state.suspects = suspects;
+            state.successors.retain(|&s| !cut(s));
+        }
+    }
+
+    /// Heals the partition. With `reprobe` set (the protocol's behavior),
+    /// every node re-contacts its suspicion list: dead suspects are
+    /// discarded, the live suspect closest after the node (and inside its
+    /// current successor gap) is re-adopted as the immediate successor, and
+    /// a better predecessor is re-adopted likewise. Follow-up stabilization
+    /// rounds then re-knit the full ring.
+    ///
+    /// With `reprobe` unset (the negative control: stabilization disabled),
+    /// suspects are simply forgotten — each island keeps serving its forked
+    /// sub-ring and the ring never reconverges to the global ground truth.
+    pub fn heal(&mut self, reprobe: bool) {
+        self.sides.clear();
+        let ids = self.node_ids();
+        for &id in &ids {
+            let suspects =
+                std::mem::take(&mut self.nodes.get_mut(&id).expect("listed id").suspects);
+            if !reprobe {
+                continue;
+            }
+            let succ = self.successor_of(id);
+            // Best live suspect strictly between us and our current
+            // successor becomes the new immediate successor.
+            let adopted = suspects
+                .iter()
+                .copied()
+                .filter(|&s| self.contains(s) && self.space.in_open(id, s, succ))
+                .min_by_key(|&s| self.space.distance_cw(id, s));
+            if let Some(s) = adopted {
+                let state = self.nodes.get_mut(&id).expect("listed id");
+                state.successors.insert(0, s);
+                state.successors.dedup();
+                state.successors.truncate(self.succ_list_len);
+            }
+            // A live suspect closer behind us than the believed predecessor
+            // is re-adopted too (speeds up the backward re-knit).
+            let cur_pred = self.predecessor_of(id);
+            let better_pred = suspects
+                .iter()
+                .copied()
+                .filter(|&p| {
+                    self.contains(p)
+                        && match cur_pred {
+                            Some(q) => self.space.in_open(q, p, id),
+                            None => p != id,
+                        }
+                })
+                .min_by_key(|&p| self.space.distance_cw(p, id));
+            if let Some(p) = better_pred {
+                self.nodes.get_mut(&id).expect("listed id").predecessor = Some(p);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -147,23 +310,24 @@ impl Ring {
             .map(|(id, _)| *id)
     }
 
-    /// The node's believed immediate successor (first live successor-list
-    /// entry, falling back to ground truth when the whole list died).
+    /// The node's believed immediate successor (first live *reachable*
+    /// successor-list entry, falling back to ground truth on the node's own
+    /// side when the whole list died).
     pub fn successor_of(&self, id: ChordId) -> ChordId {
         let state = &self.nodes[&id];
         for &s in &state.successors {
-            if self.contains(s) {
+            if self.contains(s) && self.reachable(id, s) {
                 return s;
             }
         }
         // The entire successor list failed — model Chord's (expensive)
         // re-join recovery by consulting the ring directly.
-        self.ideal_successor(self.space.add(id, 1)).expect("ring is non-empty")
+        self.ideal_successor_from(id, self.space.add(id, 1)).expect("ring is non-empty")
     }
 
-    /// The node's believed predecessor if it is still alive.
+    /// The node's believed predecessor if it is still alive and reachable.
     pub fn predecessor_of(&self, id: ChordId) -> Option<ChordId> {
-        self.nodes[&id].predecessor.filter(|p| self.contains(*p))
+        self.nodes[&id].predecessor.filter(|p| self.contains(*p) && self.reachable(id, *p))
     }
 
     /// Rebuilds exact fingers, successor lists and predecessors for every
@@ -204,12 +368,12 @@ impl Ring {
     fn closest_preceding(&self, from: ChordId, key: ChordId) -> ChordId {
         let state = &self.nodes[&from];
         for &f in state.fingers.iter().rev() {
-            if self.contains(f) && self.space.in_open(from, f, key) {
+            if self.contains(f) && self.reachable(from, f) && self.space.in_open(from, f, key) {
                 return f;
             }
         }
         for &s in state.successors.iter().rev() {
-            if self.contains(s) && self.space.in_open(from, s, key) {
+            if self.contains(s) && self.reachable(from, s) && self.space.in_open(from, s, key) {
                 return s;
             }
         }
@@ -245,9 +409,10 @@ impl Ring {
             path.push(next);
             cur = next;
         }
-        // Tables too stale to terminate — fall back to ground truth, charging
-        // the hops walked so far (models a flooding-recovery resolution).
-        let owner = self.ideal_successor(key).expect("non-empty");
+        // Tables too stale to terminate — fall back to ground truth on the
+        // querying node's side, charging the hops walked so far (models a
+        // flooding-recovery resolution, which cannot cross the partition).
+        let owner = self.ideal_successor_from(from, key).expect("non-empty");
         if *path.last().expect("path starts at the querying node") != owner {
             path.push(owner);
         }
@@ -269,16 +434,25 @@ impl Ring {
         assert!(!self.contains(id), "node {id} already in ring");
         assert!(id < self.space.modulus(), "node id outside identifier space");
 
+        // A node joining during a partition can only see its bootstrap's
+        // side, so it lands on the same island.
+        if self.partitioned() {
+            let side = self.side(bootstrap);
+            self.sides.insert(id, side);
+        }
         let m = self.space.bits() as usize;
         let succ = self.lookup(bootstrap, id).owner;
         let fingers: Vec<ChordId> =
             (0..m).map(|i| self.lookup(bootstrap, self.space.add(id, 1u64 << i)).owner).collect();
         let mut successors = vec![succ];
         if let Some(s) = self.nodes.get(&succ) {
-            successors.extend(s.successors.iter().copied());
+            successors.extend(s.successors.iter().copied().filter(|&x| self.reachable(id, x)));
         }
         successors.truncate(self.succ_list_len);
-        self.nodes.insert(id, NodeState { id, fingers, successors, predecessor: None });
+        self.nodes.insert(
+            id,
+            NodeState { id, fingers, successors, predecessor: None, suspects: Vec::new() },
+        );
         // notify(successor): the new node may be its better predecessor.
         let succ_state = self.nodes.get_mut(&succ).expect("successor is alive");
         let better = match succ_state.predecessor {
@@ -300,8 +474,9 @@ impl Ring {
             .successors
             .iter()
             .copied()
-            .find(|s| self.contains(*s))
-            .or_else(|| self.ideal_successor(self.space.add(id, 1)));
+            .find(|s| self.contains(*s) && self.reachable(id, *s))
+            .or_else(|| self.ideal_successor_from(id, self.space.add(id, 1)));
+        self.sides.remove(&id);
         if let (Some(pred), Some(succ)) = (state.predecessor, succ) {
             if let Some(p) = self.nodes.get_mut(&pred) {
                 if !p.successors.is_empty() {
@@ -322,6 +497,7 @@ impl Ring {
     /// until stabilization repairs them.
     pub fn crash(&mut self, id: ChordId) {
         self.nodes.remove(&id);
+        self.sides.remove(&id);
     }
 
     /// One round of the stabilization protocol on every node: verify the
@@ -340,13 +516,25 @@ impl Ring {
             let succ = self.successor_of(id);
             // stabilize: ask successor for its predecessor.
             let adopted = match self.predecessor_of(succ) {
-                Some(x) if x != id && self.space.in_open(id, x, succ) && self.contains(x) => x,
+                Some(x)
+                    if x != id
+                        && self.space.in_open(id, x, succ)
+                        && self.contains(x)
+                        && self.reachable(id, x) =>
+                {
+                    x
+                }
                 _ => succ,
             };
             // Refresh the successor list from the adopted successor's list.
             let mut successors = vec![adopted];
             if let Some(s) = self.nodes.get(&adopted) {
-                successors.extend(s.successors.iter().copied().filter(|s| self.contains(*s)));
+                successors.extend(
+                    s.successors
+                        .iter()
+                        .copied()
+                        .filter(|s| self.contains(*s) && self.reachable(id, *s)),
+                );
             }
             successors.dedup();
             successors.truncate(self.succ_list_len);
@@ -357,7 +545,7 @@ impl Ring {
                 let cur_pred = self.nodes.get(&adopted).and_then(|s| s.predecessor);
                 let should_adopt = match cur_pred {
                     None => true,
-                    Some(p) if !self.contains(p) => true,
+                    Some(p) if !self.contains(p) || !self.reachable(adopted, p) => true,
                     Some(p) => self.space.in_open(p, id, adopted),
                 };
                 if should_adopt {
@@ -368,14 +556,15 @@ impl Ring {
                 }
             }
         }
-        // Drop dead predecessors (Chord's periodic check_predecessor).
-        // Membership has not changed since `ids` was collected above.
+        // Drop dead (or partitioned-away, hence unresponsive) predecessors
+        // (Chord's periodic check_predecessor). Membership has not changed
+        // since `ids` was collected above.
         for &id in &ids {
             let dead = self
                 .nodes
                 .get(&id)
                 .and_then(|s| s.predecessor)
-                .map(|p| !self.contains(p))
+                .map(|p| !self.contains(p) || !self.reachable(id, p))
                 .unwrap_or(false);
             if dead {
                 self.nodes
@@ -410,24 +599,32 @@ impl Ring {
     }
 
     /// True when every node's successor, predecessor and fingers match the
-    /// ground truth of the current membership.
+    /// ground truth of the membership *it can reach*: the global membership
+    /// when the network is whole, the node's island while partitioned (each
+    /// island must form a consistent sub-ring of its own).
     pub fn is_fully_consistent(&self) -> bool {
         let m = self.space.bits() as usize;
         self.nodes.values().all(|state| {
             let id = state.id;
-            let true_succ =
-                self.ideal_successor(self.space.add(id, 1)).expect("ring is non-empty here");
-            let true_pred = self.ideal_predecessor(id);
+            let peers = if self.sides.is_empty() {
+                self.len()
+            } else {
+                let side = self.side(id);
+                self.iter_ids().filter(|&n| self.side(n) == side).count()
+            };
+            let true_succ = self
+                .ideal_successor_from(id, self.space.add(id, 1))
+                .expect("a live node can always reach itself");
             if self.successor_of(id) != true_succ {
                 return false;
             }
-            if self.len() > 1 && self.predecessor_of(id) != true_pred {
+            if peers > 1 && self.predecessor_of(id) != self.ideal_predecessor_from(id, id) {
                 return false;
             }
             state.fingers.len() == m
                 && state.fingers.iter().enumerate().all(|(i, &f)| {
                     let start = self.space.add(id, 1u64 << i);
-                    f == self.ideal_successor(start).expect("ring is non-empty here")
+                    Some(f) == self.ideal_successor_from(id, start)
                 })
         })
     }
@@ -613,5 +810,130 @@ mod tests {
         let mut ring = Ring::new(IdSpace::new(4));
         assert!(ring.insert_raw(15));
         assert!(!ring.insert_raw(15)); // duplicate
+    }
+
+    /// Runs stabilization + finger fixing `rounds` times.
+    fn converge(ring: &mut Ring, rounds: usize) {
+        for _ in 0..rounds {
+            ring.stabilize_round();
+            ring.fix_fingers_round();
+        }
+    }
+
+    #[test]
+    fn split_islands_converge_to_consistent_subrings() {
+        // Interleaved split of the Fig. 1 ring: worst case for re-knitting.
+        let mut ring = figure1_ring();
+        ring.split([(8, 1), (14, 1), (23, 1)]);
+        assert!(ring.partitioned());
+        assert_eq!(ring.side(1), 0);
+        assert_eq!(ring.side(8), 1);
+        // Cross-side pointers were parked on suspicion lists, not forgotten.
+        assert!(ring.node(1).unwrap().suspects.contains(&8));
+        assert!(ring.node(23).unwrap().suspects.contains(&1));
+        converge(&mut ring, 4);
+        // Each island is a consistent sub-ring of its own.
+        assert!(ring.is_fully_consistent());
+        // Lookups resolve against the querying node's island only.
+        assert_eq!(ring.lookup(1, 13).owner, 20); // side 0 = {1, 11, 20}
+        assert_eq!(ring.lookup(8, 13).owner, 14); // side 1 = {8, 14, 23}
+        assert_eq!(ring.ideal_successor_from(1, 13), Some(20));
+        assert_eq!(ring.ideal_successor_from(8, 13), Some(14));
+        assert_eq!(ring.ideal_predecessor_from(1, 1), Some(20));
+    }
+
+    #[test]
+    fn heal_with_reprobe_reconverges_to_the_global_ring() {
+        let mut ring = figure1_ring();
+        ring.split([(8, 1), (14, 1), (23, 1)]);
+        converge(&mut ring, 4);
+        ring.heal(true);
+        assert!(!ring.partitioned());
+        converge(&mut ring, 6);
+        assert!(ring.is_fully_consistent());
+        assert!(ring.node(1).unwrap().suspects.is_empty());
+        // Every lookup resolves against the full membership again.
+        for from in ring.node_ids() {
+            for key in 0..32 {
+                assert_eq!(ring.lookup(from, key).owner, ring.ideal_successor(key).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn heal_without_reprobe_leaves_a_persistent_fork() {
+        // Negative control: suspects are forgotten at heal, so stabilization
+        // alone never rediscovers the other island.
+        let mut ring = figure1_ring();
+        ring.split([(8, 1), (14, 1), (23, 1)]);
+        converge(&mut ring, 4);
+        ring.heal(false);
+        converge(&mut ring, 10);
+        assert!(!ring.is_fully_consistent());
+        // The fork serves wrong owners: key 0 belongs to N1 globally, but
+        // N23 still hands it to its forked successor N8.
+        assert_eq!(ring.ideal_successor(0), Some(1));
+        assert_eq!(ring.lookup(23, 0).owner, 8);
+    }
+
+    #[test]
+    fn three_island_split_and_heal() {
+        let mut ring = figure1_ring();
+        ring.split([(11, 1), (14, 1), (20, 2), (23, 2)]); // {1,8} | {11,14} | {20,23}
+        converge(&mut ring, 4);
+        assert!(ring.is_fully_consistent());
+        assert_eq!(ring.successor_of(8), 1);
+        assert_eq!(ring.successor_of(14), 11);
+        ring.heal(true);
+        converge(&mut ring, 6);
+        assert!(ring.is_fully_consistent());
+    }
+
+    #[test]
+    fn single_node_island_survives_split_and_heal() {
+        let mut ring = figure1_ring();
+        ring.split([(1, 1)]); // N1 alone; everyone else on side 0.
+        converge(&mut ring, 4);
+        assert!(ring.is_fully_consistent());
+        assert_eq!(ring.successor_of(1), 1);
+        assert_eq!(ring.lookup(1, 29).owner, 1);
+        ring.heal(true);
+        converge(&mut ring, 6);
+        assert!(ring.is_fully_consistent());
+        assert_eq!(ring.successor_of(23), 1);
+        assert_eq!(ring.predecessor_of(8), Some(1));
+    }
+
+    #[test]
+    fn join_during_split_lands_on_bootstraps_island() {
+        let mut ring = figure1_ring();
+        ring.split([(8, 1), (14, 1), (23, 1)]);
+        converge(&mut ring, 4);
+        ring.join(15, 8); // bootstrap on side 1
+        assert_eq!(ring.side(15), 1);
+        converge(&mut ring, 4);
+        assert!(ring.is_fully_consistent());
+        // The joiner serves on its island...
+        assert_eq!(ring.lookup(8, 15).owner, 15);
+        // ...and is woven into the global ring after heal.
+        ring.heal(true);
+        converge(&mut ring, 6);
+        assert!(ring.is_fully_consistent());
+        assert_eq!(ring.lookup(1, 15).owner, 15);
+        assert_eq!(ring.predecessor_of(15), Some(14));
+    }
+
+    #[test]
+    fn crash_inside_an_island_is_repaired_locally() {
+        let mut ring = figure1_ring();
+        ring.split([(8, 1), (14, 1), (23, 1)]);
+        converge(&mut ring, 4);
+        ring.crash(14);
+        converge(&mut ring, 6);
+        assert!(ring.is_fully_consistent());
+        assert_eq!(ring.successor_of(8), 23);
+        ring.heal(true);
+        converge(&mut ring, 6);
+        assert!(ring.is_fully_consistent());
     }
 }

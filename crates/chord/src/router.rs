@@ -41,6 +41,32 @@ pub trait ContentRouter {
     /// The node's believed immediate successor (ring-order neighbor).
     fn successor_of(&self, id: ChordId) -> ChordId;
 
+    /// True while a network partition currently divides the overlay.
+    /// Routers without a partition model are always whole.
+    fn partitioned(&self) -> bool {
+        false
+    }
+
+    /// True when a message from `a` can currently reach `b`. Always true
+    /// for routers without a partition model.
+    fn reachable(&self, _a: ChordId, _b: ChordId) -> bool {
+        true
+    }
+
+    /// Ground truth restricted to what `origin` can reach: the owner of
+    /// `key` on `origin`'s side of a partition. Falls back to the global
+    /// [`ContentRouter::ideal_successor`] on whole networks.
+    fn ideal_successor_from(&self, _origin: ChordId, key: ChordId) -> Option<ChordId> {
+        self.ideal_successor(key)
+    }
+
+    /// Ground truth restricted to what `origin` can reach: the last node
+    /// strictly before `key` on `origin`'s side of a partition. Falls back
+    /// to the global [`ContentRouter::ideal_predecessor`] on whole networks.
+    fn ideal_predecessor_from(&self, _origin: ChordId, key: ChordId) -> Option<ChordId> {
+        self.ideal_predecessor(key)
+    }
+
     /// Routes a message from `from` toward `key` through the overlay,
     /// returning the owner and the full hop path (for latency accounting).
     fn route(&self, from: ChordId, key: ChordId) -> Lookup;
@@ -92,6 +118,22 @@ impl ContentRouter for crate::ring::Ring {
 
     fn successor_of(&self, id: ChordId) -> ChordId {
         crate::ring::Ring::successor_of(self, id)
+    }
+
+    fn partitioned(&self) -> bool {
+        crate::ring::Ring::partitioned(self)
+    }
+
+    fn reachable(&self, a: ChordId, b: ChordId) -> bool {
+        crate::ring::Ring::reachable(self, a, b)
+    }
+
+    fn ideal_successor_from(&self, origin: ChordId, key: ChordId) -> Option<ChordId> {
+        crate::ring::Ring::ideal_successor_from(self, origin, key)
+    }
+
+    fn ideal_predecessor_from(&self, origin: ChordId, key: ChordId) -> Option<ChordId> {
+        crate::ring::Ring::ideal_predecessor_from(self, origin, key)
     }
 
     fn route(&self, from: ChordId, key: ChordId) -> Lookup {

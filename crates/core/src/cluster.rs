@@ -26,8 +26,8 @@ use crate::reliability::{
     DeliveryVerdict, PendingDelivery, PendingEffect, ReliabilityState, Resolution,
 };
 use dsi_chord::{
-    multicast, multicast_with_failover, BuildRouter, ChordId, ContentRouter, FailoverOutcome,
-    HopKind, HopOutcome, IdSpace, MulticastPlan, RangeStrategy, Ring,
+    multicast, multicast_with_failover, reachable_fraction, BuildRouter, ChordId, ContentRouter,
+    FailoverOutcome, HopKind, HopOutcome, IdSpace, MulticastPlan, RangeStrategy, Ring,
 };
 use dsi_dsp::{normalized_distance, FeatureExtractor, FeatureVector, Mbr, SummaryScratch};
 use dsi_simnet::{FaultPlan, InputEvent, Metrics, MsgClass, SimTime};
@@ -208,6 +208,11 @@ pub struct Cluster<R: ContentRouter = Ring> {
     /// Whether churn operations re-establish range replication (§VII);
     /// disabled it models pure soft-state coverage holes.
     repair_on_churn: bool,
+    /// Whether the periodic Chord stabilization protocol runs (DESIGN.md
+    /// §17). Disabling it is the partition negative control: islands never
+    /// repair their successor/finger tables, and a heal without re-probing
+    /// leaves a permanent fork the convergence oracle must flag.
+    stabilization_enabled: bool,
     next_query: QueryId,
     quality: QualityStats,
     /// Per-stream candidates that failed exact verification (false
@@ -304,6 +309,7 @@ impl<R: BuildRouter> Cluster<R> {
             measuring: false,
             tracer: Tracer::disabled(),
             repair_on_churn: true,
+            stabilization_enabled: true,
             next_query: 1,
             quality: QualityStats::default(),
             stream_false_positives: HashMap::new(),
@@ -325,7 +331,14 @@ impl<R: BuildRouter> Cluster<R> {
 /// Runs a failover range multicast with every hop resolved through the
 /// reliability state machine; `classes` is the (route, forward) message
 /// class pair. Returns the achieved outcome plus the per-hop resolutions
-/// in deterministic judge order, for counter accounting by the caller.
+/// in deterministic judge order, for counter accounting by the caller,
+/// plus the classes of hops suppressed by a network partition.
+///
+/// A hop whose endpoints sit on different partition sides fails *before*
+/// the reliability machine is consulted: topology cuts are deterministic,
+/// so they consume zero fault randomness and are tallied separately from
+/// random loss (the severed list; the caller feeds it to the
+/// partition-suppressed counters).
 fn reliable_multicast<R: ContentRouter>(
     ring: &R,
     rel: &mut ReliabilityState,
@@ -334,13 +347,18 @@ fn reliable_multicast<R: ContentRouter>(
     lo: ChordId,
     hi: ChordId,
     classes: (MsgClass, MsgClass),
-) -> (FailoverOutcome, Vec<(MsgClass, Resolution)>) {
+) -> (FailoverOutcome, Vec<(MsgClass, Resolution)>, Vec<MsgClass>) {
     let mut log = Vec::new();
-    let out = multicast_with_failover(ring, origin, lo, hi, strategy, &mut |_from, _to, kind| {
+    let mut severed = Vec::new();
+    let out = multicast_with_failover(ring, origin, lo, hi, strategy, &mut |from, to, kind| {
         let class = match kind {
             HopKind::Route => classes.0,
             HopKind::Forward => classes.1,
         };
+        if !ring.reachable(from, to) {
+            severed.push(class);
+            return HopOutcome::Fail;
+        }
         let res = rel.resolve(class);
         log.push((class, res));
         match res.verdict {
@@ -349,7 +367,7 @@ fn reliable_multicast<R: ContentRouter>(
             DeliveryVerdict::Lost => HopOutcome::Fail,
         }
     });
-    (out, log)
+    (out, log, severed)
 }
 
 impl<R: ContentRouter> Cluster<R> {
@@ -727,6 +745,12 @@ impl<R: ContentRouter> Cluster<R> {
             }
             for &n in &want {
                 if !self.nodes[&n].summaries().any(|s| s.matches(rec)) {
+                    // The want-list stays global: a cross-side hole is
+                    // suppressed (not healed) while the cut lasts, and the
+                    // first post-heal repair round closes it (anti-entropy).
+                    if self.partition_severed(*holder, n, MsgClass::MbrInternal) {
+                        continue;
+                    }
                     if let Some(res) = self.resolve_send(MsgClass::MbrInternal) {
                         if res.verdict == DeliveryVerdict::Lost {
                             // Copy lost after retries: the hole persists
@@ -773,6 +797,9 @@ impl<R: ContentRouter> Cluster<R> {
             let (lo, hi) = radius_key_range(self.space, q.feature.first_real(), q.radius);
             for n in dsi_chord::covering_nodes(&self.ring, lo, hi) {
                 if !self.nodes[&n].has_subscription(q.id) {
+                    if self.partition_severed(q.aggregator, n, MsgClass::QueryInternal) {
+                        continue;
+                    }
                     if let Some(res) = self.resolve_send(MsgClass::QueryInternal) {
                         if res.verdict == DeliveryVerdict::Lost {
                             continue;
@@ -816,6 +843,9 @@ impl<R: ContentRouter> Cluster<R> {
                     .filter(|&n| self.aggregates[i].slot(n).is_err())
                     .collect();
                 for n in missing {
+                    if self.partition_severed(aggregator, n, MsgClass::QueryInternal) {
+                        continue;
+                    }
                     if let Some(res) = self.resolve_send(MsgClass::QueryInternal) {
                         if res.verdict == DeliveryVerdict::Lost {
                             // Copy lost after retries: the coverage hole
@@ -883,7 +913,12 @@ impl Cluster<Ring> {
                 QueryRuntime::Similarity(sq) if sq.aggregator == id => {
                     let (lo, hi) = radius_key_range(self.space, sq.feature.first_real(), sq.radius);
                     let mid = self.space.midpoint(lo, hi);
-                    Some((*qid, self.ring.ideal_successor(mid).expect("non-empty ring")))
+                    // During a partition the replacement aggregator must sit
+                    // on the client's side, or responses could never reach it.
+                    Some((
+                        *qid,
+                        self.ring.ideal_successor_from(sq.client, mid).expect("non-empty ring"),
+                    ))
                 }
                 _ => None,
             })
@@ -904,7 +939,8 @@ impl Cluster<Ring> {
             }
             if a.query.aggregator == id {
                 let key = self.space.hash_str(&format!("aggregate-query-{}", a.query.id));
-                a.query.aggregator = self.ring.ideal_successor(key).expect("non-empty ring");
+                a.query.aggregator =
+                    self.ring.ideal_successor_from(a.query.client, key).expect("non-empty ring");
             }
         }
         // Re-establish range replication from the surviving replicas.
@@ -976,6 +1012,12 @@ impl Cluster<Ring> {
     /// hot arc is too narrow to split. Consumes no RNG.
     pub fn maybe_reweight(&mut self, now: SimTime) -> Option<ReweightAction> {
         let cfg = self.reweight?;
+        if self.ring.partitioned() {
+            // No re-weighting while the network is split: virtual joins
+            // bootstrap through node 0 and would be visible on one side
+            // only; the load signal itself is partition-skewed anyway.
+            return None;
+        }
         if self.reweight_actions.len() >= cfg.max_actions as usize {
             return None;
         }
@@ -1044,7 +1086,13 @@ impl Cluster<Ring> {
     }
 
     /// Runs stabilization until the ring is fully consistent (bounded).
+    /// A no-op when stabilization is disabled (the partition negative
+    /// control) — the tables then stay however the last topology event
+    /// left them.
     fn stabilize(&mut self) {
+        if !self.stabilization_enabled {
+            return;
+        }
         for _ in 0..24 {
             if self.ring.is_fully_consistent() {
                 return;
@@ -1053,6 +1101,56 @@ impl Cluster<Ring> {
             self.ring.fix_fingers_round();
         }
         debug_assert!(self.ring.is_fully_consistent(), "stabilization did not converge");
+    }
+
+    /// Enables or disables the periodic stabilization protocol (enabled by
+    /// default). See the `stabilization_enabled` field for why anyone
+    /// would turn it off.
+    pub fn set_stabilization_enabled(&mut self, enabled: bool) {
+        self.stabilization_enabled = enabled;
+    }
+
+    /// Splits the network into islands: `islands[k]` lists the data-center
+    /// indices (into [`Cluster::node_ids`] order) placed on side `k + 1`;
+    /// unlisted nodes (and out-of-range indices, ignored) stay on side 0.
+    /// Virtual identifiers follow their physical host's side. Each side
+    /// then runs suspicion + stabilization and becomes a self-consistent
+    /// sub-ring (unless stabilization is disabled).
+    pub fn split_partition(&mut self, islands: &[Vec<usize>]) {
+        let mut assignment: Vec<(ChordId, u8)> = Vec::new();
+        for (k, island) in islands.iter().enumerate() {
+            for &idx in island {
+                if let Some(&id) = self.node_order.get(idx) {
+                    assignment.push((id, (k + 1) as u8));
+                }
+            }
+        }
+        // Virtual identifiers live or die with their host's connectivity.
+        let mut hosted: Vec<(ChordId, ChordId)> =
+            self.virtual_of.iter().map(|(&v, &h)| (v, h)).collect();
+        hosted.sort_unstable();
+        for (v, host) in hosted {
+            let side = assignment.iter().find(|&&(id, _)| id == host).map_or(0, |&(_, s)| s);
+            if side != 0 && !assignment.iter().any(|&(id, _)| id == v) {
+                assignment.push((v, side));
+            }
+        }
+        self.ring.split(assignment);
+        // `Ring::is_fully_consistent` is side-relative, so the ordinary
+        // loop converges every island to its own consistent sub-ring.
+        self.stabilize();
+    }
+
+    /// Heals the partition: every link works again. With `reprobe` each
+    /// node re-adopts the best parked suspect and stabilization re-knits
+    /// one global ring; without it the suspicion lists are forgotten and
+    /// the former islands stay routed apart — the split-brain fork the
+    /// post-heal convergence oracle exists to catch.
+    pub fn heal_partition(&mut self, reprobe: bool) {
+        self.ring.heal(reprobe);
+        if reprobe {
+            self.stabilize();
+        }
     }
 }
 
@@ -1363,7 +1461,7 @@ impl<R: ContentRouter> Cluster<R> {
         lo: ChordId,
         hi: ChordId,
     ) -> MulticastPlan {
-        let (out, log) = reliable_multicast(
+        let (out, log, severed) = reliable_multicast(
             &self.ring,
             self.reliability.as_mut().expect("reliable path requires an armed plan"),
             self.cfg.strategy,
@@ -1379,6 +1477,7 @@ impl<R: ContentRouter> Cluster<R> {
         for (class, res) in &log {
             self.record_resolution(*class, res);
         }
+        self.record_severed(&severed);
         let expires = now + self.cfg.workload.bspan_ms;
         let stored = StoredMbr { stream, mbr, origin: home, expires };
         let Some(plan) = out.plan else {
@@ -1492,10 +1591,19 @@ impl<R: ContentRouter> Cluster<R> {
         );
         let (lo, hi) = radius_key_range(self.space, q.feature.first_real(), radius);
         let mid = self.space.midpoint(lo, hi);
-        q.aggregator = self.ring.ideal_successor(mid).expect("ring non-empty");
+        // Side-aware: a query posted during a partition aggregates on the
+        // client's reachable side (global owner when the network is whole).
+        q.aggregator = self.ring.ideal_successor_from(client, mid).expect("ring non-empty");
 
         if self.reliability.is_some() {
             return self.post_similarity_reliable(q, lo, hi, now);
+        }
+        if self.ring.partitioned() {
+            // Lossless sends, but the cut still shrinks the reachable
+            // covering set: record the honest dissemination fraction so
+            // responses are tagged as partial answers, exactly like the
+            // reliable path records its achieved coverage.
+            self.record_query_coverage(id, reachable_fraction(&self.ring, client, lo, hi));
         }
         let plan = multicast(&self.ring, client, lo, hi, self.cfg.strategy);
         if self.measuring {
@@ -1543,7 +1651,7 @@ impl<R: ContentRouter> Cluster<R> {
     ) -> QueryId {
         let id = q.id;
         let client = q.client;
-        let (out, log) = reliable_multicast(
+        let (out, log, severed) = reliable_multicast(
             &self.ring,
             self.reliability.as_mut().expect("reliable path requires an armed plan"),
             self.cfg.strategy,
@@ -1558,6 +1666,7 @@ impl<R: ContentRouter> Cluster<R> {
         for (class, res) in &log {
             self.record_resolution(*class, res);
         }
+        self.record_severed(&severed);
         self.record_query_coverage(id, out.coverage);
         let Some(plan) = out.plan else {
             // Retry budget exhausted on every entry candidate: the query
@@ -1641,7 +1750,7 @@ impl<R: ContentRouter> Cluster<R> {
             SketchParams { eps: spec.eps, delta: spec.delta, window_ms: spec.window_ms, seed };
         let dims = spec.forced_dims.unwrap_or_else(|| SketchDims::for_bound(spec.eps, spec.delta));
         let key = self.space.hash_str(&format!("aggregate-query-{id}"));
-        let aggregator = self.ring.ideal_successor(key).expect("ring non-empty");
+        let aggregator = self.ring.ideal_successor_from(client, key).expect("ring non-empty");
         let q = AggregateQuery {
             id,
             client,
@@ -1706,7 +1815,7 @@ impl<R: ContentRouter> Cluster<R> {
     ) -> QueryId {
         let id = q.id;
         let client = q.client;
-        let (out, log) = reliable_multicast(
+        let (out, log, severed) = reliable_multicast(
             &self.ring,
             self.reliability.as_mut().expect("reliable path requires an armed plan"),
             self.cfg.strategy,
@@ -1721,6 +1830,7 @@ impl<R: ContentRouter> Cluster<R> {
         for (class, res) in &log {
             self.record_resolution(*class, res);
         }
+        self.record_severed(&severed);
         self.record_query_coverage(id, out.coverage);
         let Some(plan) = out.plan else {
             // Retry budget exhausted on every entry candidate: the query
@@ -1885,6 +1995,15 @@ impl<R: ContentRouter> Cluster<R> {
         };
 
         // The query itself is routed to the source node.
+        if self.partition_severed(client, source, MsgClass::Query) {
+            // The source sits across a partition cut (stale cache entry or
+            // a pre-split location record): no subscription can be placed;
+            // coverage 0 flags the honest degraded answer until reposted
+            // after heal.
+            self.record_query_coverage(id, 0.0);
+            self.queries.insert(id, QueryRuntime::InnerProduct(q));
+            return id;
+        }
         let send_res = self.resolve_send(MsgClass::Query);
         if send_res.is_some_and(|r| r.verdict == DeliveryVerdict::Lost) {
             // Retry budget exhausted: the query is registered client-side
@@ -1947,7 +2066,11 @@ impl<R: ContentRouter> Cluster<R> {
             .map(|s| (s.id, stream_key(self.space, &s.name)))
             .collect();
         for (sid, key) in homed {
-            let owner = self.ring.ideal_successor(key).expect("non-empty ring");
+            // Side-aware: during a partition the stream re-registers with
+            // the owner on its *own* side (split-brain serving); the first
+            // whole-network refresh after heal re-registers globally — the
+            // NPER soft-state rounds double as post-heal anti-entropy.
+            let owner = self.ring.ideal_successor_from(node, key).expect("non-empty ring");
             if self.nodes[&owner].location_get(sid) != Some(node) {
                 let res = self.resolve_send(MsgClass::Query);
                 if res.is_some_and(|r| r.verdict == DeliveryVerdict::Lost) {
@@ -1973,7 +2096,7 @@ impl<R: ContentRouter> Cluster<R> {
         // neighbor per period (component f of Fig. 6(a)).
         if has_subs {
             let succ = self.ring.successor_of(node);
-            let pred = self.ring.ideal_predecessor(node).unwrap_or(succ);
+            let pred = self.ring.ideal_predecessor_from(node, node).unwrap_or(succ);
             // A lost exchange only skips the charge: the aggregation model
             // reads the converged in-range state, and the next NPER round
             // repeats the exchange (soft-state redundancy).
@@ -2015,6 +2138,12 @@ impl<R: ContentRouter> Cluster<R> {
         aggregated.sort_unstable_by_key(|q| q.id);
         for q in aggregated {
             let matches = self.aggregate_and_verify(&q, now);
+            if self.partition_severed(node, q.client, MsgClass::Response) {
+                // The client sits on the other side of a partition: no
+                // response can cross the cut. The next NPER cycle after
+                // heal re-aggregates and delivers.
+                continue;
+            }
             let res = self.resolve_send(MsgClass::Response);
             if res.is_some_and(|r| r.verdict == DeliveryVerdict::Lost) {
                 // Response lost after retries: the client hears nothing
@@ -2040,7 +2169,14 @@ impl<R: ContentRouter> Cluster<R> {
                 }
                 continue;
             }
-            let coverage = self.query_coverage.get(&q.id).copied().unwrap_or(1.0);
+            let mut coverage = self.query_coverage.get(&q.id).copied().unwrap_or(1.0);
+            if self.ring.partitioned() {
+                // A query disseminated before the split has subscriptions
+                // on both sides, but this aggregator only hears its own:
+                // clamp to what it can actually reach right now.
+                let (lo, hi) = radius_key_range(self.space, q.feature.first_real(), q.radius);
+                coverage = coverage.min(reachable_fraction(&self.ring, node, lo, hi));
+            }
             let entry = self.notifications.entry(q.id).or_default();
             for stream in matches {
                 entry.push(MatchNotification { query: q.id, stream, at: now, coverage });
@@ -2062,6 +2198,11 @@ impl<R: ContentRouter> Cluster<R> {
                 continue;
             }
             let value = q.evaluate_approx(s.extractor.raw_prefix(), self.cfg.workload.window_len);
+            if self.partition_severed(node, q.client, MsgClass::Response) {
+                // Cross-cut push suppressed; the post-heal cycle pushes a
+                // fresh value.
+                continue;
+            }
             let res = self.resolve_send(MsgClass::Response);
             if res.is_some_and(|r| r.verdict == DeliveryVerdict::Lost) {
                 // Push lost after retries: the client misses this period's
@@ -2109,7 +2250,9 @@ impl<R: ContentRouter> Cluster<R> {
         // per-node ones (same final set).
         let point = q.feature.to_reals();
         let mut candidates: Vec<StreamId> = Vec::new();
-        for n in dsi_chord::covering_nodes(&self.ring, lo, hi) {
+        // Side-aware: the aggregator can only gossip with covering nodes it
+        // can reach, so a split answers from one side with honest coverage.
+        for n in dsi_chord::covering_nodes_from(&self.ring, q.aggregator, lo, hi) {
             self.nodes[&n].collect_candidates(q, &point, now, &mut candidates);
         }
         candidates.sort_unstable();
@@ -2280,6 +2423,12 @@ impl<R: ContentRouter> Cluster<R> {
             at: now,
         };
         // One overlay message carries the answer to the client.
+        if self.partition_severed(root, query.client, MsgClass::AggNotify) {
+            // Aggregator and client sit on different sides of a partition
+            // (the query predates the split): this period's answer cannot
+            // cross the cut; collection resumes delivery after heal.
+            return;
+        }
         let res = self.resolve_send(MsgClass::AggNotify);
         if res.is_some_and(|r| r.verdict == DeliveryVerdict::Lost) {
             // Lost after retries: the client misses this period's answer;
@@ -2340,8 +2489,43 @@ impl<R: ContentRouter> Cluster<R> {
             if res.verdict == DeliveryVerdict::Late {
                 self.metrics.record_redelivery(class);
             }
+            // Send-conservation ledger: every decided send is either
+            // delivered (Late counts — the payload arrives) or lost.
+            if res.verdict == DeliveryVerdict::Lost {
+                self.metrics.record_send_lost(class);
+            } else {
+                self.metrics.record_send_delivered(class);
+            }
         }
         Some(res)
+    }
+
+    /// True when a partition severs the `from -> to` link right now; the
+    /// send must then be skipped entirely. Counted on the conservation
+    /// ledger and the tracer's suppression tallies — separately from
+    /// random drops, and without consuming any fault randomness.
+    fn partition_severed(&mut self, from: ChordId, to: ChordId, class: MsgClass) -> bool {
+        if self.ring.reachable(from, to) {
+            return false;
+        }
+        if self.measuring {
+            self.metrics.record_partition_suppressed(class);
+            self.tracer.note_suppressed(class.index() as u8);
+        }
+        true
+    }
+
+    /// Feeds the severed-hop classes of one failover multicast to the
+    /// partition-suppressed counters (judge-order twin of
+    /// [`Cluster::record_resolution`]).
+    fn record_severed(&mut self, severed: &[MsgClass]) {
+        if !self.measuring {
+            return;
+        }
+        for &class in severed {
+            self.metrics.record_partition_suppressed(class);
+            self.tracer.note_suppressed(class.index() as u8);
+        }
     }
 
     /// Records the counters of an already-resolved send (used by the
@@ -2359,12 +2543,19 @@ impl<R: ContentRouter> Cluster<R> {
         if res.verdict == DeliveryVerdict::Late {
             self.metrics.record_redelivery(class);
         }
+        if res.verdict == DeliveryVerdict::Lost {
+            self.metrics.record_send_lost(class);
+        } else {
+            self.metrics.record_send_delivered(class);
+        }
     }
 
     /// Stores a query's achieved dissemination coverage and records the
-    /// metrics sample. No-op while no fault plan is armed.
+    /// metrics sample. No-op while no fault plan is armed *and* the
+    /// network is whole (a partition degrades coverage even without
+    /// random loss).
     fn record_query_coverage(&mut self, id: QueryId, coverage: f64) {
-        if self.reliability.is_none() {
+        if self.reliability.is_none() && !self.ring.partitioned() {
             return;
         }
         self.query_coverage.insert(id, coverage);
@@ -2766,6 +2957,149 @@ mod tests {
                 0,
                 "expired records must not be re-copied"
             );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Network partitions (DESIGN.md §17)
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn split_partition_serves_each_side_with_honest_coverage() {
+        let mut c = small_cluster(12);
+        let sid = c.register_stream("s0", 0);
+        feed_stream(&mut c, sid, &wave(40, 0.4, 0.0), SimTime::ZERO);
+
+        c.split_partition(&[vec![6, 7, 8, 9, 10, 11]]);
+        assert!(c.ring().partitioned());
+        assert!(
+            c.ring().is_fully_consistent(),
+            "each island must converge to a consistent sub-ring"
+        );
+
+        // A wide query posted during the split covers the whole circle, so
+        // its reachable fraction is exactly what this side owns of it.
+        let target = c.streams()[sid as usize].extractor.window_snapshot();
+        let qid = c.post_similarity_query(0, target, 10.0, 60_000, SimTime::ZERO);
+        let cov = c.query_coverage(qid).expect("partition-time posts record honest coverage");
+        assert!(cov > 0.0 && cov < 1.0, "coverage {cov} must be honestly partial");
+
+        // Dissemination stayed on the client's side of the cut.
+        let client = c.node_id(0);
+        for &n in &c.node_ids().to_vec() {
+            if c.node(n).has_subscription(qid) {
+                assert!(
+                    c.ring().reachable(client, n),
+                    "subscription for {qid} teleported across the cut to {n}"
+                );
+            }
+        }
+
+        // The side still answers — with the partial tag on every match.
+        c.notify_all(SimTime::from_ms(1000));
+        let notes = c.notifications(qid);
+        assert!(!notes.is_empty(), "reachable side must keep answering");
+        assert!(notes.iter().all(|n| n.coverage < 1.0), "answers must carry the partial tag");
+
+        // Heal with re-probe: one global ring again, and the NPER repair
+        // machinery restores full coverage for post-heal posts.
+        c.heal_partition(true);
+        assert!(!c.ring().partitioned());
+        assert!(c.ring().is_fully_consistent(), "heal with re-probe re-knits the global ring");
+        c.repair_coverage(SimTime::from_ms(1500));
+        let target2 = c.streams()[sid as usize].extractor.window_snapshot();
+        let q2 = c.post_similarity_query(0, target2, 10.0, 60_000, SimTime::from_ms(1600));
+        assert_eq!(
+            c.query_coverage(q2),
+            None,
+            "whole-network lossless posts record no degradation"
+        );
+        c.notify_all(SimTime::from_ms(2000));
+        let notes2 = c.notifications(q2);
+        assert!(!notes2.is_empty());
+        assert!(notes2.iter().all(|n| n.coverage == 1.0), "post-heal coverage returns to 1.0");
+    }
+
+    #[test]
+    fn heal_without_reprobe_leaves_the_fork_stabilization_repairs() {
+        // Negative control: stabilization off, heal without re-probing.
+        let mut c = small_cluster(10);
+        c.set_stabilization_enabled(false);
+        c.split_partition(&[vec![5, 6, 7, 8, 9]]);
+        c.heal_partition(false);
+        assert!(!c.ring().partitioned(), "links are back up");
+        assert!(
+            !c.ring().is_fully_consistent(),
+            "without stabilization the tables must stay forked"
+        );
+
+        // The enabled twin on the same topology re-knits completely.
+        let mut d = small_cluster(10);
+        d.split_partition(&[vec![5, 6, 7, 8, 9]]);
+        d.heal_partition(true);
+        assert!(d.ring().is_fully_consistent(), "stabilization heals the same split");
+    }
+
+    #[test]
+    fn partition_suppression_is_ledgered_separately_from_random_loss() {
+        let mut c = small_cluster(10);
+        let sid = c.register_stream("s0", 0);
+        c.start_measurement();
+        c.set_fault_plan(FaultPlan::uniform(spec(0.2, 0.0, 0.1)), 7);
+        feed_stream(&mut c, sid, &wave(40, 0.4, 0.0), SimTime::ZERO);
+
+        c.split_partition(&[vec![5, 6, 7, 8, 9]]);
+        // Shipments and repair rounds now hit the cut: suppressed copies
+        // land on the partition ledger, not the random-loss one.
+        feed_stream(&mut c, sid, &wave(16, 0.4, 1.0), SimTime::from_ms(100));
+        c.repair_coverage(SimTime::from_ms(200));
+        c.notify_all(SimTime::from_ms(300));
+
+        let m = c.metrics();
+        let mut suppressed_total = 0;
+        for class in MsgClass::ALL {
+            let (decisions, delivered, lost, partitioned) = m.send_accounting(class);
+            assert_eq!(
+                decisions,
+                delivered + lost + partitioned,
+                "send conservation must hold for {class:?}"
+            );
+            suppressed_total += partitioned;
+        }
+        assert!(suppressed_total > 0, "cross-cut sends must appear on the partition ledger");
+
+        // Same run without the split: zero partition suppressions.
+        let mut d = small_cluster(10);
+        let sid2 = d.register_stream("s0", 0);
+        d.start_measurement();
+        d.set_fault_plan(FaultPlan::uniform(spec(0.2, 0.0, 0.1)), 7);
+        feed_stream(&mut d, sid2, &wave(40, 0.4, 0.0), SimTime::ZERO);
+        feed_stream(&mut d, sid2, &wave(16, 0.4, 1.0), SimTime::from_ms(100));
+        d.repair_coverage(SimTime::from_ms(200));
+        d.notify_all(SimTime::from_ms(300));
+        for class in MsgClass::ALL {
+            let (_, _, _, partitioned) = d.metrics().send_accounting(class);
+            assert_eq!(partitioned, 0, "whole networks never suppress {class:?}");
+        }
+    }
+
+    #[test]
+    fn mbr_shipments_during_split_stay_island_local() {
+        let mut c = small_cluster(12);
+        let sid = c.register_stream("s0", 0);
+        // Warm up without shipping past the batcher yet.
+        feed_stream(&mut c, sid, &wave(16, 0.4, 0.0), SimTime::ZERO);
+        c.split_partition(&[vec![6, 7, 8, 9, 10, 11]]);
+        let home = c.streams()[sid as usize].home;
+        let mut plan = None;
+        for &v in wave(16, 0.4, 1.0).iter() {
+            if let Some(p) = c.post_value(sid, v, SimTime::from_ms(100)) {
+                plan = Some(p);
+            }
+        }
+        let plan = plan.expect("an MBR was shipped during the split");
+        for n in plan.nodes() {
+            assert!(c.ring().reachable(home, n), "replica teleported across the cut to {n}");
         }
     }
 }

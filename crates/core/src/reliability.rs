@@ -217,6 +217,12 @@ impl ReliabilityState {
                         backoff_ms,
                     };
                 }
+                // [`FaultSpec::outcome`] only draws probabilistic fates;
+                // partitions are deterministic topology cuts enforced at
+                // the send site before `resolve` is ever consulted.
+                FaultOutcome::Partitioned => {
+                    unreachable!("outcome() never draws Partitioned")
+                }
                 FaultOutcome::Drop => {
                     if retries >= self.cfg.max_retries {
                         self.backoff_ms_total += backoff_ms;

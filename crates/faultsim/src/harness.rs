@@ -1,7 +1,7 @@
 //! Scenario execution against a full [`Cluster`], with an invariant audit
 //! after every event.
 //!
-//! Nine oracles run after each scheduled event:
+//! Ten oracles run after each scheduled event:
 //!
 //! 1. **No false dismissals** — every match a brute-force reference index
 //!    (a flat list of all surviving MBR records) produces must also be a
@@ -39,6 +39,17 @@
 //!    merged components), with a miss budget proportional to δ; and the
 //!    advertised `ε_eff` must equal `ε + (1 − coverage)` exactly —
 //!    degraded rounds widen the contract, they never silently lie.
+//! 10. **Post-heal convergence** — when a
+//!     [`crate::scenario::PartitionConfig`] is armed,
+//!     holes the split tears open are tolerated while the cut is up (the
+//!     suppression is deterministic; they provably cannot close), but
+//!     within [`K_REFRESH_ROUNDS`] NPER rounds of the heal the ring's
+//!     successor/finger state must match the brute-force recomputation,
+//!     covering-set placement (Eq. 6) must be green again, no unexpired
+//!     registration may be lost, and a freshly posted probe query must
+//!     see full (1.0) coverage. The negative control — stabilization
+//!     disabled, so the healed ring never re-probes its parked suspects —
+//!     must trip this oracle.
 //!
 //! [`Metrics`]: dsi_simnet::Metrics
 //!
@@ -117,6 +128,11 @@ pub struct RunReport {
     pub aggregates_posted: u64,
     /// Aggregate notifications delivered across all aggregate queries.
     pub aggregate_notifications: u64,
+    /// Overlay sends suppressed by an armed network partition — ledgered
+    /// separately from random drop faults (DESIGN.md §17) and reconciled
+    /// against the metrics ledger by oracle 4. Always zero without a
+    /// [`crate::scenario::PartitionConfig`].
+    pub partition_suppressed: u64,
 }
 
 /// Replays a scenario's schedule against a fresh cluster, auditing every
@@ -149,6 +165,7 @@ pub fn run_scenario(scenario: &Scenario) -> RunReport {
                 load: h.load_report(),
                 aggregates_posted: h.aggregates_posted,
                 aggregate_notifications: h.cluster.total_aggregate_notifications(),
+                partition_suppressed: h.cluster.tracer().suppressed_total(),
             };
         }
     }
@@ -166,6 +183,7 @@ pub fn run_scenario(scenario: &Scenario) -> RunReport {
         load: h.load_report(),
         aggregates_posted: h.aggregates_posted,
         aggregate_notifications: h.cluster.total_aggregate_notifications(),
+        partition_suppressed: h.cluster.tracer().suppressed_total(),
     }
 }
 
@@ -242,6 +260,13 @@ struct Harness {
     agg_audits: Vec<AggAudit>,
     /// Aggregate queries posted so far.
     aggregates_posted: u64,
+    /// Completed NPER rounds since the partition healed. `None` before
+    /// the heal — and again once oracle 10 has confirmed convergence, so
+    /// later loss-induced holes are judged by oracle 7, not blamed on
+    /// the long-converged heal.
+    rounds_since_heal: Option<u32>,
+    /// Oracle 10's one-shot probe query was posted and checked.
+    heal_probe_done: bool,
 }
 
 /// Deliberately under-sized sketch shape for the negative control: one
@@ -328,6 +353,9 @@ impl Harness {
         };
         let mut cluster = Cluster::new(cluster_cfg);
         cluster.set_churn_repair(!cfg.disable_churn_repair);
+        // The convergence oracle's bug injection: without stabilization a
+        // healed ring never re-probes its parked suspects.
+        cluster.set_stabilization_enabled(!cfg.disable_stabilization);
         // Arm (or leave disarmed) the virtual-node re-weighting mitigation.
         cluster.set_reweighting(cfg.mitigation);
         // Arm the reliability layer with its own seed stream, decoupled from
@@ -373,6 +401,8 @@ impl Harness {
             agg_log: Vec::new(),
             agg_audits: Vec::new(),
             aggregates_posted: 0,
+            rounds_since_heal: None,
+            heal_probe_done: false,
         }
     }
 
@@ -417,8 +447,13 @@ impl Harness {
         if let Some(plan) = self.cluster.post_value(stream as StreamId, v, self.now) {
             self.mbr_ships += 1;
             // Capture the shipped record for the reference index: the entry
-            // delivery always stored it last.
-            let at = plan.deliveries[0].node;
+            // delivery stored it last — unless total loss or a severed
+            // covering set left nothing on the wire, in which case the
+            // summary fell back to the §IV-A local store at the home.
+            let at = match plan.deliveries.first() {
+                Some(d) => d.node,
+                None => self.cluster.streams()[stream].home,
+            };
             let rec = self
                 .cluster
                 .node(at)
@@ -603,6 +638,28 @@ impl Harness {
                     });
                 }
             }
+            FaultEvent::PartitionSplit => {
+                // The island assignment lives in the config (like the
+                // aggregate sketch shape); a schedule carrying the marker
+                // without an armed config no-ops safely.
+                if let Some(p) = self.cfg.partition.clone() {
+                    self.cluster.split_partition(&p.islands);
+                }
+            }
+            FaultEvent::PartitionHeal => {
+                if self.cfg.partition.is_some() {
+                    // Healing re-probes parked suspects unless the
+                    // negative-control bug injection is armed — then the
+                    // ring stays forked and oracle 10 must notice.
+                    self.cluster.heal_partition(!self.cfg.disable_stabilization);
+                    self.rounds_since_heal = Some(0);
+                    self.heal_probe_done = false;
+                    // The convergence clock restarts at the heal: holes
+                    // torn by the split get the full K-round repair
+                    // budget from here.
+                    self.incomplete_rounds = 0;
+                }
+            }
             FaultEvent::Notify => {
                 self.now += self.cfg.workload.nper_ms;
                 self.notified.clear();
@@ -628,6 +685,11 @@ impl Harness {
                         }
                         FaultOutcome::Drop => {}
                         FaultOutcome::Delay => self.delayed.push(self.now + nper, n),
+                        // Partition cuts are deterministic topology state,
+                        // never a random per-delivery draw.
+                        FaultOutcome::Partitioned => {
+                            unreachable!("outcome() never draws Partitioned")
+                        }
                     }
                 }
                 self.cluster.purge_queries(self.now);
@@ -639,11 +701,19 @@ impl Harness {
                 // a timed repair heals them. Skipped when the injected
                 // churn-repair bug is armed: the self-test wants holes to
                 // persist.
-                if (self.cluster.fault_plan_active() || self.cfg.aggregates.is_some())
+                // Partition runs sweep as well: the NPER refresh rounds
+                // double as post-heal anti-entropy, re-shipping the copies
+                // the cut suppressed (DESIGN.md §17).
+                if (self.cluster.fault_plan_active()
+                    || self.cfg.aggregates.is_some()
+                    || self.cfg.partition.is_some())
                     && !self.cfg.disable_churn_repair
                 {
                     self.cluster.set_trace_time(self.now);
                     self.cluster.repair_coverage(self.now);
+                }
+                if let Some(r) = &mut self.rounds_since_heal {
+                    *r += 1;
                 }
                 // Round boundary bookkeeping: tenant quotas refill, the
                 // load ledger samples the round (purely observational),
@@ -674,6 +744,38 @@ impl Harness {
             .map(|d| (OracleId::NoFalseDismissal, d))
             .or_else(|| self.oracle_replica_placement().map(|d| (OracleId::ReplicaPlacement, d)));
         match coverage {
+            // While the cut is up, cross-side holes are deterministic
+            // suppression — they provably cannot close, so they are not
+            // evidence of a bug. Oracle 10's clock starts at the heal.
+            Some(_) if self.cluster.ring().partitioned() => {}
+            Some((oracle, d)) if self.rounds_since_heal.is_some() => {
+                // Post-heal grace: anti-entropy gets K rounds to erase the
+                // split's holes; past the deadline the heal did not
+                // converge and oracle 10 fires.
+                let overdue = if self.cluster.fault_plan_active() {
+                    // Random loss keeps tearing fresh transient holes, so
+                    // (exactly like oracle 7) the failure must persist
+                    // across K consecutive Notify audits to count.
+                    if matches!(last, FaultEvent::Notify) {
+                        self.incomplete_rounds += 1;
+                    }
+                    self.incomplete_rounds > K_REFRESH_ROUNDS
+                } else {
+                    // Without loss the repair sweeps are deterministic:
+                    // any hole still open at the deadline is a failure.
+                    self.rounds_since_heal.unwrap_or(0) >= K_REFRESH_ROUNDS
+                };
+                if overdue {
+                    return Some((
+                        OracleId::PostHealConvergence,
+                        format!(
+                            "coverage not restored within {K_REFRESH_ROUNDS} refresh rounds of \
+                             the heal ({}: {d})",
+                            oracle.slug()
+                        ),
+                    ));
+                }
+            }
             Some((oracle, d)) if !self.cluster.fault_plan_active() => {
                 return Some((oracle, d));
             }
@@ -706,6 +808,9 @@ impl Harness {
             }
             if let Some(d) = self.oracle_load_balance() {
                 return Some((OracleId::LoadBalance, d));
+            }
+            if let Some(d) = self.oracle_post_heal_convergence() {
+                return Some((OracleId::PostHealConvergence, d));
             }
         }
         if let Some(d) = self.oracle_sketch_accuracy() {
@@ -895,6 +1000,84 @@ impl Harness {
         ))
     }
 
+    /// Oracle 10: within [`K_REFRESH_ROUNDS`] NPER rounds of a partition
+    /// heal, the ring's successor/finger state must match the brute-force
+    /// recomputation and a freshly posted probe query must see the whole
+    /// ring again. (The companion coverage checks — placement green, no
+    /// registration lost — route through the coverage match in
+    /// `check_oracles`, which re-labels an overdue post-heal hole as this
+    /// oracle.) Once everything is green the oracle disarms itself, so
+    /// later loss-induced holes are judged by oracle 7, not blamed on the
+    /// long-converged heal.
+    fn oracle_post_heal_convergence(&mut self) -> Option<String> {
+        let r = self.rounds_since_heal?;
+        if r < K_REFRESH_ROUNDS {
+            return None;
+        }
+        if !self.cluster.ring().is_fully_consistent() {
+            return Some(format!(
+                "successor/finger state still disagrees with the brute-force recomputation \
+                 {r} rounds after the heal (stabilization never re-knit the fork)"
+            ));
+        }
+        // Fresh work must see full coverage again: one deterministic probe
+        // query at the deadline. It draws nothing from the execution RNG,
+        // so the remaining schedule replays identically. Skipped under
+        // armed per-class loss, where a dropped hop could legitimately
+        // dent the probe's first-shot coverage.
+        if !self.heal_probe_done && !self.cluster.fault_plan_active() {
+            self.heal_probe_done = true;
+            if let Some(d) = self.check_heal_probe() {
+                return Some(d);
+            }
+        }
+        if self.incomplete_rounds == 0 {
+            self.rounds_since_heal = None;
+        }
+        None
+    }
+
+    /// Posts oracle 10's probe query (fixed shape, no RNG draws) and
+    /// checks it lands with 1.0 coverage on exactly its covering set.
+    fn check_heal_probe(&mut self) -> Option<String> {
+        let w = self.cfg.workload.window_len;
+        let target: Vec<f64> = (0..w).map(|i| 2.0 * ((i as f64) * 0.37).sin() + 5.0).collect();
+        let radius = 0.2;
+        // Expires at the next NPER round, purging with everything else.
+        let lifespan = self.cfg.workload.nper_ms;
+        let qid = self.cluster.post_similarity_query(0, target.clone(), radius, lifespan, self.now);
+        self.queries_posted += 1;
+        let q = SimilarityQuery::from_target(
+            qid,
+            self.cluster.node_id(0),
+            target,
+            radius,
+            self.cluster.config().kind,
+            self.cfg.workload.num_coeffs,
+            0,
+            self.now + lifespan,
+        );
+        let (lo, hi) = radius_key_range(self.cluster.space(), q.feature.first_real(), q.radius);
+        self.ref_queries.push(q);
+        if let Some(cov) = self.cluster.query_coverage(qid) {
+            if (cov - 1.0).abs() > 1e-9 {
+                return Some(format!(
+                    "probe query posted {K_REFRESH_ROUNDS} rounds after the heal sees coverage \
+                     {cov}, not 1.0"
+                ));
+            }
+        }
+        for n in covering_nodes(self.cluster.ring(), lo, hi) {
+            if !self.cluster.node(n).has_subscription(qid) {
+                return Some(format!(
+                    "post-heal probe query (range [{lo},{hi}]) is not subscribed at covering \
+                     node {n}"
+                ));
+            }
+        }
+        None
+    }
+
     /// Drops reference records that legitimately left the system: expired,
     /// or lost because *every* holder crashed (soft state — the record
     /// returns with the stream's next shipment).
@@ -965,6 +1148,15 @@ impl Harness {
             }
         }
         // Range multicast termination over each active query's range.
+        // During a split the planner is side-consistent and the subcheck
+        // holds per side; on a ring healed without re-probing (the
+        // negative-control fork) the planner's ground truth and the stale
+        // routing state legitimately disagree, so the subcheck stands
+        // down until stabilization re-knits the ring — oracle 10 owns
+        // that failure.
+        if self.cfg.partition.is_some() && !self.cluster.ring().is_fully_consistent() {
+            return None;
+        }
         let origin = self.cluster.node_id(0);
         for q in &self.ref_queries {
             let (lo, hi) = radius_key_range(space, q.feature.first_real(), q.radius);
@@ -1094,6 +1286,30 @@ impl Harness {
                 m.hop_sum(MsgClass::Response)
             ));
         }
+        // Send-decision ledger (DESIGN.md §17): every judged overlay send
+        // is exactly one of delivered, lost to random faults, or
+        // partition-suppressed — and the suppression count must agree
+        // with the trace-side tally, so a cut can never be silently
+        // double-charged as (or confused with) random loss.
+        let mut suppressed_sum = 0u64;
+        for c in MsgClass::ALL {
+            let (decisions, delivered, lost, partitioned) = m.send_accounting(c);
+            if decisions != delivered + lost + partitioned {
+                return Some(format!(
+                    "{}: {decisions} send decisions != {delivered} delivered + {lost} lost + \
+                     {partitioned} partition-suppressed",
+                    c.name()
+                ));
+            }
+            suppressed_sum += partitioned;
+        }
+        let traced = self.cluster.tracer().suppressed_total();
+        if suppressed_sum != traced {
+            return Some(format!(
+                "metrics ledger counts {suppressed_sum} partition-suppressed sends, the trace \
+                 audit tallied {traced}"
+            ));
+        }
         None
     }
 
@@ -1141,8 +1357,15 @@ impl Harness {
         // Coverage of multicasts traced since the last audit. Sound to
         // check against the *current* ring: no event both multicasts and
         // churns, so the topology is the one each multicast was sent on.
+        // Multicasts sent while the network is split (or still forked
+        // after a stabilization-free heal) legitimately deliver to one
+        // side only; their metas are skipped — the cursor still advances,
+        // so they are never later audited against a ring they were not
+        // sent on.
+        let partition_grace = self.cluster.ring().partitioned()
+            || (self.cfg.partition.is_some() && !self.cluster.ring().is_fully_consistent());
         let new_metas = &tracer.multicasts()[self.audited_multicasts..];
-        if !new_metas.is_empty() {
+        if !new_metas.is_empty() && !partition_grace {
             let records = tracer.snapshot();
             let internal =
                 [MsgClass::MbrInternal.index() as u8, MsgClass::QueryInternal.index() as u8];

@@ -4,7 +4,7 @@
 //! the style of FoundationDB's simulator: a seed fully determines a
 //! scenario — node churn, message faults, stream bursts, query storms —
 //! which is replayed against a complete [`dsi_core::Cluster`] over
-//! simulated time. After every scheduled event the harness audits nine
+//! simulated time. After every scheduled event the harness audits ten
 //! invariants end to end:
 //!
 //! 1. **No false dismissals** — the distributed index never misses a match
@@ -41,6 +41,15 @@
 //!    δ-proportional miss budget; the advertised bound must widen —
 //!    never tighten — exactly by the uncovered population fraction when
 //!    faults or churn keep replicas out of a collection round.
+//! 10. **Post-heal convergence** — under an armed [`PartitionConfig`]
+//!     the network is severed into islands mid-run (suppressed crossings
+//!     are ledgered separately from random loss) and later healed; within
+//!     a bounded number of NPER refresh rounds after the heal the ring's
+//!     successor/finger state must match a brute-force recomputation,
+//!     covering-set placement must be green again, no unexpired
+//!     registration may be lost, and a fresh probe query must see full
+//!     coverage (DESIGN.md §17). The negative control — the same seed
+//!     with stabilization disabled — must trip this oracle.
 //!
 //! Adversarial workloads are first-class: [`SkewConfig`] injects
 //! cross-stream correlation (flash crowds collapsing onto one Fourier
@@ -70,4 +79,7 @@ pub mod scenario;
 pub use harness::{run_scenario, RunReport, Violation};
 pub use oracle::{OracleId, NUM_ORACLES, ORACLES};
 pub use repro::{load_reproducer, results_dir, write_reproducer, Reproducer};
-pub use scenario::{AggregatesConfig, FaultEvent, LoadBound, Scenario, ScenarioConfig, SkewConfig};
+pub use scenario::{
+    AggregatesConfig, FaultEvent, LoadBound, PartitionConfig, Scenario, ScenarioConfig, SkewConfig,
+    POST_HEAL_SETTLE_ROUNDS,
+};

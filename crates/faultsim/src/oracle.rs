@@ -42,12 +42,18 @@ pub enum OracleId {
     /// Oracle 9: aggregate notifications honor their advertised ε-δ
     /// contract against the contributor-scoped exact reference.
     SketchAccuracy,
+    /// Oracle 10: within `K_REFRESH_ROUNDS` NPER rounds after a network
+    /// partition heals, successor/finger state matches the brute-force
+    /// recomputation, covering-set placement is green again, no
+    /// unexpired registration was lost, and fresh queries see full
+    /// coverage.
+    PostHealConvergence,
 }
 
 /// Number of registered oracles. dsilint's X02 pass pins this to the
 /// `OracleId` variant count and to the `dsilint: oracle-count` marker in
 /// DESIGN.md.
-pub const NUM_ORACLES: usize = 9;
+pub const NUM_ORACLES: usize = 10;
 
 /// Every oracle in design order. Audit code that wants "all of them"
 /// iterates this table instead of hand-listing variants.
@@ -61,6 +67,7 @@ pub const ORACLES: [OracleId; NUM_ORACLES] = [
     OracleId::EventualCompleteness,
     OracleId::LoadBalance,
     OracleId::SketchAccuracy,
+    OracleId::PostHealConvergence,
 ];
 
 impl OracleId {
@@ -79,6 +86,7 @@ impl OracleId {
             OracleId::EventualCompleteness => "eventual-completeness",
             OracleId::LoadBalance => "load-balance",
             OracleId::SketchAccuracy => "sketch-accuracy",
+            OracleId::PostHealConvergence => "post-heal-convergence",
         }
     }
 }
@@ -101,5 +109,6 @@ mod tests {
         assert_eq!(ORACLES[0], OracleId::NoFalseDismissal);
         assert_eq!(ORACLES[6], OracleId::EventualCompleteness);
         assert_eq!(ORACLES[8], OracleId::SketchAccuracy);
+        assert_eq!(ORACLES[9], OracleId::PostHealConvergence);
     }
 }

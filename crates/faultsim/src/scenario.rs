@@ -114,6 +114,58 @@ impl AggregatesConfig {
     }
 }
 
+/// Network-partition injection for the post-heal convergence oracle
+/// (oracle 10, DESIGN.md §17). When set, the schedule carries one
+/// [`FaultEvent::PartitionSplit`] / [`FaultEvent::PartitionHeal`] pair at
+/// positions measured in NPER rounds, and churn rolls degrade to plain
+/// rounds — a partition and membership churn both rewrite the ring, and
+/// isolating the cut keeps the convergence oracle's brute-force
+/// expectation exact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionConfig {
+    /// Islands by data-center creation index: entry `k` lists the nodes
+    /// severed onto side `k + 1`; unlisted indices stay together on side
+    /// 0 (the "majority" side when the listed islands are minorities).
+    pub islands: Vec<Vec<usize>>,
+    /// NPER rounds after the warm-up round before the split lands.
+    pub split_after_rounds: u32,
+    /// NPER rounds the cut stays up before the heal event.
+    pub heal_after_rounds: u32,
+}
+
+impl PartitionConfig {
+    /// Validates the islands against the scenario's node count.
+    ///
+    /// # Panics
+    /// Panics on empty or overlapping islands, out-of-range indices, an
+    /// empty side 0, or a zero-round split/heal spacing.
+    pub fn validate(&self, num_nodes: usize) {
+        assert!(!self.islands.is_empty(), "a partition needs at least one severed island");
+        assert!(self.islands.len() <= 254, "at most 254 severed islands");
+        let mut seen = Vec::new();
+        for island in &self.islands {
+            assert!(!island.is_empty(), "severed islands must be non-empty");
+            for &idx in island {
+                assert!(idx < num_nodes, "island index {idx} out of range (< {num_nodes})");
+                assert!(!seen.contains(&idx), "node index {idx} listed in two islands");
+                seen.push(idx);
+            }
+        }
+        assert!(
+            seen.len() < num_nodes,
+            "every node is severed onto a listed island; side 0 must keep at least one"
+        );
+        assert!(self.split_after_rounds >= 1, "split needs at least one settled round first");
+        assert!(self.heal_after_rounds >= 1, "the cut must stay up for at least one round");
+    }
+}
+
+/// NPER rounds guaranteed to follow the heal event in every generated
+/// schedule, so the post-heal convergence oracle always gets its full
+/// audit window (the harness grants repair `K_REFRESH_ROUNDS = 6`
+/// rounds; two more rounds are audited *after* the deadline).
+pub const POST_HEAL_SETTLE_ROUNDS: usize = 8;
+
 /// The Fig. 8-style load-balance envelope the eighth oracle enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LoadBound {
@@ -182,6 +234,15 @@ pub struct ScenarioConfig {
     /// (oracle 9). `None` (default) leaves both disarmed and the run
     /// byte-identical to the historical behavior.
     pub aggregates: Option<AggregatesConfig>,
+    /// Arms a network partition and the post-heal convergence oracle
+    /// (oracle 10). `None` (default) leaves both disarmed and the run
+    /// byte-identical to the historical behavior.
+    pub partition: Option<PartitionConfig>,
+    /// Disables timeout-driven stabilization and post-heal re-probing —
+    /// the known-bug injection switch the convergence oracle's negative
+    /// control flips: a healed ring that never re-probes its parked
+    /// suspects stays forked forever.
+    pub disable_stabilization: bool,
 }
 
 impl Serialize for ScenarioConfig {
@@ -199,6 +260,8 @@ impl Serialize for ScenarioConfig {
             ("load_bound".into(), self.load_bound.to_value()),
             ("mitigation".into(), self.mitigation.to_value()),
             ("aggregates".into(), self.aggregates.to_value()),
+            ("partition".into(), self.partition.to_value()),
+            ("disable_stabilization".into(), self.disable_stabilization.to_value()),
         ])
     }
 }
@@ -233,6 +296,14 @@ impl Deserialize for ScenarioConfig {
                 Some(x) => Deserialize::from_value(x)?,
                 None => None,
             },
+            partition: match v.get("partition") {
+                Some(x) => Deserialize::from_value(x)?,
+                None => None,
+            },
+            disable_stabilization: match v.get("disable_stabilization") {
+                Some(x) => Deserialize::from_value(x)?,
+                None => false,
+            },
         })
     }
 }
@@ -263,6 +334,8 @@ impl Default for ScenarioConfig {
             load_bound: None,
             mitigation: None,
             aggregates: None,
+            partition: None,
+            disable_stabilization: false,
         }
     }
 }
@@ -328,6 +401,20 @@ impl ScenarioConfig {
     /// sketch-accuracy oracle.
     pub fn with_aggregates(mut self, cfg: AggregatesConfig) -> Self {
         self.aggregates = Some(cfg);
+        self
+    }
+
+    /// A variant injecting a network partition and arming the post-heal
+    /// convergence oracle.
+    pub fn with_partition(mut self, cfg: PartitionConfig) -> Self {
+        self.partition = Some(cfg);
+        self
+    }
+
+    /// A variant with stabilization disabled — the convergence oracle's
+    /// negative-control bug injection.
+    pub fn without_stabilization(mut self) -> Self {
+        self.disable_stabilization = true;
         self
     }
 }
@@ -402,6 +489,15 @@ pub enum FaultEvent {
         /// The aggregate function to compute.
         kind: AggregateKind,
     },
+    /// The network splits into the configured islands (only meaningful
+    /// when [`ScenarioConfig::partition`] is armed; a no-op otherwise).
+    /// The island assignment lives in the config, so the event itself
+    /// stays small and consumes no generation-RNG draws.
+    PartitionSplit,
+    /// The partition heals. With stabilization enabled the ring re-knits
+    /// immediately; the negative control leaves the fork for the
+    /// convergence oracle to catch.
+    PartitionHeal,
     /// One NPER round on every node (with injected message faults),
     /// followed by the global query purge.
     Notify,
@@ -435,6 +531,9 @@ impl Scenario {
         }
         if let Some(a) = &config.aggregates {
             a.validate();
+        }
+        if let Some(p) = &config.partition {
+            p.validate(config.num_nodes);
         }
         assert!(config.num_nodes >= 3, "scenarios need at least three data centers");
         assert!(config.num_streams >= 1, "scenarios need at least one stream");
@@ -509,8 +608,68 @@ impl Scenario {
                 events.insert(2 + i, FaultEvent::PostAggregate { client, kind });
             }
         }
+        // Partition injection rewrites the generated schedule in place and
+        // consumes no generation-RNG draws, like the aggregate block above.
+        // Churn rolls degrade to plain NPER rounds first: a partition and
+        // membership churn both rewrite the ring, and isolating the cut
+        // keeps oracle 10's brute-force expectation exact (it also keeps
+        // the island indices valid — creation order never shifts).
+        if let Some(p) = &config.partition {
+            for ev in &mut events {
+                if matches!(
+                    ev,
+                    FaultEvent::CrashNode { .. }
+                        | FaultEvent::JoinNode { .. }
+                        | FaultEvent::RehomeOrphans { .. }
+                ) {
+                    *ev = FaultEvent::Notify;
+                }
+            }
+            // Positions are measured in NPER rounds: the warm-up Notify is
+            // round 1, the split lands `split_after_rounds` rounds later,
+            // the heal `heal_after_rounds` after that. (The heal insertion
+            // counts only Notify events, so the split marker never shifts
+            // it.) Rounds missing from the rolled schedule are appended.
+            insert_after_round(&mut events, 1 + p.split_after_rounds, FaultEvent::PartitionSplit);
+            insert_after_round(
+                &mut events,
+                1 + p.split_after_rounds + p.heal_after_rounds,
+                FaultEvent::PartitionHeal,
+            );
+            // Guarantee the convergence oracle its full audit window.
+            let heal_at = events
+                .iter()
+                .position(|e| *e == FaultEvent::PartitionHeal)
+                .expect("heal marker was just inserted");
+            let settled =
+                events[heal_at..].iter().filter(|e| matches!(e, FaultEvent::Notify)).count();
+            for _ in settled..POST_HEAL_SETTLE_ROUNDS {
+                events.push(FaultEvent::Notify);
+            }
+        }
         Scenario { seed, config, events }
     }
+}
+
+/// Inserts `marker` immediately after the `round`-th [`FaultEvent::Notify`]
+/// of the schedule, appending the missing rounds first when the rolled
+/// schedule has fewer than `round` of them.
+fn insert_after_round(events: &mut Vec<FaultEvent>, round: u32, marker: FaultEvent) {
+    let mut seen = 0u32;
+    for i in 0..events.len() {
+        if matches!(events[i], FaultEvent::Notify) {
+            seen += 1;
+            if seen == round {
+                events.insert(i + 1, marker);
+                return;
+            }
+        }
+    }
+    while seen < round {
+        events.push(FaultEvent::Notify);
+        seen += 1;
+    }
+    events.push(marker);
 }
 
 #[cfg(test)]
@@ -644,5 +803,124 @@ mod tests {
     #[should_panic(expected = "correlation must lie in")]
     fn out_of_range_rho_is_rejected() {
         let _ = Scenario::generate(1, ScenarioConfig::default().correlated(1.5));
+    }
+
+    fn two_islands() -> PartitionConfig {
+        PartitionConfig {
+            islands: vec![vec![7, 8, 9]],
+            split_after_rounds: 2,
+            heal_after_rounds: 3,
+        }
+    }
+
+    #[test]
+    fn partition_markers_land_at_their_rounds_with_a_settle_window() {
+        for seed in 0..20 {
+            let s =
+                Scenario::generate(seed, ScenarioConfig::default().with_partition(two_islands()));
+            let split = s.events.iter().position(|e| *e == FaultEvent::PartitionSplit).unwrap();
+            let heal = s.events.iter().position(|e| *e == FaultEvent::PartitionHeal).unwrap();
+            assert!(split < heal, "seed {seed}: split must precede heal");
+            let rounds_before = |end: usize| {
+                s.events[..end].iter().filter(|e| matches!(e, FaultEvent::Notify)).count()
+            };
+            assert_eq!(rounds_before(split), 3, "seed {seed}: split after warm-up + 2 rounds");
+            assert_eq!(rounds_before(heal), 6, "seed {seed}: heal 3 rounds after the split");
+            let settle =
+                s.events[heal..].iter().filter(|e| matches!(e, FaultEvent::Notify)).count();
+            assert!(
+                settle >= POST_HEAL_SETTLE_ROUNDS,
+                "seed {seed}: only {settle} rounds follow the heal"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_schedules_degrade_churn_to_plain_rounds() {
+        for seed in 0..20 {
+            let s =
+                Scenario::generate(seed, ScenarioConfig::default().with_partition(two_islands()));
+            for ev in &s.events {
+                assert!(
+                    !matches!(
+                        ev,
+                        FaultEvent::CrashNode { .. }
+                            | FaultEvent::JoinNode { .. }
+                            | FaultEvent::RehomeOrphans { .. }
+                    ),
+                    "seed {seed}: partition schedules must not churn membership"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disarmed_partition_leaves_generation_byte_identical() {
+        // Like the skew knobs: an absent partition config must not shift
+        // a single generation-RNG draw or schedule position.
+        let plain = Scenario::generate(13, ScenarioConfig::default());
+        let disarmed = Scenario::generate(
+            13,
+            ScenarioConfig {
+                partition: None,
+                disable_stabilization: false,
+                ..ScenarioConfig::default()
+            },
+        );
+        assert_eq!(plain, disarmed);
+    }
+
+    #[test]
+    fn partition_scenarios_roundtrip_through_json() {
+        let s = Scenario::generate(
+            14,
+            ScenarioConfig::default().with_partition(two_islands()).without_stabilization(),
+        );
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn legacy_scenario_json_without_partition_fields_parses() {
+        let s = Scenario::generate(15, ScenarioConfig::default());
+        let mut v = serde_json::to_value(&s).unwrap();
+        if let serde::Value::Object(entries) = &mut v {
+            for (k, cv) in entries.iter_mut() {
+                if k == "config" {
+                    if let serde::Value::Object(cfg) = cv {
+                        cfg.retain(|(f, _)| {
+                            f.as_str() != "partition" && f.as_str() != "disable_stabilization"
+                        });
+                    }
+                }
+            }
+        }
+        let back: Scenario = serde_json::from_value(&v).unwrap();
+        assert_eq!(s, back, "defaults must reconstruct the pre-partition config");
+    }
+
+    #[test]
+    #[should_panic(expected = "listed in two islands")]
+    fn overlapping_islands_are_rejected() {
+        let cfg = ScenarioConfig::default().with_partition(PartitionConfig {
+            islands: vec![vec![1, 2], vec![2, 3]],
+            split_after_rounds: 1,
+            heal_after_rounds: 1,
+        });
+        let _ = Scenario::generate(1, cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "side 0 must keep at least one")]
+    fn fully_severed_rings_are_rejected() {
+        let cfg = ScenarioConfig { num_nodes: 4, ..ScenarioConfig::default() }.with_partition(
+            PartitionConfig {
+                islands: vec![vec![0, 1], vec![2, 3]],
+                split_after_rounds: 1,
+                heal_after_rounds: 1,
+            },
+        );
+        let _ = Scenario::generate(1, cfg);
     }
 }

@@ -1,0 +1,59 @@
+//! X02 growth-negative fixture: the ten-oracle registry extended
+//! correctly — constant, const-length table, literal-length table and
+//! the slug dispatch all carry the new post-heal convergence variant.
+
+pub enum OracleId {
+    NoFalseDismissal,
+    RoutingTermination,
+    ReplicaPlacement,
+    MetricsConservation,
+    Purge,
+    TraceConformance,
+    EventualCompleteness,
+    LoadBalance,
+    SketchAccuracy,
+    PostHealConvergence,
+}
+
+pub const NUM_ORACLES: usize = 10;
+
+pub const ORACLES: [OracleId; NUM_ORACLES] = [
+    OracleId::NoFalseDismissal,
+    OracleId::RoutingTermination,
+    OracleId::ReplicaPlacement,
+    OracleId::MetricsConservation,
+    OracleId::Purge,
+    OracleId::TraceConformance,
+    OracleId::EventualCompleteness,
+    OracleId::LoadBalance,
+    OracleId::SketchAccuracy,
+    OracleId::PostHealConvergence,
+];
+
+pub const WEIGHTS: [OracleId; 10] = [
+    OracleId::NoFalseDismissal,
+    OracleId::RoutingTermination,
+    OracleId::ReplicaPlacement,
+    OracleId::MetricsConservation,
+    OracleId::Purge,
+    OracleId::TraceConformance,
+    OracleId::EventualCompleteness,
+    OracleId::LoadBalance,
+    OracleId::SketchAccuracy,
+    OracleId::PostHealConvergence,
+];
+
+pub fn slug(o: OracleId) -> &'static str {
+    match o {
+        OracleId::NoFalseDismissal => "no-false-dismissal",
+        OracleId::RoutingTermination => "routing-termination",
+        OracleId::ReplicaPlacement => "replica-placement",
+        OracleId::MetricsConservation => "metrics-conservation",
+        OracleId::Purge => "purge",
+        OracleId::TraceConformance => "trace-conformance",
+        OracleId::EventualCompleteness => "eventual-completeness",
+        OracleId::LoadBalance => "load-balance",
+        OracleId::SketchAccuracy => "sketch-accuracy",
+        OracleId::PostHealConvergence => "post-heal-convergence",
+    }
+}

@@ -1,0 +1,45 @@
+//! X02 growth-positive fixture: the registry just grew a tenth variant
+//! (post-heal convergence) but the constant, a literal-length table and
+//! the slug dispatch were left at nine — the exact drift X02 exists to
+//! catch when an oracle is added.
+
+pub enum OracleId {
+    NoFalseDismissal,
+    RoutingTermination,
+    ReplicaPlacement,
+    MetricsConservation,
+    Purge,
+    TraceConformance,
+    EventualCompleteness,
+    LoadBalance,
+    SketchAccuracy,
+    PostHealConvergence,
+}
+
+pub const NUM_ORACLES: usize = 9;
+
+pub const LEGACY: [OracleId; 9] = [
+    OracleId::NoFalseDismissal,
+    OracleId::RoutingTermination,
+    OracleId::ReplicaPlacement,
+    OracleId::MetricsConservation,
+    OracleId::Purge,
+    OracleId::TraceConformance,
+    OracleId::EventualCompleteness,
+    OracleId::LoadBalance,
+    OracleId::SketchAccuracy,
+];
+
+pub fn slug(o: OracleId) -> &'static str {
+    match o {
+        OracleId::NoFalseDismissal => "no-false-dismissal",
+        OracleId::RoutingTermination => "routing-termination",
+        OracleId::ReplicaPlacement => "replica-placement",
+        OracleId::MetricsConservation => "metrics-conservation",
+        OracleId::Purge => "purge",
+        OracleId::TraceConformance => "trace-conformance",
+        OracleId::EventualCompleteness => "eventual-completeness",
+        OracleId::LoadBalance => "load-balance",
+        _ => "sketch-accuracy",
+    }
+}

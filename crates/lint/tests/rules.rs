@@ -362,6 +362,37 @@ fn x02_allow_marker_suppresses_with_reason() {
 }
 
 #[test]
+fn x02_growth_positive_flags_every_stale_nine_oracle_artifact() {
+    // The tenth-oracle growth scenario: a variant added without touching
+    // the constant, a legacy literal-length table, or the slug dispatch.
+    // All three must be flagged, not just the first.
+    let (vs, _) = lint("x02_growth_positive.rs", "crates/faultsim/src/oracle.rs");
+    let rules: Vec<_> = vs.iter().map(|v| v.0).collect();
+    assert_eq!(rules, vec![X02, X02, X02], "{vs:?}");
+}
+
+#[test]
+fn x02_growth_negative_extended_registry_passes() {
+    let (vs, _) = lint("x02_growth_negative.rs", "crates/faultsim/src/oracle.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn x02_growth_marker_must_advance_with_the_registry() {
+    // A ten-variant registry against a DESIGN.md marker still saying 9
+    // (doc left behind) and one saying 10 (doc kept up).
+    let f = fixture("x02_growth_negative.rs", "crates/faultsim/src/oracle.rs");
+    let out = lint_files_with(&[f], &Baseline::default(), Some(9));
+    assert_eq!(out.violations.len(), 1, "{:?}", out.violations);
+    assert_eq!(out.violations[0].rule, X02);
+    assert!(out.violations[0].message.contains("DESIGN.md advertises 9 oracles"));
+
+    let f = fixture("x02_growth_negative.rs", "crates/faultsim/src/oracle.rs");
+    let out = lint_files_with(&[f], &Baseline::default(), Some(10));
+    assert!(out.violations.is_empty(), "{:?}", out.violations);
+}
+
+#[test]
 fn x02_design_marker_drift_is_flagged_at_the_enum() {
     let f = fixture("x02_negative.rs", "crates/faultsim/src/oracle.rs");
     let out = lint_files_with(&[f], &Baseline::default(), Some(4));

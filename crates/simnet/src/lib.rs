@@ -9,7 +9,8 @@
 //! * [`poisson::PoissonArrivals`] — query arrival process;
 //! * [`net`] — the 50 ms/hop cost constants;
 //! * [`faults`] — seeded drop/duplicate/delay fault injection, per-class
-//!   [`faults::FaultPlan`]s, and the [`engine::DelayQueue`] re-delivery pen;
+//!   [`faults::FaultPlan`]s, scheduled [`faults::PartitionPlan`] splits,
+//!   and the [`engine::DelayQueue`] re-delivery pen;
 //! * [`latency::LatencyModel`] — configurable per-hop delay distributions;
 //! * [`metrics`] — per-node load components (Fig. 6), per-event message
 //!   overhead (Fig. 7) and hop counts (Fig. 8).
@@ -30,7 +31,7 @@ pub mod poisson;
 pub mod time;
 
 pub use engine::{DelayQueue, Engine};
-pub use faults::{FaultOutcome, FaultPlan, FaultSpec};
+pub use faults::{FaultOutcome, FaultPlan, FaultSpec, PartitionPlan};
 pub use latency::LatencyModel;
 pub use metrics::{Histogram, InputEvent, Metrics, MsgClass, NUM_CLASSES};
 pub use net::{delivery_delay_ms, path_delay_ms, HOP_DELAY_MS};

@@ -144,6 +144,17 @@ pub struct Metrics {
     dups_suppressed: [u64; NUM_CLASSES],
     coverage_sum: f64,
     coverage_count: u64,
+    /// Logical sends that consulted the delivery layer (a reliability
+    /// resolution or a partition check). Conservation anchor: every
+    /// decision is delivered, lost, or partition-suppressed — nothing else.
+    send_decisions: [u64; NUM_CLASSES],
+    /// Decisions whose message reached the receiver (on time or late).
+    sends_delivered: [u64; NUM_CLASSES],
+    /// Decisions lost after retries (the random-drop budget).
+    sends_lost: [u64; NUM_CLASSES],
+    /// Decisions suppressed by an armed partition plan — deterministic
+    /// island membership, kept strictly separate from random drops.
+    partition_suppressed: [u64; NUM_CLASSES],
 }
 
 impl Metrics {
@@ -303,6 +314,57 @@ impl Metrics {
         debug_assert!((0.0..=1.0).contains(&fraction), "coverage {fraction} outside [0, 1]");
         self.coverage_sum += fraction;
         self.coverage_count += 1;
+    }
+
+    /// Records one logical send decision of `class` that ended delivered
+    /// (on time or a period late).
+    pub fn record_send_delivered(&mut self, class: MsgClass) {
+        let i = class.index();
+        self.send_decisions[i] += 1;
+        self.sends_delivered[i] += 1;
+    }
+
+    /// Records one logical send decision of `class` lost after retries.
+    pub fn record_send_lost(&mut self, class: MsgClass) {
+        let i = class.index();
+        self.send_decisions[i] += 1;
+        self.sends_lost[i] += 1;
+    }
+
+    /// Records one logical send of `class` suppressed because an armed
+    /// partition plan severs its endpoints. Separate from random drops by
+    /// construction: [`Metrics::record_send_lost`] never counts these.
+    pub fn record_partition_suppressed(&mut self, class: MsgClass) {
+        let i = class.index();
+        self.send_decisions[i] += 1;
+        self.partition_suppressed[i] += 1;
+    }
+
+    /// Partition-suppressed sends for a class.
+    pub fn partition_suppressed(&self, class: MsgClass) -> u64 {
+        self.partition_suppressed[class.index()]
+    }
+
+    /// Partition-suppressed sends summed over all classes.
+    pub fn partition_suppressed_total(&self) -> u64 {
+        self.partition_suppressed.iter().sum()
+    }
+
+    /// Send-conservation ledger for a class:
+    /// `(decisions, delivered, lost, partitioned)`. The identity
+    /// `decisions == delivered + lost + partitioned` holds by construction;
+    /// the fault harness asserts it every round so a new send site that
+    /// forgets one side of the ledger is caught immediately. Duplicated
+    /// copies ride on *delivered* decisions and are accounted in
+    /// [`Metrics::dups_suppressed`], never here.
+    pub fn send_accounting(&self, class: MsgClass) -> (u64, u64, u64, u64) {
+        let i = class.index();
+        (
+            self.send_decisions[i],
+            self.sends_delivered[i],
+            self.sends_lost[i],
+            self.partition_suppressed[i],
+        )
     }
 
     /// Retransmission attempts for a class.
@@ -472,6 +534,27 @@ mod tests {
         m.reset();
         assert_eq!(m.reliability_totals(), (0, 0, 0));
         assert_eq!(m.avg_coverage(), None);
+    }
+
+    #[test]
+    fn send_ledger_conserves_every_decision() {
+        let mut m = Metrics::new();
+        m.record_send_delivered(MsgClass::Query);
+        m.record_send_delivered(MsgClass::Query);
+        m.record_send_lost(MsgClass::Query);
+        m.record_partition_suppressed(MsgClass::Query);
+        m.record_partition_suppressed(MsgClass::Response);
+        let (decisions, delivered, lost, partitioned) = m.send_accounting(MsgClass::Query);
+        assert_eq!((decisions, delivered, lost, partitioned), (4, 2, 1, 1));
+        assert_eq!(decisions, delivered + lost + partitioned);
+        assert_eq!(m.partition_suppressed(MsgClass::Query), 1);
+        assert_eq!(m.partition_suppressed(MsgClass::Response), 1);
+        assert_eq!(m.partition_suppressed_total(), 2);
+        // Partition suppressions never leak into the random-drop budget.
+        assert_eq!(m.send_accounting(MsgClass::Response).2, 0);
+        m.reset();
+        assert_eq!(m.send_accounting(MsgClass::Query), (0, 0, 0, 0));
+        assert_eq!(m.partition_suppressed_total(), 0);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub struct Tracer {
     dropped: u64,
     records: VecDeque<TraceRecord>,
     multicasts: Vec<MulticastMeta>,
+    suppressed: Vec<u64>,
 }
 
 impl Tracer {
@@ -53,6 +54,7 @@ impl Tracer {
             dropped: 0,
             records: VecDeque::new(),
             multicasts: Vec::new(),
+            suppressed: Vec::new(),
         }
     }
 
@@ -81,6 +83,31 @@ impl Tracer {
         self.multicasts.clear();
         self.next_id = 0;
         self.dropped = 0;
+        self.suppressed.clear();
+    }
+
+    /// Count one message of `class` that a network partition suppressed
+    /// before it could produce any trace records. Unlike record-producing
+    /// entry points this also counts while the tracer is disabled: the
+    /// counters are plain tallies audited against `Metrics`, not buffered
+    /// records, so they never touch the golden trace digest (which derives
+    /// from records only).
+    pub fn note_suppressed(&mut self, class: u8) {
+        let idx = class as usize;
+        if self.suppressed.len() <= idx {
+            self.suppressed.resize(idx + 1, 0);
+        }
+        self.suppressed[idx] += 1;
+    }
+
+    /// Messages of `class` suppressed by partitions since the last clear.
+    pub fn suppressed(&self, class: u8) -> u64 {
+        self.suppressed.get(class as usize).copied().unwrap_or(0)
+    }
+
+    /// Total partition-suppressed messages across all classes.
+    pub fn suppressed_total(&self) -> u64 {
+        self.suppressed.iter().sum()
     }
 
     /// Set the simulated wall clock used to stamp subsequent originations.
